@@ -1,0 +1,106 @@
+// Command graphgen generates workload graphs and writes them in this
+// repository's binary CSR format or as a plain edge list.
+//
+// Usage:
+//
+//	graphgen -kind rmat       -scale 16 -ef 16 -seed 42 -out g.bin
+//	graphgen -kind uniform    -n 65536 -m 1048576 -out g.edges -format edges
+//	graphgen -kind mesh       -rows 256 -cols 256 -out mesh.bin
+//	graphgen -kind smallworld -n 65536 -ringk 3 -beta 0.1 -out sw.bin
+//	graphgen -kind starburst  -n 65536 -hubs 8 -hubdeg 20000 -avgdeg 2 -out sb.bin
+//	graphgen -kind preset     -preset LiveJournal-like -scale 14 -out lj.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"maxwarp/internal/gengraph"
+	"maxwarp/internal/graph"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	kind := flag.String("kind", "rmat", "rmat | uniform | mesh | torus | smallworld | starburst | preset")
+	out := flag.String("out", "", "output file (required)")
+	format := flag.String("format", "bin", "bin | edges | dimacs (adds weights 1..maxw)")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	maxw := flag.Int("maxw", 100, "max edge weight for -format dimacs")
+	scale := flag.Int("scale", 14, "log2 vertices (rmat, preset)")
+	ef := flag.Int("ef", 16, "edge factor (rmat)")
+	a := flag.Float64("a", gengraph.DefaultRMAT.A, "RMAT a")
+	b := flag.Float64("b", gengraph.DefaultRMAT.B, "RMAT b")
+	c := flag.Float64("c", gengraph.DefaultRMAT.C, "RMAT c")
+	d := flag.Float64("d", gengraph.DefaultRMAT.D, "RMAT d")
+	n := flag.Int("n", 1<<14, "vertices (uniform, smallworld, starburst)")
+	m := flag.Int("m", 1<<18, "edges (uniform)")
+	rows := flag.Int("rows", 128, "mesh/torus rows")
+	cols := flag.Int("cols", 128, "mesh/torus cols")
+	ringk := flag.Int("ringk", 3, "small-world ring half-degree")
+	beta := flag.Float64("beta", 0.1, "small-world rewiring probability")
+	hubs := flag.Int("hubs", 8, "starburst hub count")
+	hubdeg := flag.Int("hubdeg", 10000, "starburst hub degree")
+	avgdeg := flag.Int("avgdeg", 2, "starburst background degree")
+	preset := flag.String("preset", "LiveJournal-like", "preset name (kind=preset)")
+	flag.Parse()
+
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+
+	var g *graph.CSR
+	var err error
+	switch *kind {
+	case "rmat":
+		g, err = gengraph.RMAT(*scale, *ef, gengraph.RMATParams{A: *a, B: *b, C: *c, D: *d}, *seed)
+	case "uniform":
+		g, err = gengraph.UniformRandom(*n, *m, *seed)
+	case "mesh":
+		g, err = gengraph.Mesh2D(*rows, *cols)
+	case "torus":
+		g, err = gengraph.Torus2D(*rows, *cols)
+	case "smallworld":
+		g, err = gengraph.WattsStrogatz(*n, *ringk, *beta, *seed)
+	case "starburst":
+		g, err = gengraph.StarBurst(*n, *hubs, *hubdeg, *avgdeg, *seed)
+	case "preset":
+		var p gengraph.Preset
+		p, err = gengraph.PresetByName(*preset)
+		if err == nil {
+			g, err = p.Build(*scale, *seed)
+		}
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		return err
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch *format {
+	case "bin":
+		err = graph.WriteBinary(f, g)
+	case "edges":
+		err = graph.WriteEdgeList(f, g)
+	case "dimacs":
+		err = graph.WriteDIMACS(f, g, gengraph.EdgeWeights(g, int32(*maxw), *seed))
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s: %s\n", *out, graph.Stats(g))
+	return nil
+}

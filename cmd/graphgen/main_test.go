@@ -1,0 +1,115 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"maxwarp/internal/graph"
+)
+
+// withArgs runs main's run() with fresh flags and the given CLI args.
+func withArgs(t *testing.T, args ...string) error {
+	t.Helper()
+	oldArgs := os.Args
+	oldCmd := flag.CommandLine
+	defer func() {
+		os.Args = oldArgs
+		flag.CommandLine = oldCmd
+	}()
+	flag.CommandLine = flag.NewFlagSet("graphgen", flag.ContinueOnError)
+	os.Args = append([]string{"graphgen"}, args...)
+	return run()
+}
+
+func TestGenerateAllKinds(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string][]string{
+		"rmat":       {"-kind", "rmat", "-scale", "8", "-ef", "4"},
+		"uniform":    {"-kind", "uniform", "-n", "200", "-m", "800"},
+		"mesh":       {"-kind", "mesh", "-rows", "10", "-cols", "12"},
+		"torus":      {"-kind", "torus", "-rows", "8", "-cols", "8"},
+		"smallworld": {"-kind", "smallworld", "-n", "200", "-ringk", "2"},
+		"starburst":  {"-kind", "starburst", "-n", "300", "-hubs", "2", "-hubdeg", "50"},
+		"preset":     {"-kind", "preset", "-preset", "Patents-like", "-scale", "8"},
+	}
+	for name, args := range cases {
+		out := filepath.Join(dir, name+".bin")
+		if err := withArgs(t, append(args, "-out", out)...); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		f, err := os.Open(out)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		g, err := graph.ReadBinary(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: unreadable output: %v", name, err)
+		}
+		if g.NumVertices() == 0 {
+			t.Fatalf("%s: empty graph", name)
+		}
+	}
+}
+
+func TestGenerateEdgeListFormat(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.edges")
+	if err := withArgs(t, "-kind", "uniform", "-n", "50", "-m", "100", "-format", "edges", "-out", out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := graph.ReadEdgeList(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 50 || g.NumEdges() != 100 {
+		t.Fatalf("round trip wrong: V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestGenerateDIMACSFormat(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.gr")
+	if err := withArgs(t, "-kind", "uniform", "-n", "40", "-m", "120", "-format", "dimacs", "-out", out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, w, err := graph.ReadDIMACS(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 40 || len(w) != 120 {
+		t.Fatalf("V=%d weights=%d", g.NumVertices(), len(w))
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	cases := [][]string{
+		{"-kind", "rmat"},                                  // missing -out
+		{"-kind", "nope", "-out", "x.bin"},                 // bad kind
+		{"-kind", "rmat", "-format", "x", "-out", "x.bin"}, // bad format... but file created first
+		{"-kind", "preset", "-preset", "nope", "-out", "x.bin"},
+		{"-kind", "mesh", "-rows", "0", "-out", "x.bin"},
+	}
+	dir := t.TempDir()
+	for _, args := range cases {
+		// Redirect any -out into the temp dir.
+		for i, a := range args {
+			if a == "x.bin" {
+				args[i] = filepath.Join(dir, "x.bin")
+			}
+		}
+		if err := withArgs(t, args...); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

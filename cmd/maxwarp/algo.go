@@ -1,0 +1,193 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"maxwarp/internal/gengraph"
+	"maxwarp/internal/gpualgo"
+	"maxwarp/internal/graph"
+	"maxwarp/internal/simt"
+	"maxwarp/internal/xrand"
+)
+
+// cmdAlgo runs any of the library's kernels once and prints its stats — the
+// generic sibling of the bfs subcommand.
+func cmdAlgo(args []string) error {
+	fs := flag.NewFlagSet("algo", flag.ContinueOnError)
+	name := fs.String("name", "bfs", "bfs | bfsfrontier | sssp | deltastep | pagerank | cc | scc | nbrsum | spmv | triangles | kcore | mis | coloring | bc")
+	preset := fs.String("preset", "", "workload preset name (see 'maxwarp list')")
+	file := fs.String("graph", "", "graph file (.bin or edge list)")
+	scale := fs.Int("scale", 12, "log2 vertices for presets")
+	seed := fs.Uint64("seed", 42, "generator seed")
+	k := fs.Int("k", 32, "virtual warp width (1 = thread-per-vertex baseline)")
+	dynamic := fs.Bool("dynamic", false, "dynamic workload distribution")
+	coreK := fs.Int("corek", 2, "k for the kcore kernel")
+	iters := fs.Int("iters", 10, "iterations for pagerank")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, gname, fileWeights, err := loadWorkloadWeighted(*preset, *file, *scale, *seed)
+	if err != nil {
+		return err
+	}
+	edgeWeights := func() []int32 {
+		if fileWeights != nil {
+			return fileWeights
+		}
+		return gengraph.EdgeWeights(g, 16, *seed)
+	}
+	dev, err := simt.NewDevice(simt.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	opts := gpualgo.Options{K: *k, Dynamic: *dynamic}
+	src := graph.LargestOutComponentSeed(g)
+
+	var (
+		stats  simt.LaunchStats
+		rounds int
+		note   string
+	)
+	switch *name {
+	case "bfs", "bfsfrontier":
+		dg := gpualgo.Upload(dev, g)
+		var res *gpualgo.BFSResult
+		if *name == "bfs" {
+			res, err = gpualgo.BFS(dev, dg, src, opts)
+		} else {
+			res, err = gpualgo.BFSFrontier(dev, dg, src, opts)
+		}
+		if err != nil {
+			return err
+		}
+		stats, rounds = res.Stats, res.Iterations
+		note = fmt.Sprintf("depth %d", res.Depth)
+	case "sssp":
+		dg, err := gpualgo.UploadWeighted(dev, g, edgeWeights())
+		if err != nil {
+			return err
+		}
+		res, err := gpualgo.SSSP(dev, dg, src, opts)
+		if err != nil {
+			return err
+		}
+		stats, rounds = res.Stats, res.Iterations
+	case "deltastep":
+		dg, err := gpualgo.UploadWeighted(dev, g, edgeWeights())
+		if err != nil {
+			return err
+		}
+		res, err := gpualgo.DeltaStepping(dev, dg, src, gpualgo.DeltaSteppingOptions{Options: opts})
+		if err != nil {
+			return err
+		}
+		stats, rounds = res.Stats, res.Iterations
+	case "pagerank":
+		res, err := gpualgo.PageRank(dev, g, gpualgo.PageRankOptions{Options: opts, Iterations: *iters})
+		if err != nil {
+			return err
+		}
+		stats, rounds = res.Stats, res.Iterations
+	case "cc":
+		dg := gpualgo.Upload(dev, g.Symmetrize())
+		res, err := gpualgo.ConnectedComponents(dev, dg, opts)
+		if err != nil {
+			return err
+		}
+		stats, rounds = res.Stats, res.Iterations
+	case "nbrsum":
+		dg := gpualgo.Upload(dev, g)
+		values := make([]int32, g.NumVertices())
+		for i := range values {
+			values[i] = int32(i)
+		}
+		res, err := gpualgo.NeighborSum(dev, dg, values, opts)
+		if err != nil {
+			return err
+		}
+		stats, rounds = res.Stats, res.Iterations
+	case "spmv":
+		r := xrand.New(*seed)
+		vals := make([]float32, g.NumEdges())
+		for i := range vals {
+			vals[i] = float32(r.Float64())
+		}
+		x := make([]float32, g.NumVertices())
+		for i := range x {
+			x[i] = float32(r.Float64())
+		}
+		dg := gpualgo.Upload(dev, g)
+		res, err := gpualgo.SpMV(dev, dg, vals, x, opts)
+		if err != nil {
+			return err
+		}
+		stats, rounds = res.Stats, res.Iterations
+	case "triangles":
+		sym := g.Symmetrize()
+		res, err := gpualgo.TriangleCount(dev, sym, opts)
+		if err != nil {
+			return err
+		}
+		stats, rounds = res.Stats, res.Iterations
+		note = fmt.Sprintf("%d triangles", res.Total)
+	case "kcore":
+		dg := gpualgo.Upload(dev, g.Symmetrize())
+		res, err := gpualgo.KCore(dev, dg, int32(*coreK), opts)
+		if err != nil {
+			return err
+		}
+		stats, rounds = res.Stats, res.Iterations
+		note = fmt.Sprintf("|%d-core| = %d", *coreK, res.Remaining)
+	case "mis":
+		dg := gpualgo.Upload(dev, g.Symmetrize())
+		res, err := gpualgo.MIS(dev, dg, *seed, opts)
+		if err != nil {
+			return err
+		}
+		stats, rounds = res.Stats, res.Iterations
+		note = fmt.Sprintf("|MIS| = %d", res.Size)
+	case "coloring":
+		dg := gpualgo.Upload(dev, g.Symmetrize())
+		res, err := gpualgo.GraphColoring(dev, dg, *seed, opts)
+		if err != nil {
+			return err
+		}
+		stats, rounds = res.Stats, res.Iterations
+		note = fmt.Sprintf("%d colors", res.NumColors)
+	case "scc":
+		res, err := gpualgo.SCC(dev, g, opts)
+		if err != nil {
+			return err
+		}
+		stats, rounds = res.Stats, res.Iterations
+		note = fmt.Sprintf("%d components, %d trimmed", res.Components, res.Trimmed)
+	case "bc":
+		srcs := []graph.VertexID{src}
+		res, err := gpualgo.BetweennessCentrality(dev, g, srcs, opts)
+		if err != nil {
+			return err
+		}
+		stats, rounds = res.Stats, res.Iterations
+		var top float32
+		for _, s := range res.Scores {
+			if s > top {
+				top = s
+			}
+		}
+		note = fmt.Sprintf("max score %.1f (1 source)", top)
+	default:
+		return fmt.Errorf("unknown kernel %q", *name)
+	}
+
+	cfg := dev.Config()
+	fmt.Printf("graph    %s (%s)\n", gname, graph.Stats(g))
+	fmt.Printf("kernel   %s  K=%d dynamic=%v  rounds=%d", *name, *k, *dynamic, rounds)
+	if note != "" {
+		fmt.Printf("  [%s]", note)
+	}
+	fmt.Println()
+	fmt.Printf("cycles   %d (%.3f ms at %.1f GHz)\n", stats.Cycles, stats.TimeMS(cfg.ClockGHz), cfg.ClockGHz)
+	fmt.Printf("stats    %s\n", stats.String())
+	return nil
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"maxwarp/internal/gpualgo"
+	"maxwarp/internal/graph"
+	"maxwarp/internal/simt"
+	"maxwarp/internal/traceview"
+)
+
+// cmdTrace runs one BFS configuration with tracing enabled and prints the
+// instruction mix, per-SM activity, and a density timeline.
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	preset := fs.String("preset", "", "workload preset name (see 'maxwarp list')")
+	file := fs.String("graph", "", "graph file (.bin or edge list)")
+	scale := fs.Int("scale", 10, "log2 vertices for presets")
+	seed := fs.Uint64("seed", 42, "generator seed")
+	k := fs.Int("k", 32, "virtual warp width")
+	buckets := fs.Int("buckets", 64, "timeline buckets")
+	events := fs.Int("events", 1<<20, "trace ring capacity")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, name, err := loadWorkload(*preset, *file, *scale, *seed)
+	if err != nil {
+		return err
+	}
+	dev, err := simt.NewDevice(simt.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	tr := &simt.RingTracer{Cap: *events}
+	dev.SetTracer(tr)
+	dg := gpualgo.Upload(dev, g)
+	src := graph.LargestOutComponentSeed(g)
+	res, err := gpualgo.BFS(dev, dg, src, gpualgo.Options{K: *k})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("traced BFS on %s (K=%d): %d cycles over %d launches\n\n",
+		name, *k, res.Stats.Cycles, res.Launches)
+	if tr.Total() > int64(*events) {
+		fmt.Printf("note: ring kept the last %d of %d events\n\n", *events, tr.Total())
+	}
+	evs := tr.Events()
+	for _, t := range traceview.Summarize(evs).Tables() {
+		fmt.Println(t.Text())
+	}
+	fmt.Println(traceview.Timeline(evs, *buckets))
+	return nil
+}

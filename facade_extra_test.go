@@ -1,0 +1,262 @@
+package maxwarp_test
+
+import (
+	"testing"
+
+	"maxwarp"
+)
+
+// TestFacadeAnalyticsKernels drives every analytics wrapper end-to-end the
+// way a downstream user would, with oracle cross-checks.
+func TestFacadeAnalyticsKernels(t *testing.T) {
+	raw, err := maxwarp.RMAT(8, 6, maxwarp.DefaultRMATParams, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := raw.Symmetrize()
+	cfg := maxwarp.DefaultDeviceConfig()
+	cfg.NumSMs = 4
+	dev, err := maxwarp.NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg := maxwarp.UploadGraph(dev, g)
+	opts := maxwarp.Options{K: 16}
+
+	tri, err := maxwarp.TriangleCount(dev, g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, want := maxwarp.TriangleCountCPU(g); tri.Total != want {
+		t.Fatalf("triangles %d, oracle %d", tri.Total, want)
+	}
+
+	core, err := maxwarp.KCore(dev, dg, 3, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, want := maxwarp.KCoreCPU(g, 3); core.Remaining != want {
+		t.Fatalf("3-core %d, oracle %d", core.Remaining, want)
+	}
+
+	mis, err := maxwarp.MIS(dev, dg, 5, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, want := maxwarp.MISCPU(g, 5); mis.Size != want {
+		t.Fatalf("MIS %d, oracle %d", mis.Size, want)
+	}
+
+	col, err := maxwarp.GraphColoring(dev, dg, 5, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := maxwarp.ValidColoring(g, col.Colors); err != nil {
+		t.Fatal(err)
+	}
+	if _, greedy := maxwarp.GreedyColoringCPU(g); col.NumColors > 3*greedy {
+		t.Fatalf("palette %d vs greedy %d", col.NumColors, greedy)
+	}
+
+	srcs := []maxwarp.VertexID{0, 7}
+	bc, err := maxwarp.BetweennessCentrality(dev, g, srcs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := maxwarp.BetweennessCentralityCPU(g, srcs)
+	for v := range oracle {
+		diff := float64(bc.Scores[v]) - oracle[v]
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 1e-2*oracle[v]+1e-2 {
+			t.Fatalf("bc[%d] = %g, oracle %g", v, bc.Scores[v], oracle[v])
+		}
+	}
+}
+
+// TestFacadeTraversalVariants covers the remaining traversal and SpMV
+// wrappers.
+func TestFacadeTraversalVariants(t *testing.T) {
+	g, err := maxwarp.RMAT(8, 8, maxwarp.DefaultRMATParams, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := maxwarp.DefaultDeviceConfig()
+	cfg.NumSMs = 4
+	dev, err := maxwarp.NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg := maxwarp.UploadGraph(dev, g)
+	want := maxwarp.BFSCPU(g, 0)
+
+	front, err := maxwarp.BFSFrontier(dev, dg, 0, maxwarp.Options{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if front.Levels[v] != want[v] {
+			t.Fatalf("frontier BFS differs at %d", v)
+		}
+	}
+
+	hyb, err := maxwarp.BFSDirectionOpt(dev, g, 0, maxwarp.DirOptions{Options: maxwarp.Options{K: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if hyb.Levels[v] != want[v] {
+			t.Fatalf("hybrid BFS differs at %d", v)
+		}
+	}
+	forced := maxwarp.DirPull
+	pull, err := maxwarp.BFSDirectionOpt(dev, g, 0, maxwarp.DirOptions{
+		Options: maxwarp.Options{K: 8}, Force: &forced,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pull.Schedule) == 0 || pull.Schedule[0] != maxwarp.DirPull {
+		t.Fatal("forced pull schedule wrong")
+	}
+
+	vals := make([]float32, g.NumEdges())
+	x := make([]float32, g.NumVertices())
+	for i := range vals {
+		vals[i] = 0.5
+	}
+	for i := range x {
+		x[i] = 1
+	}
+	spmv, err := maxwarp.SpMV(dev, dg, vals, x, maxwarp.Options{K: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := maxwarp.SpMVCPU(g, vals, x)
+	for v := range oracle {
+		diff := spmv.Y[v] - oracle[v]
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 1e-3 {
+			t.Fatalf("spmv y[%d] = %g, oracle %g", v, spmv.Y[v], oracle[v])
+		}
+	}
+
+	sorted, perm := maxwarp.SortByDegree(g)
+	if sorted.NumEdges() != g.NumEdges() || len(perm) != g.NumVertices() {
+		t.Fatal("SortByDegree shape wrong")
+	}
+}
+
+// TestFacadeTuningAndUtilities covers the tuner, Chung-Lu, WCC extraction,
+// and trace wrappers.
+func TestFacadeTuningAndUtilities(t *testing.T) {
+	cfg := maxwarp.DefaultDeviceConfig()
+	cfg.NumSMs = 4
+
+	g, err := maxwarp.ChungLu(512, 8, 2.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, newID := maxwarp.ExtractLargestWCC(g)
+	if sub.NumVertices() == 0 || sub.NumVertices() > g.NumVertices() {
+		t.Fatalf("WCC size %d", sub.NumVertices())
+	}
+	if len(newID) != g.NumVertices() {
+		t.Fatal("id map wrong length")
+	}
+
+	tune, err := maxwarp.AutoTuneNeighborSum(cfg, sub, maxwarp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tune.BestK < 1 || len(tune.Cycles) == 0 {
+		t.Fatalf("tune result %+v", tune)
+	}
+	tune2, err := maxwarp.AutoTuneBFS(cfg, sub, 0, maxwarp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tune2.BestK < 1 {
+		t.Fatalf("bfs tune %+v", tune2)
+	}
+
+	dev, err := maxwarp.NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &maxwarp.RingTracer{Cap: 1 << 12}
+	dev.SetTracer(tr)
+	dg := maxwarp.UploadGraph(dev, sub)
+	if _, err := maxwarp.BFS(dev, dg, 0, maxwarp.Options{K: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Total() == 0 {
+		t.Fatal("tracer saw nothing")
+	}
+}
+
+// TestFacadeSCCAndCloseness covers the remaining analytics wrappers.
+func TestFacadeSCCAndCloseness(t *testing.T) {
+	g, err := maxwarp.RMAT(8, 6, maxwarp.DefaultRMATParams, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := maxwarp.DefaultDeviceConfig()
+	cfg.NumSMs = 4
+	dev, err := maxwarp.NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scc, err := maxwarp.SCC(dev, g, maxwarp.Options{K: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := maxwarp.SCCCPU(g)
+	for v := range oracle {
+		if scc.Labels[v] != oracle[v] {
+			t.Fatalf("SCC label %d differs", v)
+		}
+	}
+	cl, err := maxwarp.ClosenessCentrality(dev, g, 8, 3, maxwarp.Options{K: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := maxwarp.ClosenessCentralityCPU(g, cl.Sources)
+	for v := range want {
+		if cl.Scores[v] != want[v] {
+			t.Fatalf("closeness %d differs", v)
+		}
+	}
+
+	srcs := []maxwarp.VertexID{0, 5}
+	ms, err := maxwarp.MSBFS(dev, maxwarp.UploadGraph(dev, g), srcs, maxwarp.Options{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLv := maxwarp.MSBFSCPU(g, srcs)
+	for s := range srcs {
+		for v := range wantLv[s] {
+			if ms.Levels[s][v] != wantLv[s][v] {
+				t.Fatalf("msbfs source %d vertex %d differs", s, v)
+			}
+		}
+	}
+
+	wdg, err := maxwarp.UploadWeightedGraph(dev, g, maxwarp.EdgeWeights(g, 8, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := maxwarp.DeltaStepping(dev, wdg, 0, maxwarp.DeltaSteppingOptions{Options: maxwarp.Options{K: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracleD := maxwarp.SSSPCPU(g, maxwarp.EdgeWeights(g, 8, 2), 0)
+	for v := range oracleD {
+		if ds.Dist[v] != oracleD[v] {
+			t.Fatalf("delta-stepping dist %d differs", v)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module maxwarp
+
+go 1.22

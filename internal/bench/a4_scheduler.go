@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"maxwarp/internal/gpualgo"
+	"maxwarp/internal/report"
+)
+
+// A4SchedulerPolicy ablates the per-SM warp scheduler: greedy-then-oldest
+// (GTO, the default) against loose round-robin (LRR), for both BFS mappings
+// across the workload suite. On real hardware GTO usually edges out LRR on
+// latency-bound kernels; whichever way it lands here, the headline
+// warp-centric speedups must not depend on the scheduler choice.
+func A4SchedulerPolicy(cfg Config) ([]*report.Table, error) {
+	cfg = cfg.WithDefaults()
+	ws, err := buildWorkloads(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		ID:      "A4",
+		Title:   "Ablation: warp scheduler policy (GTO vs LRR), BFS",
+		Columns: []string{"graph", "policy", "K=1 Mcycles", "K=32 Mcycles", "warp-centric speedup"},
+	}
+	fullK := cfg.Device.WarpWidth
+	for _, w := range ws {
+		for _, policy := range []string{"gto", "lrr"} {
+			dcfg := cfg
+			dcfg.Device.SchedulerPolicy = policy
+			run := func(k int) (int64, error) {
+				d, err := newDevice(dcfg)
+				if err != nil {
+					return 0, err
+				}
+				dg := gpualgo.Upload(d, w.g)
+				res, err := gpualgo.BFS(d, dg, w.src, gpualgo.Options{K: k, BlockSize: cfg.BlockSize})
+				if err != nil {
+					return 0, err
+				}
+				return res.Stats.Cycles, nil
+			}
+			base, err := run(1)
+			if err != nil {
+				return nil, err
+			}
+			warp, err := run(fullK)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(w.name, policy,
+				report.F(float64(base)/1e6, 3),
+				report.F(float64(warp)/1e6, 3),
+				report.F(float64(base)/float64(warp), 2)+"x")
+		}
+	}
+	return []*report.Table{t}, nil
+}

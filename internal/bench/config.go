@@ -1,0 +1,86 @@
+// Package bench is the experiment harness: each E-number from DESIGN.md's
+// experiment index is a named, runnable experiment that regenerates the
+// corresponding table or figure data series from the paper's evaluation.
+package bench
+
+import (
+	"fmt"
+
+	"maxwarp/internal/gengraph"
+	"maxwarp/internal/graph"
+	"maxwarp/internal/report"
+	"maxwarp/internal/simt"
+)
+
+// Config controls experiment sizing. The defaults run the whole suite in
+// minutes on a laptop; raise Scale to stress the shapes at larger sizes.
+type Config struct {
+	// Scale is log2 of the vertex count for synthetic workloads (default 10).
+	Scale int
+	// Seed drives all generators (default 42).
+	Seed uint64
+	// Device is the simulated GPU (default simt.DefaultConfig()).
+	Device simt.Config
+	// Ks is the virtual-warp-width sweep (default 1,2,4,8,16,32, clipped to
+	// the device warp width).
+	Ks []int
+	// BlockSize is threads per block for all launches (default 128).
+	BlockSize int
+}
+
+// WithDefaults fills zero values.
+func (c Config) WithDefaults() Config {
+	if c.Scale == 0 {
+		c.Scale = 10
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Device.NumSMs == 0 {
+		c.Device = simt.DefaultConfig()
+	}
+	if len(c.Ks) == 0 {
+		for k := 1; k <= c.Device.WarpWidth; k *= 2 {
+			c.Ks = append(c.Ks, k)
+		}
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = 128
+	}
+	return c
+}
+
+// Experiment is one reproducible table/figure generator.
+type Experiment struct {
+	// ID is the index from DESIGN.md ("E1".."E10", "A1", "A2").
+	ID string
+	// Title says what it reproduces.
+	Title string
+	// Run produces the experiment's tables.
+	Run func(cfg Config) ([]*report.Table, error)
+}
+
+// workload is a named graph instance for the sweep tables.
+type workload struct {
+	name string
+	g    *graph.CSR
+	src  graph.VertexID
+}
+
+// buildWorkloads instantiates the preset suite at the configured scale and
+// picks a BFS source reaching a large component in each.
+func buildWorkloads(cfg Config) ([]workload, error) {
+	var out []workload
+	for _, p := range gengraph.Presets() {
+		g, err := p.Build(cfg.Scale, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("bench: building %s: %w", p.Name, err)
+		}
+		out = append(out, workload{name: p.Name, g: g, src: graph.LargestOutComponentSeed(g)})
+	}
+	return out, nil
+}
+
+func newDevice(cfg Config) (*simt.Device, error) {
+	return simt.NewDevice(cfg.Device)
+}

@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"fmt"
+
+	"maxwarp/internal/gpualgo"
+	"maxwarp/internal/graph"
+	"maxwarp/internal/report"
+)
+
+// E13IrregularKernels extends E8 with the harder irregular kernels built on
+// the full vwarp phase vocabulary (GroupLoop + SIMD + per-lane binary
+// search): triangle counting, k-core peeling, and deterministic-Luby MIS.
+// Expected shape: the warp-centric mapping wins on the skewed workload for
+// all three; triangle counting gains the most (its inner intersection is the
+// most imbalance-prone loop in the suite).
+func E13IrregularKernels(cfg Config) ([]*report.Table, error) {
+	cfg = cfg.WithDefaults()
+	ws, err := buildWorkloads(cfg)
+	if err != nil {
+		return nil, err
+	}
+	picks := []workload{ws[0], ws[len(ws)-1]}
+	fullK := cfg.Device.WarpWidth
+	t := &report.Table{
+		ID:      "E13",
+		Title:   fmt.Sprintf("Additional irregular kernels: K=%d vs baseline", fullK),
+		Columns: []string{"graph", "kernel", "baseline Mcycles", "warp-centric Mcycles", "speedup", "result"},
+		Notes:   []string{"result: triangles = count, kcore = |2-core|, mis = set size, coloring = palette, bc = max score (2 sources)"},
+	}
+	t.ChartSpec = &report.ChartSpec{GroupCol: 0, BarCol: 1, ValueCol: 4, Unit: "speedup x"}
+	type outcome struct {
+		cycles int64
+		result string
+	}
+	runKernel := func(sym *graph.CSR, kernel string, k int) (outcome, error) {
+		d, err := newDevice(cfg)
+		if err != nil {
+			return outcome{}, err
+		}
+		opts := gpualgo.Options{K: k, BlockSize: cfg.BlockSize}
+		switch kernel {
+		case "triangles":
+			r, err := gpualgo.TriangleCount(d, sym, opts)
+			if err != nil {
+				return outcome{}, err
+			}
+			return outcome{r.Stats.Cycles, report.I(r.Total)}, nil
+		case "kcore":
+			dg := gpualgo.Upload(d, sym)
+			r, err := gpualgo.KCore(d, dg, 2, opts)
+			if err != nil {
+				return outcome{}, err
+			}
+			return outcome{r.Stats.Cycles, report.I(int64(r.Remaining))}, nil
+		case "mis":
+			dg := gpualgo.Upload(d, sym)
+			r, err := gpualgo.MIS(d, dg, cfg.Seed, opts)
+			if err != nil {
+				return outcome{}, err
+			}
+			return outcome{r.Stats.Cycles, report.I(int64(r.Size))}, nil
+		case "coloring":
+			dg := gpualgo.Upload(d, sym)
+			r, err := gpualgo.GraphColoring(d, dg, cfg.Seed, opts)
+			if err != nil {
+				return outcome{}, err
+			}
+			return outcome{r.Stats.Cycles, report.I(int64(r.NumColors))}, nil
+		case "bc":
+			srcs := []graph.VertexID{0, graph.VertexID(sym.NumVertices() / 2)}
+			r, err := gpualgo.BetweennessCentrality(d, sym, srcs, opts)
+			if err != nil {
+				return outcome{}, err
+			}
+			var top float64
+			for _, s := range r.Scores {
+				if float64(s) > top {
+					top = float64(s)
+				}
+			}
+			return outcome{r.Stats.Cycles, report.F(top, 0)}, nil
+		}
+		return outcome{}, fmt.Errorf("bench: unknown kernel %q", kernel)
+	}
+	for _, w := range picks {
+		sym := w.g.Symmetrize()
+		for _, kernel := range []string{"triangles", "kcore", "mis", "coloring", "bc"} {
+			base, err := runKernel(sym, kernel, 1)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s baseline: %w", w.name, kernel, err)
+			}
+			warp, err := runKernel(sym, kernel, fullK)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s warp-centric: %w", w.name, kernel, err)
+			}
+			// BC's float reductions may differ in the last ulps between
+			// mappings; integer results must agree exactly.
+			if kernel != "bc" && kernel != "coloring" && base.result != warp.result {
+				return nil, fmt.Errorf("bench: %s/%s results diverge between mappings (%s vs %s)",
+					w.name, kernel, base.result, warp.result)
+			}
+			t.AddRow(w.name, kernel,
+				report.F(float64(base.cycles)/1e6, 3),
+				report.F(float64(warp.cycles)/1e6, 3),
+				report.F(float64(base.cycles)/float64(warp.cycles), 2)+"x",
+				warp.result)
+		}
+	}
+	return []*report.Table{t}, nil
+}

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+
+	"maxwarp/internal/gpualgo"
+	"maxwarp/internal/report"
+)
+
+// E14DirectionOptimizing compares push (top-down), pull (bottom-up), and the
+// hybrid direction heuristic — the optimization the same authors pursued
+// next (PACT 2011). Expected shape: pull/hybrid wins on small-diameter
+// skewed graphs where middle frontiers cover most vertices; push wins on the
+// high-diameter mesh where frontiers stay tiny and pull wastes full-graph
+// scans every level; the hybrid tracks the better of the two.
+func E14DirectionOptimizing(cfg Config) ([]*report.Table, error) {
+	cfg = cfg.WithDefaults()
+	ws, err := buildWorkloads(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		ID:      "E14",
+		Title:   "Direction-optimizing BFS: push vs pull vs hybrid (K=32)",
+		Columns: []string{"graph", "strategy", "Mcycles", "speedup vs push", "levels", "pull levels"},
+	}
+	t.ChartSpec = &report.ChartSpec{GroupCol: 0, BarCol: 1, ValueCol: 3, Unit: "speedup vs push x"}
+	fullK := cfg.Device.WarpWidth
+	for _, w := range ws {
+		run := func(force *gpualgo.Direction) (*gpualgo.BFSDirResult, error) {
+			d, err := newDevice(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return gpualgo.BFSDirectionOpt(d, w.g, w.src, gpualgo.DirOptions{
+				Options: gpualgo.Options{K: fullK, BlockSize: cfg.BlockSize},
+				Force:   force,
+			})
+		}
+		push := gpualgo.DirPush
+		pull := gpualgo.DirPull
+		pushRes, err := run(&push)
+		if err != nil {
+			return nil, fmt.Errorf("%s push: %w", w.name, err)
+		}
+		pullRes, err := run(&pull)
+		if err != nil {
+			return nil, fmt.Errorf("%s pull: %w", w.name, err)
+		}
+		hybridRes, err := run(nil)
+		if err != nil {
+			return nil, fmt.Errorf("%s hybrid: %w", w.name, err)
+		}
+		pullLevels := func(r *gpualgo.BFSDirResult) int {
+			n := 0
+			for _, d := range r.Schedule {
+				if d == gpualgo.DirPull {
+					n++
+				}
+			}
+			return n
+		}
+		base := pushRes.Stats.Cycles
+		for _, row := range []struct {
+			name string
+			r    *gpualgo.BFSDirResult
+		}{{"push", pushRes}, {"pull", pullRes}, {"hybrid", hybridRes}} {
+			t.AddRow(w.name, row.name,
+				report.F(float64(row.r.Stats.Cycles)/1e6, 3),
+				report.F(float64(base)/float64(row.r.Stats.Cycles), 2)+"x",
+				report.I(int64(row.r.Iterations)),
+				report.I(int64(pullLevels(row.r))))
+		}
+	}
+	return []*report.Table{t}, nil
+}

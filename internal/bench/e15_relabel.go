@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"maxwarp/internal/gpualgo"
+	"maxwarp/internal/graph"
+	"maxwarp/internal/report"
+)
+
+// E15DegreeSortRelabel measures the preprocessing alternative one might try
+// instead of the paper's method: relabel vertices in descending-degree order
+// so a thread-per-vertex warp gets 32 similar-degree vertices and its SIMD
+// lanes stay in step. The measured result is a negative one that sharpens
+// the paper's argument: relabeling does raise K=1 SIMD utilization on skewed
+// graphs (lanes finish together), but end-to-end cycles barely move, because
+// the baseline's real bottleneck is its *scattered memory traffic* —
+// which only the warp-centric mapping's coalesced adjacency reads fix.
+// Imbalance merely moves from intra-warp to inter-warp, where warp
+// oversubscription absorbs it.
+func E15DegreeSortRelabel(cfg Config) ([]*report.Table, error) {
+	cfg = cfg.WithDefaults()
+	ws, err := buildWorkloads(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		ID:      "E15",
+		Title:   "Degree-sorted relabeling vs the warp-centric mapping (neighbor-sum kernel)",
+		Columns: []string{"graph", "labeling", "K", "Mcycles", "speedup vs original", "SIMD util", "txns/op"},
+	}
+	for _, w := range ws {
+		sorted, _ := graph.SortByDegree(w.g)
+		for _, k := range []int{1, cfg.Device.WarpWidth} {
+			var origCycles int64
+			for _, variant := range []struct {
+				label string
+				g     *graph.CSR
+			}{{"original", w.g}, {"degree-sorted", sorted}} {
+				d, err := newDevice(cfg)
+				if err != nil {
+					return nil, err
+				}
+				dg := gpualgo.Upload(d, variant.g)
+				values := make([]int32, variant.g.NumVertices())
+				res, err := gpualgo.NeighborSum(d, dg, values, gpualgo.Options{K: k, BlockSize: cfg.BlockSize})
+				if err != nil {
+					return nil, err
+				}
+				if variant.label == "original" {
+					origCycles = res.Stats.Cycles
+				}
+				t.AddRow(w.name, variant.label, report.I(int64(k)),
+					report.F(float64(res.Stats.Cycles)/1e6, 3),
+					report.F(float64(origCycles)/float64(res.Stats.Cycles), 2)+"x",
+					report.F(res.Stats.SIMDUtilization(), 3),
+					report.F(res.Stats.TxnsPerMemOp(), 2))
+			}
+		}
+	}
+	return []*report.Table{t}, nil
+}

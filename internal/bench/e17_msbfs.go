@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"fmt"
+
+	"maxwarp/internal/gpualgo"
+	"maxwarp/internal/graph"
+	"maxwarp/internal/report"
+)
+
+// E17MSBFS measures bit-parallel multi-source BFS against independent runs:
+// how much adjacency-scan work a batch of B sources shares. Expected shape:
+// batching wins by a large factor on small-diameter graphs (each vertex is
+// scanned a handful of times regardless of B) and the advantage grows with
+// the batch size until the bitmask is full.
+func E17MSBFS(cfg Config) ([]*report.Table, error) {
+	cfg = cfg.WithDefaults()
+	ws, err := buildWorkloads(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		ID:      "E17",
+		Title:   "Multi-source BFS: bit-parallel batch vs independent runs (K=32)",
+		Columns: []string{"graph", "batch", "batch Mcycles", "independent Mcycles", "sharing speedup"},
+	}
+	t.ChartSpec = &report.ChartSpec{GroupCol: 0, BarCol: 1, ValueCol: 4, Unit: "sharing speedup x"}
+	fullK := cfg.Device.WarpWidth
+	for _, w := range ws {
+		n := w.g.NumVertices()
+		for _, batch := range []int{4, 16, 31} {
+			sources := make([]graph.VertexID, batch)
+			for i := range sources {
+				sources[i] = graph.VertexID((i*997 + 13) % n)
+			}
+			d, err := newDevice(cfg)
+			if err != nil {
+				return nil, err
+			}
+			dg := gpualgo.Upload(d, w.g)
+			ms, err := gpualgo.MSBFS(d, dg, sources, gpualgo.Options{K: fullK, BlockSize: cfg.BlockSize})
+			if err != nil {
+				return nil, fmt.Errorf("%s batch=%d: %w", w.name, batch, err)
+			}
+			var indep int64
+			for _, src := range sources {
+				d2, err := newDevice(cfg)
+				if err != nil {
+					return nil, err
+				}
+				dg2 := gpualgo.Upload(d2, w.g)
+				r, err := gpualgo.BFS(d2, dg2, src, gpualgo.Options{K: fullK, BlockSize: cfg.BlockSize})
+				if err != nil {
+					return nil, err
+				}
+				indep += r.Stats.Cycles
+			}
+			t.AddRow(w.name, report.I(int64(batch)),
+				report.F(float64(ms.Stats.Cycles)/1e6, 3),
+				report.F(float64(indep)/1e6, 3),
+				report.F(float64(indep)/float64(ms.Stats.Cycles), 2)+"x")
+		}
+	}
+	return []*report.Table{t}, nil
+}

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"fmt"
+
+	"maxwarp/internal/gpualgo"
+	"maxwarp/internal/report"
+)
+
+// E18SCC measures Forward-Backward-Trim strongly-connected-component
+// decomposition (the group's SC'13 direction) under both mappings, and how
+// much of each workload the trim phases resolve. Expected shape: skewed
+// graphs are dominated by trivial SCCs that trim removes in a few cheap
+// passes, with the warp-centric mapping accelerating the region scans.
+func E18SCC(cfg Config) ([]*report.Table, error) {
+	cfg = cfg.WithDefaults()
+	ws, err := buildWorkloads(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		ID:      "E18",
+		Title:   "SCC decomposition (Forward-Backward-Trim): baseline vs warp-centric",
+		Columns: []string{"graph", "components", "trimmed %", "K=1 Mcycles", "K=32 Mcycles", "speedup"},
+	}
+	t.ChartSpec = &report.ChartSpec{GroupCol: 0, BarCol: 1, ValueCol: 5, Unit: "speedup x"}
+	fullK := cfg.Device.WarpWidth
+	for _, w := range ws {
+		run := func(k int) (*gpualgo.SCCResult, error) {
+			d, err := newDevice(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return gpualgo.SCC(d, w.g, gpualgo.Options{K: k, BlockSize: cfg.BlockSize})
+		}
+		base, err := run(1)
+		if err != nil {
+			return nil, fmt.Errorf("%s baseline: %w", w.name, err)
+		}
+		warp, err := run(fullK)
+		if err != nil {
+			return nil, fmt.Errorf("%s warp-centric: %w", w.name, err)
+		}
+		if base.Components != warp.Components {
+			return nil, fmt.Errorf("bench: %s SCC counts diverge between mappings", w.name)
+		}
+		t.AddRow(w.name,
+			report.I(int64(warp.Components)),
+			report.F(100*float64(warp.Trimmed)/float64(w.g.NumVertices()), 1),
+			report.F(float64(base.Stats.Cycles)/1e6, 3),
+			report.F(float64(warp.Stats.Cycles)/1e6, 3),
+			report.F(float64(base.Stats.Cycles)/float64(warp.Stats.Cycles), 2)+"x")
+	}
+	return []*report.Table{t}, nil
+}

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"fmt"
+
+	"maxwarp/internal/graph"
+	"maxwarp/internal/report"
+)
+
+// E1GraphTable reproduces the evaluation's dataset table: every workload
+// with its size and degree statistics. The degree-skew columns (CV, Gini,
+// max) are the properties the rest of the evaluation pivots on.
+func E1GraphTable(cfg Config) ([]*report.Table, error) {
+	cfg = cfg.WithDefaults()
+	ws, err := buildWorkloads(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		ID:    "E1",
+		Title: "Graph instances and degree statistics (synthetic stand-ins for the paper's datasets)",
+		Columns: []string{
+			"graph", "V", "E", "avg deg", "max deg", "deg CV", "gini", "p99", "zero-deg",
+		},
+		Notes: []string{
+			fmt.Sprintf("scale=%d seed=%d; see DESIGN.md for the dataset substitution rationale", cfg.Scale, cfg.Seed),
+		},
+	}
+	for _, w := range ws {
+		s := graph.Stats(w.g)
+		t.AddRow(w.name,
+			report.I(int64(s.NumVertices)), report.I(int64(s.NumEdges)),
+			report.F(s.AvgDegree, 2), report.I(int64(s.MaxDegree)),
+			report.F(s.CV, 2), report.F(s.Gini, 2),
+			report.I(int64(s.P99)), report.I(int64(s.ZeroDegree)))
+	}
+	return []*report.Table{t}, nil
+}
+
+// E2DegreeHistogram reproduces the degree-distribution figure: log2-bucketed
+// out-degree counts per workload, the visual evidence of power-law skew.
+func E2DegreeHistogram(cfg Config) ([]*report.Table, error) {
+	cfg = cfg.WithDefaults()
+	ws, err := buildWorkloads(cfg)
+	if err != nil {
+		return nil, err
+	}
+	type hist struct {
+		zero    int
+		buckets []int
+	}
+	hists := make([]hist, len(ws))
+	maxBuckets := 0
+	for i, w := range ws {
+		z, b := graph.DegreeHistogram(w.g)
+		hists[i] = hist{zero: z, buckets: b}
+		if len(b) > maxBuckets {
+			maxBuckets = len(b)
+		}
+	}
+	t := &report.Table{
+		ID:    "E2",
+		Title: "Out-degree histogram (vertices per log2 degree bucket)",
+		Notes: []string{"a long right tail = the workload imbalance the paper attacks"},
+	}
+	t.Columns = append(t.Columns, "degree bucket")
+	for _, w := range ws {
+		t.Columns = append(t.Columns, w.name)
+	}
+	addRow := func(label string, get func(h hist) int) {
+		cells := []string{label}
+		for _, h := range hists {
+			cells = append(cells, report.I(int64(get(h))))
+		}
+		t.AddRow(cells...)
+	}
+	addRow("0", func(h hist) int { return h.zero })
+	for b := 0; b < maxBuckets; b++ {
+		lo := 1 << b
+		hi := 1<<(b+1) - 1
+		label := fmt.Sprintf("%d-%d", lo, hi)
+		if lo == hi {
+			label = fmt.Sprintf("%d", lo)
+		}
+		bb := b
+		addRow(label, func(h hist) int {
+			if bb < len(h.buckets) {
+				return h.buckets[bb]
+			}
+			return 0
+		})
+	}
+	return []*report.Table{t}, nil
+}

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"fmt"
+
+	"maxwarp/internal/gengraph"
+	"maxwarp/internal/gpualgo"
+	"maxwarp/internal/report"
+)
+
+// E8OtherApps reproduces the "other applications" table: the virtual
+// warp-centric method applied beyond BFS — SSSP (Bellman-Ford), PageRank,
+// connected components, and the neighbor-sum gather microkernel — reported
+// as speedup of K=warp-width over the thread-per-vertex baseline on a skewed
+// and a regular workload.
+func E8OtherApps(cfg Config) ([]*report.Table, error) {
+	cfg = cfg.WithDefaults()
+	ws, err := buildWorkloads(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Two representative regimes keep the table affordable: the most skewed
+	// and the most regular workload of the suite.
+	picks := []workload{ws[0], ws[len(ws)-1]}
+	fullK := cfg.Device.WarpWidth
+
+	t := &report.Table{
+		ID:      "E8",
+		Title:   fmt.Sprintf("Other applications: speedup of warp-centric (K=%d) over baseline (K=1)", fullK),
+		Columns: []string{"graph", "app", "baseline Mcycles", "warp-centric Mcycles", "speedup", "iterations"},
+	}
+	t.ChartSpec = &report.ChartSpec{GroupCol: 0, BarCol: 1, ValueCol: 4, Unit: "speedup x"}
+
+	type appResult struct {
+		cycles int64
+		iters  int
+	}
+	runApp := func(w workload, app string, k int) (appResult, error) {
+		d, err := newDevice(cfg)
+		if err != nil {
+			return appResult{}, err
+		}
+		opts := gpualgo.Options{K: k, BlockSize: cfg.BlockSize}
+		switch app {
+		case "bfs":
+			dg := gpualgo.Upload(d, w.g)
+			r, err := gpualgo.BFS(d, dg, w.src, opts)
+			if err != nil {
+				return appResult{}, err
+			}
+			return appResult{r.Stats.Cycles, r.Iterations}, nil
+		case "sssp":
+			weights := gengraph.EdgeWeights(w.g, 16, cfg.Seed)
+			dg, err := gpualgo.UploadWeighted(d, w.g, weights)
+			if err != nil {
+				return appResult{}, err
+			}
+			r, err := gpualgo.SSSP(d, dg, w.src, opts)
+			if err != nil {
+				return appResult{}, err
+			}
+			return appResult{r.Stats.Cycles, r.Iterations}, nil
+		case "pagerank":
+			r, err := gpualgo.PageRank(d, w.g, gpualgo.PageRankOptions{Options: opts, Iterations: 5})
+			if err != nil {
+				return appResult{}, err
+			}
+			return appResult{r.Stats.Cycles, r.Iterations}, nil
+		case "cc":
+			dg := gpualgo.Upload(d, w.g.Symmetrize())
+			r, err := gpualgo.ConnectedComponents(d, dg, opts)
+			if err != nil {
+				return appResult{}, err
+			}
+			return appResult{r.Stats.Cycles, r.Iterations}, nil
+		case "nbrsum":
+			dg := gpualgo.Upload(d, w.g)
+			values := make([]int32, w.g.NumVertices())
+			for i := range values {
+				values[i] = int32(i)
+			}
+			r, err := gpualgo.NeighborSum(d, dg, values, opts)
+			if err != nil {
+				return appResult{}, err
+			}
+			return appResult{r.Stats.Cycles, r.Iterations}, nil
+		}
+		return appResult{}, fmt.Errorf("bench: unknown app %q", app)
+	}
+
+	for _, w := range picks {
+		for _, app := range []string{"bfs", "sssp", "pagerank", "cc", "nbrsum"} {
+			base, err := runApp(w, app, 1)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s baseline: %w", w.name, app, err)
+			}
+			warp, err := runApp(w, app, fullK)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s warp-centric: %w", w.name, app, err)
+			}
+			t.AddRow(w.name, app,
+				report.F(float64(base.cycles)/1e6, 2),
+				report.F(float64(warp.cycles)/1e6, 2),
+				report.F(float64(base.cycles)/float64(warp.cycles), 2)+"x",
+				report.I(int64(warp.iters)))
+		}
+	}
+	return []*report.Table{t}, nil
+}

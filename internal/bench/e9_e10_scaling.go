@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+
+	"maxwarp/internal/gengraph"
+	"maxwarp/internal/gpualgo"
+	"maxwarp/internal/graph"
+	"maxwarp/internal/report"
+)
+
+// E9Scaling reproduces the size-scaling figure: BFS edge throughput (MTEPS,
+// simulated) versus graph size for the skewed (RMAT) and regular (uniform)
+// regimes, baseline vs warp-centric. Expected shape: the warp-centric
+// advantage on RMAT persists or widens with size; on uniform graphs the two
+// track each other.
+func E9Scaling(cfg Config) ([]*report.Table, error) {
+	cfg = cfg.WithDefaults()
+	t := &report.Table{
+		ID:      "E9",
+		Title:   "BFS throughput vs graph size (simulated MTEPS)",
+		Columns: []string{"graph", "scale", "V", "E", "K=1 MTEPS", "K=32 MTEPS", "speedup"},
+	}
+	scales := []int{cfg.Scale - 2, cfg.Scale - 1, cfg.Scale, cfg.Scale + 1}
+	kinds := []struct {
+		name  string
+		build func(scale int) (*graph.CSR, error)
+	}{
+		{"RMAT", func(s int) (*graph.CSR, error) {
+			return gengraph.RMAT(s, 8, gengraph.DefaultRMAT, cfg.Seed)
+		}},
+		{"Uniform", func(s int) (*graph.CSR, error) {
+			n := 1 << s
+			return gengraph.UniformRandom(n, 8*n, cfg.Seed)
+		}},
+	}
+	for _, kind := range kinds {
+		for _, s := range scales {
+			if s < 4 {
+				continue
+			}
+			g, err := kind.build(s)
+			if err != nil {
+				return nil, err
+			}
+			src := graph.LargestOutComponentSeed(g)
+			teps := func(k int) (float64, error) {
+				d, err := newDevice(cfg)
+				if err != nil {
+					return 0, err
+				}
+				dg := gpualgo.Upload(d, g)
+				res, err := gpualgo.BFS(d, dg, src, gpualgo.Options{K: k, BlockSize: cfg.BlockSize})
+				if err != nil {
+					return 0, err
+				}
+				return res.TEPS(g.NumEdges(), cfg.Device.ClockGHz) / 1e6, nil
+			}
+			base, err := teps(1)
+			if err != nil {
+				return nil, err
+			}
+			fullK := cfg.Device.WarpWidth
+			warp, err := teps(fullK)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(kind.name, report.I(int64(s)),
+				report.I(int64(g.NumVertices())), report.I(int64(g.NumEdges())),
+				report.F(base, 2), report.F(warp, 2),
+				report.F(warp/base, 2)+"x")
+		}
+	}
+	return []*report.Table{t}, nil
+}
+
+// E10Coalescing reproduces the memory-transaction analysis: global-memory
+// transactions per warp memory instruction and bytes moved per edge for the
+// neighbor-sum gather kernel, as K sweeps. Expected shape: transactions per
+// op fall steeply from K=1 (scattered per-lane adjacency reads) toward K=32
+// (lane-contiguous reads of each list).
+func E10Coalescing(cfg Config) ([]*report.Table, error) {
+	cfg = cfg.WithDefaults()
+	ws, err := buildWorkloads(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		ID:      "E10",
+		Title:   "Memory coalescing: neighbor-sum gather kernel",
+		Columns: []string{"graph", "K", "mem txns", "txns/mem-op", "bytes/edge", "Mcycles"},
+		Notes:   []string{fmt.Sprintf("segment size %d bytes", cfg.Device.SegmentBytes)},
+	}
+	for _, w := range ws {
+		values := make([]int32, w.g.NumVertices())
+		for i := range values {
+			values[i] = int32(i)
+		}
+		for _, k := range cfg.Ks {
+			d, err := newDevice(cfg)
+			if err != nil {
+				return nil, err
+			}
+			dg := gpualgo.Upload(d, w.g)
+			res, err := gpualgo.NeighborSum(d, dg, values, gpualgo.Options{K: k, BlockSize: cfg.BlockSize})
+			if err != nil {
+				return nil, err
+			}
+			bytesPerEdge := 0.0
+			if m := w.g.NumEdges(); m > 0 {
+				bytesPerEdge = float64(res.Stats.MemBytes) / float64(m)
+			}
+			t.AddRow(w.name, report.I(int64(k)),
+				report.I(res.Stats.MemTxns),
+				report.F(res.Stats.TxnsPerMemOp(), 2),
+				report.F(bytesPerEdge, 1),
+				report.F(float64(res.Stats.Cycles)/1e6, 2))
+		}
+	}
+	return []*report.Table{t}, nil
+}

@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// All returns every experiment in index order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "E1", Title: "Graph instances and degree statistics", Run: E1GraphTable},
+		{ID: "E2", Title: "Degree distribution histogram", Run: E2DegreeHistogram},
+		{ID: "E3", Title: "Baseline GPU BFS vs CPU", Run: E3BaselineVsCPU},
+		{ID: "E4", Title: "Virtual warp width sweep (headline speedups)", Run: E4WarpSizeSweep},
+		{ID: "E5", Title: "ALU utilization vs workload imbalance trade-off", Run: E5UtilImbalance},
+		{ID: "E6", Title: "Deferring outliers", Run: E6DeferOutliers},
+		{ID: "E7", Title: "Dynamic workload distribution", Run: E7DynamicWorkload},
+		{ID: "E8", Title: "Other applications (SSSP, PageRank, CC, neighbor-sum)", Run: E8OtherApps},
+		{ID: "E9", Title: "Throughput scaling with graph size", Run: E9Scaling},
+		{ID: "E10", Title: "Memory coalescing analysis", Run: E10Coalescing},
+		{ID: "E11", Title: "SpMV: scalar vs vector CSR via virtual warps", Run: E11SpMV},
+		{ID: "E12", Title: "Quadratic vs frontier-queue BFS", Run: E12QuadraticVsFrontier},
+		{ID: "E13", Title: "Additional irregular kernels (triangles, k-core, MIS)", Run: E13IrregularKernels},
+		{ID: "E14", Title: "Direction-optimizing BFS (push/pull/hybrid)", Run: E14DirectionOptimizing},
+		{ID: "E15", Title: "Degree-sorted relabeling vs warp-centric mapping", Run: E15DegreeSortRelabel},
+		{ID: "E16", Title: "SSSP formulations: Bellman-Ford vs delta-stepping", Run: E16DeltaStepping},
+		{ID: "E17", Title: "Multi-source BFS: bit-parallel batching", Run: E17MSBFS},
+		{ID: "E18", Title: "SCC decomposition (Forward-Backward-Trim)", Run: E18SCC},
+		{ID: "A1", Title: "Ablation: resident warps per SM", Run: A1ResidencySweep},
+		{ID: "A2", Title: "Ablation: coalescing segment size", Run: A2SegmentSweep},
+		{ID: "A3", Title: "Ablation: per-SM read-only cache", Run: A3CacheAblation},
+		{ID: "A4", Title: "Ablation: warp scheduler policy (GTO vs LRR)", Run: A4SchedulerPolicy},
+	}
+}
+
+// ByID looks up an experiment by its index id (case-sensitive).
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q (have %v)", id, ids)
+}

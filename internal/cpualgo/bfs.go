@@ -1,0 +1,149 @@
+// Package cpualgo provides CPU implementations of the graph algorithms in
+// this repository. They play two roles: correctness oracles for every GPU
+// kernel, and the multicore-CPU comparison series the paper's evaluation
+// includes.
+package cpualgo
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"maxwarp/internal/graph"
+)
+
+// Unreached marks vertices BFS/SSSP never visited.
+const Unreached = int32(-1)
+
+// BFSSequential computes BFS levels from src using a classic FIFO queue.
+// levels[v] = hop distance from src, or Unreached.
+func BFSSequential(g *graph.CSR, src graph.VertexID) []int32 {
+	n := g.NumVertices()
+	levels := make([]int32, n)
+	for i := range levels {
+		levels[i] = Unreached
+	}
+	if n == 0 {
+		return levels
+	}
+	levels[src] = 0
+	queue := make([]graph.VertexID, 0, n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		next := levels[v] + 1
+		for _, w := range g.Neighbors(v) {
+			if levels[w] == Unreached {
+				levels[w] = next
+				queue = append(queue, w)
+			}
+		}
+	}
+	return levels
+}
+
+// BFSParallel computes BFS levels level-synchronously with worker
+// goroutines: each round, workers claim slices of the current frontier and
+// publish discoveries with CAS, mirroring a multicore OpenMP implementation.
+// workers <= 0 selects GOMAXPROCS.
+func BFSParallel(g *graph.CSR, src graph.VertexID, workers int) []int32 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := g.NumVertices()
+	levels := make([]int32, n)
+	for i := range levels {
+		levels[i] = Unreached
+	}
+	if n == 0 {
+		return levels
+	}
+	levels[src] = 0
+	frontier := []graph.VertexID{src}
+	for depth := int32(0); len(frontier) > 0; depth++ {
+		nexts := make([][]graph.VertexID, workers)
+		var cursor int64
+		var wg sync.WaitGroup
+		const grain = 64
+		for wk := 0; wk < workers; wk++ {
+			wg.Add(1)
+			go func(wk int) {
+				defer wg.Done()
+				var local []graph.VertexID
+				for {
+					start := atomic.AddInt64(&cursor, grain) - grain
+					if start >= int64(len(frontier)) {
+						break
+					}
+					end := start + grain
+					if end > int64(len(frontier)) {
+						end = int64(len(frontier))
+					}
+					for _, v := range frontier[start:end] {
+						for _, w := range g.Neighbors(v) {
+							if atomic.CompareAndSwapInt32(&levels[w], Unreached, depth+1) {
+								local = append(local, w)
+							}
+						}
+					}
+				}
+				nexts[wk] = local
+			}(wk)
+		}
+		wg.Wait()
+		frontier = frontier[:0]
+		for _, local := range nexts {
+			frontier = append(frontier, local...)
+		}
+	}
+	return levels
+}
+
+// ValidBFSLevels checks that levels is a correct BFS labeling of g from src:
+// src at level 0; every reached vertex except src has a predecessor one
+// level closer; no edge skips a level; reachability matches. Returns false
+// on any violation. Used by property tests.
+func ValidBFSLevels(g *graph.CSR, src graph.VertexID, levels []int32) bool {
+	n := g.NumVertices()
+	if len(levels) != n {
+		return false
+	}
+	if n == 0 {
+		return true
+	}
+	if levels[src] != 0 {
+		return false
+	}
+	// No edge may decrease level by more than 1, and any edge from a reached
+	// vertex must reach its head (head level <= tail level + 1).
+	for v := 0; v < n; v++ {
+		if levels[v] == Unreached {
+			continue
+		}
+		for _, w := range g.Neighbors(graph.VertexID(v)) {
+			if levels[w] == Unreached || levels[w] > levels[v]+1 {
+				return false
+			}
+		}
+	}
+	// Every reached non-source vertex needs an in-neighbor one level up.
+	// (Check via reverse graph to stay O(V+E).)
+	rev := g.Reverse()
+	for v := 0; v < n; v++ {
+		if levels[v] <= 0 {
+			continue
+		}
+		ok := false
+		for _, u := range rev.Neighbors(graph.VertexID(v)) {
+			if levels[u] == levels[v]-1 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,311 @@
+package cpualgo
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"maxwarp/internal/gengraph"
+	"maxwarp/internal/graph"
+)
+
+func chain(t *testing.T, n int) *graph.CSR {
+	t.Helper()
+	edges := make([]graph.Edge, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, graph.Edge{Src: int32(i), Dst: int32(i + 1)})
+	}
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBFSSequentialChain(t *testing.T) {
+	g := chain(t, 5)
+	levels := BFSSequential(g, 0)
+	want := []int32{0, 1, 2, 3, 4}
+	if !reflect.DeepEqual(levels, want) {
+		t.Fatalf("levels = %v, want %v", levels, want)
+	}
+	levels = BFSSequential(g, 2)
+	want = []int32{Unreached, Unreached, 0, 1, 2}
+	if !reflect.DeepEqual(levels, want) {
+		t.Fatalf("levels from 2 = %v, want %v", levels, want)
+	}
+}
+
+func TestBFSEmptyGraph(t *testing.T) {
+	g, err := graph.FromEdges(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := BFSSequential(g, 0); len(got) != 0 {
+		t.Fatalf("empty BFS = %v", got)
+	}
+	if got := BFSParallel(g, 0, 2); len(got) != 0 {
+		t.Fatalf("empty parallel BFS = %v", got)
+	}
+}
+
+func TestBFSParallelMatchesSequential(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		g, err := gengraph.RMAT(10, 8, gengraph.DefaultRMAT, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := graph.LargestOutComponentSeed(g)
+		seq := BFSSequential(g, src)
+		for _, workers := range []int{1, 4, 8} {
+			par := BFSParallel(g, src, workers)
+			if !reflect.DeepEqual(seq, par) {
+				t.Fatalf("seed %d workers %d: parallel BFS differs", seed, workers)
+			}
+		}
+	}
+}
+
+func TestBFSParallelDefaultWorkers(t *testing.T) {
+	g := chain(t, 100)
+	if got := BFSParallel(g, 0, 0); got[99] != 99 {
+		t.Fatalf("default-worker BFS wrong: levels[99] = %d", got[99])
+	}
+}
+
+func TestValidBFSLevels(t *testing.T) {
+	g, err := gengraph.UniformRandom(200, 1200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := graph.LargestOutComponentSeed(g)
+	levels := BFSSequential(g, src)
+	if !ValidBFSLevels(g, src, levels) {
+		t.Fatal("correct BFS labeling rejected")
+	}
+	// Corruptions must be detected.
+	bad := append([]int32(nil), levels...)
+	bad[src] = 5
+	if ValidBFSLevels(g, src, bad) {
+		t.Fatal("wrong source level accepted")
+	}
+	bad = append([]int32(nil), levels...)
+	for v, l := range bad {
+		if l > 0 {
+			bad[v] = l + 5 // vertex too deep: no predecessor at l+4
+			if ValidBFSLevels(g, src, bad) {
+				t.Fatal("inflated level accepted")
+			}
+			break
+		}
+	}
+	if ValidBFSLevels(g, src, levels[:10]) {
+		t.Fatal("truncated labeling accepted")
+	}
+}
+
+func TestValidBFSLevelsCatchesUnreachedMarking(t *testing.T) {
+	g := chain(t, 3)
+	levels := BFSSequential(g, 0)
+	levels[2] = Unreached // reachable vertex marked unreached: edge 1->2 dangles
+	if ValidBFSLevels(g, 0, levels) {
+		t.Fatal("missing reachable vertex accepted")
+	}
+}
+
+func TestPropertyBFSParallelEqualsSequential(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint8) bool {
+		n := int(nRaw)%60 + 2
+		m := int(mRaw) * 4
+		g, err := gengraph.UniformRandom(n, m, seed)
+		if err != nil {
+			return false
+		}
+		src := graph.VertexID(int(seed) % n)
+		if src < 0 {
+			src = 0
+		}
+		seq := BFSSequential(g, src)
+		par := BFSParallel(g, src, 4)
+		return reflect.DeepEqual(seq, par) && ValidBFSLevels(g, src, seq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSSSPDijkstraSmall(t *testing.T) {
+	// 0 -(1)-> 1 -(1)-> 2, plus direct 0 -(5)-> 2: shortest is 2 via 1.
+	g, err := graph.FromEdges(3, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 0, Dst: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// weights aligned with Col: edges of 0 are [1,2] in insertion order.
+	weights := []int32{1, 5, 1}
+	dist := SSSPDijkstra(g, weights, 0)
+	want := []int32{0, 1, 2}
+	if !reflect.DeepEqual(dist, want) {
+		t.Fatalf("dist = %v, want %v", dist, want)
+	}
+}
+
+func TestSSSPUnreachable(t *testing.T) {
+	g, err := graph.FromEdges(3, []graph.Edge{{Src: 0, Dst: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := SSSPDijkstra(g, []int32{2}, 0)
+	if dist[2] != InfDist {
+		t.Fatalf("unreachable vertex has dist %d", dist[2])
+	}
+}
+
+func TestSSSPBellmanFordMatchesDijkstra(t *testing.T) {
+	for _, seed := range []uint64{1, 5, 9} {
+		g, err := gengraph.RMAT(9, 6, gengraph.DefaultRMAT, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		weights := gengraph.EdgeWeights(g, 10, seed+1)
+		src := graph.LargestOutComponentSeed(g)
+		dj := SSSPDijkstra(g, weights, src)
+		bf := SSSPBellmanFord(g, weights, src, 4)
+		if !reflect.DeepEqual(dj, bf) {
+			t.Fatalf("seed %d: Bellman-Ford differs from Dijkstra", seed)
+		}
+	}
+}
+
+func TestPropertySSSPTriangleInequality(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%40 + 2
+		g, err := gengraph.UniformRandom(n, n*4, seed)
+		if err != nil {
+			return false
+		}
+		weights := gengraph.EdgeWeights(g, 9, seed)
+		dist := SSSPDijkstra(g, weights, 0)
+		if dist[0] != 0 {
+			return false
+		}
+		// Relaxed fixed point: no edge improves any distance.
+		for v := 0; v < n; v++ {
+			if dist[v] >= InfDist {
+				continue
+			}
+			row := g.RowPtr[v]
+			for i, w := range g.Neighbors(graph.VertexID(v)) {
+				if dist[v]+weights[int(row)+i] < dist[w] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageRankUniformOnCycle(t *testing.T) {
+	// On a directed cycle every vertex must have rank 1/n.
+	const n = 10
+	edges := make([]graph.Edge, n)
+	for i := 0; i < n; i++ {
+		edges[i] = graph.Edge{Src: int32(i), Dst: int32((i + 1) % n)}
+	}
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank, iters := PageRank(g, PageRankOptions{})
+	if iters == 0 {
+		t.Fatal("no iterations ran")
+	}
+	for v, r := range rank {
+		if math.Abs(r-0.1) > 1e-4 {
+			t.Fatalf("rank[%d] = %f, want 0.1", v, r)
+		}
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	g, err := gengraph.RMAT(9, 6, gengraph.DefaultRMAT, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank, _ := PageRank(g, PageRankOptions{})
+	sum := 0.0
+	for _, r := range rank {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("ranks sum to %f", sum)
+	}
+}
+
+func TestPageRankHubGetsMoreRank(t *testing.T) {
+	// Star pointing INTO vertex 0: it must outrank the leaves.
+	edges := make([]graph.Edge, 0, 20)
+	for i := int32(1); i <= 20; i++ {
+		edges = append(edges, graph.Edge{Src: i, Dst: 0})
+	}
+	g, err := graph.FromEdges(21, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank, _ := PageRank(g, PageRankOptions{})
+	if rank[0] <= rank[1]*5 {
+		t.Fatalf("hub rank %f not well above leaf rank %f", rank[0], rank[1])
+	}
+}
+
+func TestPageRankEmpty(t *testing.T) {
+	g, err := graph.FromEdges(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rank, _ := PageRank(g, PageRankOptions{}); rank != nil {
+		t.Fatalf("empty PageRank = %v", rank)
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	// Two components: {0,1,2} and {3,4}; 5 isolated.
+	g, err := graph.FromEdges(6, []graph.Edge{{Src: 0, Dst: 1}, {Src: 2, Dst: 1}, {Src: 3, Dst: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := ConnectedComponents(g)
+	want := []int32{0, 0, 0, 3, 3, 5}
+	if !reflect.DeepEqual(labels, want) {
+		t.Fatalf("labels = %v, want %v", labels, want)
+	}
+}
+
+func TestPropertyConnectedComponentsConsistent(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%50 + 1
+		g, err := gengraph.UniformRandom(n, n*2, seed)
+		if err != nil {
+			return false
+		}
+		labels := ConnectedComponents(g)
+		// Every edge joins same-label endpoints; labels are canonical minima.
+		for v := 0; v < n; v++ {
+			if labels[v] > int32(v) {
+				return false
+			}
+			for _, w := range g.Neighbors(graph.VertexID(v)) {
+				if labels[v] != labels[w] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+package cpualgo
+
+import (
+	"math"
+
+	"maxwarp/internal/graph"
+)
+
+// PageRankOptions configure the power iteration.
+type PageRankOptions struct {
+	// Damping is the damping factor (default 0.85).
+	Damping float64
+	// MaxIters bounds iterations (default 100).
+	MaxIters int
+	// Tolerance stops iteration when the L1 delta falls below it
+	// (default 1e-6).
+	Tolerance float64
+}
+
+func (o PageRankOptions) withDefaults() PageRankOptions {
+	if o.Damping == 0 {
+		o.Damping = 0.85
+	}
+	if o.MaxIters == 0 {
+		o.MaxIters = 100
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = 1e-6
+	}
+	return o
+}
+
+// PageRank runs the standard power iteration on g (pull formulation over the
+// reverse graph). Dangling-vertex mass is redistributed uniformly. Returns
+// the rank vector and the iterations executed.
+func PageRank(g *graph.CSR, opts PageRankOptions) ([]float64, int) {
+	opts = opts.withDefaults()
+	n := g.NumVertices()
+	if n == 0 {
+		return nil, 0
+	}
+	rev := g.Reverse()
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	inv := 1.0 / float64(n)
+	for i := range rank {
+		rank[i] = inv
+	}
+	outDeg := make([]float64, n)
+	for v := 0; v < n; v++ {
+		outDeg[v] = float64(g.Degree(graph.VertexID(v)))
+	}
+	iters := 0
+	for ; iters < opts.MaxIters; iters++ {
+		dangling := 0.0
+		for v := 0; v < n; v++ {
+			if outDeg[v] == 0 {
+				dangling += rank[v]
+			}
+		}
+		base := (1-opts.Damping)*inv + opts.Damping*dangling*inv
+		var delta float64
+		for v := 0; v < n; v++ {
+			sum := 0.0
+			for _, u := range rev.Neighbors(graph.VertexID(v)) {
+				sum += rank[u] / outDeg[u]
+			}
+			nv := base + opts.Damping*sum
+			next[v] = nv
+			delta += math.Abs(nv - rank[v])
+		}
+		rank, next = next, rank
+		if delta < opts.Tolerance {
+			iters++
+			break
+		}
+	}
+	return rank, iters
+}
+
+// ConnectedComponents labels the weakly connected components of g using
+// union-find with path halving; the returned label of each vertex is the
+// smallest vertex id in its component.
+func ConnectedComponents(g *graph.CSR) []int32 {
+	n := g.NumVertices()
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	find := func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		if ra < rb {
+			parent[rb] = ra
+		} else {
+			parent[ra] = rb
+		}
+	}
+	for v := 0; v < n; v++ {
+		for _, w := range g.Neighbors(graph.VertexID(v)) {
+			union(int32(v), w)
+		}
+	}
+	labels := make([]int32, n)
+	for v := range labels {
+		labels[v] = find(int32(v))
+	}
+	return labels
+}

@@ -1,0 +1,100 @@
+package cpualgo
+
+import "maxwarp/internal/graph"
+
+// SCC computes strongly connected components with an iterative Tarjan
+// algorithm. The returned label of each vertex is the smallest vertex id in
+// its component (a canonical labeling, so results compare across
+// implementations).
+func SCC(g *graph.CSR) []int32 {
+	n := g.NumVertices()
+	const undef = int32(-1)
+	index := make([]int32, n)
+	lowlink := make([]int32, n)
+	onStack := make([]bool, n)
+	labels := make([]int32, n)
+	for i := range index {
+		index[i] = undef
+		labels[i] = undef
+	}
+	var counter int32
+	stack := make([]graph.VertexID, 0, n)
+
+	// Explicit DFS frames to survive deep recursion on big graphs.
+	type frame struct {
+		v    graph.VertexID
+		next int32 // cursor into v's adjacency
+	}
+	frames := make([]frame, 0, 64)
+
+	for root := 0; root < n; root++ {
+		if index[root] != undef {
+			continue
+		}
+		frames = append(frames[:0], frame{v: graph.VertexID(root)})
+		index[root] = counter
+		lowlink[root] = counter
+		counter++
+		stack = append(stack, graph.VertexID(root))
+		onStack[root] = true
+
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			adj := g.Neighbors(f.v)
+			advanced := false
+			for int(f.next) < len(adj) {
+				w := adj[f.next]
+				f.next++
+				if index[w] == undef {
+					index[w] = counter
+					lowlink[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < lowlink[f.v] {
+					lowlink[f.v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// Post-order: pop the frame, fold lowlink into the parent.
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if lowlink[v] < lowlink[p.v] {
+					lowlink[p.v] = lowlink[v]
+				}
+			}
+			if lowlink[v] == index[v] {
+				// v is an SCC root: pop its component and label with the
+				// minimum member id.
+				start := len(stack)
+				for start > 0 {
+					start--
+					if stack[start] == v {
+						break
+					}
+				}
+				comp := stack[start:]
+				minID := comp[0]
+				for _, u := range comp {
+					if u < minID {
+						minID = u
+					}
+				}
+				for _, u := range comp {
+					labels[u] = int32(minID)
+					onStack[u] = false
+				}
+				stack = stack[:start]
+			}
+		}
+	}
+	return labels
+}

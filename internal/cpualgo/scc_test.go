@@ -1,0 +1,119 @@
+package cpualgo
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"maxwarp/internal/gengraph"
+	"maxwarp/internal/graph"
+)
+
+func TestSCCKnownGraphs(t *testing.T) {
+	// Two 2-cycles bridged one-way, plus an isolated vertex:
+	// 0<->1 -> 2<->3, 4.
+	g, err := graph.FromEdges(5, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 0},
+		{Src: 1, Dst: 2},
+		{Src: 2, Dst: 3}, {Src: 3, Dst: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{0, 0, 2, 2, 4}
+	if got := SCC(g); !reflect.DeepEqual(got, want) {
+		t.Fatalf("SCC = %v, want %v", got, want)
+	}
+	// A directed cycle is one component.
+	cyc, err := graph.FromEdges(4, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 3, Dst: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range SCC(cyc) {
+		if l != 0 {
+			t.Fatalf("cycle labels: %v", SCC(cyc))
+		}
+	}
+	// A DAG is all singletons.
+	dag, err := graph.FromEdges(4, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 1, Dst: 3}, {Src: 2, Dst: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := SCC(dag); !reflect.DeepEqual(got, []int32{0, 1, 2, 3}) {
+		t.Fatalf("DAG labels: %v", got)
+	}
+}
+
+// sccBrute checks mutual reachability pairwise — O(V·(V+E)), test-size only.
+func sccBrute(g *graph.CSR) []int32 {
+	n := g.NumVertices()
+	reach := make([][]bool, n)
+	for v := 0; v < n; v++ {
+		reach[v] = make([]bool, n)
+		stack := []graph.VertexID{graph.VertexID(v)}
+		reach[v][v] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range g.Neighbors(u) {
+				if !reach[v][w] {
+					reach[v][w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+	}
+	labels := make([]int32, n)
+	for v := range labels {
+		labels[v] = -1
+	}
+	for v := 0; v < n; v++ {
+		if labels[v] != -1 {
+			continue
+		}
+		labels[v] = int32(v)
+		for u := v + 1; u < n; u++ {
+			if reach[v][u] && reach[u][v] {
+				labels[u] = int32(v)
+			}
+		}
+	}
+	return labels
+}
+
+func TestPropertySCCMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%25 + 2
+		g, err := gengraph.UniformRandom(n, n*3, seed)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(SCC(g), sccBrute(g))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSCCLargeSkewedGraph(t *testing.T) {
+	g, err := gengraph.RMAT(11, 8, gengraph.DefaultRMAT, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := SCC(g)
+	// Sanity: labels are canonical minima and consistent under mutual
+	// reachability spot checks via the brute method on a small sample is
+	// covered by the property test; here check canonical-min property.
+	for v, l := range labels {
+		if l < 0 || int(l) > v {
+			t.Fatalf("label[%d] = %d not a canonical minimum", v, l)
+		}
+		if labels[l] != l {
+			t.Fatalf("representative %d not self-labeled", l)
+		}
+	}
+}

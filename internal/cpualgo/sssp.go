@@ -1,0 +1,127 @@
+package cpualgo
+
+import (
+	"container/heap"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"maxwarp/internal/graph"
+)
+
+// InfDist marks unreachable vertices in SSSP results. It is far below
+// MaxInt32 so one relaxation step cannot overflow.
+const InfDist = int32(math.MaxInt32 / 2)
+
+// SSSPDijkstra computes single-source shortest paths with a binary heap.
+// weights is aligned with g.Col and must be non-negative.
+func SSSPDijkstra(g *graph.CSR, weights []int32, src graph.VertexID) []int32 {
+	n := g.NumVertices()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = InfDist
+	}
+	if n == 0 {
+		return dist
+	}
+	dist[src] = 0
+	pq := &distHeap{{v: src, d: 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(distItem)
+		if item.d > dist[item.v] {
+			continue // stale entry
+		}
+		row := g.RowPtr[item.v]
+		for i, w := range g.Neighbors(item.v) {
+			nd := item.d + weights[int(row)+i]
+			if nd < dist[w] {
+				dist[w] = nd
+				heap.Push(pq, distItem{v: w, d: nd})
+			}
+		}
+	}
+	return dist
+}
+
+type distItem struct {
+	v graph.VertexID
+	d int32
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// SSSPBellmanFord computes shortest paths by parallel edge relaxation until
+// a fixed point — the same algorithm the GPU kernels run, useful both as a
+// CPU series and to cross-check the Dijkstra oracle. workers <= 0 selects
+// GOMAXPROCS.
+func SSSPBellmanFord(g *graph.CSR, weights []int32, src graph.VertexID, workers int) []int32 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := g.NumVertices()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = InfDist
+	}
+	if n == 0 {
+		return dist
+	}
+	dist[src] = 0
+	for iter := 0; iter < n; iter++ {
+		var changed int32
+		var wg sync.WaitGroup
+		chunk := (n + workers - 1) / workers
+		for wk := 0; wk < workers; wk++ {
+			lo := wk * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				for v := lo; v < hi; v++ {
+					dv := atomic.LoadInt32(&dist[v])
+					if dv >= InfDist {
+						continue
+					}
+					row := g.RowPtr[v]
+					for i, w := range g.Neighbors(graph.VertexID(v)) {
+						nd := dv + weights[int(row)+i]
+						for {
+							cur := atomic.LoadInt32(&dist[w])
+							if nd >= cur {
+								break
+							}
+							if atomic.CompareAndSwapInt32(&dist[w], cur, nd) {
+								atomic.StoreInt32(&changed, 1)
+								break
+							}
+						}
+					}
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+		if changed == 0 {
+			break
+		}
+	}
+	return dist
+}

@@ -1,0 +1,66 @@
+package gengraph
+
+import (
+	"reflect"
+	"testing"
+
+	"maxwarp/internal/graph"
+)
+
+func TestChungLuBasics(t *testing.T) {
+	g, err := ChungLu(2000, 8, 2.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 2000 || g.NumEdges() != 16000 {
+		t.Fatalf("V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChungLuDeterministic(t *testing.T) {
+	a, err := ChungLu(500, 6, 2.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ChungLu(500, 6, 2.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Col, b.Col) {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestChungLuGammaControlsSkew(t *testing.T) {
+	// Lower gamma = heavier tail = larger degree CV.
+	heavy, err := ChungLu(4000, 8, 2.0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	light, err := ChungLu(4000, 8, 3.5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, ls := graph.Stats(heavy), graph.Stats(light)
+	if hs.CV <= ls.CV {
+		t.Fatalf("gamma=2.0 CV %.2f not above gamma=3.5 CV %.2f", hs.CV, ls.CV)
+	}
+	if hs.MaxDegree <= ls.MaxDegree {
+		t.Fatalf("gamma=2.0 max degree %d not above gamma=3.5 %d", hs.MaxDegree, ls.MaxDegree)
+	}
+}
+
+func TestChungLuValidation(t *testing.T) {
+	if _, err := ChungLu(0, 8, 2.2, 1); err == nil {
+		t.Error("zero vertices accepted")
+	}
+	if _, err := ChungLu(10, 0, 2.2, 1); err == nil {
+		t.Error("zero degree accepted")
+	}
+	if _, err := ChungLu(10, 4, 1.0, 1); err == nil {
+		t.Error("gamma <= 1 accepted")
+	}
+}

@@ -1,0 +1,222 @@
+// Package gengraph generates the synthetic graph workloads used by every
+// experiment, replacing the paper's downloaded datasets (see DESIGN.md,
+// Substitutions). All generators are deterministic given a seed.
+package gengraph
+
+import (
+	"fmt"
+
+	"maxwarp/internal/graph"
+	"maxwarp/internal/xrand"
+)
+
+// RMATParams are the recursive-matrix quadrant probabilities. They must be
+// positive and sum to ~1. The canonical Graph500/paper parameters
+// (0.57, 0.19, 0.19, 0.05) produce heavily skewed power-law-like graphs.
+type RMATParams struct {
+	A, B, C, D float64
+}
+
+// DefaultRMAT is the canonical skewed parameterization.
+var DefaultRMAT = RMATParams{A: 0.57, B: 0.19, C: 0.19, D: 0.05}
+
+func (p RMATParams) validate() error {
+	sum := p.A + p.B + p.C + p.D
+	if p.A <= 0 || p.B <= 0 || p.C <= 0 || p.D <= 0 {
+		return fmt.Errorf("gengraph: RMAT parameters must be positive, got %+v", p)
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("gengraph: RMAT parameters sum to %f, want 1", sum)
+	}
+	return nil
+}
+
+// RMAT generates a directed R-MAT graph with 2^scale vertices and
+// edgeFactor*2^scale edges (before de-duplication is NOT applied: multi-edges
+// and self-loops are kept, as in Graph500 kernels, because the GPU kernels
+// iterate raw adjacency lists). Use RMATSimple for a cleaned version.
+func RMAT(scale int, edgeFactor int, p RMATParams, seed uint64) (*graph.CSR, error) {
+	if scale < 0 || scale > 30 {
+		return nil, fmt.Errorf("gengraph: RMAT scale %d out of range [0,30]", scale)
+	}
+	if edgeFactor < 0 {
+		return nil, fmt.Errorf("gengraph: negative edge factor %d", edgeFactor)
+	}
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	n := 1 << scale
+	m := edgeFactor * n
+	r := xrand.New(seed)
+	edges := make([]graph.Edge, m)
+	// Quadrant thresholds for a single uniform draw.
+	ab := p.A + p.B
+	abc := ab + p.C
+	for i := range edges {
+		var src, dst int32
+		for bit := 0; bit < scale; bit++ {
+			u := r.Float64()
+			switch {
+			case u < p.A:
+				// top-left: no bits set
+			case u < ab:
+				dst |= 1 << bit
+			case u < abc:
+				src |= 1 << bit
+			default:
+				src |= 1 << bit
+				dst |= 1 << bit
+			}
+		}
+		edges[i] = graph.Edge{Src: src, Dst: dst}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// RMATSimple is RMAT with duplicate edges and self-loops removed.
+func RMATSimple(scale int, edgeFactor int, p RMATParams, seed uint64) (*graph.CSR, error) {
+	g, err := RMAT(scale, edgeFactor, p, seed)
+	if err != nil {
+		return nil, err
+	}
+	return graph.FromEdgesSimple(g.NumVertices(), g.Edges())
+}
+
+// UniformRandom generates a directed Erdős–Rényi-style G(n, m) graph: m edges
+// with independently uniform endpoints. Degrees concentrate tightly around
+// m/n (binomial), the "regular-ish" regime where thread-per-vertex GPU
+// mapping works well.
+func UniformRandom(n, m int, seed uint64) (*graph.CSR, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gengraph: need positive vertex count, got %d", n)
+	}
+	if m < 0 {
+		return nil, fmt.Errorf("gengraph: negative edge count %d", m)
+	}
+	r := xrand.New(seed)
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		edges[i] = graph.Edge{Src: r.Int32n(int32(n)), Dst: r.Int32n(int32(n))}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// Mesh2D generates a rows×cols 4-neighbor grid with bidirectional edges —
+// the road-network-like regime: uniform low degree, huge diameter.
+func Mesh2D(rows, cols int) (*graph.CSR, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("gengraph: mesh dimensions must be positive, got %dx%d", rows, cols)
+	}
+	n := rows * cols
+	id := func(r, c int) int32 { return int32(r*cols + c) }
+	edges := make([]graph.Edge, 0, 4*n)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := id(r, c)
+			if r+1 < rows {
+				edges = append(edges, graph.Edge{Src: v, Dst: id(r+1, c)}, graph.Edge{Src: id(r+1, c), Dst: v})
+			}
+			if c+1 < cols {
+				edges = append(edges, graph.Edge{Src: v, Dst: id(r, c+1)}, graph.Edge{Src: id(r, c+1), Dst: v})
+			}
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// Torus2D is Mesh2D with wrap-around edges, making the degree exactly 4
+// everywhere (a perfectly regular graph).
+func Torus2D(rows, cols int) (*graph.CSR, error) {
+	if rows < 3 || cols < 3 {
+		return nil, fmt.Errorf("gengraph: torus dimensions must be >= 3, got %dx%d", rows, cols)
+	}
+	n := rows * cols
+	id := func(r, c int) int32 { return int32(((r+rows)%rows)*cols + (c+cols)%cols) }
+	edges := make([]graph.Edge, 0, 4*n)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := id(r, c)
+			edges = append(edges,
+				graph.Edge{Src: v, Dst: id(r+1, c)},
+				graph.Edge{Src: v, Dst: id(r-1, c)},
+				graph.Edge{Src: v, Dst: id(r, c+1)},
+				graph.Edge{Src: v, Dst: id(r, c-1)},
+			)
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// WattsStrogatz generates a small-world graph: a ring lattice where each
+// vertex connects to its k nearest neighbors on each side, with each edge
+// rewired to a uniform random endpoint with probability beta. Produced as a
+// directed graph with both edge directions present before rewiring.
+func WattsStrogatz(n, k int, beta float64, seed uint64) (*graph.CSR, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gengraph: need positive vertex count, got %d", n)
+	}
+	if k < 1 || 2*k >= n {
+		return nil, fmt.Errorf("gengraph: ring degree k=%d invalid for n=%d", k, n)
+	}
+	if beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("gengraph: rewiring probability %f out of [0,1]", beta)
+	}
+	r := xrand.New(seed)
+	edges := make([]graph.Edge, 0, 2*n*k)
+	for v := 0; v < n; v++ {
+		for j := 1; j <= k; j++ {
+			dst := int32((v + j) % n)
+			if r.Float64() < beta {
+				dst = r.Int32n(int32(n))
+			}
+			edges = append(edges, graph.Edge{Src: int32(v), Dst: dst}, graph.Edge{Src: dst, Dst: int32(v)})
+		}
+	}
+	return graph.FromEdgesSimple(n, edges)
+}
+
+// StarBurst generates a pathological outlier workload: nHubs vertices of
+// degree hubDegree (edges to uniform random targets) on top of a sparse
+// uniform background of n vertices with avgDegree background edges each.
+// This is the stress case for the paper's "deferring outliers" technique.
+func StarBurst(n, nHubs, hubDegree, avgDegree int, seed uint64) (*graph.CSR, error) {
+	if n <= 0 || nHubs < 0 || nHubs > n || hubDegree < 0 || avgDegree < 0 {
+		return nil, fmt.Errorf("gengraph: invalid StarBurst(n=%d hubs=%d hubDeg=%d avgDeg=%d)", n, nHubs, hubDegree, avgDegree)
+	}
+	r := xrand.New(seed)
+	edges := make([]graph.Edge, 0, n*avgDegree+nHubs*hubDegree)
+	for v := 0; v < n; v++ {
+		for j := 0; j < avgDegree; j++ {
+			edges = append(edges, graph.Edge{Src: int32(v), Dst: r.Int32n(int32(n))})
+		}
+	}
+	// Hubs are spread across the id space so they land in different warps.
+	for h := 0; h < nHubs; h++ {
+		hub := int32(h * (n / max(nHubs, 1)))
+		for j := 0; j < hubDegree; j++ {
+			edges = append(edges, graph.Edge{Src: hub, Dst: r.Int32n(int32(n))})
+		}
+	}
+	return graph.FromEdges(n, edges)
+}
+
+// EdgeWeights returns a deterministic positive int32 weight per directed edge
+// (aligned with g.Col), uniform in [1, maxWeight]. Used by SSSP.
+func EdgeWeights(g *graph.CSR, maxWeight int32, seed uint64) []int32 {
+	if maxWeight < 1 {
+		maxWeight = 1
+	}
+	r := xrand.New(seed)
+	w := make([]int32, g.NumEdges())
+	for i := range w {
+		w[i] = 1 + r.Int32n(maxWeight)
+	}
+	return w
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,266 @@
+package gengraph
+
+import (
+	"reflect"
+	"testing"
+
+	"maxwarp/internal/graph"
+)
+
+func TestRMATBasics(t *testing.T) {
+	g, err := RMAT(10, 8, DefaultRMAT, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 1024 {
+		t.Fatalf("V = %d, want 1024", g.NumVertices())
+	}
+	if g.NumEdges() != 8*1024 {
+		t.Fatalf("E = %d, want 8192", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	a, err := RMAT(8, 4, DefaultRMAT, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RMAT(8, 4, DefaultRMAT, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Col, b.Col) || !reflect.DeepEqual(a.RowPtr, b.RowPtr) {
+		t.Fatal("same seed produced different graphs")
+	}
+	c, err := RMAT(8, 4, DefaultRMAT, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Col, c.Col) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestRMATIsSkewed(t *testing.T) {
+	skewed, err := RMAT(12, 8, DefaultRMAT, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, err := UniformRandom(1<<12, 8<<12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, su := graph.Stats(skewed), graph.Stats(uniform)
+	if ss.CV <= 2*su.CV {
+		t.Fatalf("RMAT CV %.2f not clearly above uniform CV %.2f", ss.CV, su.CV)
+	}
+	if ss.MaxDegree <= 4*su.MaxDegree {
+		t.Fatalf("RMAT max degree %d vs uniform %d: insufficient skew", ss.MaxDegree, su.MaxDegree)
+	}
+}
+
+func TestRMATParamValidation(t *testing.T) {
+	bad := []RMATParams{
+		{A: 0.5, B: 0.5, C: 0.5, D: 0.5},
+		{A: -0.1, B: 0.5, C: 0.3, D: 0.3},
+		{A: 1, B: 0, C: 0, D: 0},
+	}
+	for _, p := range bad {
+		if _, err := RMAT(4, 2, p, 1); err == nil {
+			t.Errorf("params %+v accepted", p)
+		}
+	}
+	if _, err := RMAT(-1, 2, DefaultRMAT, 1); err == nil {
+		t.Error("negative scale accepted")
+	}
+	if _, err := RMAT(4, -2, DefaultRMAT, 1); err == nil {
+		t.Error("negative edge factor accepted")
+	}
+}
+
+func TestRMATSimpleIsSimple(t *testing.T) {
+	g, err := RMATSimple(9, 8, DefaultRMAT, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		adj := g.Neighbors(int32(v))
+		for i, w := range adj {
+			if w == int32(v) {
+				t.Fatalf("self loop at %d", v)
+			}
+			if i > 0 && adj[i-1] >= w {
+				t.Fatalf("unsorted or duplicate neighbor at %d", v)
+			}
+		}
+	}
+}
+
+func TestUniformRandomDegreesConcentrate(t *testing.T) {
+	g, err := UniformRandom(4096, 12*4096, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := graph.Stats(g)
+	if s.AvgDegree != 12 {
+		t.Fatalf("avg degree %f, want 12", s.AvgDegree)
+	}
+	if s.CV > 0.5 {
+		t.Fatalf("uniform graph CV %f too high", s.CV)
+	}
+	if _, err := UniformRandom(0, 10, 1); err == nil {
+		t.Error("zero vertices accepted")
+	}
+	if _, err := UniformRandom(10, -1, 1); err == nil {
+		t.Error("negative edges accepted")
+	}
+}
+
+func TestMesh2D(t *testing.T) {
+	g, err := Mesh2D(4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 20 {
+		t.Fatalf("V = %d", g.NumVertices())
+	}
+	// Interior vertices have degree 4, corners 2, edges 3.
+	s := graph.Stats(g)
+	if s.MinDegree != 2 || s.MaxDegree != 4 {
+		t.Fatalf("mesh degrees: %+v", s)
+	}
+	// Mesh must be strongly connected (all edges bidirectional).
+	if c := graph.ConnectedFrom(g, 0); c != 20 {
+		t.Fatalf("mesh connectivity from 0: %d/20", c)
+	}
+	if _, err := Mesh2D(0, 5); err == nil {
+		t.Error("zero rows accepted")
+	}
+}
+
+func TestTorus2DIsRegular(t *testing.T) {
+	g, err := Torus2D(6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := graph.Stats(g)
+	if s.MinDegree != 4 || s.MaxDegree != 4 {
+		t.Fatalf("torus should be 4-regular: %+v", s)
+	}
+	if s.CV != 0 {
+		t.Fatalf("torus CV = %f", s.CV)
+	}
+	if _, err := Torus2D(2, 8); err == nil {
+		t.Error("degenerate torus accepted")
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	g, err := WattsStrogatz(500, 3, 0.1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := graph.Stats(g)
+	if s.AvgDegree < 4 || s.AvgDegree > 7 {
+		t.Fatalf("small-world avg degree %f outside expected band", s.AvgDegree)
+	}
+	// beta=0 must be the pure ring lattice: exactly 2k-regular.
+	ring, err := WattsStrogatz(100, 2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := graph.Stats(ring)
+	if rs.MinDegree != 4 || rs.MaxDegree != 4 {
+		t.Fatalf("ring lattice not regular: %+v", rs)
+	}
+	for _, bad := range [][3]interface{}{} {
+		_ = bad
+	}
+	if _, err := WattsStrogatz(10, 5, 0.1, 1); err == nil {
+		t.Error("2k >= n accepted")
+	}
+	if _, err := WattsStrogatz(10, 2, 1.5, 1); err == nil {
+		t.Error("beta > 1 accepted")
+	}
+}
+
+func TestStarBurst(t *testing.T) {
+	g, err := StarBurst(1000, 4, 300, 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := graph.Stats(g)
+	if s.MaxDegree < 300 {
+		t.Fatalf("hub degree %d, want >= 300", s.MaxDegree)
+	}
+	if s.P50 > 10 {
+		t.Fatalf("background degree median %d too high", s.P50)
+	}
+	if _, err := StarBurst(10, 20, 1, 1, 1); err == nil {
+		t.Error("more hubs than vertices accepted")
+	}
+}
+
+func TestEdgeWeights(t *testing.T) {
+	g, err := UniformRandom(100, 500, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := EdgeWeights(g, 10, 3)
+	if len(w) != g.NumEdges() {
+		t.Fatalf("weights length %d, want %d", len(w), g.NumEdges())
+	}
+	for i, x := range w {
+		if x < 1 || x > 10 {
+			t.Fatalf("weight[%d] = %d out of [1,10]", i, x)
+		}
+	}
+	w2 := EdgeWeights(g, 10, 3)
+	if !reflect.DeepEqual(w, w2) {
+		t.Fatal("weights not deterministic")
+	}
+}
+
+func TestPresetsBuildAndMatchRegime(t *testing.T) {
+	const scale = 10
+	var prevCV float64 = 1e9
+	for _, p := range Presets() {
+		g, err := p.Build(scale, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		s := graph.Stats(g)
+		if s.NumVertices < 1<<(scale-1) {
+			t.Fatalf("%s: too few vertices %d", p.Name, s.NumVertices)
+		}
+		// The suite is ordered most-skewed → most-regular; allow slack of 2x
+		// because CV is noisy at small scales.
+		if s.CV > prevCV*2 {
+			t.Fatalf("%s: CV %.2f breaks the skew ordering (prev %.2f)", p.Name, s.CV, prevCV)
+		}
+		prevCV = s.CV
+	}
+}
+
+func TestPresetByName(t *testing.T) {
+	p, err := PresetByName("RoadNet-like")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "RoadNet-like" {
+		t.Fatalf("got %q", p.Name)
+	}
+	if _, err := PresetByName("nope"); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}

@@ -1,0 +1,84 @@
+package gengraph
+
+import (
+	"fmt"
+	"sort"
+
+	"maxwarp/internal/graph"
+)
+
+// Preset names a synthetic stand-in for one of the paper's dataset regimes.
+// The original evaluation used downloaded real-world graphs (LiveJournal,
+// Patents, road networks, …); we reproduce each graph's *regime* — average
+// degree and degree skew — with a seeded generator, because those two
+// properties are what drive every result (see DESIGN.md).
+type Preset struct {
+	// Name identifies the workload in tables ("LiveJournal-like", …).
+	Name string
+	// Regime is a one-line description of why this workload is in the suite.
+	Regime string
+	// Build generates the graph at the given scale (|V| ≈ 2^scale).
+	Build func(scale int, seed uint64) (*graph.CSR, error)
+}
+
+// Presets returns the standard workload suite, ordered from most skewed to
+// most regular. This ordering is the x-axis story of the paper: warp-centric
+// wins big on the left, and the best virtual-warp width K shrinks toward the
+// right.
+func Presets() []Preset {
+	return []Preset{
+		{
+			Name:   "WikiTalk-like",
+			Regime: "extreme power-law skew (talk-page hubs), low average degree",
+			Build: func(scale int, seed uint64) (*graph.CSR, error) {
+				return RMAT(scale, 4, RMATParams{A: 0.63, B: 0.18, C: 0.16, D: 0.03}, seed)
+			},
+		},
+		{
+			Name:   "LiveJournal-like",
+			Regime: "social network: power-law skew, average degree ~14",
+			Build: func(scale int, seed uint64) (*graph.CSR, error) {
+				return RMAT(scale, 14, DefaultRMAT, seed)
+			},
+		},
+		{
+			Name:   "Patents-like",
+			Regime: "citation network: moderate skew, average degree ~5",
+			Build: func(scale int, seed uint64) (*graph.CSR, error) {
+				return RMAT(scale, 5, RMATParams{A: 0.45, B: 0.22, C: 0.22, D: 0.11}, seed)
+			},
+		},
+		{
+			Name:   "Random-like",
+			Regime: "uniform random: binomial degrees, no skew",
+			Build: func(scale int, seed uint64) (*graph.CSR, error) {
+				n := 1 << scale
+				return UniformRandom(n, 12*n, seed)
+			},
+		},
+		{
+			Name:   "RoadNet-like",
+			Regime: "2D mesh: uniform degree ~4, huge diameter",
+			Build: func(scale int, seed uint64) (*graph.CSR, error) {
+				side := 1 << (scale / 2)
+				other := 1 << (scale - scale/2)
+				return Mesh2D(other, side)
+			},
+		},
+	}
+}
+
+// PresetByName returns the preset with the given name.
+func PresetByName(name string) (Preset, error) {
+	for _, p := range Presets() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	var names []string
+	for _, p := range Presets() {
+		names = append(names, p.Name)
+	}
+	sort.Strings(names)
+	return Preset{}, fmt.Errorf("gengraph: unknown preset %q (have %v)", name, names)
+}

@@ -1,0 +1,122 @@
+package gpualgo
+
+import (
+	"math"
+	"testing"
+
+	"maxwarp/internal/graph"
+)
+
+func TestBetweennessCPUKnownValues(t *testing.T) {
+	// Undirected path 0-1-2-3 (both edge directions), all sources:
+	// standard BC: inner vertices 1,2 have score 4 (pairs (0,2),(0,3),(2,0),
+	// (3,0) pass through 1, etc.), endpoints 0.
+	edges := []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 0},
+		{Src: 1, Dst: 2}, {Src: 2, Dst: 1},
+		{Src: 2, Dst: 3}, {Src: 3, Dst: 2},
+	}
+	g, err := graph.FromEdges(4, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := []graph.VertexID{0, 1, 2, 3}
+	bc := BetweennessCentralityCPU(g, all)
+	want := []float64{0, 4, 4, 0}
+	for v := range want {
+		if math.Abs(bc[v]-want[v]) > 1e-9 {
+			t.Fatalf("bc[%d] = %f, want %f (all: %v)", v, bc[v], want[v], bc)
+		}
+	}
+	// Star: center 4 connected to 0..3. Center carries all pairs:
+	// 4*3 = 12 ordered pairs through the center.
+	var star []graph.Edge
+	for i := int32(0); i < 4; i++ {
+		star = append(star, graph.Edge{Src: 4, Dst: i}, graph.Edge{Src: i, Dst: 4})
+	}
+	sg, err := graph.FromEdges(5, star)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sbc := BetweennessCentralityCPU(sg, []graph.VertexID{0, 1, 2, 3, 4})
+	if math.Abs(sbc[4]-12) > 1e-9 {
+		t.Fatalf("star center bc = %f, want 12", sbc[4])
+	}
+	for v := 0; v < 4; v++ {
+		if sbc[v] != 0 {
+			t.Fatalf("star leaf %d bc = %f, want 0", v, sbc[v])
+		}
+	}
+}
+
+func TestBetweennessMatchesCPU(t *testing.T) {
+	for name, g := range map[string]*graph.CSR{
+		"rmat":    mustRMATSimple(t, 7, 6, 3),
+		"uniform": mustUniformSimple(t, 150, 900, 4),
+		"mesh":    undirected(t, mustUniformSimple(t, 1, 0, 1)), // replaced below
+	} {
+		if name == "mesh" {
+			var err error
+			g, err = meshGraph(8, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		sources := []graph.VertexID{0, graph.VertexID(g.NumVertices() / 2), graph.VertexID(g.NumVertices() - 1)}
+		want := BetweennessCentralityCPU(g, sources)
+		for _, k := range []int{1, 8, 32} {
+			d := testDevice(t)
+			res, err := BetweennessCentrality(d, g, sources, Options{K: k})
+			if err != nil {
+				t.Fatalf("%s K=%d: %v", name, k, err)
+			}
+			for v := range want {
+				got := float64(res.Scores[v])
+				tol := 1e-2*math.Abs(want[v]) + 1e-3
+				if math.Abs(got-want[v]) > tol {
+					t.Fatalf("%s K=%d: bc[%d] = %g, oracle %g", name, k, v, got, want[v])
+				}
+			}
+			if res.Iterations != len(sources) {
+				t.Fatalf("%s K=%d: iterations %d, want %d", name, k, res.Iterations, len(sources))
+			}
+		}
+	}
+}
+
+func meshGraph(rows, cols int) (*graph.CSR, error) {
+	var edges []graph.Edge
+	id := func(r, c int) int32 { return int32(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if r+1 < rows {
+				edges = append(edges, graph.Edge{Src: id(r, c), Dst: id(r+1, c)}, graph.Edge{Src: id(r+1, c), Dst: id(r, c)})
+			}
+			if c+1 < cols {
+				edges = append(edges, graph.Edge{Src: id(r, c), Dst: id(r, c+1)}, graph.Edge{Src: id(r, c+1), Dst: id(r, c)})
+			}
+		}
+	}
+	return graph.FromEdges(rows*cols, edges)
+}
+
+func TestBetweennessValidation(t *testing.T) {
+	g := mustUniformSimple(t, 20, 60, 1)
+	d := testDevice(t)
+	if _, err := BetweennessCentrality(d, g, []graph.VertexID{-1}, Options{K: 1}); err == nil {
+		t.Error("negative source accepted")
+	}
+	if _, err := BetweennessCentrality(d, g, []graph.VertexID{99}, Options{K: 1}); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+	// Empty sources: zero scores, no work.
+	res, err := BetweennessCentrality(d, g, nil, Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Scores {
+		if s != 0 {
+			t.Fatal("nonzero score with no sources")
+		}
+	}
+}

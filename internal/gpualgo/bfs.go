@@ -1,0 +1,173 @@
+package gpualgo
+
+import (
+	"fmt"
+
+	"maxwarp/internal/graph"
+	"maxwarp/internal/simt"
+	"maxwarp/internal/vwarp"
+)
+
+// Unvisited marks undiscovered vertices in the device levels array.
+const Unvisited = int32(-1)
+
+// BFSResult is the output of a device BFS run.
+type BFSResult struct {
+	Result
+	// Levels holds each vertex's hop distance from the source (Unvisited if
+	// unreached).
+	Levels []int32
+	// Depth is the deepest level assigned.
+	Depth int32
+	// Deferred counts vertices routed through the outlier queue across all
+	// levels (0 unless Options.DeferThreshold > 0).
+	Deferred int
+}
+
+// BFS runs level-synchronous breadth-first search on the device, one kernel
+// launch per level (plus one per level for deferred outliers when enabled),
+// exactly mirroring the paper's implementation structure: a levels array, a
+// global "changed" flag, and re-launch until fixpoint.
+func BFS(d *simt.Device, dg *DeviceGraph, src graph.VertexID, opts Options) (*BFSResult, error) {
+	opts = opts.withDefaults(d)
+	if err := opts.validate(d); err != nil {
+		return nil, err
+	}
+	if src < 0 || int(src) >= dg.NumVertices {
+		return nil, fmt.Errorf("gpualgo: BFS source %d out of range [0,%d)", src, dg.NumVertices)
+	}
+	n := dg.NumVertices
+	levels := d.AllocI32("bfs.levels", n)
+	levels.Fill(Unvisited)
+	levels.Data()[src] = 0
+	changed := d.AllocI32("bfs.changed", 1)
+	var counter *simt.BufI32
+	if opts.Dynamic {
+		counter = d.AllocI32("bfs.counter", 1)
+	}
+	var q *vwarp.OutlierQueue
+	if opts.DeferThreshold > 0 {
+		q = vwarp.NewOutlierQueue(d, "bfs.outliers", n)
+	}
+
+	res := &BFSResult{}
+	res.Stats.WarpWidth = d.Config().WarpWidth
+	maxIter := opts.MaxIterations
+	if maxIter == 0 {
+		maxIter = n + 1
+	}
+	lc := opts.grid(d, n)
+	for cur := int32(0); int(cur) < maxIter; cur++ {
+		changed.Data()[0] = 0
+		if counter != nil {
+			counter.Data()[0] = 0
+		}
+		if q != nil {
+			q.Reset()
+		}
+		kernel := bfsLevelKernel(dg, levels, changed, counter, q, cur, opts)
+		stats, err := d.Launch(lc, kernel)
+		if err != nil {
+			return nil, fmt.Errorf("gpualgo: BFS level %d: %w", cur, err)
+		}
+		res.Stats.Add(stats)
+		res.Launches++
+		if q != nil && q.Len() > 0 {
+			res.Deferred += q.Len()
+			dk := bfsDeferredKernel(dg, levels, changed, q, int32(q.Len()), cur, opts)
+			dlc := opts.grid(d, q.Len()*d.Config().WarpWidth/opts.K)
+			dstats, err := d.Launch(dlc, dk)
+			if err != nil {
+				return nil, fmt.Errorf("gpualgo: BFS deferred pass level %d: %w", cur, err)
+			}
+			res.Stats.Add(dstats)
+			res.Launches++
+		}
+		res.Iterations++
+		if changed.Data()[0] == 0 {
+			break
+		}
+	}
+	res.Levels = append([]int32(nil), levels.Data()...)
+	for _, l := range res.Levels {
+		if l > res.Depth {
+			res.Depth = l
+		}
+	}
+	return res, nil
+}
+
+// bfsLevelKernel expands the frontier at level cur. Discovery writes are
+// plain stores (a benign race, as in the paper: any winner writes the same
+// level value).
+func bfsLevelKernel(dg *DeviceGraph, levels, changed, counter *simt.BufI32, q *vwarp.OutlierQueue, cur int32, opts Options) simt.Kernel {
+	return func(w *simt.WarpCtx) {
+		body := func(ts *vwarp.Tasks) {
+			g := ts.Groups
+			lvl := make([]int32, g)
+			ts.LoadI32Grouped(levels, ts.Task, lvl)
+			ts.Mask(func(gi int) bool { return lvl[gi] == cur }, func() {
+				start := make([]int32, g)
+				end := make([]int32, g)
+				taskP1 := make([]int32, g)
+				ts.LoadI32Grouped(dg.RowPtr, ts.Task, start)
+				ts.SISD(1, func(gi int) { taskP1[gi] = ts.Task[gi] + 1 })
+				ts.LoadI32Grouped(dg.RowPtr, taskP1, end)
+				expand := func() {
+					bfsExpand(ts, dg, levels, changed, start, end, cur)
+				}
+				if q != nil {
+					heavy := func(gi int) bool { return end[gi]-start[gi] > opts.DeferThreshold }
+					ts.Defer(q, heavy)
+					ts.Mask(func(gi int) bool { return !heavy(gi) }, expand)
+				} else {
+					expand()
+				}
+			})
+		}
+		switch {
+		case counter != nil:
+			vwarp.ForEachDynamic(w, opts.K, int32(dg.NumVertices), counter, opts.Chunk, body)
+		case opts.Blocked:
+			vwarp.ForEachStaticBlocked(w, opts.K, int32(dg.NumVertices), body)
+		default:
+			vwarp.ForEachStatic(w, opts.K, int32(dg.NumVertices), body)
+		}
+	}
+}
+
+// bfsDeferredKernel processes outlier vertices with one full physical warp
+// per vertex, the paper's maximum-parallelism follow-up pass.
+func bfsDeferredKernel(dg *DeviceGraph, levels, changed *simt.BufI32, q *vwarp.OutlierQueue, numDeferred, cur int32, opts Options) simt.Kernel {
+	return func(w *simt.WarpCtx) {
+		vwarp.ForEachDeferred(w, w.Width(), q, numDeferred, func(ts *vwarp.Tasks) {
+			g := ts.Groups
+			start := make([]int32, g)
+			end := make([]int32, g)
+			taskP1 := make([]int32, g)
+			ts.LoadI32Grouped(dg.RowPtr, ts.Task, start)
+			ts.SISD(1, func(gi int) { taskP1[gi] = ts.Task[gi] + 1 })
+			ts.LoadI32Grouped(dg.RowPtr, taskP1, end)
+			bfsExpand(ts, dg, levels, changed, start, end, cur)
+		})
+	}
+}
+
+// bfsExpand is the SIMD phase shared by the main and deferred kernels: the
+// group's lanes stride the adjacency list, discovering unvisited neighbors.
+func bfsExpand(ts *vwarp.Tasks, dg *DeviceGraph, levels, changed *simt.BufI32, start, end []int32, cur int32) {
+	w := ts.W
+	next := w.ConstI32(cur + 1)
+	zero := w.ConstI32(0)
+	one := w.ConstI32(1)
+	nbr := w.VecI32()
+	nl := w.VecI32()
+	ts.SIMDRange(start, end, func(j []int32) {
+		w.LoadI32(dg.Col, j, nbr)
+		w.LoadI32(levels, nbr, nl)
+		w.If(func(lane int) bool { return nl[lane] == Unvisited }, func() {
+			w.StoreI32(levels, nbr, next)
+			w.StoreI32(changed, zero, one)
+		}, nil)
+	})
+}

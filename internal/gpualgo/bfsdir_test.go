@@ -1,0 +1,113 @@
+package gpualgo
+
+import (
+	"reflect"
+	"testing"
+
+	"maxwarp/internal/cpualgo"
+	"maxwarp/internal/graph"
+)
+
+func TestBFSDirectionOptMatchesCPU(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		src := graph.LargestOutComponentSeed(g)
+		want := cpualgo.BFSSequential(g, src)
+		for _, k := range []int{1, 8, 32} {
+			d := testDevice(t)
+			res, err := BFSDirectionOpt(d, g, src, DirOptions{Options: Options{K: k}})
+			if err != nil {
+				t.Fatalf("%s K=%d: %v", name, k, err)
+			}
+			if !reflect.DeepEqual(res.Levels, want) {
+				t.Fatalf("%s K=%d: hybrid BFS differs from CPU oracle", name, k)
+			}
+			if len(res.Schedule) != res.Iterations {
+				t.Fatalf("%s K=%d: schedule length %d != iterations %d",
+					name, k, len(res.Schedule), res.Iterations)
+			}
+		}
+	}
+}
+
+func TestBFSForcedDirectionsMatchCPU(t *testing.T) {
+	g := testGraphs(t)["rmat"]
+	src := graph.LargestOutComponentSeed(g)
+	want := cpualgo.BFSSequential(g, src)
+	for _, dir := range []Direction{DirPush, DirPull} {
+		d := testDevice(t)
+		dirCopy := dir
+		res, err := BFSDirectionOpt(d, g, src, DirOptions{Options: Options{K: 8}, Force: &dirCopy})
+		if err != nil {
+			t.Fatalf("dir %d: %v", dir, err)
+		}
+		if !reflect.DeepEqual(res.Levels, want) {
+			t.Fatalf("dir %d: levels differ from oracle", dir)
+		}
+		for _, d2 := range res.Schedule {
+			if d2 != dir {
+				t.Fatalf("forced schedule violated: %v", res.Schedule)
+			}
+		}
+	}
+}
+
+func TestHybridUsesPullOnBigFrontiers(t *testing.T) {
+	// On a skewed small-diameter graph the middle levels cover most of the
+	// graph: the heuristic must pick pull at least once.
+	g := testGraphs(t)["rmat"]
+	src := graph.LargestOutComponentSeed(g)
+	d := testDevice(t)
+	res, err := BFSDirectionOpt(d, g, src, DirOptions{Options: Options{K: 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawPull := false
+	for _, dir := range res.Schedule {
+		if dir == DirPull {
+			sawPull = true
+		}
+	}
+	if !sawPull {
+		t.Fatalf("hybrid never pulled on a skewed graph: %v", res.Schedule)
+	}
+}
+
+func TestPullBeatsPushOnLowDiameterSkewedGraph(t *testing.T) {
+	// Bottom-up early exit pays off when the frontier is most of the graph.
+	g := testGraphs(t)["rmat"]
+	src := graph.LargestOutComponentSeed(g)
+	run := func(dir Direction) int64 {
+		d := testDevice(t)
+		res, err := BFSDirectionOpt(d, g, src, DirOptions{Options: Options{K: 32}, Force: &dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.Cycles
+	}
+	// The hybrid should be no worse than the better pure strategy by much.
+	push := run(DirPush)
+	pull := run(DirPull)
+	d := testDevice(t)
+	hybrid, err := BFSDirectionOpt(d, g, src, DirOptions{Options: Options{K: 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := push
+	if pull < best {
+		best = pull
+	}
+	if float64(hybrid.Stats.Cycles) > 1.6*float64(best) {
+		t.Fatalf("hybrid (%d) much worse than best pure direction (%d)", hybrid.Stats.Cycles, best)
+	}
+}
+
+func TestBFSDirectionOptValidation(t *testing.T) {
+	g := testGraphs(t)["uni"]
+	d := testDevice(t)
+	if _, err := BFSDirectionOpt(d, g, -1, DirOptions{Options: Options{K: 1}}); err == nil {
+		t.Error("negative source accepted")
+	}
+	if _, err := BFSDirectionOpt(d, g, 0, DirOptions{Options: Options{K: 3}}); err == nil {
+		t.Error("bad K accepted")
+	}
+}

@@ -1,0 +1,96 @@
+package gpualgo
+
+import (
+	"fmt"
+
+	"maxwarp/internal/simt"
+	"maxwarp/internal/vwarp"
+)
+
+// CCResult is the output of a device connected-components run.
+type CCResult struct {
+	Result
+	// Labels maps each vertex to its component label: the minimum vertex id
+	// in the component.
+	Labels []int32
+}
+
+// ConnectedComponents runs min-label propagation on the device: labels start
+// as vertex ids; every round each vertex pushes its label to its neighbors
+// with atomicMin, until a round changes nothing. For weakly-connected
+// components on a directed graph, upload the symmetrized graph.
+func ConnectedComponents(d *simt.Device, dg *DeviceGraph, opts Options) (*CCResult, error) {
+	opts = opts.withDefaults(d)
+	if err := opts.validate(d); err != nil {
+		return nil, err
+	}
+	n := dg.NumVertices
+	labels := d.AllocI32("cc.labels", n)
+	for i := range labels.Data() {
+		labels.Data()[i] = int32(i)
+	}
+	changed := d.AllocI32("cc.changed", 1)
+	var counter *simt.BufI32
+	if opts.Dynamic {
+		counter = d.AllocI32("cc.counter", 1)
+	}
+	res := &CCResult{}
+	res.Stats.WarpWidth = d.Config().WarpWidth
+	maxIter := opts.MaxIterations
+	if maxIter == 0 {
+		maxIter = n + 1
+	}
+	lc := opts.grid(d, n)
+	for iter := 0; iter < maxIter; iter++ {
+		changed.Data()[0] = 0
+		if counter != nil {
+			counter.Data()[0] = 0
+		}
+		stats, err := d.Launch(lc, ccPropagateKernel(dg, labels, changed, counter, opts))
+		if err != nil {
+			return nil, fmt.Errorf("gpualgo: CC round %d: %w", iter, err)
+		}
+		res.Stats.Add(stats)
+		res.Launches++
+		res.Iterations++
+		if changed.Data()[0] == 0 {
+			break
+		}
+	}
+	res.Labels = append([]int32(nil), labels.Data()...)
+	return res, nil
+}
+
+func ccPropagateKernel(dg *DeviceGraph, labels, changed, counter *simt.BufI32, opts Options) simt.Kernel {
+	return func(w *simt.WarpCtx) {
+		body := func(ts *vwarp.Tasks) {
+			g := ts.Groups
+			lbl := make([]int32, g)
+			ts.LoadI32Grouped(labels, ts.Task, lbl)
+			start := make([]int32, g)
+			end := make([]int32, g)
+			taskP1 := make([]int32, g)
+			ts.LoadI32Grouped(dg.RowPtr, ts.Task, start)
+			ts.SISD(1, func(gi int) { taskP1[gi] = ts.Task[gi] + 1 })
+			ts.LoadI32Grouped(dg.RowPtr, taskP1, end)
+			nbr := w.VecI32()
+			mine := w.VecI32()
+			old := w.VecI32()
+			zero := w.ConstI32(0)
+			one := w.ConstI32(1)
+			w.Apply(1, func(lane int) { mine[lane] = lbl[ts.Group(lane)] })
+			ts.SIMDRange(start, end, func(j []int32) {
+				w.LoadI32(dg.Col, j, nbr)
+				w.AtomicMinI32(labels, nbr, mine, old)
+				w.If(func(lane int) bool { return mine[lane] < old[lane] }, func() {
+					w.StoreI32(changed, zero, one)
+				}, nil)
+			})
+		}
+		if counter != nil {
+			vwarp.ForEachDynamic(w, opts.K, int32(dg.NumVertices), counter, opts.Chunk, body)
+		} else {
+			vwarp.ForEachStatic(w, opts.K, int32(dg.NumVertices), body)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package gpualgo
+
+import (
+	"math"
+	"testing"
+
+	"maxwarp/internal/graph"
+)
+
+func TestClosenessMatchesCPUOracle(t *testing.T) {
+	g := testGraphs(t)["rmat"]
+	for _, samples := range []int{5, 40} { // 40 spans two MS-BFS batches
+		d := testDevice(t)
+		res, err := ClosenessCentrality(d, g, samples, 7, Options{K: 16})
+		if err != nil {
+			t.Fatalf("samples=%d: %v", samples, err)
+		}
+		if len(res.Sources) != samples {
+			t.Fatalf("samples=%d: got %d sources", samples, len(res.Sources))
+		}
+		want := ClosenessCentralityCPU(g, res.Sources)
+		for v := range want {
+			if math.Abs(res.Scores[v]-want[v]) > 1e-12 {
+				t.Fatalf("samples=%d: score[%d] = %g, oracle %g", samples, v, res.Scores[v], want[v])
+			}
+		}
+	}
+}
+
+func TestClosenessRanksCenterOfPath(t *testing.T) {
+	// Undirected path 0-1-2-3-4: the middle vertex is closest to everything.
+	var edges []graph.Edge
+	for i := int32(0); i < 4; i++ {
+		edges = append(edges, graph.Edge{Src: i, Dst: i + 1}, graph.Edge{Src: i + 1, Dst: i})
+	}
+	g, err := graph.FromEdges(5, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := testDevice(t)
+	res, err := ClosenessCentrality(d, g, 5, 1, Options{K: 4}) // exact: all vertices sampled
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 5; v++ {
+		if v != 2 && res.Scores[2] <= res.Scores[v] {
+			t.Fatalf("center score %g not above vertex %d score %g", res.Scores[2], v, res.Scores[v])
+		}
+	}
+}
+
+func TestClosenessValidation(t *testing.T) {
+	g := testGraphs(t)["uni"]
+	d := testDevice(t)
+	if _, err := ClosenessCentrality(d, g, 0, 1, Options{K: 1}); err == nil {
+		t.Error("zero samples accepted")
+	}
+	// samples beyond |V| clamps.
+	res, err := ClosenessCentrality(d, g, g.NumVertices()+100, 1, Options{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sources) != g.NumVertices() {
+		t.Fatalf("clamping failed: %d sources", len(res.Sources))
+	}
+}

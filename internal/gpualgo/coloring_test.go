@@ -1,0 +1,154 @@
+package gpualgo
+
+import (
+	"reflect"
+	"testing"
+
+	"maxwarp/internal/graph"
+)
+
+func TestGreedyColoringCPU(t *testing.T) {
+	// Triangle needs exactly 3 colors; bipartite square needs 2.
+	tri, err := graph.FromEdgesSimple(3, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 0}, {Src: 1, Dst: 2},
+		{Src: 2, Dst: 1}, {Src: 2, Dst: 0}, {Src: 0, Dst: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	colors, palette := GreedyColoringCPU(tri)
+	if palette != 3 {
+		t.Fatalf("triangle palette %d, want 3", palette)
+	}
+	if err := ValidColoring(tri, colors); err != nil {
+		t.Fatal(err)
+	}
+	square, err := graph.FromEdgesSimple(4, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 0}, {Src: 1, Dst: 2}, {Src: 2, Dst: 1},
+		{Src: 2, Dst: 3}, {Src: 3, Dst: 2}, {Src: 3, Dst: 0}, {Src: 0, Dst: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, palette := GreedyColoringCPU(square); palette != 2 {
+		t.Fatalf("square palette %d, want 2", palette)
+	}
+}
+
+func TestValidColoringCatchesViolations(t *testing.T) {
+	g, err := graph.FromEdgesSimple(3, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidColoring(g, []int32{0, 0, 1}); err == nil {
+		t.Error("conflicting colors accepted")
+	}
+	if err := ValidColoring(g, []int32{0, -1, 1}); err == nil {
+		t.Error("uncolored vertex accepted")
+	}
+	if err := ValidColoring(g, []int32{0, 1}); err == nil {
+		t.Error("short color array accepted")
+	}
+	if err := ValidColoring(g, []int32{0, 1, 0}); err != nil {
+		t.Errorf("proper coloring rejected: %v", err)
+	}
+}
+
+func TestGraphColoringProperAcrossGraphsAndK(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.CSR
+	}{
+		{"rmat", undirected(t, mustRMATSimple(t, 8, 6, 2))},
+		{"uniform", undirected(t, mustUniformSimple(t, 200, 1200, 3))},
+	} {
+		maxDeg := graph.Stats(tc.g).MaxDegree
+		for _, k := range []int{1, 8, 32} {
+			d := testDevice(t)
+			dg := Upload(d, tc.g)
+			res, err := GraphColoring(d, dg, 13, Options{K: k})
+			if err != nil {
+				t.Fatalf("%s K=%d: %v", tc.name, k, err)
+			}
+			if err := ValidColoring(tc.g, res.Colors); err != nil {
+				t.Fatalf("%s K=%d: %v", tc.name, k, err)
+			}
+			if res.NumColors > maxDeg+1 {
+				t.Fatalf("%s K=%d: palette %d exceeds maxdeg+1 = %d",
+					tc.name, k, res.NumColors, maxDeg+1)
+			}
+		}
+	}
+}
+
+func TestGraphColoringDeterministic(t *testing.T) {
+	g := undirected(t, mustUniformSimple(t, 150, 900, 5))
+	run := func() []int32 {
+		d := testDevice(t)
+		dg := Upload(d, g)
+		res, err := GraphColoring(d, dg, 21, Options{K: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Colors
+	}
+	if !reflect.DeepEqual(run(), run()) {
+		t.Fatal("coloring not deterministic")
+	}
+}
+
+func TestGraphColoringPaletteNearGreedy(t *testing.T) {
+	g := undirected(t, mustRMATSimple(t, 8, 8, 9))
+	_, greedy := GreedyColoringCPU(g)
+	d := testDevice(t)
+	dg := Upload(d, g)
+	res, err := GraphColoring(d, dg, 4, Options{K: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// JP with random priorities typically lands within ~2x of greedy.
+	if res.NumColors > 2*greedy+2 {
+		t.Fatalf("palette %d far above greedy %d", res.NumColors, greedy)
+	}
+}
+
+func TestGraphColoringEdgeless(t *testing.T) {
+	g, err := graph.FromEdges(6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := testDevice(t)
+	dg := Upload(d, g)
+	res, err := GraphColoring(d, dg, 1, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumColors != 1 {
+		t.Fatalf("edgeless palette %d, want 1", res.NumColors)
+	}
+}
+
+func TestGraphColoringHighDegreeHub(t *testing.T) {
+	// A star with 100 leaves: hub + leaves need exactly 2 colors, and the
+	// windowed mex must handle the hub's 100-neighbor scan.
+	var edges []graph.Edge
+	for i := int32(1); i <= 100; i++ {
+		edges = append(edges, graph.Edge{Src: 0, Dst: i}, graph.Edge{Src: i, Dst: 0})
+	}
+	g, err := graph.FromEdgesSimple(101, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := testDevice(t)
+	dg := Upload(d, g)
+	res, err := GraphColoring(d, dg, 3, Options{K: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidColoring(g, res.Colors); err != nil {
+		t.Fatal(err)
+	}
+	if res.NumColors != 2 {
+		t.Fatalf("star palette %d, want 2", res.NumColors)
+	}
+}

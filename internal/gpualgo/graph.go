@@ -1,0 +1,149 @@
+// Package gpualgo implements the paper's graph algorithms as kernels for
+// the simt device, each in two mappings: the classic thread-per-vertex
+// baseline (virtual warp width K=1) and the paper's virtual warp-centric
+// mapping (K>1), with optional dynamic workload distribution and outlier
+// deferral. CPU implementations in cpualgo serve as correctness oracles.
+package gpualgo
+
+import (
+	"fmt"
+
+	"maxwarp/internal/graph"
+	"maxwarp/internal/simt"
+)
+
+// DeviceGraph is a CSR graph resident in simulated device memory.
+type DeviceGraph struct {
+	// RowPtr and Col mirror graph.CSR's arrays.
+	RowPtr *simt.BufI32
+	Col    *simt.BufI32
+	// Weights is optional (nil unless uploaded), aligned with Col.
+	Weights *simt.BufI32
+
+	NumVertices int
+	NumEdges    int
+}
+
+// Upload copies g into device memory.
+func Upload(d *simt.Device, g *graph.CSR) *DeviceGraph {
+	return &DeviceGraph{
+		RowPtr:      d.UploadI32("graph.rowptr", g.RowPtr),
+		Col:         d.UploadI32("graph.col", g.Col),
+		NumVertices: g.NumVertices(),
+		NumEdges:    g.NumEdges(),
+	}
+}
+
+// UploadWeighted copies g and its edge weights into device memory.
+func UploadWeighted(d *simt.Device, g *graph.CSR, weights []int32) (*DeviceGraph, error) {
+	if len(weights) != g.NumEdges() {
+		return nil, fmt.Errorf("gpualgo: %d weights for %d edges", len(weights), g.NumEdges())
+	}
+	dg := Upload(d, g)
+	dg.Weights = d.UploadI32("graph.weights", weights)
+	return dg, nil
+}
+
+// Options configure how a kernel maps work onto the machine — the knobs the
+// paper's evaluation sweeps.
+type Options struct {
+	// K is the virtual warp width: 1 reproduces the thread-per-vertex
+	// baseline, larger powers of two up to the warp width give the paper's
+	// warp-centric mapping. Zero defaults to 1 (baseline).
+	K int
+	// Dynamic enables dynamic workload distribution: warps claim task chunks
+	// from a global counter instead of a static stride schedule.
+	Dynamic bool
+	// Blocked selects the paper-era blocked static schedule (contiguous task
+	// ranges per virtual warp) instead of the default stride schedule.
+	// Mutually exclusive with Dynamic. Supported by BFS.
+	Blocked bool
+	// Chunk is the dynamic fetch size in tasks (default: 4 * warp width / K).
+	Chunk int32
+	// DeferThreshold, when > 0, defers vertices with degree above it to a
+	// global outlier queue processed by full warps in a follow-up pass.
+	DeferThreshold int32
+	// BlockSize is threads per block (default 128).
+	BlockSize int
+	// GridBlocksCap bounds the launched grid; work beyond it is covered by
+	// the stride/dynamic schedule (default: enough blocks to fill the
+	// machine 4x).
+	GridBlocksCap int
+	// MaxIterations bounds iterative algorithms (default: |V|+1 for BFS and
+	// SSSP-like loops).
+	MaxIterations int
+}
+
+func (o Options) withDefaults(d *simt.Device) Options {
+	if o.K == 0 {
+		o.K = 1
+	}
+	if o.BlockSize == 0 {
+		o.BlockSize = 128
+	}
+	cfg := d.Config()
+	if o.Chunk == 0 {
+		c := int32(4 * cfg.WarpWidth / o.K)
+		if c < 1 {
+			c = 1
+		}
+		o.Chunk = c
+	}
+	if o.GridBlocksCap == 0 {
+		o.GridBlocksCap = 4 * cfg.NumSMs * cfg.MaxBlocksPerSM
+	}
+	return o
+}
+
+func (o Options) validate(d *simt.Device) error {
+	w := d.Config().WarpWidth
+	if o.K < 1 || o.K > w || w%o.K != 0 {
+		return fmt.Errorf("gpualgo: K=%d must divide the warp width %d", o.K, w)
+	}
+	if o.Chunk < 1 {
+		return fmt.Errorf("gpualgo: chunk %d must be >= 1", o.Chunk)
+	}
+	if o.BlockSize < 1 {
+		return fmt.Errorf("gpualgo: block size %d must be >= 1", o.BlockSize)
+	}
+	if o.Dynamic && o.Blocked {
+		return fmt.Errorf("gpualgo: Dynamic and Blocked schedules are mutually exclusive")
+	}
+	return nil
+}
+
+// grid returns a launch shape with roughly one K-wide virtual warp per task,
+// capped at GridBlocksCap blocks (the schedulers stride over the excess).
+func (o Options) grid(d *simt.Device, numTasks int) simt.LaunchConfig {
+	threadsWanted := numTasks * o.K
+	if threadsWanted < 1 {
+		threadsWanted = 1
+	}
+	lc := simt.Grid1D(threadsWanted, o.BlockSize)
+	if lc.Blocks > o.GridBlocksCap {
+		lc.Blocks = o.GridBlocksCap
+	}
+	return lc
+}
+
+// Result carries an algorithm's output-independent execution record.
+type Result struct {
+	// Stats accumulates simulator counters over every launch of the run.
+	Stats simt.LaunchStats
+	// Launches is the number of kernel launches (BFS: ~2 per level when
+	// deferring).
+	Launches int
+	// Iterations is the number of algorithm-level iterations (BFS levels,
+	// Bellman-Ford rounds, PageRank iterations).
+	Iterations int
+}
+
+// TEPS returns traversed edges per simulated second for an edge total m at
+// the device clock.
+func (r *Result) TEPS(m int, clockGHz float64) float64 {
+	secs := float64(r.Stats.Cycles) / (clockGHz * 1e9)
+	if secs <= 0 {
+		return 0
+	}
+	return float64(m) / secs
+}

@@ -1,0 +1,89 @@
+package gpualgo
+
+import (
+	"reflect"
+	"testing"
+
+	"maxwarp/internal/graph"
+)
+
+func TestMISCPUProperties(t *testing.T) {
+	g := undirected(t, mustUniformSimple(t, 200, 1200, 3))
+	inSet, size := MISCPU(g, 42)
+	if size == 0 {
+		t.Fatal("empty MIS on non-empty graph")
+	}
+	checkMIS(t, g, inSet)
+}
+
+// checkMIS verifies independence and maximality.
+func checkMIS(t *testing.T, g *graph.CSR, inSet []bool) {
+	t.Helper()
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		hasInNeighbor := false
+		for _, u := range g.Neighbors(graph.VertexID(v)) {
+			if inSet[u] {
+				hasInNeighbor = true
+				if inSet[v] {
+					t.Fatalf("not independent: %d and %d both in set", v, u)
+				}
+			}
+		}
+		if !inSet[v] && !hasInNeighbor {
+			t.Fatalf("not maximal: %d could join", v)
+		}
+	}
+}
+
+func TestMISMatchesCPU(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.CSR
+	}{
+		{"rmat", undirected(t, mustRMATSimple(t, 8, 6, 5))},
+		{"uniform", undirected(t, mustUniformSimple(t, 250, 1000, 6))},
+	} {
+		want, wantSize := MISCPU(tc.g, 99)
+		for _, k := range []int{1, 8, 32} {
+			d := testDevice(t)
+			dg := Upload(d, tc.g)
+			res, err := MIS(d, dg, 99, Options{K: k})
+			if err != nil {
+				t.Fatalf("%s K=%d: %v", tc.name, k, err)
+			}
+			if res.Size != wantSize {
+				t.Fatalf("%s K=%d: size %d, want %d", tc.name, k, res.Size, wantSize)
+			}
+			if !reflect.DeepEqual(res.InSet, want) {
+				t.Fatalf("%s K=%d: membership differs from greedy oracle", tc.name, k)
+			}
+			checkMIS(t, tc.g, res.InSet)
+		}
+	}
+}
+
+func TestMISEdgeless(t *testing.T) {
+	g, err := graph.FromEdges(7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := testDevice(t)
+	dg := Upload(d, g)
+	res, err := MIS(d, dg, 1, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size != 7 {
+		t.Fatalf("edgeless MIS size %d, want 7 (all vertices)", res.Size)
+	}
+}
+
+func TestMISDifferentSeedsDifferentSets(t *testing.T) {
+	g := undirected(t, mustUniformSimple(t, 150, 900, 8))
+	a, _ := MISCPU(g, 1)
+	b, _ := MISCPU(g, 2)
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("different priority seeds produced identical sets (suspicious)")
+	}
+}

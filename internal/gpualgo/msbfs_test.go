@@ -1,0 +1,99 @@
+package gpualgo
+
+import (
+	"reflect"
+	"testing"
+
+	"maxwarp/internal/graph"
+)
+
+func TestMSBFSMatchesCPU(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		n := g.NumVertices()
+		sources := []graph.VertexID{0, graph.VertexID(n / 3), graph.VertexID(n / 2), graph.VertexID(n - 1)}
+		want := MSBFSCPU(g, sources)
+		for _, k := range []int{1, 8, 32} {
+			d := testDevice(t)
+			dg := Upload(d, g)
+			res, err := MSBFS(d, dg, sources, Options{K: k})
+			if err != nil {
+				t.Fatalf("%s K=%d: %v", name, k, err)
+			}
+			if len(res.Levels) != len(sources) {
+				t.Fatalf("%s K=%d: %d level arrays", name, k, len(res.Levels))
+			}
+			for s := range sources {
+				if !reflect.DeepEqual(res.Levels[s], want[s]) {
+					t.Fatalf("%s K=%d: source %d levels differ from CPU", name, k, s)
+				}
+			}
+		}
+	}
+}
+
+func TestMSBFSFullBatch(t *testing.T) {
+	g := testGraphs(t)["rmat"]
+	sources := make([]graph.VertexID, MaxMSBFSSources)
+	for i := range sources {
+		sources[i] = graph.VertexID(i * 7 % g.NumVertices())
+	}
+	// Duplicate sources are legal: each bit runs its own search.
+	d := testDevice(t)
+	dg := Upload(d, g)
+	res, err := MSBFS(d, dg, sources, Options{K: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MSBFSCPU(g, sources)
+	for s := range sources {
+		if !reflect.DeepEqual(res.Levels[s], want[s]) {
+			t.Fatalf("source %d differs", s)
+		}
+	}
+}
+
+func TestMSBFSSharesWork(t *testing.T) {
+	// A batch of 16 sources must cost far less than 16 independent runs.
+	g := testGraphs(t)["rmat"]
+	sources := make([]graph.VertexID, 16)
+	for i := range sources {
+		sources[i] = graph.VertexID(i * 13 % g.NumVertices())
+	}
+	d := testDevice(t)
+	dg := Upload(d, g)
+	batch, err := MSBFS(d, dg, sources, Options{K: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var individual int64
+	for _, src := range sources {
+		d2 := testDevice(t)
+		dg2 := Upload(d2, g)
+		r, err := BFS(d2, dg2, src, Options{K: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		individual += r.Stats.Cycles
+	}
+	if batch.Stats.Cycles*2 >= individual {
+		t.Fatalf("MS-BFS batch (%d cycles) not clearly cheaper than %d independent runs (%d)",
+			batch.Stats.Cycles, len(sources), individual)
+	}
+}
+
+func TestMSBFSValidation(t *testing.T) {
+	g := testGraphs(t)["uni"]
+	d := testDevice(t)
+	dg := Upload(d, g)
+	if _, err := MSBFS(d, dg, []graph.VertexID{-1}, Options{K: 1}); err == nil {
+		t.Error("negative source accepted")
+	}
+	too := make([]graph.VertexID, MaxMSBFSSources+1)
+	if _, err := MSBFS(d, dg, too, Options{K: 1}); err == nil {
+		t.Error("oversized batch accepted")
+	}
+	res, err := MSBFS(d, dg, nil, Options{K: 1})
+	if err != nil || len(res.Levels) != 0 {
+		t.Error("empty batch mishandled")
+	}
+}

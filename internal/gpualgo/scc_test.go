@@ -1,0 +1,120 @@
+package gpualgo
+
+import (
+	"reflect"
+	"testing"
+
+	"maxwarp/internal/cpualgo"
+	"maxwarp/internal/gengraph"
+	"maxwarp/internal/graph"
+)
+
+func TestSCCKnownGraph(t *testing.T) {
+	// 0<->1 -> 2<->3, isolated 4.
+	g, err := graph.FromEdges(5, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 0},
+		{Src: 1, Dst: 2},
+		{Src: 2, Dst: 3}, {Src: 3, Dst: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := testDevice(t)
+	res, err := SCC(d, g, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{0, 0, 2, 2, 4}
+	if !reflect.DeepEqual(res.Labels, want) {
+		t.Fatalf("labels = %v, want %v", res.Labels, want)
+	}
+	if res.Components != 3 {
+		t.Fatalf("components = %d, want 3", res.Components)
+	}
+}
+
+func TestSCCMatchesTarjan(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		want := cpualgo.SCC(g)
+		for _, k := range []int{1, 8, 32} {
+			d := testDevice(t)
+			res, err := SCC(d, g, Options{K: k})
+			if err != nil {
+				t.Fatalf("%s K=%d: %v", name, k, err)
+			}
+			if !reflect.DeepEqual(res.Labels, want) {
+				t.Fatalf("%s K=%d: labels differ from Tarjan", name, k)
+			}
+		}
+	}
+}
+
+func TestSCCCycleAndDAG(t *testing.T) {
+	cyc, err := graph.FromEdges(6, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3},
+		{Src: 3, Dst: 4}, {Src: 4, Dst: 5}, {Src: 5, Dst: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := testDevice(t)
+	res, err := SCC(d, cyc, Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Components != 1 {
+		t.Fatalf("cycle components = %d", res.Components)
+	}
+	dag, err := graph.FromEdges(8, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 0, Dst: 3},
+		{Src: 3, Dst: 4}, {Src: 2, Dst: 5}, {Src: 4, Dst: 5},
+		{Src: 5, Dst: 6}, {Src: 6, Dst: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := testDevice(t)
+	res, err = SCC(d2, dag, Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Components != 8 || res.Trimmed != 8 {
+		t.Fatalf("DAG: components=%d trimmed=%d, want all 8 trimmed", res.Components, res.Trimmed)
+	}
+}
+
+func TestSCCTrimHandlesSkewedGraphs(t *testing.T) {
+	// RMAT graphs are mostly trivial SCCs plus a core: trim should resolve
+	// the bulk without FB recursion exploding.
+	g, err := gengraph.RMAT(9, 8, gengraph.DefaultRMAT, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cpualgo.SCC(g)
+	d := testDevice(t)
+	res, err := SCC(d, g, Options{K: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Labels, want) {
+		t.Fatal("labels differ from Tarjan")
+	}
+	if res.Trimmed == 0 {
+		t.Fatal("trim resolved nothing on a skewed graph (suspicious)")
+	}
+}
+
+func TestSCCEmpty(t *testing.T) {
+	g, err := graph.FromEdges(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := testDevice(t)
+	res, err := SCC(d, g, Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Components != 0 || len(res.Labels) != 0 {
+		t.Fatalf("empty SCC: %+v", res)
+	}
+}

@@ -1,0 +1,192 @@
+package gpualgo
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"maxwarp/internal/cpualgo"
+	"maxwarp/internal/gengraph"
+	"maxwarp/internal/graph"
+	"maxwarp/internal/xrand"
+)
+
+func spmvInputs(g *graph.CSR, seed uint64) (vals, x []float32) {
+	r := xrand.New(seed)
+	vals = make([]float32, g.NumEdges())
+	for i := range vals {
+		vals[i] = float32(r.Float64()*2 - 1)
+	}
+	x = make([]float32, g.NumVertices())
+	for i := range x {
+		x[i] = float32(r.Float64())
+	}
+	return vals, x
+}
+
+func TestSpMVMatchesCPU(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		vals, x := spmvInputs(g, 5)
+		want := SpMVCPU(g, vals, x)
+		for _, opts := range []Options{{K: 1}, {K: 4}, {K: 32}, {K: 8, Dynamic: true}} {
+			d := testDevice(t)
+			dg := Upload(d, g)
+			res, err := SpMV(d, dg, vals, x, opts)
+			if err != nil {
+				t.Fatalf("%s %+v: %v", name, opts, err)
+			}
+			for v := range want {
+				diff := math.Abs(float64(res.Y[v] - want[v]))
+				scale := math.Abs(float64(want[v])) + 1
+				if diff > 1e-4*scale {
+					t.Fatalf("%s %+v: y[%d] = %g, oracle %g", name, opts, v, res.Y[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestSpMVValidation(t *testing.T) {
+	g, err := gengraph.UniformRandom(16, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := testDevice(t)
+	dg := Upload(d, g)
+	vals, x := spmvInputs(g, 1)
+	if _, err := SpMV(d, dg, vals[:3], x, Options{K: 1}); err == nil {
+		t.Error("short vals accepted")
+	}
+	if _, err := SpMV(d, dg, vals, x[:3], Options{K: 1}); err == nil {
+		t.Error("short x accepted")
+	}
+	if _, err := SpMV(d, dg, vals, x, Options{K: 5}); err == nil {
+		t.Error("bad K accepted")
+	}
+}
+
+func TestSpMVVectorBeatsScalarOnSkewedMatrix(t *testing.T) {
+	// Bell & Garland's observation, which the paper generalizes: vector CSR
+	// (warp per row) beats scalar CSR (thread per row) when row lengths vary.
+	g, err := gengraph.RMAT(10, 16, gengraph.DefaultRMAT, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, x := spmvInputs(g, 2)
+	run := func(k int) int64 {
+		d := testDevice(t)
+		dg := Upload(d, g)
+		res, err := SpMV(d, dg, vals, x, Options{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.Cycles
+	}
+	scalar := run(1)
+	vector := run(32)
+	if vector*2 >= scalar {
+		t.Fatalf("vector CSR (%d cycles) should clearly beat scalar (%d) on a skewed matrix", vector, scalar)
+	}
+}
+
+func TestBFSFrontierMatchesCPU(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		src := graph.LargestOutComponentSeed(g)
+		want := cpualgo.BFSSequential(g, src)
+		for _, opts := range []Options{{K: 1}, {K: 4}, {K: 32}} {
+			d := testDevice(t)
+			dg := Upload(d, g)
+			res, err := BFSFrontier(d, dg, src, opts)
+			if err != nil {
+				t.Fatalf("%s %+v: %v", name, opts, err)
+			}
+			if !reflect.DeepEqual(res.Levels, want) {
+				t.Fatalf("%s %+v: frontier BFS differs from CPU oracle", name, opts)
+			}
+		}
+	}
+}
+
+func TestBFSFrontierAgreesWithQuadratic(t *testing.T) {
+	g, err := gengraph.RMAT(9, 8, gengraph.DefaultRMAT, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := graph.LargestOutComponentSeed(g)
+	d := testDevice(t)
+	dg := Upload(d, g)
+	quad, err := BFS(d, dg, src, Options{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := testDevice(t)
+	dg2 := Upload(d2, g)
+	front, err := BFSFrontier(d2, dg2, src, Options{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(quad.Levels, front.Levels) {
+		t.Fatal("frontier and quadratic BFS disagree")
+	}
+	if front.Depth != quad.Depth {
+		t.Fatalf("depths differ: %d vs %d", front.Depth, quad.Depth)
+	}
+}
+
+func TestBFSFrontierWinsOnHighDiameterGraph(t *testing.T) {
+	// On a mesh the quadratic formulation rescans all |V| vertices for each
+	// of the ~O(sqrt(V)) levels; the frontier version only touches the
+	// (small) frontier. This is the trade-off the paper discusses.
+	g, err := gengraph.Mesh2D(24, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := testDevice(t)
+	dg := Upload(d, g)
+	quad, err := BFS(d, dg, 0, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := testDevice(t)
+	dg2 := Upload(d2, g)
+	front, err := BFSFrontier(d2, dg2, 0, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if front.Stats.Cycles >= quad.Stats.Cycles {
+		t.Fatalf("frontier BFS (%d cycles) should beat quadratic (%d) on a high-diameter mesh",
+			front.Stats.Cycles, quad.Stats.Cycles)
+	}
+}
+
+func TestBFSFrontierSourceValidation(t *testing.T) {
+	g, err := gengraph.UniformRandom(16, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := testDevice(t)
+	dg := Upload(d, g)
+	if _, err := BFSFrontier(d, dg, -1, Options{K: 1}); err == nil {
+		t.Error("negative source accepted")
+	}
+	if _, err := BFSFrontier(d, dg, 16, Options{K: 1}); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+}
+
+func TestBFSFrontierIsolatedSource(t *testing.T) {
+	g, err := graph.FromEdges(4, []graph.Edge{{Src: 1, Dst: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := testDevice(t)
+	dg := Upload(d, g)
+	res, err := BFSFrontier(d, dg, 0, Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{0, Unvisited, Unvisited, Unvisited}
+	if !reflect.DeepEqual(res.Levels, want) {
+		t.Fatalf("levels = %v", res.Levels)
+	}
+}

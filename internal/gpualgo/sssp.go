@@ -1,0 +1,109 @@
+package gpualgo
+
+import (
+	"fmt"
+
+	"maxwarp/internal/cpualgo"
+	"maxwarp/internal/graph"
+	"maxwarp/internal/simt"
+	"maxwarp/internal/vwarp"
+)
+
+// SSSPResult is the output of a device shortest-paths run.
+type SSSPResult struct {
+	Result
+	// Dist holds each vertex's distance from the source
+	// (cpualgo.InfDist if unreachable).
+	Dist []int32
+}
+
+// SSSP runs Bellman-Ford-style iterative relaxation on the device: every
+// round, each vertex with a finite distance relaxes its out-edges with
+// atomicMin, until a round changes nothing. The virtual warp-centric mapping
+// applies exactly as in BFS: the SISD phase reads the vertex's distance and
+// row pointers, the SIMD phase strides the edge list.
+func SSSP(d *simt.Device, dg *DeviceGraph, src graph.VertexID, opts Options) (*SSSPResult, error) {
+	opts = opts.withDefaults(d)
+	if err := opts.validate(d); err != nil {
+		return nil, err
+	}
+	if dg.Weights == nil {
+		return nil, fmt.Errorf("gpualgo: SSSP requires a weighted graph (UploadWeighted)")
+	}
+	if src < 0 || int(src) >= dg.NumVertices {
+		return nil, fmt.Errorf("gpualgo: SSSP source %d out of range [0,%d)", src, dg.NumVertices)
+	}
+	n := dg.NumVertices
+	dist := d.AllocI32("sssp.dist", n)
+	dist.Fill(cpualgo.InfDist)
+	dist.Data()[src] = 0
+	changed := d.AllocI32("sssp.changed", 1)
+	var counter *simt.BufI32
+	if opts.Dynamic {
+		counter = d.AllocI32("sssp.counter", 1)
+	}
+
+	res := &SSSPResult{}
+	res.Stats.WarpWidth = d.Config().WarpWidth
+	maxIter := opts.MaxIterations
+	if maxIter == 0 {
+		maxIter = n + 1
+	}
+	lc := opts.grid(d, n)
+	for iter := 0; iter < maxIter; iter++ {
+		changed.Data()[0] = 0
+		if counter != nil {
+			counter.Data()[0] = 0
+		}
+		stats, err := d.Launch(lc, ssspRelaxKernel(dg, dist, changed, counter, opts))
+		if err != nil {
+			return nil, fmt.Errorf("gpualgo: SSSP round %d: %w", iter, err)
+		}
+		res.Stats.Add(stats)
+		res.Launches++
+		res.Iterations++
+		if changed.Data()[0] == 0 {
+			break
+		}
+	}
+	res.Dist = append([]int32(nil), dist.Data()...)
+	return res, nil
+}
+
+func ssspRelaxKernel(dg *DeviceGraph, dist, changed, counter *simt.BufI32, opts Options) simt.Kernel {
+	return func(w *simt.WarpCtx) {
+		body := func(ts *vwarp.Tasks) {
+			g := ts.Groups
+			dv := make([]int32, g)
+			ts.LoadI32Grouped(dist, ts.Task, dv)
+			ts.Mask(func(gi int) bool { return dv[gi] < cpualgo.InfDist }, func() {
+				start := make([]int32, g)
+				end := make([]int32, g)
+				taskP1 := make([]int32, g)
+				ts.LoadI32Grouped(dg.RowPtr, ts.Task, start)
+				ts.SISD(1, func(gi int) { taskP1[gi] = ts.Task[gi] + 1 })
+				ts.LoadI32Grouped(dg.RowPtr, taskP1, end)
+				nbr := w.VecI32()
+				wt := w.VecI32()
+				cand := w.VecI32()
+				old := w.VecI32()
+				zero := w.ConstI32(0)
+				one := w.ConstI32(1)
+				ts.SIMDRange(start, end, func(j []int32) {
+					w.LoadI32(dg.Col, j, nbr)
+					w.LoadI32(dg.Weights, j, wt)
+					w.Apply(1, func(lane int) { cand[lane] = dv[ts.Group(lane)] + wt[lane] })
+					w.AtomicMinI32(dist, nbr, cand, old)
+					w.If(func(lane int) bool { return cand[lane] < old[lane] }, func() {
+						w.StoreI32(changed, zero, one)
+					}, nil)
+				})
+			})
+		}
+		if counter != nil {
+			vwarp.ForEachDynamic(w, opts.K, int32(dg.NumVertices), counter, opts.Chunk, body)
+		} else {
+			vwarp.ForEachStatic(w, opts.K, int32(dg.NumVertices), body)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package gpualgo
+
+import (
+	"reflect"
+	"testing"
+
+	"maxwarp/internal/gengraph"
+	"maxwarp/internal/graph"
+)
+
+func undirected(t *testing.T, g *graph.CSR) *graph.CSR {
+	t.Helper()
+	return g.Symmetrize()
+}
+
+func TestTriangleCountCPUKnownGraphs(t *testing.T) {
+	// Complete graph K4: C(4,3) = 4 triangles.
+	var edges []graph.Edge
+	for i := int32(0); i < 4; i++ {
+		for j := int32(0); j < 4; j++ {
+			if i != j {
+				edges = append(edges, graph.Edge{Src: i, Dst: j})
+			}
+		}
+	}
+	k4, err := graph.FromEdgesSimple(4, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, total := TriangleCountCPU(k4); total != 4 {
+		t.Fatalf("K4 triangles = %d, want 4", total)
+	}
+	// A 4-cycle has none.
+	c4, err := graph.FromEdgesSimple(4, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 0}, {Src: 1, Dst: 2}, {Src: 2, Dst: 1},
+		{Src: 2, Dst: 3}, {Src: 3, Dst: 2}, {Src: 3, Dst: 0}, {Src: 0, Dst: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, total := TriangleCountCPU(c4); total != 0 {
+		t.Fatalf("C4 triangles = %d, want 0", total)
+	}
+}
+
+func TestTriangleCountMatchesCPU(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.CSR
+	}{
+		{"rmat", mustRMATSimple(t, 8, 6, 1)},
+		{"uniform", mustUniformSimple(t, 300, 1800, 2)},
+	} {
+		sym := undirected(t, tc.g)
+		wantPer, wantTotal := TriangleCountCPU(sym)
+		for _, k := range []int{1, 8, 32} {
+			d := testDevice(t)
+			res, err := TriangleCount(d, sym, Options{K: k})
+			if err != nil {
+				t.Fatalf("%s K=%d: %v", tc.name, k, err)
+			}
+			if res.Total != wantTotal {
+				t.Fatalf("%s K=%d: total %d, want %d", tc.name, k, res.Total, wantTotal)
+			}
+			if !reflect.DeepEqual(res.PerVertex, wantPer) {
+				t.Fatalf("%s K=%d: per-vertex counts differ", tc.name, k)
+			}
+		}
+	}
+}
+
+func mustRMATSimple(t *testing.T, scale, ef int, seed uint64) *graph.CSR {
+	t.Helper()
+	g, err := gengraph.RMATSimple(scale, ef, gengraph.DefaultRMAT, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func mustUniformSimple(t *testing.T, n, m int, seed uint64) *graph.CSR {
+	t.Helper()
+	g, err := gengraph.UniformRandom(n, m, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := graph.FromEdgesSimple(n, g.Edges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gs
+}
+
+func TestTriangleCountRejectsBadInput(t *testing.T) {
+	d := testDevice(t)
+	withLoop, err := graph.FromEdges(2, []graph.Edge{{Src: 0, Dst: 0}, {Src: 0, Dst: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TriangleCount(d, withLoop, Options{K: 1}); err == nil {
+		t.Error("self loop accepted")
+	}
+	unsorted, err := graph.FromEdges(3, []graph.Edge{{Src: 0, Dst: 2}, {Src: 0, Dst: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TriangleCount(d, unsorted, Options{K: 1}); err == nil {
+		t.Error("unsorted adjacency accepted")
+	}
+}
+
+func TestKCoreCPUKnown(t *testing.T) {
+	// Triangle + pendant vertex: 2-core = the triangle.
+	g, err := graph.FromEdgesSimple(4, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 0},
+		{Src: 1, Dst: 2}, {Src: 2, Dst: 1},
+		{Src: 2, Dst: 0}, {Src: 0, Dst: 2},
+		{Src: 2, Dst: 3}, {Src: 3, Dst: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inCore, remaining := KCoreCPU(g, 2)
+	if remaining != 3 || !inCore[0] || !inCore[1] || !inCore[2] || inCore[3] {
+		t.Fatalf("2-core wrong: %v (%d)", inCore, remaining)
+	}
+	// 3-core of the same graph is empty (triangle vertices have degree 2).
+	if _, remaining := KCoreCPU(g, 3); remaining != 0 {
+		t.Fatalf("3-core size %d, want 0", remaining)
+	}
+	// 0-core keeps everything.
+	if _, remaining := KCoreCPU(g, 0); remaining != 4 {
+		t.Fatalf("0-core size %d, want 4", remaining)
+	}
+}
+
+func TestKCoreMatchesCPU(t *testing.T) {
+	sym := undirected(t, mustRMATSimple(t, 8, 6, 7))
+	for _, k := range []int32{1, 2, 3, 5, 8} {
+		want, wantRemaining := KCoreCPU(sym, k)
+		for _, K := range []int{1, 8, 32} {
+			d := testDevice(t)
+			dg := Upload(d, sym)
+			res, err := KCore(d, dg, k, Options{K: K})
+			if err != nil {
+				t.Fatalf("k=%d K=%d: %v", k, K, err)
+			}
+			if res.Remaining != wantRemaining {
+				t.Fatalf("k=%d K=%d: remaining %d, want %d", k, K, res.Remaining, wantRemaining)
+			}
+			if !reflect.DeepEqual(res.InCore, want) {
+				t.Fatalf("k=%d K=%d: membership differs", k, K)
+			}
+		}
+	}
+}
+
+func TestKCoreValidation(t *testing.T) {
+	d := testDevice(t)
+	g := undirected(t, mustUniformSimple(t, 20, 60, 1))
+	dg := Upload(d, g)
+	if _, err := KCore(d, dg, -1, Options{K: 1}); err == nil {
+		t.Error("negative k accepted")
+	}
+	if _, err := KCore(d, dg, 2, Options{K: 7}); err == nil {
+		t.Error("bad K accepted")
+	}
+}
+
+func TestKCoreDegenerate(t *testing.T) {
+	// Graph with no edges: k>=1 core is empty.
+	g, err := graph.FromEdges(5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := testDevice(t)
+	dg := Upload(d, g)
+	res, err := KCore(d, dg, 1, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Remaining != 0 {
+		t.Fatalf("edgeless 1-core size %d", res.Remaining)
+	}
+}

@@ -1,0 +1,82 @@
+package graph
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"maxwarp/internal/xrand"
+)
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	g := randomGraph(4, 60, 400)
+	r := xrand.New(9)
+	weights := make([]int32, g.NumEdges())
+	for i := range weights {
+		weights[i] = 1 + r.Int32n(100)
+	}
+	var buf bytes.Buffer
+	if err := WriteDIMACS(&buf, g, weights); err != nil {
+		t.Fatal(err)
+	}
+	g2, w2, err := ReadDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g2.RowPtr, g.RowPtr) || !reflect.DeepEqual(g2.Col, g.Col) {
+		t.Fatal("graph changed in round trip")
+	}
+	if !reflect.DeepEqual(w2, weights) {
+		t.Fatal("weights changed in round trip")
+	}
+}
+
+func TestWriteDIMACSValidation(t *testing.T) {
+	g := randomGraph(1, 5, 10)
+	if err := WriteDIMACS(&bytes.Buffer{}, g, []int32{1}); err == nil {
+		t.Fatal("short weights accepted")
+	}
+}
+
+func TestReadDIMACSParsing(t *testing.T) {
+	good := `c a comment
+p sp 3 2
+a 1 2 5
+a 2 3 7
+`
+	g, w, err := ReadDIMACS(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+	if w[0] != 5 || w[1] != 7 {
+		t.Fatalf("weights %v", w)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) {
+		t.Fatal("edges wrong")
+	}
+}
+
+func TestReadDIMACSErrors(t *testing.T) {
+	cases := []string{
+		"a 1 2 3\n",                     // arc before header
+		"p sp 2\n",                      // short header
+		"p tw 2 1\na 1 2 3\n",           // wrong problem type
+		"p sp 2 1\np sp 2 1\na 1 2 3\n", // duplicate header
+		"p sp 2 1\na 0 2 3\n",           // 0-based endpoint
+		"p sp 2 1\na 1 3 3\n",           // endpoint beyond V
+		"p sp 2 2\na 1 2 3\n",           // arc count mismatch
+		"p sp 2 1\na 1 2\n",             // short arc
+		"p sp 2 1\na x 2 3\n",           // non-numeric
+		"p sp 2 1\nz 1 2 3\n",           // unknown record
+		"",                              // empty
+	}
+	for _, in := range cases {
+		if _, _, err := ReadDIMACS(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}

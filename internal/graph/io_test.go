@@ -1,0 +1,164 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	for _, g := range []*CSR{
+		mustFromEdges(t, 0, nil),
+		mustFromEdges(t, 5, []Edge{{0, 1}, {1, 2}, {4, 0}}),
+		randomGraph(3, 200, 1500),
+	} {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			t.Fatalf("WriteBinary: %v", err)
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("ReadBinary: %v", err)
+		}
+		if !reflect.DeepEqual(got.RowPtr, g.RowPtr) || !reflect.DeepEqual(got.Col, g.Col) {
+			t.Fatal("binary round trip changed graph")
+		}
+	}
+}
+
+func TestReadBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("not a graph file")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Valid magic, wrong version.
+	var buf bytes.Buffer
+	g := mustFromEdges(t, 2, []Edge{{0, 1}})
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[4] = 0xFF // clobber version
+	if _, err := ReadBinary(bytes.NewReader(b)); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+	// Truncated payload.
+	buf.Reset()
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBinary(bytes.NewReader(buf.Bytes()[:buf.Len()-2])); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := randomGraph(5, 50, 300)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVertices() != g.NumVertices() {
+		t.Fatalf("vertex count: got %d want %d", got.NumVertices(), g.NumVertices())
+	}
+	if !reflect.DeepEqual(got.Edges(), g.Edges()) {
+		t.Fatal("edge list round trip changed edges")
+	}
+}
+
+func TestEdgeListRoundTripKeepsIsolatedVertices(t *testing.T) {
+	g := mustFromEdges(t, 10, []Edge{{0, 1}})
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVertices() != 10 {
+		t.Fatalf("isolated vertices lost: V=%d", got.NumVertices())
+	}
+}
+
+func TestReadEdgeListParsing(t *testing.T) {
+	in := `
+# a comment
+% another comment style
+0 1
+1 2   extra tokens ignored? no: only first two used
+2 0
+`
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("parsed V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0",                 // too few fields
+		"a b",               // non-numeric
+		"0 x",               // non-numeric dst
+		"-1 0",              // negative id
+		"# vertices 2\n0 5", // endpoint beyond declared count
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestReadEdgeListEmpty(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("# vertices 7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 7 || g.NumEdges() != 0 {
+		t.Fatalf("got V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+}
+
+type failingWriter struct{ after int }
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.after <= 0 {
+		return 0, errWriteFailed
+	}
+	n := len(p)
+	if n > f.after {
+		n = f.after
+	}
+	f.after -= n
+	if n < len(p) {
+		return n, errWriteFailed
+	}
+	return n, nil
+}
+
+var errWriteFailed = errors.New("synthetic write failure")
+
+func TestWriteBinaryPropagatesWriteErrors(t *testing.T) {
+	g := randomGraph(1, 100, 800)
+	for _, budget := range []int{0, 3, 20, 600} {
+		if err := WriteBinary(&failingWriter{after: budget}, g); err == nil {
+			t.Errorf("budget %d: write failure not reported", budget)
+		}
+	}
+}
+
+func TestWriteEdgeListPropagatesWriteErrors(t *testing.T) {
+	g := randomGraph(2, 100, 800)
+	if err := WriteEdgeList(&failingWriter{after: 10}, g); err == nil {
+		t.Error("edge list write failure not reported")
+	}
+}

@@ -1,0 +1,84 @@
+package graph
+
+import "sort"
+
+// Relabel returns a copy of g with vertex ids permuted: newID[v] is the new
+// id of old vertex v. The permutation must be a bijection on [0, |V|).
+// Adjacency lists of the result are sorted.
+func Relabel(g *CSR, newID []VertexID) (*CSR, error) {
+	n := g.NumVertices()
+	if err := checkPermutation(newID, n); err != nil {
+		return nil, err
+	}
+	edges := make([]Edge, 0, g.NumEdges())
+	for v := 0; v < n; v++ {
+		for _, w := range g.Neighbors(VertexID(v)) {
+			edges = append(edges, Edge{Src: newID[v], Dst: newID[w]})
+		}
+	}
+	out, err := FromEdges(n, edges)
+	if err != nil {
+		return nil, err
+	}
+	out.SortNeighbors()
+	return out, nil
+}
+
+func checkPermutation(p []VertexID, n int) error {
+	if len(p) != n {
+		return errPermutation(len(p), n)
+	}
+	seen := make([]bool, n)
+	for _, id := range p {
+		if id < 0 || int(id) >= n || seen[id] {
+			return errPermutation(len(p), n)
+		}
+		seen[id] = true
+	}
+	return nil
+}
+
+type permError struct{ got, want int }
+
+func errPermutation(got, want int) error { return permError{got, want} }
+
+func (e permError) Error() string {
+	return "graph: relabeling is not a permutation of the vertex set"
+}
+
+// DegreeSortPermutation returns the permutation that relabels vertices in
+// descending out-degree order (ties by original id), as old→new ids.
+// Grouping similar-degree vertices into consecutive ids gives each warp of a
+// thread-per-vertex kernel near-uniform work — a classic preprocessing
+// counterpart to the paper's runtime techniques.
+func DegreeSortPermutation(g *CSR) []VertexID {
+	n := g.NumVertices()
+	order := make([]VertexID, n)
+	for i := range order {
+		order[i] = VertexID(i)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		da, db := g.Degree(order[a]), g.Degree(order[b])
+		if da != db {
+			return da > db
+		}
+		return order[a] < order[b]
+	})
+	newID := make([]VertexID, n)
+	for rank, old := range order {
+		newID[old] = VertexID(rank)
+	}
+	return newID
+}
+
+// SortByDegree relabels g in descending-degree order, returning the new
+// graph and the old→new permutation (so results can be mapped back).
+func SortByDegree(g *CSR) (*CSR, []VertexID) {
+	perm := DegreeSortPermutation(g)
+	out, err := Relabel(g, perm)
+	if err != nil {
+		// DegreeSortPermutation always returns a valid permutation.
+		panic(err)
+	}
+	return out, perm
+}

@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRelabelIdentity(t *testing.T) {
+	g := randomGraph(1, 30, 120)
+	id := make([]VertexID, 30)
+	for i := range id {
+		id[i] = VertexID(i)
+	}
+	r, err := Relabel(g, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumEdges() != g.NumEdges() || r.NumVertices() != g.NumVertices() {
+		t.Fatal("identity relabel changed sizes")
+	}
+	// Same edges modulo neighbor ordering.
+	for v := 0; v < 30; v++ {
+		if int(r.Degree(VertexID(v))) != int(g.Degree(VertexID(v))) {
+			t.Fatalf("degree of %d changed", v)
+		}
+	}
+}
+
+func TestRelabelRejectsBadPermutations(t *testing.T) {
+	g := randomGraph(2, 5, 10)
+	bad := [][]VertexID{
+		{0, 1, 2},             // wrong length
+		{0, 1, 2, 3, 3},       // duplicate
+		{0, 1, 2, 3, 5},       // out of range
+		{-1, 1, 2, 3, 4},      // negative
+		{0, 1, 2, 3, 4, 5, 6}, // too long
+	}
+	for _, p := range bad {
+		if _, err := Relabel(g, p); err == nil {
+			t.Errorf("permutation %v accepted", p)
+		}
+	}
+}
+
+func TestRelabelPreservesStructure(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%30 + 2
+		g := randomGraph(seed, n, n*4)
+		perm := DegreeSortPermutation(g)
+		r, err := Relabel(g, perm)
+		if err != nil || r.Validate() != nil {
+			return false
+		}
+		// Every original edge exists under the new labels and vice versa.
+		if r.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			for _, w := range g.Neighbors(VertexID(v)) {
+				if !r.HasEdge(perm[v], perm[w]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortByDegreeOrdersDegreesDescending(t *testing.T) {
+	g := randomGraph(7, 200, 2400)
+	sorted, perm := SortByDegree(g)
+	if err := checkPermutation(perm, 200); err != nil {
+		t.Fatal(err)
+	}
+	prev := int32(1 << 30)
+	for v := 0; v < sorted.NumVertices(); v++ {
+		d := sorted.Degree(VertexID(v))
+		if d > prev {
+			t.Fatalf("degree rose at %d: %d after %d", v, d, prev)
+		}
+		prev = d
+	}
+	// Degree multiset preserved.
+	if Stats(sorted).MaxDegree != Stats(g).MaxDegree {
+		t.Fatal("max degree changed")
+	}
+	if Stats(sorted).AvgDegree != Stats(g).AvgDegree {
+		t.Fatal("avg degree changed")
+	}
+}
+
+func TestDegreeSortTieBreakIsStable(t *testing.T) {
+	// All vertices degree 1: permutation must be the identity.
+	edges := []Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}}
+	g := mustFromEdges(t, 3, edges)
+	perm := DegreeSortPermutation(g)
+	for v, id := range perm {
+		if int(id) != v {
+			t.Fatalf("tie-break not stable: %v", perm)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DegreeStats summarizes a graph's out-degree distribution. The skew captured
+// here (CV, Gini, max/avg ratio) is the property that drives every result in
+// the paper: warps stall on the heaviest vertex they contain.
+type DegreeStats struct {
+	NumVertices int
+	NumEdges    int
+	MinDegree   int32
+	MaxDegree   int32
+	AvgDegree   float64
+	// StdDev is the population standard deviation of out-degrees.
+	StdDev float64
+	// CV is the coefficient of variation (StdDev/AvgDegree); ~0 for regular
+	// graphs, >1 for heavily skewed (power-law) graphs.
+	CV float64
+	// Gini is the Gini coefficient of the degree distribution in [0,1);
+	// 0 means perfectly regular.
+	Gini float64
+	// P50/P90/P99 are degree percentiles.
+	P50, P90, P99 int32
+	// ZeroDegree counts vertices with no out-edges.
+	ZeroDegree int
+}
+
+// Stats computes DegreeStats for g.
+func Stats(g *CSR) DegreeStats {
+	n := g.NumVertices()
+	s := DegreeStats{
+		NumVertices: n,
+		NumEdges:    g.NumEdges(),
+	}
+	if n == 0 {
+		return s
+	}
+	degs := make([]int32, n)
+	var sum, sumsq float64
+	s.MinDegree = math.MaxInt32
+	for v := 0; v < n; v++ {
+		d := g.Degree(VertexID(v))
+		degs[v] = d
+		fd := float64(d)
+		sum += fd
+		sumsq += fd * fd
+		if d < s.MinDegree {
+			s.MinDegree = d
+		}
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		if d == 0 {
+			s.ZeroDegree++
+		}
+	}
+	s.AvgDegree = sum / float64(n)
+	variance := sumsq/float64(n) - s.AvgDegree*s.AvgDegree
+	if variance < 0 {
+		variance = 0
+	}
+	s.StdDev = math.Sqrt(variance)
+	if s.AvgDegree > 0 {
+		s.CV = s.StdDev / s.AvgDegree
+	}
+	sort.Slice(degs, func(i, j int) bool { return degs[i] < degs[j] })
+	pct := func(p float64) int32 {
+		i := int(p * float64(n-1))
+		return degs[i]
+	}
+	s.P50, s.P90, s.P99 = pct(0.50), pct(0.90), pct(0.99)
+	// Gini over the sorted degrees: G = (2*sum(i*d_i))/(n*sum(d)) - (n+1)/n,
+	// with 1-based i.
+	if sum > 0 {
+		var weighted float64
+		for i, d := range degs {
+			weighted += float64(i+1) * float64(d)
+		}
+		s.Gini = 2*weighted/(float64(n)*sum) - float64(n+1)/float64(n)
+		if s.Gini < 0 {
+			s.Gini = 0
+		}
+	}
+	return s
+}
+
+// String renders the stats as a single human-readable line.
+func (s DegreeStats) String() string {
+	return fmt.Sprintf("V=%d E=%d deg[min=%d avg=%.2f max=%d] cv=%.2f gini=%.2f p99=%d",
+		s.NumVertices, s.NumEdges, s.MinDegree, s.AvgDegree, s.MaxDegree, s.CV, s.Gini, s.P99)
+}
+
+// DegreeHistogram returns log2-bucketed out-degree counts: bucket i counts
+// vertices with degree in [2^i, 2^(i+1)), and bucket -0 (index 0 of the
+// returned zero count) is reported separately.
+func DegreeHistogram(g *CSR) (zero int, buckets []int) {
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		d := g.Degree(VertexID(v))
+		if d == 0 {
+			zero++
+			continue
+		}
+		b := 0
+		for x := d; x > 1; x >>= 1 {
+			b++
+		}
+		for len(buckets) <= b {
+			buckets = append(buckets, 0)
+		}
+		buckets[b]++
+	}
+	return zero, buckets
+}
+
+// ConnectedFrom returns how many vertices are reachable from src (including
+// src itself) following directed edges. Used to sanity-check generated
+// workloads before timing them.
+func ConnectedFrom(g *CSR, src VertexID) int {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	visited := make([]bool, n)
+	stack := []VertexID{src}
+	visited[src] = true
+	count := 0
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		count++
+		for _, w := range g.Neighbors(v) {
+			if !visited[w] {
+				visited[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count
+}
+
+// LargestOutComponentSeed returns a vertex from which many vertices are
+// reachable: it samples a handful of candidate seeds (deterministically) and
+// returns the best. Experiments use this so BFS timings exercise most of the
+// graph rather than a tiny island.
+func LargestOutComponentSeed(g *CSR) VertexID {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	best, bestCount := VertexID(0), -1
+	// Candidates: the max-degree vertex plus a deterministic stride sample.
+	cands := []VertexID{}
+	mv, _ := g.MaxDegreeVertex()
+	cands = append(cands, mv)
+	step := n/8 + 1
+	for v := 0; v < n; v += step {
+		cands = append(cands, VertexID(v))
+	}
+	for _, c := range cands {
+		if cnt := ConnectedFrom(g, c); cnt > bestCount {
+			best, bestCount = c, cnt
+		}
+	}
+	return best
+}

@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestStatsRegularGraph(t *testing.T) {
+	// Directed 4-cycle: every vertex has out-degree exactly 1.
+	g := mustFromEdges(t, 4, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	s := Stats(g)
+	if s.NumVertices != 4 || s.NumEdges != 4 {
+		t.Fatalf("V/E wrong: %+v", s)
+	}
+	if s.MinDegree != 1 || s.MaxDegree != 1 || s.AvgDegree != 1 {
+		t.Fatalf("degrees wrong: %+v", s)
+	}
+	if s.CV != 0 || s.Gini > 1e-9 {
+		t.Fatalf("regular graph should have zero skew: CV=%f Gini=%f", s.CV, s.Gini)
+	}
+	if s.P50 != 1 || s.P99 != 1 {
+		t.Fatalf("percentiles wrong: %+v", s)
+	}
+}
+
+func TestStatsStarGraph(t *testing.T) {
+	// Star: hub 0 points at 1..99 — extreme skew.
+	edges := make([]Edge, 0, 99)
+	for i := int32(1); i < 100; i++ {
+		edges = append(edges, Edge{0, i})
+	}
+	g := mustFromEdges(t, 100, edges)
+	s := Stats(g)
+	if s.MaxDegree != 99 || s.MinDegree != 0 {
+		t.Fatalf("star degrees wrong: %+v", s)
+	}
+	if s.CV < 5 {
+		t.Fatalf("star CV should be large, got %f", s.CV)
+	}
+	if s.Gini < 0.9 {
+		t.Fatalf("star Gini should approach 1, got %f", s.Gini)
+	}
+	if s.ZeroDegree != 99 {
+		t.Fatalf("ZeroDegree = %d, want 99", s.ZeroDegree)
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	g := mustFromEdges(t, 0, nil)
+	s := Stats(g)
+	if s.NumVertices != 0 || s.NumEdges != 0 {
+		t.Fatalf("empty stats: %+v", s)
+	}
+}
+
+func TestStatsAverage(t *testing.T) {
+	g := randomGraph(7, 1000, 8000)
+	s := Stats(g)
+	if math.Abs(s.AvgDegree-8) > 1e-9 {
+		t.Fatalf("AvgDegree = %f, want 8", s.AvgDegree)
+	}
+	if s.StdDev <= 0 {
+		t.Fatal("random graph should have positive degree stddev")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats(randomGraph(1, 10, 20))
+	str := s.String()
+	for _, want := range []string{"V=10", "E=20", "cv="} {
+		if !strings.Contains(str, want) {
+			t.Fatalf("String() = %q missing %q", str, want)
+		}
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	// Degrees: v0=1, v1=2, v2=5, v3=0.
+	edges := []Edge{{0, 1}, {1, 0}, {1, 2}, {2, 0}, {2, 1}, {2, 3}, {2, 0}, {2, 1}}
+	g := mustFromEdges(t, 4, edges)
+	zero, buckets := DegreeHistogram(g)
+	if zero != 1 {
+		t.Fatalf("zero-degree count = %d, want 1", zero)
+	}
+	// Buckets: [1,2)=1 vertex, [2,4)=1, [4,8)=1.
+	want := []int{1, 1, 1}
+	if len(buckets) != len(want) {
+		t.Fatalf("buckets = %v", buckets)
+	}
+	for i := range want {
+		if buckets[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, buckets[i], want[i], buckets)
+		}
+	}
+}
+
+func TestDegreeHistogramTotalsMatch(t *testing.T) {
+	g := randomGraph(9, 500, 3000)
+	zero, buckets := DegreeHistogram(g)
+	total := zero
+	for _, b := range buckets {
+		total += b
+	}
+	if total != g.NumVertices() {
+		t.Fatalf("histogram totals %d vertices, graph has %d", total, g.NumVertices())
+	}
+}

@@ -1,0 +1,90 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// InducedSubgraph returns the subgraph induced by the given vertex set
+// (edges with both endpoints in the set), with vertices renumbered densely
+// in the order given, plus the old→new id map (-1 = dropped).
+func InducedSubgraph(g *CSR, vertices []VertexID) (*CSR, []VertexID, error) {
+	n := g.NumVertices()
+	newID := make([]VertexID, n)
+	for i := range newID {
+		newID[i] = -1
+	}
+	for rank, v := range vertices {
+		if v < 0 || int(v) >= n {
+			return nil, nil, fmt.Errorf("graph: induced vertex %d out of range [0,%d)", v, n)
+		}
+		if newID[v] != -1 {
+			return nil, nil, fmt.Errorf("graph: induced vertex %d listed twice", v)
+		}
+		newID[v] = VertexID(rank)
+	}
+	edges := make([]Edge, 0)
+	for _, v := range vertices {
+		sv := newID[v]
+		for _, w := range g.Neighbors(v) {
+			if newID[w] != -1 {
+				edges = append(edges, Edge{Src: sv, Dst: newID[w]})
+			}
+		}
+	}
+	sub, err := FromEdges(len(vertices), edges)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub, newID, nil
+}
+
+// LargestWCC returns the vertex set of g's largest weakly connected
+// component (smallest-id order). Handy for trimming generated workloads to
+// a single component before traversal experiments.
+func LargestWCC(g *CSR) []VertexID {
+	n := g.NumVertices()
+	if n == 0 {
+		return nil
+	}
+	sym := g.Symmetrize()
+	visited := make([]bool, n)
+	var best []VertexID
+	stack := make([]VertexID, 0, n)
+	for s := 0; s < n; s++ {
+		if visited[s] {
+			continue
+		}
+		var comp []VertexID
+		visited[s] = true
+		stack = append(stack[:0], VertexID(s))
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for _, w := range sym.Neighbors(v) {
+				if !visited[w] {
+					visited[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+		if len(comp) > len(best) {
+			best = comp
+		}
+	}
+	// Deterministic order.
+	sort.Slice(best, func(i, j int) bool { return best[i] < best[j] })
+	return best
+}
+
+// ExtractLargestWCC is LargestWCC + InducedSubgraph in one call.
+func ExtractLargestWCC(g *CSR) (*CSR, []VertexID) {
+	comp := LargestWCC(g)
+	sub, newID, err := InducedSubgraph(g, comp)
+	if err != nil {
+		// LargestWCC always returns a valid, duplicate-free vertex set.
+		panic(err)
+	}
+	return sub, newID
+}

@@ -1,0 +1,74 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestInducedSubgraph(t *testing.T) {
+	// 0->1->2->3 plus 3->0; induce {1,2,3}: keeps 1->2, 2->3; drops 3->0.
+	g := mustFromEdges(t, 4, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	sub, newID, err := InducedSubgraph(g, []VertexID{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumVertices() != 3 || sub.NumEdges() != 2 {
+		t.Fatalf("sub V=%d E=%d", sub.NumVertices(), sub.NumEdges())
+	}
+	if newID[0] != -1 || newID[1] != 0 || newID[3] != 2 {
+		t.Fatalf("newID = %v", newID)
+	}
+	if !sub.HasEdge(0, 1) || !sub.HasEdge(1, 2) {
+		t.Fatal("induced edges wrong")
+	}
+	if sub.HasEdge(2, 0) {
+		t.Fatal("dropped edge survived")
+	}
+}
+
+func TestInducedSubgraphErrors(t *testing.T) {
+	g := mustFromEdges(t, 3, []Edge{{0, 1}})
+	if _, _, err := InducedSubgraph(g, []VertexID{0, 5}); err == nil {
+		t.Error("out-of-range vertex accepted")
+	}
+	if _, _, err := InducedSubgraph(g, []VertexID{0, 0}); err == nil {
+		t.Error("duplicate vertex accepted")
+	}
+	sub, _, err := InducedSubgraph(g, nil)
+	if err != nil || sub.NumVertices() != 0 {
+		t.Error("empty induced set should yield empty graph")
+	}
+}
+
+func TestLargestWCC(t *testing.T) {
+	// Components: {0,1,2} (directed chain counts weakly), {3,4}, {5}.
+	g := mustFromEdges(t, 6, []Edge{{0, 1}, {2, 1}, {3, 4}})
+	comp := LargestWCC(g)
+	if !reflect.DeepEqual(comp, []VertexID{0, 1, 2}) {
+		t.Fatalf("largest WCC = %v", comp)
+	}
+	empty := mustFromEdges(t, 0, nil)
+	if LargestWCC(empty) != nil {
+		t.Fatal("empty graph has a component")
+	}
+}
+
+func TestExtractLargestWCC(t *testing.T) {
+	g := mustFromEdges(t, 7, []Edge{{0, 1}, {1, 2}, {2, 0}, {4, 5}})
+	sub, newID := ExtractLargestWCC(g)
+	if sub.NumVertices() != 3 || sub.NumEdges() != 3 {
+		t.Fatalf("extracted V=%d E=%d", sub.NumVertices(), sub.NumEdges())
+	}
+	// Vertices 3..6 dropped except the pair component; 0-2 kept.
+	for v := 0; v < 3; v++ {
+		if newID[v] == -1 {
+			t.Fatalf("kept vertex %d unmapped", v)
+		}
+	}
+	if newID[6] != -1 {
+		t.Fatal("isolated vertex mapped")
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,154 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chart renders grouped horizontal bar charts as monospace text — the
+// repo's stand-in for the paper's figures. Each row is one bar; rows can be
+// grouped (e.g. one group per graph, one bar per K).
+type Chart struct {
+	// ID and Title mirror Table.
+	ID    string
+	Title string
+	// Unit labels the value axis (e.g. "speedup ×", "Mcycles").
+	Unit string
+	// Width is the maximum bar width in characters (default 50).
+	Width int
+	// LogScale renders bar lengths on log10 (useful for order-of-magnitude
+	// spreads); values <= 0 are drawn as empty bars.
+	LogScale bool
+
+	groups []chartGroup
+}
+
+type chartGroup struct {
+	label string
+	bars  []chartBar
+}
+
+type chartBar struct {
+	label string
+	value float64
+}
+
+// Group starts a new bar group with the given label.
+func (c *Chart) Group(label string) {
+	c.groups = append(c.groups, chartGroup{label: label})
+}
+
+// Bar appends a bar to the current group (creating an unlabeled group if
+// none exists).
+func (c *Chart) Bar(label string, value float64) {
+	if len(c.groups) == 0 {
+		c.groups = append(c.groups, chartGroup{})
+	}
+	g := &c.groups[len(c.groups)-1]
+	g.bars = append(g.bars, chartBar{label: label, value: value})
+}
+
+// Text renders the chart.
+func (c *Chart) Text() string {
+	width := c.Width
+	if width <= 0 {
+		width = 50
+	}
+	maxVal := 0.0
+	labelW := 0
+	for _, g := range c.groups {
+		for _, b := range g.bars {
+			if b.value > maxVal {
+				maxVal = b.value
+			}
+			if len(b.label) > labelW {
+				labelW = len(b.label)
+			}
+		}
+	}
+	var sb strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&sb, "%s: %s", c.ID, c.Title)
+		if c.Unit != "" {
+			fmt.Fprintf(&sb, " (%s)", c.Unit)
+		}
+		sb.WriteByte('\n')
+	}
+	scale := func(v float64) int {
+		if v <= 0 || maxVal <= 0 {
+			return 0
+		}
+		if c.LogScale {
+			// Map [1, maxVal] to [1, width] on log10; values < 1 get 1 cell.
+			if maxVal <= 1 {
+				return 1
+			}
+			f := math.Log10(v) / math.Log10(maxVal)
+			if f < 0 {
+				f = 0
+			}
+			n := int(f*float64(width-1)) + 1
+			return n
+		}
+		n := int(v / maxVal * float64(width))
+		if n == 0 && v > 0 {
+			n = 1
+		}
+		return n
+	}
+	for _, g := range c.groups {
+		if g.label != "" {
+			fmt.Fprintf(&sb, "%s\n", g.label)
+		}
+		for _, b := range g.bars {
+			fmt.Fprintf(&sb, "  %-*s |%s %s\n",
+				labelW, b.label,
+				strings.Repeat("#", scale(b.value)),
+				trimFloat(b.value))
+		}
+	}
+	return sb.String()
+}
+
+// trimFloat formats a value compactly: integers without decimals, small
+// values with two.
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e9 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	if math.Abs(v) >= 100 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// ChartFromTable builds a grouped chart from a table: groupCol labels the
+// groups, barCol the bars, valueCol the numeric values (cells ending in "x"
+// are parsed as speedups). Rows with unparsable values are skipped.
+func ChartFromTable(t *Table, groupCol, barCol, valueCol int) *Chart {
+	c := &Chart{ID: t.ID, Title: t.Title}
+	lastGroup := "\x00"
+	for _, row := range t.Rows {
+		if groupCol >= len(row) || barCol >= len(row) || valueCol >= len(row) {
+			continue
+		}
+		v, ok := parseNumeric(row[valueCol])
+		if !ok {
+			continue
+		}
+		if row[groupCol] != lastGroup {
+			c.Group(row[groupCol])
+			lastGroup = row[groupCol]
+		}
+		c.Bar(row[barCol], v)
+	}
+	return c
+}
+
+func parseNumeric(cell string) (float64, bool) {
+	cell = strings.TrimSuffix(strings.TrimSpace(cell), "x")
+	var v float64
+	_, err := fmt.Sscanf(cell, "%g", &v)
+	return v, err == nil
+}

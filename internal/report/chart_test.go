@@ -1,0 +1,119 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartText(t *testing.T) {
+	c := &Chart{ID: "F1", Title: "speedups", Unit: "x", Width: 10}
+	c.Group("rmat")
+	c.Bar("K=2", 2)
+	c.Bar("K=32", 10)
+	c.Group("mesh")
+	c.Bar("K=2", 1)
+	out := c.Text()
+	for _, want := range []string{"F1: speedups (x)", "rmat", "mesh", "K=32"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The biggest bar gets the full width, proportional bars shorter.
+	lines := strings.Split(out, "\n")
+	var k32, k2 int
+	for _, l := range lines {
+		if strings.Contains(l, "K=32") {
+			k32 = strings.Count(l, "#")
+		} else if strings.Contains(l, "K=2 ") && k2 == 0 {
+			k2 = strings.Count(l, "#")
+		}
+	}
+	if k32 != 10 {
+		t.Fatalf("max bar width %d, want 10", k32)
+	}
+	if k2 != 2 {
+		t.Fatalf("proportional bar width %d, want 2", k2)
+	}
+}
+
+func TestChartZeroAndTinyValues(t *testing.T) {
+	c := &Chart{Width: 10}
+	c.Bar("zero", 0)
+	c.Bar("tiny", 0.001)
+	c.Bar("big", 100)
+	out := c.Text()
+	lines := strings.Split(out, "\n")
+	for _, l := range lines {
+		if strings.Contains(l, "zero") && strings.Count(l, "#") != 0 {
+			t.Fatalf("zero value drew a bar: %s", l)
+		}
+		if strings.Contains(l, "tiny") && strings.Count(l, "#") != 1 {
+			t.Fatalf("tiny positive value should draw one cell: %s", l)
+		}
+	}
+}
+
+func TestChartLogScale(t *testing.T) {
+	c := &Chart{Width: 30, LogScale: true}
+	c.Bar("a", 1)
+	c.Bar("b", 10)
+	c.Bar("c", 100)
+	out := c.Text()
+	var widths []int
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "|") {
+			widths = append(widths, strings.Count(l, "#"))
+		}
+	}
+	if len(widths) != 3 {
+		t.Fatalf("bars missing: %v", widths)
+	}
+	// Log scale: equal ratios give equal width steps.
+	d1 := widths[1] - widths[0]
+	d2 := widths[2] - widths[1]
+	if d1 <= 0 || d2 <= 0 || abs(d1-d2) > 2 {
+		t.Fatalf("log steps uneven: %v", widths)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestChartFromTable(t *testing.T) {
+	tab := &Table{
+		ID:      "E4",
+		Title:   "speedups",
+		Columns: []string{"graph", "K", "speedup"},
+	}
+	tab.AddRow("rmat", "2", "1.76x")
+	tab.AddRow("rmat", "32", "16.99x")
+	tab.AddRow("mesh", "2", "1.42x")
+	tab.AddRow("mesh", "32", "bogus") // skipped
+	c := ChartFromTable(tab, 0, 1, 2)
+	out := c.Text()
+	if !strings.Contains(out, "rmat") || !strings.Contains(out, "mesh") {
+		t.Fatalf("groups missing:\n%s", out)
+	}
+	if !strings.Contains(out, "16.99") {
+		t.Fatalf("value missing:\n%s", out)
+	}
+	if strings.Count(out, "mesh") != 1 {
+		t.Fatalf("group repeated:\n%s", out)
+	}
+	// Bogus row skipped: only three bars.
+	if got := strings.Count(out, "|"); got != 3 {
+		t.Fatalf("bar count %d, want 3:\n%s", got, out)
+	}
+}
+
+func TestChartBarWithoutGroup(t *testing.T) {
+	c := &Chart{}
+	c.Bar("solo", 5)
+	if !strings.Contains(c.Text(), "solo") {
+		t.Fatal("ungrouped bar lost")
+	}
+}

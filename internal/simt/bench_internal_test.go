@@ -1,0 +1,80 @@
+package simt
+
+import "testing"
+
+// Simulator meta-benchmarks: how many simulated warp instructions the
+// engine executes per host second. Useful when sizing experiment scales.
+
+func benchKernelALU(iters int) Kernel {
+	return func(w *WarpCtx) {
+		v := w.VecI32()
+		for i := 0; i < iters; i++ {
+			w.Apply(1, func(l int) { v[l]++ })
+		}
+	}
+}
+
+func BenchmarkSimulatorALUThroughput(b *testing.B) {
+	cfg := DefaultConfig()
+	const iters = 64
+	const warps = 128
+	b.ResetTimer()
+	var instr int64
+	for i := 0; i < b.N; i++ {
+		d := MustNewDevice(cfg)
+		stats, err := d.Launch(LaunchConfig{Blocks: warps, ThreadsPerBlock: 32}, benchKernelALU(iters))
+		if err != nil {
+			b.Fatal(err)
+		}
+		instr += stats.Instructions
+	}
+	b.ReportMetric(float64(instr)/b.Elapsed().Seconds(), "sim-instr/s")
+}
+
+func BenchmarkSimulatorMemThroughput(b *testing.B) {
+	cfg := DefaultConfig()
+	var instr int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := MustNewDevice(cfg)
+		buf := d.AllocI32("buf", 1<<16)
+		k := func(w *WarpCtx) {
+			idx := w.VecI32()
+			v := w.VecI32()
+			lane := w.LaneIDs()
+			for it := 0; it < 32; it++ {
+				w.Apply(1, func(l int) {
+					idx[l] = (lane[l]*97 + int32(it)*1031 + int32(w.GlobalWarpID())) & (1<<16 - 1)
+				})
+				w.LoadI32(buf, idx, v)
+			}
+		}
+		stats, err := d.Launch(LaunchConfig{Blocks: 128, ThreadsPerBlock: 32}, k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instr += stats.Instructions
+	}
+	b.ReportMetric(float64(instr)/b.Elapsed().Seconds(), "sim-instr/s")
+}
+
+func BenchmarkSimulatorAtomics(b *testing.B) {
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := MustNewDevice(cfg)
+		cnt := d.AllocI32("cnt", 64)
+		k := func(w *WarpCtx) {
+			lane := w.LaneIDs()
+			idx := w.VecI32()
+			w.Apply(1, func(l int) { idx[l] = lane[l] % 64 })
+			one := w.ConstI32(1)
+			for it := 0; it < 16; it++ {
+				w.AtomicAddI32(cnt, idx, one, nil)
+			}
+		}
+		if _, err := d.Launch(LaunchConfig{Blocks: 64, ThreadsPerBlock: 32}, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package simt
+
+import "testing"
+
+func TestSMCacheBasics(t *testing.T) {
+	c := newSMCache(8, 2) // 4 sets x 2 ways
+	if c.access(0) {
+		t.Fatal("cold access hit")
+	}
+	if !c.access(0) {
+		t.Fatal("warm access missed")
+	}
+	// Segments 0, 4, 8 all map to set 0 (mod 4): two ways hold 2 of them.
+	c.access(4)
+	if !c.access(0) || !c.access(4) {
+		t.Fatal("two-way set lost a resident line")
+	}
+	c.access(8) // evicts LRU (0 was touched after 4... order: 0,4 -> touch 0, touch 4; LRU is 0)
+	if c.access(8) != true {
+		t.Fatal("just-inserted line missing")
+	}
+}
+
+func TestSMCacheLRU(t *testing.T) {
+	c := newSMCache(2, 2) // one set, two ways
+	c.access(10)
+	c.access(20)
+	c.access(10) // 20 is now LRU
+	c.access(30) // evicts 20
+	if !c.access(10) {
+		t.Fatal("MRU line evicted")
+	}
+	if c.access(20) {
+		t.Fatal("LRU line survived eviction")
+	}
+}
+
+func TestSMCacheInvalidate(t *testing.T) {
+	c := newSMCache(4, 4)
+	c.access(7)
+	c.invalidate(7)
+	if c.access(7) {
+		t.Fatal("invalidated line hit")
+	}
+	// Invalidating an absent line is a no-op.
+	c.invalidate(99)
+}
+
+func TestSMCacheDegenerateShapes(t *testing.T) {
+	for _, shape := range [][2]int{{1, 1}, {1, 4}, {4, 8}} {
+		c := newSMCache(shape[0], shape[1])
+		c.access(1)
+		if !c.access(1) {
+			t.Fatalf("cache %v broken", shape)
+		}
+	}
+}
+
+func cachedConfig() Config {
+	cfg := testConfig()
+	cfg.CacheLines = 256
+	return cfg
+}
+
+func TestCacheDisabledNoCounters(t *testing.T) {
+	d := newTestDevice(t)
+	buf := d.AllocI32("buf", 64)
+	k := func(w *WarpCtx) {
+		v := w.VecI32()
+		w.LoadI32(buf, w.LaneIDs(), v)
+		w.LoadI32(buf, w.LaneIDs(), v)
+	}
+	stats, err := d.Launch(LaunchConfig{Blocks: 1, ThreadsPerBlock: 32}, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheHits != 0 || stats.CacheMisses != 0 {
+		t.Fatalf("cache counters nonzero with cache disabled: %+v", stats)
+	}
+}
+
+func TestCacheHitsOnRepeatedLoads(t *testing.T) {
+	d := MustNewDevice(cachedConfig())
+	buf := d.AllocI32("buf", 64)
+	const repeats = 8
+	k := func(w *WarpCtx) {
+		v := w.VecI32()
+		for i := 0; i < repeats; i++ {
+			w.LoadI32(buf, w.LaneIDs(), v)
+		}
+	}
+	stats, err := d.Launch(LaunchConfig{Blocks: 1, ThreadsPerBlock: 32}, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One 128B segment: first load misses, the rest hit.
+	if stats.CacheMisses != 1 {
+		t.Fatalf("CacheMisses = %d, want 1", stats.CacheMisses)
+	}
+	if stats.CacheHits != repeats-1 {
+		t.Fatalf("CacheHits = %d, want %d", stats.CacheHits, repeats-1)
+	}
+	// DRAM transactions only for the miss.
+	if stats.MemTxns != 1 {
+		t.Fatalf("MemTxns = %d, want 1", stats.MemTxns)
+	}
+
+	// The same kernel without a cache pays DRAM latency every time.
+	d2 := newTestDevice(t)
+	buf2 := d2.AllocI32("buf", 64)
+	k2 := func(w *WarpCtx) {
+		v := w.VecI32()
+		for i := 0; i < repeats; i++ {
+			w.LoadI32(buf2, w.LaneIDs(), v)
+		}
+	}
+	uncached, err := d2.Launch(LaunchConfig{Blocks: 1, ThreadsPerBlock: 32}, k2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cycles >= uncached.Cycles {
+		t.Fatalf("cache did not help: %d vs %d cycles", stats.Cycles, uncached.Cycles)
+	}
+}
+
+func TestStoreInvalidatesCache(t *testing.T) {
+	d := MustNewDevice(cachedConfig())
+	buf := d.AllocI32("buf", 64)
+	k := func(w *WarpCtx) {
+		v := w.VecI32()
+		w.LoadI32(buf, w.LaneIDs(), v)  // miss
+		w.StoreI32(buf, w.LaneIDs(), v) // invalidate
+		w.LoadI32(buf, w.LaneIDs(), v)  // miss again
+	}
+	stats, err := d.Launch(LaunchConfig{Blocks: 1, ThreadsPerBlock: 32}, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheMisses != 2 || stats.CacheHits != 0 {
+		t.Fatalf("write-invalidate broken: hits=%d misses=%d", stats.CacheHits, stats.CacheMisses)
+	}
+}
+
+func TestAtomicInvalidatesCache(t *testing.T) {
+	d := MustNewDevice(cachedConfig())
+	buf := d.AllocI32("buf", 64)
+	k := func(w *WarpCtx) {
+		v := w.VecI32()
+		w.LoadI32(buf, w.LaneIDs(), v)
+		w.AtomicAddI32(buf, w.LaneIDs(), w.ConstI32(1), nil)
+		w.LoadI32(buf, w.LaneIDs(), v)
+	}
+	stats, err := d.Launch(LaunchConfig{Blocks: 1, ThreadsPerBlock: 32}, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheMisses != 2 {
+		t.Fatalf("atomic did not invalidate: misses=%d", stats.CacheMisses)
+	}
+	// Functional result unaffected by caching.
+	for i, x := range buf.Data()[:32] {
+		if x != 1 {
+			t.Fatalf("buf[%d] = %d", i, x)
+		}
+	}
+}
+
+func TestCacheDeterminism(t *testing.T) {
+	run := func() *LaunchStats {
+		d := MustNewDevice(cachedConfig())
+		buf := d.AllocI32("buf", 4096)
+		k := func(w *WarpCtx) {
+			idx := w.VecI32()
+			v := w.VecI32()
+			for i := 0; i < 16; i++ {
+				w.Apply(1, func(l int) {
+					idx[l] = (int32(l)*67 + int32(i)*13 + int32(w.GlobalWarpID())*7) % 4096
+				})
+				w.LoadI32(buf, idx, v)
+			}
+		}
+		s, err := d.Launch(Grid1D(512, 64), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := run(), run()
+	if a.CacheHits != b.CacheHits || a.CacheMisses != b.CacheMisses || a.Cycles != b.Cycles {
+		t.Fatalf("cache nondeterministic:\n%+v\n%+v", a, b)
+	}
+	if a.CacheHits == 0 {
+		t.Fatal("expected some cache hits in the mixed workload")
+	}
+}
+
+func TestCacheConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CacheLines = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative CacheLines accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.CacheLines = 128
+	d, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Config(); got.CacheWays != 4 || got.CacheHitLatency != 40 {
+		t.Fatalf("cache defaults not applied: %+v", got)
+	}
+}

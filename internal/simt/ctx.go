@@ -1,0 +1,829 @@
+package simt
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// WarpCtx is the per-warp execution context a Kernel runs against. Per-lane
+// values are Go slices of length Width(); control flow goes through If and
+// While so the active-lane mask (and thus divergence and utilization
+// accounting) always mirrors what SIMT hardware would do.
+//
+// Methods on WarpCtx must only be called from inside the kernel function
+// that received it, and only on the goroutine executing that kernel.
+type WarpCtx struct {
+	l *launch
+	w *warpRT
+
+	width int
+	mask  []bool
+
+	lanes []int32
+	gtids []int32
+
+	// scratch buffers reused across ops to keep the simulator allocation-free
+	// in steady state.
+	addrScratch []uint64
+	segScratch  []uint64
+}
+
+func newWarpCtx(l *launch, w *warpRT) *WarpCtx {
+	width := l.cfg.WarpWidth
+	c := &WarpCtx{
+		l:           l,
+		w:           w,
+		width:       width,
+		mask:        make([]bool, width),
+		lanes:       make([]int32, width),
+		gtids:       make([]int32, width),
+		addrScratch: make([]uint64, 0, width),
+		segScratch:  make([]uint64, 0, width),
+	}
+	warpBase := w.warpInBlock * width
+	for lane := 0; lane < width; lane++ {
+		c.lanes[lane] = int32(lane)
+		tidInBlock := warpBase + lane
+		c.gtids[lane] = int32(w.blockID*l.lc.ThreadsPerBlock + tidInBlock)
+		c.mask[lane] = tidInBlock < l.lc.ThreadsPerBlock
+	}
+	return c
+}
+
+// charge reports an instruction's cost to the scheduler and blocks until the
+// warp is granted its next slot.
+func (c *WarpCtx) charge(r request) {
+	c.w.req <- r
+	<-c.w.resume
+	if c.l.aborted {
+		panic(errAborted)
+	}
+}
+
+func (c *WarpCtx) activeCount() int {
+	n := 0
+	for _, m := range c.mask {
+		if m {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *WarpCtx) noteALU(instrs, activeLanes, usefulLanes int64) {
+	s := c.l.stats
+	s.Instructions += instrs
+	s.IssueSlots += instrs
+	s.ActiveLaneOps += instrs * activeLanes
+	s.UsefulLaneOps += instrs * usefulLanes
+}
+
+// --- identity / geometry -------------------------------------------------
+
+// Width returns the warp width (number of SIMD lanes).
+func (c *WarpCtx) Width() int { return c.width }
+
+// LaneIDs returns the per-lane lane index vector [0,1,...]. Shared storage:
+// treat as read-only.
+func (c *WarpCtx) LaneIDs() []int32 { return c.lanes }
+
+// GlobalThreadIDs returns each lane's global thread id
+// (blockID*blockDim + threadInBlock). Shared storage: treat as read-only.
+func (c *WarpCtx) GlobalThreadIDs() []int32 { return c.gtids }
+
+// BlockID returns the block index of this warp's block.
+func (c *WarpCtx) BlockID() int { return c.w.blockID }
+
+// WarpInBlock returns this warp's index within its block.
+func (c *WarpCtx) WarpInBlock() int { return c.w.warpInBlock }
+
+// GlobalWarpID returns this warp's grid-wide index.
+func (c *WarpCtx) GlobalWarpID() int { return c.w.globalID }
+
+// BlockDim returns threads per block for this launch.
+func (c *WarpCtx) BlockDim() int { return c.l.lc.ThreadsPerBlock }
+
+// GridDim returns the number of blocks in this launch.
+func (c *WarpCtx) GridDim() int { return c.l.lc.Blocks }
+
+// GridThreads returns the total thread count of the launch.
+func (c *WarpCtx) GridThreads() int { return c.l.lc.Blocks * c.l.lc.ThreadsPerBlock }
+
+// ActiveCount returns how many lanes are currently active.
+func (c *WarpCtx) ActiveCount() int { return c.activeCount() }
+
+// AnyActive reports whether any lane is active.
+func (c *WarpCtx) AnyActive() bool { return c.activeCount() > 0 }
+
+// LaneActive reports whether a specific lane is active.
+func (c *WarpCtx) LaneActive(lane int) bool { return c.mask[lane] }
+
+// --- register helpers (free: registers don't issue instructions) ---------
+
+// VecI32 allocates an uninitialized per-lane register vector.
+func (c *WarpCtx) VecI32() []int32 { return make([]int32, c.width) }
+
+// VecF32 allocates an uninitialized per-lane float register vector.
+func (c *WarpCtx) VecF32() []float32 { return make([]float32, c.width) }
+
+// ConstI32 allocates a register vector with every lane set to v.
+func (c *WarpCtx) ConstI32(v int32) []int32 {
+	r := make([]int32, c.width)
+	for i := range r {
+		r[i] = v
+	}
+	return r
+}
+
+// ConstF32 allocates a float register vector with every lane set to v.
+func (c *WarpCtx) ConstF32(v float32) []float32 {
+	r := make([]float32, c.width)
+	for i := range r {
+		r[i] = v
+	}
+	return r
+}
+
+// CopyI32 allocates a register vector copying src.
+func (c *WarpCtx) CopyI32(src []int32) []int32 {
+	return append(make([]int32, 0, c.width), src...)
+}
+
+// --- compute --------------------------------------------------------------
+
+// Apply executes f once per active lane and charges `instrs` ALU warp
+// instructions (at least 1). Use it for all per-lane arithmetic; the
+// simulator cannot see inside f, so pick instrs to match the work (one
+// simple arithmetic statement ≈ one instruction).
+func (c *WarpCtx) Apply(instrs int, f func(lane int)) {
+	if instrs < 1 {
+		instrs = 1
+	}
+	active := int64(c.activeCount())
+	for lane := 0; lane < c.width; lane++ {
+		if c.mask[lane] {
+			f(lane)
+		}
+	}
+	c.noteALU(int64(instrs), active, active)
+	c.charge(request{class: opALU, issue: int64(instrs), latency: c.l.cfg.ALULatency})
+}
+
+// ApplyReplicated executes f once per virtual-warp group of groupWidth lanes
+// that has at least one active lane, charging `instrs` warp instructions.
+// This models the paper's replicated (SISD) phase: the hardware keeps every
+// lane busy executing identical instructions, so ActiveLaneOps counts all
+// active lanes but UsefulLaneOps counts only one per group.
+func (c *WarpCtx) ApplyReplicated(instrs, groupWidth int, f func(group int)) {
+	if instrs < 1 {
+		instrs = 1
+	}
+	c.checkGroupWidth(groupWidth)
+	groups := c.width / groupWidth
+	activeGroups := int64(0)
+	for g := 0; g < groups; g++ {
+		if c.groupActive(g, groupWidth) {
+			activeGroups++
+			f(g)
+		}
+	}
+	active := int64(c.activeCount())
+	c.noteALU(int64(instrs), active, activeGroups)
+	c.charge(request{class: opALU, issue: int64(instrs), latency: c.l.cfg.ALULatency})
+}
+
+func (c *WarpCtx) checkGroupWidth(groupWidth int) {
+	if groupWidth < 1 || groupWidth > c.width || c.width%groupWidth != 0 {
+		panic(fmt.Sprintf("simt: group width %d invalid for warp width %d", groupWidth, c.width))
+	}
+}
+
+func (c *WarpCtx) groupActive(g, groupWidth int) bool {
+	base := g * groupWidth
+	for lane := base; lane < base+groupWidth; lane++ {
+		if c.mask[lane] {
+			return true
+		}
+	}
+	return false
+}
+
+// --- control flow ----------------------------------------------------------
+
+// If evaluates pred on the active lanes (one instruction), then runs thenFn
+// with the true lanes active and elseFn (if non-nil) with the false lanes
+// active, restoring the original mask afterwards. If both paths have active
+// lanes the branch is divergent and both paths execute serially — exactly
+// the SIMT penalty.
+func (c *WarpCtx) If(pred func(lane int) bool, thenFn, elseFn func()) {
+	c.ifImpl(0, pred, thenFn, elseFn)
+}
+
+// IfGrouped is If for predicates that are uniform within each virtual-warp
+// group of groupWidth lanes (replicated SISD-phase conditions): timing is
+// identical to If, but only one lane per active group counts as useful.
+func (c *WarpCtx) IfGrouped(groupWidth int, pred func(lane int) bool, thenFn, elseFn func()) {
+	c.checkGroupWidth(groupWidth)
+	c.ifImpl(groupWidth, pred, thenFn, elseFn)
+}
+
+func (c *WarpCtx) ifImpl(groupWidth int, pred func(lane int) bool, thenFn, elseFn func()) {
+	saved := append(make([]bool, 0, c.width), c.mask...)
+	thenMask := make([]bool, c.width)
+	thenAny, elseAny := false, false
+	for lane := 0; lane < c.width; lane++ {
+		if !saved[lane] {
+			continue
+		}
+		if pred(lane) {
+			thenMask[lane] = true
+			thenAny = true
+		} else {
+			elseAny = true
+		}
+	}
+	active := int64(c.activeCount())
+	useful := active
+	if groupWidth > 0 {
+		useful = 0
+		for g := 0; g < c.width/groupWidth; g++ {
+			if c.groupActive(g, groupWidth) {
+				useful++
+			}
+		}
+	}
+	c.noteALU(1, active, useful)
+	c.charge(request{class: opALU, issue: 1, latency: c.l.cfg.ALULatency})
+	if thenAny && elseAny && elseFn != nil {
+		c.l.stats.DivergentBranches++
+	}
+	if thenAny && thenFn != nil {
+		copy(c.mask, thenMask)
+		thenFn()
+	}
+	if elseAny && elseFn != nil {
+		for lane := 0; lane < c.width; lane++ {
+			c.mask[lane] = saved[lane] && !thenMask[lane]
+		}
+		elseFn()
+	}
+	copy(c.mask, saved)
+}
+
+// While loops body while cond holds for at least one active lane; lanes
+// whose condition turns false fall inactive for the remaining iterations
+// (they re-activate at loop exit). Per-lane trip-count differences therefore
+// cost real cycles with idle lanes — the workload-imbalance mechanism at the
+// core of the paper.
+func (c *WarpCtx) While(cond func(lane int) bool, body func()) {
+	saved := append(make([]bool, 0, c.width), c.mask...)
+	for {
+		any := false
+		for lane := 0; lane < c.width; lane++ {
+			if c.mask[lane] {
+				if cond(lane) {
+					any = true
+				} else {
+					c.mask[lane] = false
+				}
+			}
+		}
+		active := int64(c.activeCount())
+		if active == 0 {
+			active = int64(countTrue(saved)) // the cond evaluation still issues
+		}
+		c.noteALU(1, active, active)
+		c.charge(request{class: opALU, issue: 1, latency: c.l.cfg.ALULatency})
+		if !any {
+			break
+		}
+		body()
+	}
+	copy(c.mask, saved)
+}
+
+func countTrue(m []bool) int {
+	n := 0
+	for _, b := range m {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// --- warp-level intrinsics --------------------------------------------------
+
+// Ballot returns a bitmask of the active lanes where pred holds (one
+// instruction), like CUDA's __ballot.
+func (c *WarpCtx) Ballot(pred func(lane int) bool) uint64 {
+	var out uint64
+	for lane := 0; lane < c.width; lane++ {
+		if c.mask[lane] && pred(lane) {
+			out |= 1 << uint(lane)
+		}
+	}
+	active := int64(c.activeCount())
+	c.noteALU(1, active, active)
+	c.charge(request{class: opALU, issue: 1, latency: c.l.cfg.ALULatency})
+	return out
+}
+
+// BroadcastI32 returns src[fromLane] to all lanes (one shuffle
+// instruction), like CUDA's __shfl.
+func (c *WarpCtx) BroadcastI32(src []int32, fromLane int) int32 {
+	if fromLane < 0 || fromLane >= c.width {
+		panic(fmt.Sprintf("simt: broadcast from lane %d outside warp of width %d", fromLane, c.width))
+	}
+	active := int64(c.activeCount())
+	c.noteALU(1, active, active)
+	c.charge(request{class: opALU, issue: 1, latency: c.l.cfg.ALULatency})
+	return src[fromLane]
+}
+
+// GroupReduceAddI32 tree-reduces src within each virtual-warp group of
+// groupWidth lanes (inactive lanes contribute 0) and writes the group sum to
+// every lane of the group in dst. Charged log2(groupWidth) instructions,
+// like a shuffle-based warp reduction.
+func (c *WarpCtx) GroupReduceAddI32(groupWidth int, src, dst []int32) {
+	c.groupReduce(groupWidth, func(g, base int) {
+		var sum int32
+		for lane := base; lane < base+groupWidth; lane++ {
+			if c.mask[lane] {
+				sum += src[lane]
+			}
+		}
+		for lane := base; lane < base+groupWidth; lane++ {
+			dst[lane] = sum
+		}
+	})
+}
+
+// GroupReduceMinI32 is GroupReduceAddI32 with min (identity math.MaxInt32).
+func (c *WarpCtx) GroupReduceMinI32(groupWidth int, src, dst []int32) {
+	c.groupReduce(groupWidth, func(g, base int) {
+		mn := int32(1<<31 - 1)
+		for lane := base; lane < base+groupWidth; lane++ {
+			if c.mask[lane] && src[lane] < mn {
+				mn = src[lane]
+			}
+		}
+		for lane := base; lane < base+groupWidth; lane++ {
+			dst[lane] = mn
+		}
+	})
+}
+
+// GroupReduceOrI32 is the bitwise-OR reduction (identity 0), useful for
+// building per-group bitmasks (e.g. used-color windows in graph coloring).
+func (c *WarpCtx) GroupReduceOrI32(groupWidth int, src, dst []int32) {
+	c.groupReduce(groupWidth, func(g, base int) {
+		var acc int32
+		for lane := base; lane < base+groupWidth; lane++ {
+			if c.mask[lane] {
+				acc |= src[lane]
+			}
+		}
+		for lane := base; lane < base+groupWidth; lane++ {
+			dst[lane] = acc
+		}
+	})
+}
+
+// GroupReduceAddF32 is the float32 sum reduction.
+func (c *WarpCtx) GroupReduceAddF32(groupWidth int, src, dst []float32) {
+	c.groupReduce(groupWidth, func(g, base int) {
+		var sum float32
+		for lane := base; lane < base+groupWidth; lane++ {
+			if c.mask[lane] {
+				sum += src[lane]
+			}
+		}
+		for lane := base; lane < base+groupWidth; lane++ {
+			dst[lane] = sum
+		}
+	})
+}
+
+func (c *WarpCtx) groupReduce(groupWidth int, apply func(g, base int)) {
+	c.checkGroupWidth(groupWidth)
+	groups := c.width / groupWidth
+	for g := 0; g < groups; g++ {
+		apply(g, g*groupWidth)
+	}
+	steps := int64(bits.Len(uint(groupWidth)) - 1)
+	if steps < 1 {
+		steps = 1
+	}
+	active := int64(c.activeCount())
+	c.noteALU(steps, active, active)
+	c.charge(request{class: opALU, issue: steps, latency: c.l.cfg.ALULatency})
+}
+
+// --- global memory -----------------------------------------------------------
+
+func (c *WarpCtx) gatherAddrs(addrOf func(lane int) uint64) (addrs []uint64, active int64) {
+	c.addrScratch = c.addrScratch[:0]
+	for lane := 0; lane < c.width; lane++ {
+		if c.mask[lane] {
+			c.addrScratch = append(c.addrScratch, addrOf(lane))
+		}
+	}
+	return c.addrScratch, int64(len(c.addrScratch))
+}
+
+// memKind distinguishes the three global-memory access classes: only loads
+// consult the read-only cache; stores and atomics bypass and invalidate.
+type memKind uint8
+
+const (
+	memLoad memKind = iota
+	memStore
+	memAtomic
+)
+
+func (c *WarpCtx) chargeMem(addrs []uint64, active int64, kind memKind, extraLatency int64) {
+	c.chargeMemUseful(addrs, active, active, kind, extraLatency)
+}
+
+func (c *WarpCtx) chargeMemUseful(addrs []uint64, active, useful int64, kind memKind, extraLatency int64) {
+	if active == 0 {
+		return
+	}
+	segs := coalesceSegments(addrs, uint64(c.l.cfg.SegmentBytes), c.segScratch[:0])
+	c.segScratch = segs
+	txns := int64(len(segs))
+	s := c.l.stats
+	s.Instructions++
+	s.IssueSlots += txns
+	s.ActiveLaneOps += active
+	s.UsefulLaneOps += useful
+	s.MemOps++
+
+	cache := c.w.sm.cache
+	dramTxns := txns
+	latency := c.l.cfg.DRAMLatency + extraLatency
+	switch {
+	case cache != nil && kind == memLoad:
+		misses := int64(0)
+		for _, seg := range segs {
+			if !cache.access(seg) {
+				misses++
+			}
+		}
+		s.CacheHits += txns - misses
+		s.CacheMisses += misses
+		dramTxns = misses
+		if misses == 0 {
+			latency = c.l.cfg.CacheHitLatency + extraLatency
+		}
+	case cache != nil:
+		for _, seg := range segs {
+			cache.invalidate(seg)
+		}
+	}
+	s.MemTxns += dramTxns
+	s.MemBytes += dramTxns * int64(c.l.cfg.SegmentBytes)
+	class := opMem
+	if kind == memAtomic {
+		class = opAtomic
+		s.AtomicOps++
+	}
+	c.charge(request{
+		class:   class,
+		txns:    dramTxns,
+		latency: latency,
+	})
+}
+
+// LoadI32 gathers b[idx[lane]] into dst[lane] for every active lane. The
+// instruction's cost is one coalesced transaction per distinct 128-byte
+// segment touched.
+func (c *WarpCtx) LoadI32(b *BufI32, idx []int32, dst []int32) {
+	addrs, active := c.gatherAddrs(func(lane int) uint64 {
+		b.check(idx[lane])
+		return b.addr(idx[lane])
+	})
+	c.chargeMem(addrs, active, memLoad, 0)
+	for lane := 0; lane < c.width; lane++ {
+		if c.mask[lane] {
+			dst[lane] = b.data[idx[lane]]
+		}
+	}
+}
+
+// LoadI32Replicated is LoadI32 for addresses replicated within each
+// virtual-warp group of groupWidth lanes (the SISD-phase load pattern):
+// identical timing and coalescing, but only one lane per active group counts
+// as useful.
+func (c *WarpCtx) LoadI32Replicated(groupWidth int, b *BufI32, idx []int32, dst []int32) {
+	c.checkGroupWidth(groupWidth)
+	addrs, active := c.gatherAddrs(func(lane int) uint64 {
+		b.check(idx[lane])
+		return b.addr(idx[lane])
+	})
+	useful := int64(0)
+	for g := 0; g < c.width/groupWidth; g++ {
+		if c.groupActive(g, groupWidth) {
+			useful++
+		}
+	}
+	c.chargeMemUseful(addrs, active, useful, memLoad, 0)
+	for lane := 0; lane < c.width; lane++ {
+		if c.mask[lane] {
+			dst[lane] = b.data[idx[lane]]
+		}
+	}
+}
+
+// StoreI32 scatters src[lane] to b[idx[lane]] for every active lane.
+// Same-address collisions behave like CUDA: one of the writing lanes wins
+// (here deterministically the highest lane).
+func (c *WarpCtx) StoreI32(b *BufI32, idx []int32, src []int32) {
+	addrs, active := c.gatherAddrs(func(lane int) uint64 {
+		b.check(idx[lane])
+		return b.addr(idx[lane])
+	})
+	c.chargeMem(addrs, active, memStore, 0)
+	for lane := 0; lane < c.width; lane++ {
+		if c.mask[lane] {
+			b.data[idx[lane]] = src[lane]
+		}
+	}
+}
+
+// LoadF32 gathers float32 values; see LoadI32.
+func (c *WarpCtx) LoadF32(b *BufF32, idx []int32, dst []float32) {
+	addrs, active := c.gatherAddrs(func(lane int) uint64 {
+		b.check(idx[lane])
+		return b.addr(idx[lane])
+	})
+	c.chargeMem(addrs, active, memLoad, 0)
+	for lane := 0; lane < c.width; lane++ {
+		if c.mask[lane] {
+			dst[lane] = b.data[idx[lane]]
+		}
+	}
+}
+
+// StoreF32 scatters float32 values; see StoreI32.
+func (c *WarpCtx) StoreF32(b *BufF32, idx []int32, src []float32) {
+	addrs, active := c.gatherAddrs(func(lane int) uint64 {
+		b.check(idx[lane])
+		return b.addr(idx[lane])
+	})
+	c.chargeMem(addrs, active, memStore, 0)
+	for lane := 0; lane < c.width; lane++ {
+		if c.mask[lane] {
+			b.data[idx[lane]] = src[lane]
+		}
+	}
+}
+
+// --- atomics -------------------------------------------------------------------
+
+func (c *WarpCtx) atomicI32(b *BufI32, idx []int32, apply func(lane int)) {
+	addrs, active := c.gatherAddrs(func(lane int) uint64 {
+		b.check(idx[lane])
+		return b.addr(idx[lane])
+	})
+	if active == 0 {
+		return
+	}
+	serial := int64(conflictGroups(addrs) - 1)
+	c.l.stats.AtomicSerial += serial
+	c.chargeMem(addrs, active, memAtomic, serial*c.l.cfg.AtomicExtraLatency)
+	for lane := 0; lane < c.width; lane++ {
+		if c.mask[lane] {
+			apply(lane)
+		}
+	}
+}
+
+// AtomicAddI32 performs old[lane] = b[idx[lane]]; b[idx[lane]] += delta[lane]
+// atomically per lane, in lane order. Same-address lanes serialize (charged
+// AtomicExtraLatency per extra lane on the hottest address). old may be nil.
+func (c *WarpCtx) AtomicAddI32(b *BufI32, idx []int32, delta []int32, old []int32) {
+	c.atomicI32(b, idx, func(lane int) {
+		i := idx[lane]
+		if old != nil {
+			old[lane] = b.data[i]
+		}
+		b.data[i] += delta[lane]
+	})
+}
+
+// AtomicMinI32 performs old = b[idx]; b[idx] = min(b[idx], val) per lane.
+func (c *WarpCtx) AtomicMinI32(b *BufI32, idx []int32, val []int32, old []int32) {
+	c.atomicI32(b, idx, func(lane int) {
+		i := idx[lane]
+		if old != nil {
+			old[lane] = b.data[i]
+		}
+		if val[lane] < b.data[i] {
+			b.data[i] = val[lane]
+		}
+	})
+}
+
+// AtomicCASI32 compare-and-swaps per lane: if b[idx]==cmp then b[idx]=val;
+// old receives the observed value.
+func (c *WarpCtx) AtomicCASI32(b *BufI32, idx []int32, cmp, val []int32, old []int32) {
+	c.atomicI32(b, idx, func(lane int) {
+		i := idx[lane]
+		cur := b.data[i]
+		if old != nil {
+			old[lane] = cur
+		}
+		if cur == cmp[lane] {
+			b.data[i] = val[lane]
+		}
+	})
+}
+
+// AtomicOrI32 performs old = b[idx]; b[idx] |= val per lane — the bitmask
+// primitive multi-source BFS and visited-set kernels build on.
+func (c *WarpCtx) AtomicOrI32(b *BufI32, idx []int32, val []int32, old []int32) {
+	c.atomicI32(b, idx, func(lane int) {
+		i := idx[lane]
+		if old != nil {
+			old[lane] = b.data[i]
+		}
+		b.data[i] |= val[lane]
+	})
+}
+
+// AtomicExchI32 swaps val into b[idx] per lane; old receives the previous
+// value.
+func (c *WarpCtx) AtomicExchI32(b *BufI32, idx []int32, val []int32, old []int32) {
+	c.atomicI32(b, idx, func(lane int) {
+		i := idx[lane]
+		if old != nil {
+			old[lane] = b.data[i]
+		}
+		b.data[i] = val[lane]
+	})
+}
+
+// AtomicAddF32 is the float32 atomic add.
+func (c *WarpCtx) AtomicAddF32(b *BufF32, idx []int32, delta []float32, old []float32) {
+	addrs, active := c.gatherAddrs(func(lane int) uint64 {
+		b.check(idx[lane])
+		return b.addr(idx[lane])
+	})
+	if active == 0 {
+		return
+	}
+	serial := int64(conflictGroups(addrs) - 1)
+	c.l.stats.AtomicSerial += serial
+	c.chargeMem(addrs, active, memAtomic, serial*c.l.cfg.AtomicExtraLatency)
+	for lane := 0; lane < c.width; lane++ {
+		if c.mask[lane] {
+			i := idx[lane]
+			if old != nil {
+				old[lane] = b.data[i]
+			}
+			b.data[i] += delta[lane]
+		}
+	}
+}
+
+// --- shared memory & barriers ------------------------------------------------
+
+// SharedI32 returns the block-shared int32 array registered under key,
+// allocating it (zeroed) on first use by any warp of the block. Allocation
+// is free, mirroring CUDA's static shared declarations.
+func (c *WarpCtx) SharedI32(key string, n int) *SharedI32 {
+	return c.w.block.shared.getI32(key, n)
+}
+
+// LoadSharedI32 gathers from block-shared memory with bank-conflict cost.
+func (c *WarpCtx) LoadSharedI32(s *SharedI32, idx []int32, dst []int32) {
+	slots, minSlots, active := c.sharedConflicts(s.len(), idx)
+	if active == 0 {
+		return
+	}
+	c.chargeShared(slots, minSlots, active)
+	for lane := 0; lane < c.width; lane++ {
+		if c.mask[lane] {
+			dst[lane] = s.data[idx[lane]]
+		}
+	}
+}
+
+// StoreSharedI32 scatters to block-shared memory with bank-conflict cost.
+// Same-address collisions: highest lane wins, deterministically.
+func (c *WarpCtx) StoreSharedI32(s *SharedI32, idx []int32, src []int32) {
+	slots, minSlots, active := c.sharedConflicts(s.len(), idx)
+	if active == 0 {
+		return
+	}
+	c.chargeShared(slots, minSlots, active)
+	for lane := 0; lane < c.width; lane++ {
+		if c.mask[lane] {
+			s.data[idx[lane]] = src[lane]
+		}
+	}
+}
+
+// sharedConflicts computes shared-memory issue slots. Hardware services
+// shared accesses SharedBanks lanes at a time (a half-warp on GT200-class
+// parts); within each service group, distinct words mapping to the same bank
+// serialize, while same-word accesses broadcast for free. The returned slot
+// count is the sum over groups of each group's worst bank degree.
+func (c *WarpCtx) sharedConflicts(n int, idx []int32) (slots, minSlots, active int64) {
+	banks := c.l.cfg.SharedBanks
+	for base := 0; base < c.width; base += banks {
+		perBank := make(map[int]map[int32]struct{}, banks)
+		groupActive := false
+		end := base + banks
+		if end > c.width {
+			end = c.width
+		}
+		for lane := base; lane < end; lane++ {
+			if !c.mask[lane] {
+				continue
+			}
+			i := idx[lane]
+			if i < 0 || int(i) >= n {
+				panic(fmt.Sprintf("simt: shared index %d out of range [0,%d)", i, n))
+			}
+			active++
+			groupActive = true
+			bank := int(i) % banks
+			if perBank[bank] == nil {
+				perBank[bank] = make(map[int32]struct{})
+			}
+			perBank[bank][i] = struct{}{}
+		}
+		if !groupActive {
+			continue
+		}
+		minSlots++
+		degree := int64(1)
+		for _, words := range perBank {
+			if int64(len(words)) > degree {
+				degree = int64(len(words))
+			}
+		}
+		slots += degree
+	}
+	if slots == 0 {
+		slots, minSlots = 1, 1
+	}
+	return slots, minSlots, active
+}
+
+func (c *WarpCtx) chargeShared(slots, minSlots, active int64) {
+	s := c.l.stats
+	s.Instructions++
+	s.IssueSlots += slots
+	s.ActiveLaneOps += active
+	s.UsefulLaneOps += active
+	s.SharedOps++
+	s.SharedBankConflicts += slots - minSlots
+	c.charge(request{class: opShared, issue: slots, latency: c.l.cfg.SharedLatency})
+}
+
+// AtomicAddSharedI32 atomically adds delta[lane] to s[idx[lane]] per active
+// lane (in lane order), returning old values (old may be nil). Same-word
+// lanes serialize like bank conflicts; this is the shared-memory atomicAdd
+// histogram kernels rely on.
+func (c *WarpCtx) AtomicAddSharedI32(s *SharedI32, idx []int32, delta []int32, old []int32) {
+	slots, minSlots, active := c.sharedConflicts(s.len(), idx)
+	if active == 0 {
+		return
+	}
+	// Same-address serialization: charge like a conflict per extra lane on
+	// the hottest word (the slots count from sharedConflicts already covers
+	// distinct-word bank conflicts; same-word atomic lanes serialize too).
+	extra := int64(0)
+	counts := map[int32]int64{}
+	for lane := 0; lane < c.width; lane++ {
+		if c.mask[lane] {
+			counts[idx[lane]]++
+		}
+	}
+	for _, n := range counts {
+		if n > 1 {
+			extra += n - 1
+		}
+	}
+	c.chargeShared(slots+extra, minSlots, active)
+	for lane := 0; lane < c.width; lane++ {
+		if c.mask[lane] {
+			i := idx[lane]
+			if old != nil {
+				old[lane] = s.data[i]
+			}
+			s.data[i] += delta[lane]
+		}
+	}
+}
+
+// SyncThreads is the block-wide barrier (__syncthreads). All live warps of
+// the block must reach it; warps that have already returned from the kernel
+// are excluded from the rendezvous.
+func (c *WarpCtx) SyncThreads() {
+	c.charge(request{class: opBarrier})
+}

@@ -1,0 +1,87 @@
+package simt
+
+import "fmt"
+
+// Kernel is a GPU kernel: it is invoked once per warp and runs lockstep
+// across the warp's lanes via the WarpCtx primitives.
+type Kernel func(w *WarpCtx)
+
+// Device is a simulated GPU: a configuration plus a global-memory space.
+// Buffers persist across launches, so multi-pass algorithms (level-
+// synchronous BFS, PageRank iterations) work exactly like their CUDA
+// counterparts: allocate once, launch many times, read results back.
+//
+// A Device is not safe for concurrent use; a launch runs the simulation on
+// the calling goroutine.
+type Device struct {
+	cfg    Config
+	mem    *memory
+	tracer Tracer
+}
+
+// NewDevice creates a device with the given configuration.
+func NewDevice(cfg Config) (*Device, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Device{cfg: cfg, mem: newMemory(cfg.SegmentBytes)}, nil
+}
+
+// MustNewDevice is NewDevice that panics on configuration errors; intended
+// for tests and examples with static configs.
+func MustNewDevice(cfg Config) *Device {
+	d, err := NewDevice(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// AllocI32 allocates a zeroed device buffer of n int32 elements.
+func (d *Device) AllocI32(name string, n int) *BufI32 {
+	if n < 0 {
+		panic(fmt.Sprintf("simt: AllocI32(%q, %d): negative length", name, n))
+	}
+	return &BufI32{name: name, base: d.mem.reserve(4 * n), data: make([]int32, n)}
+}
+
+// UploadI32 allocates a device buffer holding a copy of data.
+func (d *Device) UploadI32(name string, data []int32) *BufI32 {
+	b := d.AllocI32(name, len(data))
+	copy(b.data, data)
+	return b
+}
+
+// AllocF32 allocates a zeroed device buffer of n float32 elements.
+func (d *Device) AllocF32(name string, n int) *BufF32 {
+	if n < 0 {
+		panic(fmt.Sprintf("simt: AllocF32(%q, %d): negative length", name, n))
+	}
+	return &BufF32{name: name, base: d.mem.reserve(4 * n), data: make([]float32, n)}
+}
+
+// UploadF32 allocates a device buffer holding a copy of data.
+func (d *Device) UploadF32(name string, data []float32) *BufF32 {
+	b := d.AllocF32(name, len(data))
+	copy(b.data, data)
+	return b
+}
+
+// Launch runs kernel over the grid described by lc and returns the launch
+// statistics. The call blocks until the simulated kernel completes. A kernel
+// panic (including out-of-range buffer access) aborts the launch and is
+// returned as an error; exceeding Config.MaxCycles likewise.
+func (d *Device) Launch(lc LaunchConfig, kernel Kernel) (*LaunchStats, error) {
+	if err := lc.Validate(d.cfg); err != nil {
+		return nil, err
+	}
+	if kernel == nil {
+		return nil, fmt.Errorf("simt: nil kernel")
+	}
+	l := newLaunch(d, lc, kernel)
+	return l.run()
+}

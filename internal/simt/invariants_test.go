@@ -1,0 +1,158 @@
+package simt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestGroupReduceOr covers the OR reduction used by graph coloring.
+func TestGroupReduceOr(t *testing.T) {
+	d := newTestDevice(t)
+	out := d.AllocI32("out", 32)
+	k := func(w *WarpCtx) {
+		lane := w.LaneIDs()
+		bits := w.VecI32()
+		w.Apply(1, func(l int) { bits[l] = 1 << uint(lane[l]%4) })
+		or := w.VecI32()
+		w.GroupReduceOrI32(8, bits, or)
+		w.StoreI32(out, lane, or)
+	}
+	if _, err := d.Launch(LaunchConfig{Blocks: 1, ThreadsPerBlock: 32}, k); err != nil {
+		t.Fatal(err)
+	}
+	// Every group of 8 lanes covers residues 0..3: OR = 0b1111.
+	for i, v := range out.Data() {
+		if v != 0b1111 {
+			t.Fatalf("or[%d] = %b, want 1111", i, v)
+		}
+	}
+}
+
+func TestGroupReduceOrRespectsMask(t *testing.T) {
+	d := newTestDevice(t)
+	out := d.AllocI32("out", 32)
+	k := func(w *WarpCtx) {
+		lane := w.LaneIDs()
+		bits := w.VecI32()
+		w.Apply(1, func(l int) { bits[l] = 1 << uint(lane[l]%8) })
+		w.If(func(l int) bool { return lane[l]%8 < 2 }, func() {
+			or := w.VecI32()
+			w.GroupReduceOrI32(8, bits, or)
+			w.StoreI32(out, lane, or)
+		}, nil)
+	}
+	if _, err := d.Launch(LaunchConfig{Blocks: 1, ThreadsPerBlock: 32}, k); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if i%8 < 2 {
+			if out.Data()[i] != 0b11 {
+				t.Fatalf("masked or[%d] = %b, want 11", i, out.Data()[i])
+			}
+		} else if out.Data()[i] != 0 {
+			t.Fatalf("inactive lane %d wrote %d", i, out.Data()[i])
+		}
+	}
+}
+
+// TestPropertyStatsInvariants launches pseudo-random kernel shapes and
+// checks accounting invariants that must hold for any program:
+// utilizations in [0,1], useful <= active, issue slots >= instructions,
+// cycles positive when work was done, mem txns bounded by lanes per op.
+func TestPropertyStatsInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := seed
+		next := func(n int) int {
+			r = r*6364136223846793005 + 1442695040888963407
+			return int(r>>33) % n
+		}
+		d := MustNewDevice(testConfig())
+		buf := d.AllocI32("buf", 1024)
+		cnt := d.AllocI32("cnt", 4)
+		nOps := next(6) + 1
+		k := func(w *WarpCtx) {
+			lane := w.LaneIDs()
+			idx := w.VecI32()
+			v := w.VecI32()
+			for op := 0; op < nOps; op++ {
+				switch next(5) {
+				case 0:
+					w.Apply(next(3)+1, func(l int) { v[l] = lane[l] })
+				case 1:
+					stride := int32(next(8) + 1)
+					w.Apply(1, func(l int) { idx[l] = (lane[l] * stride) % 1024 })
+					w.LoadI32(buf, idx, v)
+				case 2:
+					w.If(func(l int) bool { return lane[l]%int32(next(4)+2) == 0 }, func() {
+						w.Apply(1, func(l int) { v[l]++ })
+					}, func() {
+						w.Apply(1, func(l int) { v[l]-- })
+					})
+				case 3:
+					tgt := w.ConstI32(int32(next(4)))
+					w.AtomicAddI32(cnt, tgt, w.ConstI32(1), nil)
+				case 4:
+					w.ApplyReplicated(1, 8, func(g int) {})
+				}
+			}
+		}
+		stats, err := d.Launch(Grid1D(next(512)+32, 64), k)
+		if err != nil {
+			return false
+		}
+		su, uu := stats.SIMDUtilization(), stats.UsefulUtilization()
+		switch {
+		case su < 0 || su > 1 || uu < 0 || uu > su+1e-12:
+			return false
+		case stats.IssueSlots < stats.Instructions:
+			return false
+		case stats.Cycles <= 0 || stats.StallCycles < 0:
+			return false
+		case stats.MemTxns > stats.MemOps*int64(stats.WarpWidth):
+			return false
+		case stats.WarpsLaunched <= 0 || stats.BlocksLaunched <= 0:
+			return false
+		}
+		// Per-warp busy must be recorded for every launched warp.
+		return len(stats.WarpBusy) == stats.WarpsLaunched
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyDeterminismRandomKernels re-runs random kernel shapes and
+// demands identical stats.
+func TestPropertyDeterminismRandomKernels(t *testing.T) {
+	run := func(seed uint64) *LaunchStats {
+		r := seed
+		next := func(n int) int {
+			r = r*6364136223846793005 + 1442695040888963407
+			return int(r>>33) % n
+		}
+		d := MustNewDevice(testConfig())
+		buf := d.AllocI32("buf", 512)
+		k := func(w *WarpCtx) {
+			lane := w.LaneIDs()
+			idx := w.VecI32()
+			v := w.VecI32()
+			for op := 0; op < 4; op++ {
+				stride := int32(next(16) + 1)
+				w.Apply(1, func(l int) { idx[l] = (lane[l]*stride + int32(w.GlobalWarpID())) % 512 })
+				w.LoadI32(buf, idx, v)
+				w.StoreI32(buf, idx, v)
+			}
+		}
+		s, err := d.Launch(Grid1D(256, 64), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	for seed := uint64(1); seed <= 5; seed++ {
+		a, b := run(seed), run(seed)
+		if a.Cycles != b.Cycles || a.MemTxns != b.MemTxns || a.IssueSlots != b.IssueSlots {
+			t.Fatalf("seed %d nondeterministic", seed)
+		}
+	}
+}

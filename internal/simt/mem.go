@@ -1,0 +1,139 @@
+package simt
+
+import "fmt"
+
+// memory is the simulated global-memory address space. Buffers receive
+// disjoint, segment-aligned address ranges so the coalescing model can map
+// any (buffer, element) pair to a byte address.
+type memory struct {
+	nextAddr uint64
+	segBytes uint64
+}
+
+func newMemory(segBytes int) *memory {
+	return &memory{
+		// Leave address 0 unused so a zero address is always a bug.
+		nextAddr: uint64(segBytes),
+		segBytes: uint64(segBytes),
+	}
+}
+
+func (m *memory) reserve(bytes int) uint64 {
+	base := m.nextAddr
+	span := (uint64(bytes) + m.segBytes - 1) / m.segBytes * m.segBytes
+	if span == 0 {
+		span = m.segBytes
+	}
+	m.nextAddr += span
+	return base
+}
+
+// BufI32 is a device-resident buffer of int32 elements.
+type BufI32 struct {
+	name string
+	base uint64
+	data []int32
+}
+
+// Name returns the buffer's debug name.
+func (b *BufI32) Name() string { return b.name }
+
+// Len returns the element count.
+func (b *BufI32) Len() int { return len(b.data) }
+
+// Data exposes the backing store for host-side reads and writes between
+// launches (the analogue of cudaMemcpy). It must not be touched while a
+// launch is in flight.
+func (b *BufI32) Data() []int32 { return b.data }
+
+// Fill sets every element to v (host-side).
+func (b *BufI32) Fill(v int32) {
+	for i := range b.data {
+		b.data[i] = v
+	}
+}
+
+func (b *BufI32) addr(idx int32) uint64 { return b.base + 4*uint64(idx) }
+
+func (b *BufI32) check(idx int32) {
+	if idx < 0 || int(idx) >= len(b.data) {
+		panic(fmt.Sprintf("simt: buffer %q index %d out of range [0,%d)", b.name, idx, len(b.data)))
+	}
+}
+
+// BufF32 is a device-resident buffer of float32 elements.
+type BufF32 struct {
+	name string
+	base uint64
+	data []float32
+}
+
+// Name returns the buffer's debug name.
+func (b *BufF32) Name() string { return b.name }
+
+// Len returns the element count.
+func (b *BufF32) Len() int { return len(b.data) }
+
+// Data exposes the backing store for host-side access between launches.
+func (b *BufF32) Data() []float32 { return b.data }
+
+// Fill sets every element to v (host-side).
+func (b *BufF32) Fill(v float32) {
+	for i := range b.data {
+		b.data[i] = v
+	}
+}
+
+func (b *BufF32) addr(idx int32) uint64 { return b.base + 4*uint64(idx) }
+
+func (b *BufF32) check(idx int32) {
+	if idx < 0 || int(idx) >= len(b.data) {
+		panic(fmt.Sprintf("simt: buffer %q index %d out of range [0,%d)", b.name, idx, len(b.data)))
+	}
+}
+
+// coalesceSegments appends the distinct SegmentBytes-sized segments covered
+// by the given byte addresses to dst — one entry per global-memory
+// transaction the warp instruction generates.
+func coalesceSegments(addrs []uint64, segBytes uint64, dst []uint64) []uint64 {
+	// Warp width is at most 64; a tiny open-coded set beats a map.
+outer:
+	for _, a := range addrs {
+		s := a / segBytes
+		for _, seen := range dst {
+			if seen == s {
+				continue outer
+			}
+		}
+		dst = append(dst, s)
+	}
+	return dst
+}
+
+// conflictGroups returns, for a set of atomic target addresses, the maximum
+// number of lanes hitting any single address (hardware serializes these).
+func conflictGroups(addrs []uint64) int {
+	var uniq [64]uint64
+	var count [64]int
+	n := 0
+	maxC := 0
+outer:
+	for _, a := range addrs {
+		for i := 0; i < n; i++ {
+			if uniq[i] == a {
+				count[i]++
+				if count[i] > maxC {
+					maxC = count[i]
+				}
+				continue outer
+			}
+		}
+		uniq[n] = a
+		count[n] = 1
+		if maxC == 0 {
+			maxC = 1
+		}
+		n++
+	}
+	return maxC
+}

@@ -1,0 +1,420 @@
+package simt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime/debug"
+)
+
+// The simulation protocol: every warp runs its kernel on a dedicated
+// goroutine, but exactly one goroutine (warp or scheduler) executes at any
+// moment. A warp blocks inside charge() after sending a cost request; the
+// scheduler picks the next warp to advance by simulated time and hands the
+// execution token back over the warp's resume channel. This makes the whole
+// simulation sequential and deterministic while letting kernels be written
+// as straight-line Go code.
+
+type opClass uint8
+
+const (
+	opALU opClass = iota
+	opMem
+	opAtomic
+	opShared
+	opBarrier
+	opDone
+)
+
+// request is a warp's report of the instruction it is about to complete.
+type request struct {
+	class opClass
+	// issue is pipeline occupancy in slots (ALU/shared ops).
+	issue int64
+	// latency is the delay until the warp may issue again.
+	latency int64
+	// txns is memory-pipe occupancy for mem/atomic ops.
+	txns int64
+	// err reports a kernel failure alongside opDone.
+	err error
+}
+
+// errAborted is the sentinel panic used to unwind warp goroutines when a
+// launch is cancelled; it never escapes the package.
+var errAborted = errors.New("simt: launch aborted")
+
+const neverReady = math.MaxInt64
+
+type warpRT struct {
+	globalID    int
+	blockID     int
+	warpInBlock int
+
+	readyAt   int64
+	busy      int64
+	started   bool
+	done      bool
+	inBarrier bool
+	arrivedAt int64
+
+	resume chan int64
+	req    chan request
+	ctx    *WarpCtx
+	block  *blockRT
+	sm     *smRT
+}
+
+type blockRT struct {
+	id            int
+	warps         []*warpRT
+	liveWarps     int
+	inBarrier     int
+	barrierLatest int64
+	shared        *sharedArena
+}
+
+type smRT struct {
+	id            int
+	clock         int64
+	memPipeFree   int64
+	blocks        []*blockRT
+	warps         []*warpRT
+	warpSlotsUsed int
+	everUsed      bool
+	cache         *smCache
+	rrCursor      int
+}
+
+type launch struct {
+	dev    *Device
+	cfg    Config
+	lc     LaunchConfig
+	kernel Kernel
+	stats  *LaunchStats
+
+	sms           []*smRT
+	warpsPerBlock int
+	nextBlock     int
+	totalBlocks   int
+
+	aborted  bool
+	abortErr error
+}
+
+func newLaunch(d *Device, lc LaunchConfig, kernel Kernel) *launch {
+	warpsPerBlock := (lc.ThreadsPerBlock + d.cfg.WarpWidth - 1) / d.cfg.WarpWidth
+	l := &launch{
+		dev:           d,
+		cfg:           d.cfg,
+		lc:            lc,
+		kernel:        kernel,
+		warpsPerBlock: warpsPerBlock,
+		totalBlocks:   lc.Blocks,
+		stats: &LaunchStats{
+			WarpWidth: d.cfg.WarpWidth,
+			WarpBusy:  make([]int64, lc.Blocks*warpsPerBlock),
+		},
+	}
+	l.sms = make([]*smRT, d.cfg.NumSMs)
+	for i := range l.sms {
+		sm := &smRT{id: i}
+		if d.cfg.CacheLines > 0 {
+			sm.cache = newSMCache(d.cfg.CacheLines, d.cfg.CacheWays)
+		}
+		l.sms[i] = sm
+	}
+	return l
+}
+
+func (l *launch) trace(e TraceEvent) {
+	if t := l.dev.tracer; t != nil {
+		t.Event(e)
+	}
+}
+
+func (l *launch) run() (*LaunchStats, error) {
+	l.trace(TraceEvent{Kind: TraceLaunchStart, Warp: -1, Block: -1, SM: -1})
+	for {
+		sm := l.pickSM()
+		if sm == nil {
+			break
+		}
+		l.stepSM(sm)
+		if sm.clock > l.cfg.MaxCycles && !l.aborted {
+			l.abort(fmt.Errorf("simt: launch exceeded MaxCycles=%d (possible kernel livelock)", l.cfg.MaxCycles))
+		}
+	}
+	for _, sm := range l.sms {
+		if sm.everUsed {
+			l.stats.SMFinish = append(l.stats.SMFinish, sm.clock)
+			if sm.clock > l.stats.Cycles {
+				l.stats.Cycles = sm.clock
+			}
+		}
+	}
+	l.trace(TraceEvent{Kind: TraceLaunchEnd, Cycle: l.stats.Cycles, Warp: -1, Block: -1, SM: -1})
+	if l.abortErr != nil {
+		return nil, l.abortErr
+	}
+	return l.stats, nil
+}
+
+// pickSM returns the SM with work and the smallest clock, or nil when the
+// launch has fully drained.
+func (l *launch) pickSM() *smRT {
+	var best *smRT
+	for _, sm := range l.sms {
+		if !l.smHasWork(sm) {
+			continue
+		}
+		if best == nil || sm.clock < best.clock {
+			best = sm
+		}
+	}
+	return best
+}
+
+func (l *launch) smHasWork(sm *smRT) bool {
+	for _, w := range sm.warps {
+		if !w.done {
+			return true
+		}
+	}
+	return l.nextBlock < l.totalBlocks && l.canAdmit(sm)
+}
+
+func (l *launch) canAdmit(sm *smRT) bool {
+	return len(sm.blocks) < l.cfg.MaxBlocksPerSM &&
+		sm.warpSlotsUsed+l.warpsPerBlock <= l.cfg.MaxWarpsPerSM
+}
+
+// admitBlocks hands the SM at most one pending block per scheduling step.
+// Because the event loop always steps the SM with the smallest clock, this
+// distributes blocks breadth-first across SMs — matching the hardware block
+// distributor — instead of piling the whole grid onto the first SM.
+func (l *launch) admitBlocks(sm *smRT) {
+	if l.nextBlock < l.totalBlocks && l.canAdmit(sm) {
+		blockID := l.nextBlock
+		l.nextBlock++
+		b := &blockRT{
+			id:     blockID,
+			shared: newSharedArena(),
+		}
+		for wi := 0; wi < l.warpsPerBlock; wi++ {
+			w := &warpRT{
+				globalID:    blockID*l.warpsPerBlock + wi,
+				blockID:     blockID,
+				warpInBlock: wi,
+				readyAt:     sm.clock,
+				resume:      make(chan int64),
+				req:         make(chan request),
+				block:       b,
+				sm:          sm,
+			}
+			w.ctx = newWarpCtx(l, w)
+			b.warps = append(b.warps, w)
+			go l.runWarp(w)
+		}
+		b.liveWarps = len(b.warps)
+		sm.blocks = append(sm.blocks, b)
+		sm.warps = append(sm.warps, b.warps...)
+		sm.warpSlotsUsed += l.warpsPerBlock
+		sm.everUsed = true
+		l.stats.BlocksLaunched++
+		l.stats.WarpsLaunched += len(b.warps)
+		l.trace(TraceEvent{Kind: TraceBlockStart, Cycle: sm.clock, SM: sm.id, Block: blockID, Warp: -1})
+	}
+}
+
+// runWarp is the warp goroutine body.
+func (l *launch) runWarp(w *warpRT) {
+	defer func() {
+		var err error
+		if r := recover(); r != nil {
+			if rErr, ok := r.(error); !ok || !errors.Is(rErr, errAborted) {
+				err = fmt.Errorf("simt: kernel panic in block %d warp %d: %v\n%s",
+					w.blockID, w.warpInBlock, r, debug.Stack())
+			}
+		}
+		w.req <- request{class: opDone, err: err}
+	}()
+	<-w.resume
+	if l.aborted {
+		panic(errAborted)
+	}
+	l.kernel(w.ctx)
+}
+
+// stepSM advances one SM by one warp instruction.
+func (l *launch) stepSM(sm *smRT) {
+	l.admitBlocks(sm)
+	w := l.nextWarp(sm)
+	if w == nil {
+		return
+	}
+	hadOthers := false
+	for _, other := range sm.warps {
+		if other != w && !other.done {
+			hadOthers = true
+			break
+		}
+	}
+	if w.readyAt > sm.clock {
+		if hadOthers || w.started {
+			l.stats.StallCycles += w.readyAt - sm.clock
+		}
+		sm.clock = w.readyAt
+	}
+	w.started = true
+	w.resume <- sm.clock
+	r := <-w.req
+	l.apply(sm, w, r)
+}
+
+// nextWarp picks the next resident warp per the scheduler policy, skipping
+// done and barrier-blocked warps.
+//
+// "gto" (default) issues the warp with the smallest ready time (FIFO by
+// global id on ties) — greedy-then-oldest. "lrr" rotates a cursor through
+// the warps already ready at the current clock, falling back to the soonest
+// ready warp when none is.
+func (l *launch) nextWarp(sm *smRT) *warpRT {
+	var best *warpRT
+	for _, w := range sm.warps {
+		if w.done || w.inBarrier {
+			continue
+		}
+		if best == nil || w.readyAt < best.readyAt ||
+			(w.readyAt == best.readyAt && w.globalID < best.globalID) {
+			best = w
+		}
+	}
+	if best == nil || l.cfg.SchedulerPolicy != "lrr" {
+		return best
+	}
+	n := len(sm.warps)
+	for i := 1; i <= n; i++ {
+		w := sm.warps[(sm.rrCursor+i)%n]
+		if w.done || w.inBarrier || w.readyAt > sm.clock {
+			continue
+		}
+		for j, ww := range sm.warps {
+			if ww == w {
+				sm.rrCursor = j
+				break
+			}
+		}
+		return w
+	}
+	return best
+}
+
+func (l *launch) apply(sm *smRT, w *warpRT, r request) {
+	if l.dev.tracer != nil && r.class != opDone {
+		l.trace(TraceEvent{
+			Kind: TraceInstr, Cycle: sm.clock, SM: sm.id, Block: w.blockID, Warp: w.globalID,
+			Class: classString(r.class), Issue: r.issue, Latency: r.latency, Txns: r.txns,
+		})
+	}
+	switch r.class {
+	case opALU, opShared:
+		sm.clock += r.issue
+		w.readyAt = sm.clock + r.latency
+		w.busy += r.issue + r.latency
+	case opMem, opAtomic:
+		// One compute-pipe slot to issue, then the memory pipe carries the
+		// transactions; the warp waits out the full memory latency.
+		sm.clock++
+		start := sm.clock
+		if sm.memPipeFree > start {
+			start = sm.memPipeFree
+		}
+		sm.memPipeFree = start + r.txns*l.cfg.MemPipeCyclesPerTxn
+		w.readyAt = sm.memPipeFree + r.latency
+		w.busy += (sm.memPipeFree - sm.clock + 1) + r.latency
+	case opBarrier:
+		b := w.block
+		w.inBarrier = true
+		w.arrivedAt = sm.clock
+		w.readyAt = neverReady
+		b.inBarrier++
+		if sm.clock > b.barrierLatest {
+			b.barrierLatest = sm.clock
+		}
+		l.maybeReleaseBarrier(b)
+	case opDone:
+		w.done = true
+		w.readyAt = neverReady
+		l.trace(TraceEvent{Kind: TraceWarpDone, Cycle: sm.clock, SM: sm.id, Block: w.blockID, Warp: w.globalID})
+		l.stats.WarpBusy[w.globalID] = w.busy
+		b := w.block
+		b.liveWarps--
+		if r.err != nil && !l.aborted {
+			l.abort(r.err)
+			return
+		}
+		if b.liveWarps == 0 {
+			l.trace(TraceEvent{Kind: TraceBlockEnd, Cycle: sm.clock, SM: sm.id, Block: b.id, Warp: -1})
+			l.retireBlock(sm, b)
+		} else {
+			// A warp exiting may satisfy an outstanding barrier.
+			l.maybeReleaseBarrier(b)
+		}
+	}
+}
+
+func (l *launch) maybeReleaseBarrier(b *blockRT) {
+	if b.inBarrier == 0 || b.inBarrier < b.liveWarps {
+		return
+	}
+	for _, w := range b.warps {
+		if w.inBarrier {
+			w.inBarrier = false
+			w.readyAt = b.barrierLatest + 1
+		}
+	}
+	l.trace(TraceEvent{Kind: TraceBarrierRelease, Cycle: b.barrierLatest, Block: b.id, Warp: -1})
+	b.inBarrier = 0
+	b.barrierLatest = 0
+	l.stats.Barriers++
+}
+
+func (l *launch) retireBlock(sm *smRT, b *blockRT) {
+	for i, bb := range sm.blocks {
+		if bb == b {
+			sm.blocks = append(sm.blocks[:i], sm.blocks[i+1:]...)
+			break
+		}
+	}
+	live := sm.warps[:0]
+	for _, w := range sm.warps {
+		if w.block != b {
+			live = append(live, w)
+		}
+	}
+	sm.warps = live
+	sm.warpSlotsUsed -= l.warpsPerBlock
+}
+
+// abort cancels the launch: every live warp is woken, unwinds via the
+// errAborted panic, and reports done. The first error wins.
+func (l *launch) abort(err error) {
+	l.aborted = true
+	l.abortErr = err
+	for _, sm := range l.sms {
+		for _, w := range sm.warps {
+			for !w.done {
+				w.resume <- 0
+				r := <-w.req
+				if r.class == opDone {
+					w.done = true
+					if w.block.liveWarps > 0 {
+						w.block.liveWarps--
+					}
+				}
+				// Any non-done request from an unwinding warp is impossible:
+				// charge panics immediately after resume when aborted.
+			}
+		}
+	}
+}

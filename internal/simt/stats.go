@@ -1,0 +1,188 @@
+package simt
+
+import (
+	"fmt"
+	"math"
+)
+
+// LaunchStats aggregates everything measured during one kernel launch.
+// These counters are the raw material for the paper's figures: SIMD lane
+// utilization (ALU underutilization axis), per-warp busy-cycle spread
+// (workload imbalance axis), memory transactions (coalescing), and total
+// cycles (the headline speedups).
+type LaunchStats struct {
+	// Cycles is the simulated completion time: the max over SMs of their
+	// final clock.
+	Cycles int64
+	// StallCycles sums, over SMs, the cycles where the SM had resident warps
+	// but none ready to issue (unhidden latency).
+	StallCycles int64
+
+	// IssueSlots counts pipeline slots consumed by warp instructions
+	// (a multi-transaction memory op consumes several).
+	IssueSlots int64
+	// Instructions counts warp instructions issued.
+	Instructions int64
+	// ActiveLaneOps sums active lanes over issued instructions; divided by
+	// Instructions×WarpWidth it yields SIMD utilization.
+	ActiveLaneOps int64
+	// UsefulLaneOps is like ActiveLaneOps but counts replicated (SISD-phase)
+	// lanes only once per virtual-warp group; it is the numerator of the
+	// paper's "useful ALU utilization".
+	UsefulLaneOps int64
+
+	// MemOps / MemTxns / MemBytes describe global-memory traffic. MemTxns
+	// per MemOps measures coalescing quality.
+	MemOps   int64
+	MemTxns  int64
+	MemBytes int64
+
+	// AtomicOps counts atomic warp instructions; AtomicSerial sums the
+	// extra same-address serialization steps beyond the first.
+	AtomicOps    int64
+	AtomicSerial int64
+
+	// CacheHits and CacheMisses count read-only-cache outcomes per load
+	// transaction (both zero when Config.CacheLines == 0).
+	CacheHits   int64
+	CacheMisses int64
+
+	// SharedOps and SharedBankConflicts describe shared-memory traffic.
+	SharedOps           int64
+	SharedBankConflicts int64
+
+	// DivergentBranches counts If points where both paths had active lanes.
+	DivergentBranches int64
+	// Barriers counts block-wide barrier releases.
+	Barriers int64
+
+	// WarpsLaunched and BlocksLaunched describe the grid actually run.
+	WarpsLaunched  int
+	BlocksLaunched int
+
+	// WarpBusy holds, per warp, the busy cycles charged to it (issue +
+	// latency). The spread across warps is the workload-imbalance metric.
+	WarpBusy []int64
+
+	// SMFinish holds each SM's final clock.
+	SMFinish []int64
+
+	// WarpWidth records the machine width for utilization math.
+	WarpWidth int
+}
+
+// SIMDUtilization returns active-lane occupancy in [0,1]: how full the SIMD
+// lanes were across all issued instructions.
+func (s *LaunchStats) SIMDUtilization() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.ActiveLaneOps) / float64(s.Instructions*int64(s.WarpWidth))
+}
+
+// UsefulUtilization returns the fraction of lane-ops doing non-redundant
+// work (replicated SISD-phase execution counts once per virtual warp).
+func (s *LaunchStats) UsefulUtilization() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.UsefulLaneOps) / float64(s.Instructions*int64(s.WarpWidth))
+}
+
+// WarpImbalanceCV returns the coefficient of variation of per-warp busy
+// cycles: 0 for perfectly balanced warps, large for skewed workloads.
+func (s *LaunchStats) WarpImbalanceCV() float64 {
+	n := len(s.WarpBusy)
+	if n == 0 {
+		return 0
+	}
+	var sum, sumsq float64
+	for _, b := range s.WarpBusy {
+		f := float64(b)
+		sum += f
+		sumsq += f * f
+	}
+	mean := sum / float64(n)
+	if mean == 0 {
+		return 0
+	}
+	variance := sumsq/float64(n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return math.Sqrt(variance) / mean
+}
+
+// WarpBusyMaxOverMean returns max/mean of per-warp busy cycles, a second
+// imbalance view (the straggler factor).
+func (s *LaunchStats) WarpBusyMaxOverMean() float64 {
+	n := len(s.WarpBusy)
+	if n == 0 {
+		return 0
+	}
+	var sum float64
+	var maxB int64
+	for _, b := range s.WarpBusy {
+		sum += float64(b)
+		if b > maxB {
+			maxB = b
+		}
+	}
+	mean := sum / float64(n)
+	if mean == 0 {
+		return 0
+	}
+	return float64(maxB) / mean
+}
+
+// TxnsPerMemOp returns average transactions per global-memory instruction
+// (1.0 = perfectly coalesced, WarpWidth = fully scattered).
+func (s *LaunchStats) TxnsPerMemOp() float64 {
+	if s.MemOps == 0 {
+		return 0
+	}
+	return float64(s.MemTxns) / float64(s.MemOps)
+}
+
+// TimeMS converts simulated cycles to milliseconds at the given clock.
+func (s *LaunchStats) TimeMS(clockGHz float64) float64 {
+	return float64(s.Cycles) / (clockGHz * 1e6)
+}
+
+// Add accumulates other into s (used to total multi-launch algorithms such
+// as level-synchronous BFS). Per-warp vectors are concatenated; Cycles adds
+// because launches are sequential.
+func (s *LaunchStats) Add(other *LaunchStats) {
+	s.Cycles += other.Cycles
+	s.StallCycles += other.StallCycles
+	s.IssueSlots += other.IssueSlots
+	s.Instructions += other.Instructions
+	s.ActiveLaneOps += other.ActiveLaneOps
+	s.UsefulLaneOps += other.UsefulLaneOps
+	s.MemOps += other.MemOps
+	s.MemTxns += other.MemTxns
+	s.MemBytes += other.MemBytes
+	s.AtomicOps += other.AtomicOps
+	s.AtomicSerial += other.AtomicSerial
+	s.CacheHits += other.CacheHits
+	s.CacheMisses += other.CacheMisses
+	s.SharedOps += other.SharedOps
+	s.SharedBankConflicts += other.SharedBankConflicts
+	s.DivergentBranches += other.DivergentBranches
+	s.Barriers += other.Barriers
+	s.WarpsLaunched += other.WarpsLaunched
+	s.BlocksLaunched += other.BlocksLaunched
+	s.WarpBusy = append(s.WarpBusy, other.WarpBusy...)
+	s.SMFinish = append(s.SMFinish, other.SMFinish...)
+	if s.WarpWidth == 0 {
+		s.WarpWidth = other.WarpWidth
+	}
+}
+
+// String renders the headline counters on one line.
+func (s *LaunchStats) String() string {
+	return fmt.Sprintf(
+		"cycles=%d stall=%d instr=%d simd=%.2f useful=%.2f memTxns=%d txns/op=%.2f atomics=%d(+%d) div=%d imbalCV=%.2f",
+		s.Cycles, s.StallCycles, s.Instructions, s.SIMDUtilization(), s.UsefulUtilization(),
+		s.MemTxns, s.TxnsPerMemOp(), s.AtomicOps, s.AtomicSerial, s.DivergentBranches, s.WarpImbalanceCV())
+}

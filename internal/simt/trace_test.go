@@ -1,0 +1,176 @@
+package simt
+
+import "testing"
+
+func tracedLaunch(t *testing.T, tracer Tracer) *LaunchStats {
+	t.Helper()
+	d := newTestDevice(t)
+	d.SetTracer(tracer)
+	buf := d.AllocI32("buf", 256)
+	k := func(w *WarpCtx) {
+		tid := w.GlobalThreadIDs()
+		w.If(func(l int) bool { return tid[l] < 256 }, func() {
+			w.StoreI32(buf, tid, tid)
+			w.SyncThreads()
+			v := w.VecI32()
+			w.LoadI32(buf, tid, v)
+		}, nil)
+	}
+	stats, err := d.Launch(Grid1D(256, 64), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+func TestRingTracerCapturesLaunch(t *testing.T) {
+	tr := &RingTracer{Cap: 1 << 14}
+	stats := tracedLaunch(t, tr)
+	events := tr.Events()
+	if len(events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	if events[0].Kind != TraceLaunchStart {
+		t.Fatalf("first event %v, want launch-start", events[0].Kind)
+	}
+	last := events[len(events)-1]
+	if last.Kind != TraceLaunchEnd {
+		t.Fatalf("last event %v, want launch-end", last.Kind)
+	}
+	if last.Cycle != stats.Cycles {
+		t.Fatalf("launch-end cycle %d != stats %d", last.Cycle, stats.Cycles)
+	}
+	var instr, blockStart, blockEnd, warpDone, barriers int64
+	for _, e := range events {
+		switch e.Kind {
+		case TraceInstr:
+			instr++
+			if e.Class == "" || e.Warp < 0 {
+				t.Fatalf("malformed instr event: %+v", e)
+			}
+		case TraceBlockStart:
+			blockStart++
+		case TraceBlockEnd:
+			blockEnd++
+		case TraceWarpDone:
+			warpDone++
+		case TraceBarrierRelease:
+			barriers++
+		}
+	}
+	// The barrier request itself is also traced as an instr with class
+	// "barrier"; stats.Instructions excludes it.
+	var barrierInstr int64
+	for _, e := range events {
+		if e.Kind == TraceInstr && e.Class == "barrier" {
+			barrierInstr++
+		}
+	}
+	if instr-barrierInstr != stats.Instructions {
+		t.Fatalf("instr events %d (minus %d barrier) != stats.Instructions %d",
+			instr, barrierInstr, stats.Instructions)
+	}
+	if blockStart != int64(stats.BlocksLaunched) || blockEnd != blockStart {
+		t.Fatalf("block events %d/%d, want %d", blockStart, blockEnd, stats.BlocksLaunched)
+	}
+	if warpDone != int64(stats.WarpsLaunched) {
+		t.Fatalf("warp-done events %d, want %d", warpDone, stats.WarpsLaunched)
+	}
+	if barriers != stats.Barriers {
+		t.Fatalf("barrier events %d, want %d", barriers, stats.Barriers)
+	}
+}
+
+func TestTraceCyclesMonotonePerSM(t *testing.T) {
+	tr := &RingTracer{Cap: 1 << 14}
+	tracedLaunch(t, tr)
+	lastCycle := map[int]int64{}
+	for _, e := range tr.Events() {
+		if e.Kind != TraceInstr {
+			continue
+		}
+		if e.Cycle < lastCycle[e.SM] {
+			t.Fatalf("SM %d cycle went backwards: %d after %d", e.SM, e.Cycle, lastCycle[e.SM])
+		}
+		lastCycle[e.SM] = e.Cycle
+	}
+}
+
+func TestRingTracerEviction(t *testing.T) {
+	tr := &RingTracer{Cap: 8}
+	for i := 0; i < 20; i++ {
+		tr.Event(TraceEvent{Kind: TraceInstr, Cycle: int64(i)})
+	}
+	events := tr.Events()
+	if len(events) != 8 {
+		t.Fatalf("retained %d events, want 8", len(events))
+	}
+	if events[0].Cycle != 12 || events[7].Cycle != 19 {
+		t.Fatalf("ring order wrong: first %d last %d", events[0].Cycle, events[7].Cycle)
+	}
+	if tr.Total() != 20 {
+		t.Fatalf("Total = %d", tr.Total())
+	}
+	tr.Reset()
+	if tr.Events() != nil || tr.Total() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestCountTracer(t *testing.T) {
+	ct := &CountTracer{}
+	stats := tracedLaunch(t, ct)
+	if ct.Counts[TraceLaunchStart] != 1 || ct.Counts[TraceLaunchEnd] != 1 {
+		t.Fatalf("launch events: %+v", ct.Counts)
+	}
+	if ct.Counts[TraceWarpDone] != int64(stats.WarpsLaunched) {
+		t.Fatalf("warp-done count %d, want %d", ct.Counts[TraceWarpDone], stats.WarpsLaunched)
+	}
+}
+
+func TestTracerDisabledByDefaultAndRemovable(t *testing.T) {
+	d := newTestDevice(t)
+	tr := &CountTracer{}
+	d.SetTracer(tr)
+	if _, err := d.Launch(LaunchConfig{Blocks: 1, ThreadsPerBlock: 32}, func(w *WarpCtx) {
+		w.Apply(1, func(l int) {})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	seen := ct(tr)
+	d.SetTracer(nil)
+	if _, err := d.Launch(LaunchConfig{Blocks: 1, ThreadsPerBlock: 32}, func(w *WarpCtx) {
+		w.Apply(1, func(l int) {})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ct(tr) != seen {
+		t.Fatal("removed tracer still received events")
+	}
+}
+
+func ct(tr *CountTracer) int64 {
+	var total int64
+	for _, c := range tr.Counts {
+		total += c
+	}
+	return total
+}
+
+func TestTraceKindString(t *testing.T) {
+	names := map[TraceKind]string{
+		TraceLaunchStart:    "launch-start",
+		TraceLaunchEnd:      "launch-end",
+		TraceBlockStart:     "block-start",
+		TraceBlockEnd:       "block-end",
+		TraceInstr:          "instr",
+		TraceBarrierRelease: "barrier",
+		TraceWarpDone:       "warp-done",
+		TraceKind(99):       "unknown",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Package traceview summarizes simt execution traces into tables and a
+// text timeline — the debugging/profiling companion to the simulator's
+// RingTracer.
+package traceview
+
+import (
+	"fmt"
+	"strings"
+
+	"maxwarp/internal/report"
+	"maxwarp/internal/simt"
+)
+
+// Summary aggregates one launch's trace.
+type Summary struct {
+	// TotalCycles is the launch-end cycle (0 if the trace lacks it).
+	TotalCycles int64
+	// InstrByClass counts instructions per class ("alu", "mem", ...).
+	InstrByClass map[string]int64
+	// IssueByClass sums issue slots (or transactions for memory classes).
+	IssueByClass map[string]int64
+	// PerSM aggregates per-SM activity.
+	PerSM []SMSummary
+	// Events is the total number of trace events seen.
+	Events int
+}
+
+// SMSummary is one SM's activity.
+type SMSummary struct {
+	SM           int
+	Blocks       int
+	Warps        int
+	Instrs       int64
+	FirstCycle   int64
+	LastCycle    int64
+	seenAnything bool
+}
+
+// Summarize folds a trace event stream into a Summary.
+func Summarize(events []simt.TraceEvent) *Summary {
+	s := &Summary{
+		InstrByClass: map[string]int64{},
+		IssueByClass: map[string]int64{},
+		Events:       len(events),
+	}
+	smIndex := map[int]int{}
+	getSM := func(id int) *SMSummary {
+		if i, ok := smIndex[id]; ok {
+			return &s.PerSM[i]
+		}
+		smIndex[id] = len(s.PerSM)
+		s.PerSM = append(s.PerSM, SMSummary{SM: id})
+		return &s.PerSM[len(s.PerSM)-1]
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case simt.TraceLaunchEnd:
+			s.TotalCycles = e.Cycle
+		case simt.TraceBlockStart:
+			getSM(e.SM).Blocks++
+		case simt.TraceWarpDone:
+			getSM(e.SM).Warps++
+		case simt.TraceInstr:
+			s.InstrByClass[e.Class]++
+			issue := e.Issue
+			if e.Class == "mem" || e.Class == "atomic" {
+				issue = e.Txns
+			}
+			s.IssueByClass[e.Class] += issue
+			sm := getSM(e.SM)
+			sm.Instrs++
+			if !sm.seenAnything || e.Cycle < sm.FirstCycle {
+				sm.FirstCycle = e.Cycle
+			}
+			if e.Cycle > sm.LastCycle {
+				sm.LastCycle = e.Cycle
+			}
+			sm.seenAnything = true
+		}
+	}
+	return s
+}
+
+// Tables renders the summary as result tables.
+func (s *Summary) Tables() []*report.Table {
+	mix := &report.Table{
+		ID:      "trace",
+		Title:   "instruction mix",
+		Columns: []string{"class", "instructions", "issue slots / txns"},
+	}
+	for _, class := range []string{"alu", "mem", "atomic", "shared", "barrier"} {
+		if s.InstrByClass[class] == 0 {
+			continue
+		}
+		mix.AddRow(class, report.I(s.InstrByClass[class]), report.I(s.IssueByClass[class]))
+	}
+	sms := &report.Table{
+		ID:      "trace",
+		Title:   fmt.Sprintf("per-SM activity (launch: %d cycles, %d events)", s.TotalCycles, s.Events),
+		Columns: []string{"SM", "blocks", "warps", "instructions", "first cycle", "last cycle"},
+	}
+	for _, sm := range s.PerSM {
+		sms.AddRow(report.I(int64(sm.SM)), report.I(int64(sm.Blocks)), report.I(int64(sm.Warps)),
+			report.I(sm.Instrs), report.I(sm.FirstCycle), report.I(sm.LastCycle))
+	}
+	return []*report.Table{mix, sms}
+}
+
+// Timeline renders per-SM activity as a text heat strip: time is split into
+// buckets; each cell shows instruction density (' ' none, '.', ':', '#').
+func Timeline(events []simt.TraceEvent, buckets int) string {
+	if buckets <= 0 {
+		buckets = 60
+	}
+	var maxCycle int64 = 1
+	maxSM := 0
+	for _, e := range events {
+		if e.Cycle > maxCycle {
+			maxCycle = e.Cycle
+		}
+		if e.SM > maxSM {
+			maxSM = e.SM
+		}
+	}
+	counts := make([][]int64, maxSM+1)
+	for i := range counts {
+		counts[i] = make([]int64, buckets)
+	}
+	var peak int64 = 1
+	for _, e := range events {
+		if e.Kind != simt.TraceInstr || e.SM < 0 {
+			continue
+		}
+		b := int(e.Cycle * int64(buckets-1) / maxCycle)
+		counts[e.SM][b]++
+		if counts[e.SM][b] > peak {
+			peak = counts[e.SM][b]
+		}
+	}
+	glyphs := []byte(" .:#")
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "timeline (%d cycles across %d buckets; density per SM)\n", maxCycle, buckets)
+	for smID, row := range counts {
+		fmt.Fprintf(&sb, "SM%-3d |", smID)
+		for _, c := range row {
+			g := 0
+			if c > 0 {
+				g = 1 + int(c*2/peak)
+				if g > 3 {
+					g = 3
+				}
+			}
+			sb.WriteByte(glyphs[g])
+		}
+		sb.WriteString("|\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,118 @@
+package traceview
+
+import (
+	"strings"
+	"testing"
+
+	"maxwarp/internal/simt"
+)
+
+func capture(t *testing.T) (*simt.RingTracer, *simt.LaunchStats) {
+	t.Helper()
+	cfg := simt.DefaultConfig()
+	cfg.NumSMs = 2
+	cfg.MaxWarpsPerSM = 8
+	d, err := simt.NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &simt.RingTracer{Cap: 1 << 16}
+	d.SetTracer(tr)
+	buf := d.AllocI32("buf", 256)
+	cnt := d.AllocI32("cnt", 1)
+	k := func(w *simt.WarpCtx) {
+		tid := w.GlobalThreadIDs()
+		w.If(func(l int) bool { return tid[l] < 256 }, func() {
+			v := w.VecI32()
+			w.LoadI32(buf, tid, v)
+			w.AtomicAddI32(cnt, w.ConstI32(0), w.ConstI32(1), nil)
+			w.StoreI32(buf, tid, v)
+		}, nil)
+	}
+	stats, err := d.Launch(simt.Grid1D(256, 64), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, stats
+}
+
+func TestSummarizeCountsMatchStats(t *testing.T) {
+	tr, stats := capture(t)
+	s := Summarize(tr.Events())
+	if s.TotalCycles != stats.Cycles {
+		t.Fatalf("total cycles %d, stats %d", s.TotalCycles, stats.Cycles)
+	}
+	var warps int
+	for _, sm := range s.PerSM {
+		warps += sm.Warps
+	}
+	if warps != stats.WarpsLaunched {
+		t.Fatalf("warps %d, stats %d", warps, stats.WarpsLaunched)
+	}
+	if s.InstrByClass["atomic"] != stats.AtomicOps {
+		t.Fatalf("atomic instrs %d, stats %d", s.InstrByClass["atomic"], stats.AtomicOps)
+	}
+	// Mem issue accounting uses transactions.
+	if s.IssueByClass["mem"]+s.IssueByClass["atomic"] != stats.MemTxns {
+		t.Fatalf("mem txns %d, stats %d",
+			s.IssueByClass["mem"]+s.IssueByClass["atomic"], stats.MemTxns)
+	}
+}
+
+func TestSummaryTables(t *testing.T) {
+	tr, _ := capture(t)
+	tables := Summarize(tr.Events()).Tables()
+	if len(tables) != 2 {
+		t.Fatalf("want 2 tables, got %d", len(tables))
+	}
+	mix := tables[0].Text()
+	for _, class := range []string{"alu", "mem", "atomic"} {
+		if !strings.Contains(mix, class) {
+			t.Fatalf("mix table missing %q:\n%s", class, mix)
+		}
+	}
+	sms := tables[1].Text()
+	if !strings.Contains(sms, "SM") {
+		t.Fatalf("per-SM table wrong:\n%s", sms)
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	tr, _ := capture(t)
+	tl := Timeline(tr.Events(), 40)
+	if !strings.Contains(tl, "SM0") || !strings.Contains(tl, "SM1") {
+		t.Fatalf("timeline missing SM rows:\n%s", tl)
+	}
+	if !strings.ContainsAny(tl, ".:#") {
+		t.Fatalf("timeline shows no activity:\n%s", tl)
+	}
+	// Every row is bracketed and equal width.
+	var width int
+	for _, line := range strings.Split(tl, "\n") {
+		if !strings.HasPrefix(line, "SM") {
+			continue
+		}
+		if width == 0 {
+			width = len(line)
+		} else if len(line) != width {
+			t.Fatalf("ragged timeline rows:\n%s", tl)
+		}
+	}
+}
+
+func TestTimelineEmptyTrace(t *testing.T) {
+	out := Timeline(nil, 10)
+	if !strings.Contains(out, "timeline") {
+		t.Fatal("empty trace crashed or rendered nothing")
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Events != 0 || len(s.PerSM) != 0 {
+		t.Fatalf("empty summary wrong: %+v", s)
+	}
+	if tables := s.Tables(); len(tables) != 2 {
+		t.Fatal("tables missing for empty summary")
+	}
+}

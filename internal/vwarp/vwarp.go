@@ -1,0 +1,412 @@
+// Package vwarp implements the paper's virtual warp-centric programming
+// method (Hong et al., PPoPP 2011) on top of the simt substrate.
+//
+// A physical warp of width W is divided into W/K virtual warps of width K.
+// Each virtual warp owns one task (typically a vertex) at a time and
+// processes it in two phases:
+//
+//   - a replicated (SISD) phase, where every lane of the virtual warp
+//     executes the same scalar instruction stream (Tasks.SISD,
+//     Tasks.LoadI32Grouped), paying no divergence but wasting K-1 of every
+//     K lanes; and
+//   - a SIMD phase (Tasks.SIMDRange), where the K lanes cooperatively
+//     stride over the task's data (an adjacency list), so a heavy task is
+//     spread across lanes instead of serializing one lane.
+//
+// K is the trade-off knob: K=1 degenerates to the classic thread-per-task
+// mapping (maximum ALU use, maximum imbalance), K=W is full warp-per-task
+// (minimum imbalance, most replication waste).
+//
+// The package also provides the paper's two auxiliary techniques: dynamic
+// workload distribution via a global task counter (ForEachDynamic) and
+// deferring outliers to a global queue (OutlierQueue) for a follow-up pass
+// at maximum parallelism.
+package vwarp
+
+import (
+	"fmt"
+
+	"maxwarp/internal/simt"
+)
+
+// Tasks is the per-round view a body callback receives: each virtual-warp
+// group g of width K holds task Task[g] (or -1 when the group is idle this
+// round). All per-group slices have length Groups.
+type Tasks struct {
+	// W is the underlying physical-warp context; kernels may use it directly
+	// for per-lane (SIMD-phase) operations.
+	W *simt.WarpCtx
+	// K is the virtual warp width.
+	K int
+	// Groups is W.Width()/K, the number of virtual warps per physical warp.
+	Groups int
+	// Task holds each group's current task id, -1 when idle.
+	Task []int32
+
+	laneIdx []int32 // scratch: per-lane replicated index vector
+	laneVal []int32 // scratch: per-lane value vector
+}
+
+func newTasks(w *simt.WarpCtx, k int) *Tasks {
+	width := w.Width()
+	if k < 1 || k > width || width%k != 0 {
+		panic(fmt.Sprintf("vwarp: virtual warp width %d invalid for physical width %d", k, width))
+	}
+	return &Tasks{
+		W:       w,
+		K:       k,
+		Groups:  width / k,
+		Task:    make([]int32, width/k),
+		laneIdx: make([]int32, width),
+		laneVal: make([]int32, width),
+	}
+}
+
+// Group returns the virtual-warp group a lane belongs to.
+func (t *Tasks) Group(lane int) int { return lane / t.K }
+
+// LaneInGroup returns a lane's index within its virtual warp.
+func (t *Tasks) LaneInGroup(lane int) int { return lane % t.K }
+
+// Valid reports whether group g has a task this round.
+func (t *Tasks) Valid(g int) bool { return t.Task[g] >= 0 }
+
+// SISD runs f once per active virtual warp, charged as `instrs` replicated
+// warp instructions (every hardware lane busy, one useful result per group).
+func (t *Tasks) SISD(instrs int, f func(g int)) {
+	t.W.ApplyReplicated(instrs, t.K, func(g int) {
+		if t.Valid(g) {
+			f(g)
+		}
+	})
+}
+
+// LoadI32Grouped performs the replicated-phase load dst[g] = buf[idx[g]] for
+// every active group. All K lanes of a group issue the same address, exactly
+// like replicated scalar code on hardware; coalescing collapses them into
+// one transaction per touched segment.
+func (t *Tasks) LoadI32Grouped(buf *simt.BufI32, idx, dst []int32) {
+	w := t.W
+	t.replicateI32(idx, t.laneIdx)
+	w.LoadI32Replicated(t.K, buf, t.laneIdx, t.laneVal)
+	for g := 0; g < t.Groups; g++ {
+		if lane := t.firstActiveLane(g); lane >= 0 {
+			dst[g] = t.laneVal[lane]
+		}
+	}
+}
+
+// StoreI32Grouped performs the replicated-phase store buf[idx[g]] = val[g]
+// for every active group for which pred holds (nil pred = all). Only the
+// group leader lane writes, like "if (lane_of_vw == 0)" in CUDA code.
+func (t *Tasks) StoreI32Grouped(buf *simt.BufI32, idx, val []int32, pred func(g int) bool) {
+	w := t.W
+	leaders := t.leaderLanes()
+	t.replicateI32Pair(idx, val, t.laneIdx, t.laneVal)
+	w.If(func(lane int) bool {
+		g := t.Group(lane)
+		return leaders[lane] && t.Valid(g) && (pred == nil || pred(g))
+	}, func() {
+		w.StoreI32(buf, t.laneIdx, t.laneVal)
+	}, nil)
+}
+
+// AtomicAddGrouped atomically adds delta[g] to buf[idx[g]] once per active
+// group for which pred holds, placing the previous value in old[g] (old may
+// be nil). One lane per group performs the atomic, as hardware code would.
+func (t *Tasks) AtomicAddGrouped(buf *simt.BufI32, idx, delta, old []int32, pred func(g int) bool) {
+	w := t.W
+	leaders := t.leaderLanes()
+	laneOld := t.W.VecI32()
+	t.replicateI32Pair(idx, delta, t.laneIdx, t.laneVal)
+	w.If(func(lane int) bool {
+		g := t.Group(lane)
+		return leaders[lane] && t.Valid(g) && (pred == nil || pred(g))
+	}, func() {
+		w.AtomicAddI32(buf, t.laneIdx, t.laneVal, laneOld)
+	}, nil)
+	if old != nil {
+		for g := 0; g < t.Groups; g++ {
+			if lane := t.firstActiveLane(g); lane >= 0 {
+				old[g] = laneOld[lane]
+			}
+		}
+	}
+}
+
+// Mask narrows execution to the groups passing pred for the duration of
+// body — the virtual-warp analogue of "if (condition) { ... }" in scalar
+// kernel code. Groups failing pred sit idle (divergence cost applies when
+// some groups pass and some fail).
+func (t *Tasks) Mask(pred func(g int) bool, body func()) {
+	t.W.IfGrouped(t.K, func(lane int) bool {
+		g := t.Group(lane)
+		return t.Valid(g) && pred(g)
+	}, body, nil)
+}
+
+// LoadF32Grouped is the float32 variant of LoadI32Grouped: the replicated
+// per-group gather dst[g] = buf[idx[g]].
+func (t *Tasks) LoadF32Grouped(buf *simt.BufF32, idx []int32, dst []float32) {
+	w := t.W
+	t.replicateI32(idx, t.laneIdx)
+	laneVal := w.VecF32()
+	w.LoadF32(buf, t.laneIdx, laneVal)
+	for g := 0; g < t.Groups; g++ {
+		if lane := t.firstActiveLane(g); lane >= 0 {
+			dst[g] = laneVal[lane]
+		}
+	}
+}
+
+// StoreF32Grouped is the float32 variant of StoreI32Grouped: the group
+// leader writes buf[idx[g]] = val[g] for groups passing pred (nil = all).
+func (t *Tasks) StoreF32Grouped(buf *simt.BufF32, idx []int32, val []float32, pred func(g int) bool) {
+	w := t.W
+	leaders := t.leaderLanes()
+	laneVal := w.VecF32()
+	w.ApplyReplicated(1, t.K, func(g int) {
+		base := g * t.K
+		for lane := base; lane < base+t.K; lane++ {
+			t.laneIdx[lane] = idx[g]
+			laneVal[lane] = val[g]
+		}
+	})
+	w.If(func(lane int) bool {
+		g := t.Group(lane)
+		return leaders[lane] && t.Valid(g) && (pred == nil || pred(g))
+	}, func() {
+		w.StoreF32(buf, t.laneIdx, laneVal)
+	}, nil)
+}
+
+// ReduceAddF32 sums the per-lane values of src within each group (a
+// shuffle-tree reduction) and writes the per-group totals to dst.
+func (t *Tasks) ReduceAddF32(src []float32, dst []float32) {
+	w := t.W
+	laneSum := w.VecF32()
+	w.GroupReduceAddF32(t.K, src, laneSum)
+	for g := 0; g < t.Groups; g++ {
+		if lane := t.firstActiveLane(g); lane >= 0 {
+			dst[g] = laneSum[lane]
+		}
+	}
+}
+
+// ReduceAddI32 sums the per-lane values of src within each group and writes
+// the per-group totals to dst.
+func (t *Tasks) ReduceAddI32(src []int32, dst []int32) {
+	w := t.W
+	laneSum := w.VecI32()
+	w.GroupReduceAddI32(t.K, src, laneSum)
+	for g := 0; g < t.Groups; g++ {
+		if lane := t.firstActiveLane(g); lane >= 0 {
+			dst[g] = laneSum[lane]
+		}
+	}
+}
+
+// SIMDRange is the SIMD phase: for each active group, the K lanes stride
+// over [start[g], end[g]). body receives the per-lane position vector j;
+// lanes whose position has run past their group's end are masked off, so
+// trip-count differences between groups cost idle lanes — the residual
+// intra-warp imbalance the paper tunes with K.
+func (t *Tasks) SIMDRange(start, end []int32, body func(j []int32)) {
+	w := t.W
+	j := w.VecI32()
+	w.Apply(1, func(lane int) {
+		j[lane] = start[t.Group(lane)] + int32(t.LaneInGroup(lane))
+	})
+	w.While(func(lane int) bool {
+		g := t.Group(lane)
+		return t.Valid(g) && j[lane] < end[g]
+	}, func() {
+		body(j)
+		w.Apply(1, func(lane int) { j[lane] += int32(t.K) })
+	})
+}
+
+// replicateI32 broadcasts per-group values to every lane of the group,
+// charged as one replicated warp instruction (this is exactly what the
+// SISD-phase address computation costs on hardware: all lanes busy, one
+// useful result per virtual warp).
+func (t *Tasks) replicateI32(src []int32, dst []int32) {
+	t.W.ApplyReplicated(1, t.K, func(g int) {
+		base := g * t.K
+		for lane := base; lane < base+t.K; lane++ {
+			dst[lane] = src[g]
+		}
+	})
+}
+
+// replicateI32Pair broadcasts two per-group vectors in one replicated
+// instruction.
+func (t *Tasks) replicateI32Pair(srcA, srcB, dstA, dstB []int32) {
+	t.W.ApplyReplicated(1, t.K, func(g int) {
+		base := g * t.K
+		for lane := base; lane < base+t.K; lane++ {
+			dstA[lane] = srcA[g]
+			dstB[lane] = srcB[g]
+		}
+	})
+}
+
+// GroupLoop iterates each group sequentially over [start[g], end[g]): every
+// round, body sees pos (per group, the group's current position); groups
+// that finish early sit masked out until the loop drains. Use it for the
+// replicated-phase outer loops of nested-iteration kernels (e.g. "for each
+// neighbor v of u" in triangle counting, with a SIMD phase inside).
+func (t *Tasks) GroupLoop(start, end []int32, body func(pos []int32)) {
+	w := t.W
+	pos := append(make([]int32, 0, t.Groups), start[:t.Groups]...)
+	w.While(func(lane int) bool {
+		g := t.Group(lane)
+		return t.Valid(g) && pos[g] < end[g]
+	}, func() {
+		body(pos)
+		t.SISD(1, func(g int) { pos[g]++ })
+	})
+}
+
+// firstActiveLane returns the lowest active lane of group g, or -1.
+func (t *Tasks) firstActiveLane(g int) int {
+	base := g * t.K
+	for lane := base; lane < base+t.K; lane++ {
+		if t.W.LaneActive(lane) {
+			return lane
+		}
+	}
+	return -1
+}
+
+// leaderLanes marks the first active lane of each group.
+func (t *Tasks) leaderLanes() []bool {
+	leaders := make([]bool, t.W.Width())
+	for g := 0; g < t.Groups; g++ {
+		if lane := t.firstActiveLane(g); lane >= 0 {
+			leaders[lane] = true
+		}
+	}
+	return leaders
+}
+
+// ForEachStatic distributes tasks [0, numTasks) over all virtual warps of
+// the grid with a strided (round-robin) static schedule and invokes body
+// once per round with the warp's task assignment.
+func ForEachStatic(w *simt.WarpCtx, k int, numTasks int32, body func(t *Tasks)) {
+	t := newTasks(w, k)
+	groups := int32(t.Groups)
+	gridWarps := int32(w.GridThreads() / w.Width())
+	totalVW := gridWarps * groups
+	baseVW := int32(w.GlobalWarpID()) * groups
+	for round := int32(0); ; round++ {
+		first := baseVW + round*totalVW
+		if first >= numTasks {
+			break
+		}
+		any := false
+		for g := int32(0); g < groups; g++ {
+			id := first + g
+			if id < numTasks {
+				t.Task[g] = id
+				any = true
+			} else {
+				t.Task[g] = -1
+			}
+		}
+		if !any {
+			break
+		}
+		w.IfGrouped(t.K, func(lane int) bool { return t.Valid(t.Group(lane)) }, func() {
+			body(t)
+		}, nil)
+	}
+}
+
+// ForEachStaticBlocked distributes tasks in contiguous blocks: virtual warp
+// i owns tasks [i*ceil(n/totalVW), (i+1)*ceil(n/totalVW)) — the paper-era
+// static partitioning that ForEachStatic's stride schedule improves on.
+// Kept as the baseline for the dynamic-distribution comparison (E7): when
+// hot vertices cluster in id space, blocked assignment concentrates them in
+// few virtual warps.
+func ForEachStaticBlocked(w *simt.WarpCtx, k int, numTasks int32, body func(t *Tasks)) {
+	t := newTasks(w, k)
+	groups := int32(t.Groups)
+	gridWarps := int32(w.GridThreads() / w.Width())
+	totalVW := gridWarps * groups
+	if totalVW == 0 {
+		return
+	}
+	per := (numTasks + totalVW - 1) / totalVW
+	baseVW := int32(w.GlobalWarpID()) * groups
+	for off := int32(0); off < per; off++ {
+		any := false
+		for g := int32(0); g < groups; g++ {
+			id := (baseVW+g)*per + off
+			if id < numTasks {
+				t.Task[g] = id
+				any = true
+			} else {
+				t.Task[g] = -1
+			}
+		}
+		if !any {
+			// Later offsets cannot become valid: ids only grow with off.
+			break
+		}
+		w.IfGrouped(t.K, func(lane int) bool { return t.Valid(t.Group(lane)) }, func() {
+			body(t)
+		}, nil)
+	}
+}
+
+// FetchChunk has one lane of the physical warp atomically advance the global
+// task counter by chunk and broadcasts the claimed base index to the warp —
+// the paper's dynamic workload distribution primitive.
+func FetchChunk(w *simt.WarpCtx, counter *simt.BufI32, chunk int32) int32 {
+	old := w.VecI32()
+	w.If(func(lane int) bool { return lane == 0 }, func() {
+		w.AtomicAddI32(counter, w.ConstI32(0), w.ConstI32(chunk), old)
+	}, nil)
+	return w.BroadcastI32(old, 0)
+}
+
+// ForEachDynamic distributes tasks [0, numTasks) over physical warps in
+// chunks claimed from the global counter buffer (counter[0] must be zeroed
+// by the host before launch). Within a claimed chunk, tasks are dealt to the
+// warp's virtual warps round-robin.
+func ForEachDynamic(w *simt.WarpCtx, k int, numTasks int32, counter *simt.BufI32, chunk int32, body func(t *Tasks)) {
+	if chunk < 1 {
+		panic(fmt.Sprintf("vwarp: chunk size %d must be >= 1", chunk))
+	}
+	t := newTasks(w, k)
+	groups := int32(t.Groups)
+	for {
+		base := FetchChunk(w, counter, chunk)
+		if base >= numTasks {
+			break
+		}
+		limit := base + chunk
+		if limit > numTasks {
+			limit = numTasks
+		}
+		for off := base; off < limit; off += groups {
+			any := false
+			for g := int32(0); g < groups; g++ {
+				id := off + g
+				if id < limit {
+					t.Task[g] = id
+					any = true
+				} else {
+					t.Task[g] = -1
+				}
+			}
+			if !any {
+				break
+			}
+			w.IfGrouped(t.K, func(lane int) bool { return t.Valid(t.Group(lane)) }, func() {
+				body(t)
+			}, nil)
+		}
+	}
+}

@@ -1,0 +1,399 @@
+// Package maxwarp is a from-scratch, pure-Go reproduction of
+//
+//	Hong, Kim, Oguntebi, Olukotun.
+//	"Accelerating CUDA Graph Algorithms at Maximum Warp." PPoPP 2011.
+//
+// The package is the public facade over the repository's internal layers:
+//
+//   - a deterministic SIMT GPU simulator (internal/simt) standing in for the
+//     paper's CUDA hardware — warps, divergence masks, memory coalescing,
+//     atomics, shared memory, latency hiding;
+//   - the paper's virtual warp-centric programming method (internal/vwarp):
+//     virtual warps of width K, replicated (SISD) + SIMD phases, dynamic
+//     workload distribution, and outlier deferral;
+//   - graph algorithms in both the thread-per-vertex baseline and
+//     warp-centric mappings (internal/gpualgo), with CPU oracles
+//     (internal/cpualgo);
+//   - seeded workload generators matching the paper's dataset regimes
+//     (internal/gengraph);
+//   - the experiment harness regenerating every table/figure
+//     (internal/bench).
+//
+// Quick start:
+//
+//	g, _ := maxwarp.RMAT(14, 16, maxwarp.DefaultRMATParams, 42)
+//	dev, _ := maxwarp.NewDevice(maxwarp.DefaultDeviceConfig())
+//	dg := maxwarp.UploadGraph(dev, g)
+//	res, _ := maxwarp.BFS(dev, dg, 0, maxwarp.Options{K: 32})
+//	fmt.Println(res.Depth, res.Stats.Cycles)
+//
+// See README.md for the architecture overview and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package maxwarp
+
+import (
+	"io"
+
+	"maxwarp/internal/bench"
+	"maxwarp/internal/cpualgo"
+	"maxwarp/internal/gengraph"
+	"maxwarp/internal/gpualgo"
+	"maxwarp/internal/graph"
+	"maxwarp/internal/report"
+	"maxwarp/internal/simt"
+)
+
+// Graph and edge types.
+type (
+	// Graph is a directed graph in compressed-sparse-row form.
+	Graph = graph.CSR
+	// Edge is a directed edge for graph construction.
+	Edge = graph.Edge
+	// VertexID identifies a vertex.
+	VertexID = graph.VertexID
+	// DegreeStats summarizes a degree distribution.
+	DegreeStats = graph.DegreeStats
+)
+
+// Simulator types.
+type (
+	// Device is the simulated GPU.
+	Device = simt.Device
+	// DeviceConfig describes the simulated hardware.
+	DeviceConfig = simt.Config
+	// LaunchConfig is a kernel grid shape.
+	LaunchConfig = simt.LaunchConfig
+	// LaunchStats aggregates per-launch simulator counters.
+	LaunchStats = simt.LaunchStats
+	// Kernel is a warp program; see WarpCtx.
+	Kernel = simt.Kernel
+	// WarpCtx is the per-warp kernel execution context.
+	WarpCtx = simt.WarpCtx
+	// Tracer receives execution trace events (see Device.SetTracer).
+	Tracer = simt.Tracer
+	// RingTracer retains the most recent trace events in memory.
+	RingTracer = simt.RingTracer
+	// TraceEvent is one scheduler observation.
+	TraceEvent = simt.TraceEvent
+)
+
+// Algorithm types.
+type (
+	// DeviceGraph is a graph resident in device memory.
+	DeviceGraph = gpualgo.DeviceGraph
+	// Options select the work mapping (virtual warp width K, dynamic
+	// distribution, outlier deferral).
+	Options = gpualgo.Options
+	// BFSResult is the output of BFS.
+	BFSResult = gpualgo.BFSResult
+	// SSSPResult is the output of SSSP.
+	SSSPResult = gpualgo.SSSPResult
+	// PageRankResult is the output of PageRank.
+	PageRankResult = gpualgo.PageRankResult
+	// PageRankOptions extend Options with power-iteration parameters.
+	PageRankOptions = gpualgo.PageRankOptions
+	// CCResult is the output of ConnectedComponents.
+	CCResult = gpualgo.CCResult
+	// NeighborSumResult is the output of NeighborSum.
+	NeighborSumResult = gpualgo.NeighborSumResult
+	// SpMVResult is the output of SpMV.
+	SpMVResult = gpualgo.SpMVResult
+	// TriangleResult is the output of TriangleCount.
+	TriangleResult = gpualgo.TriangleResult
+	// KCoreResult is the output of KCore.
+	KCoreResult = gpualgo.KCoreResult
+	// MISResult is the output of MIS.
+	MISResult = gpualgo.MISResult
+	// ColoringResult is the output of GraphColoring.
+	ColoringResult = gpualgo.ColoringResult
+	// BCResult is the output of BetweennessCentrality.
+	BCResult = gpualgo.BCResult
+	// ClosenessResult is the output of ClosenessCentrality.
+	ClosenessResult = gpualgo.ClosenessResult
+	// SCCResult is the output of SCC.
+	SCCResult = gpualgo.SCCResult
+	// MSBFSResult is the output of MSBFS.
+	MSBFSResult = gpualgo.MSBFSResult
+	// BFSDirResult is the output of BFSDirectionOpt.
+	BFSDirResult = gpualgo.BFSDirResult
+	// DirOptions tune the push/pull hybrid heuristic.
+	DirOptions = gpualgo.DirOptions
+	// Direction selects a BFS traversal direction.
+	Direction = gpualgo.Direction
+	// TuneResult records an auto-tuning sweep over virtual warp widths.
+	TuneResult = gpualgo.TuneResult
+	// DeltaSteppingOptions tune the bucketed SSSP.
+	DeltaSteppingOptions = gpualgo.DeltaSteppingOptions
+)
+
+// BFS traversal directions for DirOptions.Force.
+const (
+	DirPush = gpualgo.DirPush
+	DirPull = gpualgo.DirPull
+)
+
+// Generator types.
+type (
+	// RMATParams are recursive-matrix quadrant probabilities.
+	RMATParams = gengraph.RMATParams
+	// Preset is a named synthetic stand-in for a paper dataset regime.
+	Preset = gengraph.Preset
+)
+
+// Experiment harness types.
+type (
+	// Experiment is one runnable table/figure reproduction.
+	Experiment = bench.Experiment
+	// ExperimentConfig sizes the experiment suite.
+	ExperimentConfig = bench.Config
+	// Table is a rendered result table.
+	Table = report.Table
+)
+
+// DefaultRMATParams is the canonical skewed (0.57,0.19,0.19,0.05)
+// parameterization.
+var DefaultRMATParams = gengraph.DefaultRMAT
+
+// Unvisited marks unreached vertices in BFS level arrays.
+const Unvisited = gpualgo.Unvisited
+
+// InfDist marks unreachable vertices in SSSP distance arrays.
+const InfDist = cpualgo.InfDist
+
+// DefaultDeviceConfig returns the GTX 275-class simulated machine.
+func DefaultDeviceConfig() DeviceConfig { return simt.DefaultConfig() }
+
+// NewDevice creates a simulated GPU.
+func NewDevice(cfg DeviceConfig) (*Device, error) { return simt.NewDevice(cfg) }
+
+// NewGraph builds a CSR graph from an edge list.
+func NewGraph(numVertices int, edges []Edge) (*Graph, error) {
+	return graph.FromEdges(numVertices, edges)
+}
+
+// Stats computes degree statistics for g.
+func Stats(g *Graph) DegreeStats { return graph.Stats(g) }
+
+// SortByDegree relabels g in descending-degree order (returns graph and the
+// old→new permutation) — preprocessing that evens out per-warp work for
+// static thread-per-vertex mappings.
+func SortByDegree(g *Graph) (*Graph, []VertexID) { return graph.SortByDegree(g) }
+
+// UploadGraph copies a graph into device memory.
+func UploadGraph(d *Device, g *Graph) *DeviceGraph { return gpualgo.Upload(d, g) }
+
+// UploadWeightedGraph copies a graph and per-edge weights (aligned with
+// g.Col) into device memory.
+func UploadWeightedGraph(d *Device, g *Graph, weights []int32) (*DeviceGraph, error) {
+	return gpualgo.UploadWeighted(d, g, weights)
+}
+
+// BFS runs breadth-first search on the device; Options.K selects the
+// mapping (1 = thread-per-vertex baseline, >1 = virtual warp-centric).
+func BFS(d *Device, dg *DeviceGraph, src VertexID, opts Options) (*BFSResult, error) {
+	return gpualgo.BFS(d, dg, src, opts)
+}
+
+// SSSP runs Bellman-Ford shortest paths on the device (requires
+// UploadWeightedGraph).
+func SSSP(d *Device, dg *DeviceGraph, src VertexID, opts Options) (*SSSPResult, error) {
+	return gpualgo.SSSP(d, dg, src, opts)
+}
+
+// DeltaStepping runs near-far bucketed SSSP on the device (requires
+// UploadWeightedGraph); an alternative to SSSP's Bellman-Ford rounds.
+func DeltaStepping(d *Device, dg *DeviceGraph, src VertexID, opts DeltaSteppingOptions) (*SSSPResult, error) {
+	return gpualgo.DeltaStepping(d, dg, src, opts)
+}
+
+// PageRank runs pull-based power iteration on the device.
+func PageRank(d *Device, g *Graph, opts PageRankOptions) (*PageRankResult, error) {
+	return gpualgo.PageRank(d, g, opts)
+}
+
+// ConnectedComponents runs min-label propagation on the device (symmetrize
+// directed graphs first for weak components).
+func ConnectedComponents(d *Device, dg *DeviceGraph, opts Options) (*CCResult, error) {
+	return gpualgo.ConnectedComponents(d, dg, opts)
+}
+
+// NeighborSum runs the gather microkernel (per-vertex sum over neighbors).
+func NeighborSum(d *Device, dg *DeviceGraph, values []int32, opts Options) (*NeighborSumResult, error) {
+	return gpualgo.NeighborSum(d, dg, values, opts)
+}
+
+// BFSFrontier runs queue-based (frontier) BFS — the alternative formulation
+// to BFS's quadratic level scan.
+func BFSFrontier(d *Device, dg *DeviceGraph, src VertexID, opts Options) (*BFSResult, error) {
+	return gpualgo.BFSFrontier(d, dg, src, opts)
+}
+
+// ClosenessCentrality estimates closeness centrality from a landmark
+// sample, batched through bit-parallel multi-source BFS.
+func ClosenessCentrality(d *Device, g *Graph, samples int, seed uint64, opts Options) (*ClosenessResult, error) {
+	return gpualgo.ClosenessCentrality(d, g, samples, seed, opts)
+}
+
+// ClosenessCentralityCPU is the host oracle over the same landmark sample.
+func ClosenessCentralityCPU(g *Graph, sources []VertexID) []float64 {
+	return gpualgo.ClosenessCentralityCPU(g, sources)
+}
+
+// SCC decomposes a directed graph into strongly connected components on the
+// device (Forward-Backward-Trim).
+func SCC(d *Device, g *Graph, opts Options) (*SCCResult, error) {
+	return gpualgo.SCC(d, g, opts)
+}
+
+// SCCCPU is the Tarjan host oracle (canonical min-vertex labels).
+func SCCCPU(g *Graph) []int32 { return cpualgo.SCC(g) }
+
+// MSBFS runs up to 31 breadth-first searches simultaneously with
+// bit-parallel frontiers; batching shares adjacency scans across sources.
+func MSBFS(d *Device, dg *DeviceGraph, sources []VertexID, opts Options) (*MSBFSResult, error) {
+	return gpualgo.MSBFS(d, dg, sources, opts)
+}
+
+// MSBFSCPU is the host oracle for MSBFS (independent BFS per source).
+func MSBFSCPU(g *Graph, sources []VertexID) [][]int32 { return gpualgo.MSBFSCPU(g, sources) }
+
+// SpMV computes y = A·x on the device; Options.K interpolates between
+// scalar CSR (K=1) and vector CSR (K=warp width).
+func SpMV(d *Device, dg *DeviceGraph, vals, x []float32, opts Options) (*SpMVResult, error) {
+	return gpualgo.SpMV(d, dg, vals, x, opts)
+}
+
+// SpMVCPU is the host oracle for SpMV (compare with a small tolerance:
+// float32 summation order differs).
+func SpMVCPU(g *Graph, vals, x []float32) []float32 {
+	return gpualgo.SpMVCPU(g, vals, x)
+}
+
+// BFSDirectionOpt runs direction-optimizing (push/pull hybrid) BFS.
+func BFSDirectionOpt(d *Device, g *Graph, src VertexID, opts DirOptions) (*BFSDirResult, error) {
+	return gpualgo.BFSDirectionOpt(d, g, src, opts)
+}
+
+// TriangleCount counts triangles on the device (needs an undirected simple
+// graph with sorted adjacency, e.g. from Graph.Symmetrize).
+func TriangleCount(d *Device, g *Graph, opts Options) (*TriangleResult, error) {
+	return gpualgo.TriangleCount(d, g, opts)
+}
+
+// TriangleCountCPU is the host oracle for TriangleCount.
+func TriangleCountCPU(g *Graph) ([]int32, int64) { return gpualgo.TriangleCountCPU(g) }
+
+// KCore computes k-core membership on the device (upload the symmetrized
+// graph).
+func KCore(d *Device, dg *DeviceGraph, k int32, opts Options) (*KCoreResult, error) {
+	return gpualgo.KCore(d, dg, k, opts)
+}
+
+// KCoreCPU is the host oracle for KCore.
+func KCoreCPU(g *Graph, k int32) ([]bool, int) { return gpualgo.KCoreCPU(g, k) }
+
+// MIS computes a maximal independent set on the device (upload the
+// symmetrized graph); the result is deterministic given the priority seed.
+func MIS(d *Device, dg *DeviceGraph, seed uint64, opts Options) (*MISResult, error) {
+	return gpualgo.MIS(d, dg, seed, opts)
+}
+
+// MISCPU is the host oracle for MIS (greedy in priority order).
+func MISCPU(g *Graph, seed uint64) ([]bool, int) { return gpualgo.MISCPU(g, seed) }
+
+// GraphColoring computes a proper vertex coloring on the device
+// (Jones–Plassmann rounds; upload the symmetrized graph).
+func GraphColoring(d *Device, dg *DeviceGraph, seed uint64, opts Options) (*ColoringResult, error) {
+	return gpualgo.GraphColoring(d, dg, seed, opts)
+}
+
+// ValidColoring verifies a proper coloring (error = first violation).
+func ValidColoring(g *Graph, colors []int32) error { return gpualgo.ValidColoring(g, colors) }
+
+// GreedyColoringCPU is the sequential greedy reference coloring.
+func GreedyColoringCPU(g *Graph) ([]int32, int32) { return gpualgo.GreedyColoringCPU(g) }
+
+// BetweennessCentrality runs Brandes' algorithm on the device for the given
+// sources (all vertices for exact BC).
+func BetweennessCentrality(d *Device, g *Graph, sources []VertexID, opts Options) (*BCResult, error) {
+	return gpualgo.BetweennessCentrality(d, g, sources, opts)
+}
+
+// BetweennessCentralityCPU is the host Brandes oracle.
+func BetweennessCentralityCPU(g *Graph, sources []VertexID) []float64 {
+	return gpualgo.BetweennessCentralityCPU(g, sources)
+}
+
+// CPU oracles / comparison series.
+
+// BFSCPU is the sequential CPU reference.
+func BFSCPU(g *Graph, src VertexID) []int32 { return cpualgo.BFSSequential(g, src) }
+
+// BFSCPUParallel is the multicore CPU reference (workers<=0 = GOMAXPROCS).
+func BFSCPUParallel(g *Graph, src VertexID, workers int) []int32 {
+	return cpualgo.BFSParallel(g, src, workers)
+}
+
+// SSSPCPU is the Dijkstra CPU reference.
+func SSSPCPU(g *Graph, weights []int32, src VertexID) []int32 {
+	return cpualgo.SSSPDijkstra(g, weights, src)
+}
+
+// Generators.
+
+// RMAT generates a skewed recursive-matrix graph with 2^scale vertices.
+func RMAT(scale, edgeFactor int, p RMATParams, seed uint64) (*Graph, error) {
+	return gengraph.RMAT(scale, edgeFactor, p, seed)
+}
+
+// UniformRandom generates a G(n,m)-style uniform random directed graph.
+func UniformRandom(n, m int, seed uint64) (*Graph, error) {
+	return gengraph.UniformRandom(n, m, seed)
+}
+
+// Mesh2D generates a bidirectional rows×cols grid (road-network regime).
+func Mesh2D(rows, cols int) (*Graph, error) { return gengraph.Mesh2D(rows, cols) }
+
+// EdgeWeights returns deterministic positive weights aligned with g.Col.
+func EdgeWeights(g *Graph, maxWeight int32, seed uint64) []int32 {
+	return gengraph.EdgeWeights(g, maxWeight, seed)
+}
+
+// Presets returns the standard workload suite (most skewed first).
+func Presets() []Preset { return gengraph.Presets() }
+
+// ChungLu generates a power-law graph with explicit exponent gamma.
+func ChungLu(n int, avgDegree, gamma float64, seed uint64) (*Graph, error) {
+	return gengraph.ChungLu(n, avgDegree, gamma, seed)
+}
+
+// ExtractLargestWCC trims g to its largest weakly connected component
+// (returns the subgraph and the old→new id map, -1 = dropped).
+func ExtractLargestWCC(g *Graph) (*Graph, []VertexID) { return graph.ExtractLargestWCC(g) }
+
+// AutoTuneBFS sweeps BFS over all virtual warp widths and reports the best.
+func AutoTuneBFS(cfg DeviceConfig, g *Graph, src VertexID, opts Options) (*TuneResult, error) {
+	return gpualgo.AutoTuneBFS(cfg, g, src, opts)
+}
+
+// AutoTuneNeighborSum sweeps the cheap gather probe to pick K for a graph.
+func AutoTuneNeighborSum(cfg DeviceConfig, g *Graph, opts Options) (*TuneResult, error) {
+	return gpualgo.AutoTuneNeighborSum(cfg, g, opts)
+}
+
+// ReadDIMACS parses a DIMACS shortest-path (.gr) file into a graph plus
+// per-edge weights aligned with Graph.Col.
+func ReadDIMACS(r io.Reader) (*Graph, []int32, error) { return graph.ReadDIMACS(r) }
+
+// WriteDIMACS writes a weighted graph in the DIMACS shortest-path format.
+func WriteDIMACS(w io.Writer, g *Graph, weights []int32) error {
+	return graph.WriteDIMACS(w, g, weights)
+}
+
+// Experiments.
+
+// Experiments returns every table/figure reproduction in index order.
+func Experiments() []Experiment { return bench.All() }
+
+// ExperimentByID looks up one experiment ("E1".."E10", "A1", "A2").
+func ExperimentByID(id string) (Experiment, error) { return bench.ByID(id) }

@@ -1,0 +1,87 @@
+package maxwarp_test
+
+import (
+	"reflect"
+	"testing"
+
+	"maxwarp"
+)
+
+// TestPublicAPIEndToEnd exercises the facade the way a downstream user
+// would: generate, upload, run every algorithm, cross-check with CPU.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	g, err := maxwarp.RMAT(8, 8, maxwarp.DefaultRMATParams, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := maxwarp.DefaultDeviceConfig()
+	cfg.NumSMs = 4
+	dev, err := maxwarp.NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg := maxwarp.UploadGraph(dev, g)
+
+	res, err := maxwarp.BFS(dev, dg, 0, maxwarp.Options{K: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := maxwarp.BFSCPU(g, 0); !reflect.DeepEqual(res.Levels, want) {
+		t.Fatal("facade BFS differs from CPU")
+	}
+	if par := maxwarp.BFSCPUParallel(g, 0, 2); !reflect.DeepEqual(par, res.Levels) {
+		t.Fatal("parallel CPU BFS differs")
+	}
+
+	weights := maxwarp.EdgeWeights(g, 8, 9)
+	wdg, err := maxwarp.UploadWeightedGraph(dev, g, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := maxwarp.SSSP(dev, wdg, 0, maxwarp.Options{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := maxwarp.SSSPCPU(g, weights, 0); !reflect.DeepEqual(sres.Dist, want) {
+		t.Fatal("facade SSSP differs from CPU")
+	}
+
+	if _, err := maxwarp.PageRank(dev, g, maxwarp.PageRankOptions{
+		Options: maxwarp.Options{K: 8}, Iterations: 3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	values := make([]int32, g.NumVertices())
+	if _, err := maxwarp.NeighborSum(dev, dg, values, maxwarp.Options{K: 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	sym := g.Symmetrize()
+	sdg := maxwarp.UploadGraph(dev, sym)
+	if _, err := maxwarp.ConnectedComponents(dev, sdg, maxwarp.Options{K: 16}); err != nil {
+		t.Fatal(err)
+	}
+
+	if s := maxwarp.Stats(g); s.NumVertices != 256 {
+		t.Fatalf("Stats: %+v", s)
+	}
+	if len(maxwarp.Presets()) == 0 {
+		t.Fatal("no presets")
+	}
+	if len(maxwarp.Experiments()) == 0 {
+		t.Fatal("no experiments")
+	}
+	if _, err := maxwarp.ExperimentByID("E1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := maxwarp.NewGraph(2, []maxwarp.Edge{{Src: 0, Dst: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := maxwarp.Mesh2D(4, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := maxwarp.UniformRandom(16, 32, 1); err != nil {
+		t.Fatal(err)
+	}
+}
