@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test check race vet fuzz
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The full gate: vet plus the entire suite — chaos tests included — under
+# the race detector.
+race:
+	$(GO) test -race ./...
+
+check: vet race
+
+# Short fuzz pass over the untrusted-input parsers.
+fuzz:
+	$(GO) test -fuzz FuzzReadDIMACS -fuzztime 15s ./internal/graph
+	$(GO) test -fuzz FuzzFromEdges -fuzztime 15s ./internal/graph

@@ -129,7 +129,10 @@ func benchBFS(b *testing.B, k int, dynamic bool, deferTh int32) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		dg := maxwarp.UploadGraph(dev, g)
+		dg, err := maxwarp.UploadGraph(dev, g)
+		if err != nil {
+			b.Fatal(err)
+		}
 		res, err := maxwarp.BFS(dev, dg, 0, maxwarp.Options{
 			K: k, Dynamic: dynamic, DeferThreshold: deferTh,
 		})

@@ -24,6 +24,8 @@ func cmdAlgo(args []string) error {
 	dynamic := fs.Bool("dynamic", false, "dynamic workload distribution")
 	coreK := fs.Int("corek", 2, "k for the kcore kernel")
 	iters := fs.Int("iters", 10, "iterations for pagerank")
+	inject := fs.String("inject", "", "fault-injection spec (bfs, sssp, pagerank only): abort=N,bitflip=N,buffers=a|b,loss=N,seed=N,maxfaults=N")
+	retries := fs.Int("retries", 3, "per-iteration retry budget under -inject (min 1)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -43,6 +45,10 @@ func cmdAlgo(args []string) error {
 	}
 	opts := gpualgo.Options{K: *k, Dynamic: *dynamic}
 	src := graph.LargestOutComponentSeed(g)
+
+	if *inject != "" {
+		return runInjected(dev, g, *name, src, opts, *inject, *retries, *iters, edgeWeights, gname, *k, *dynamic)
+	}
 
 	var (
 		stats  simt.LaunchStats
@@ -90,7 +96,11 @@ func cmdAlgo(args []string) error {
 		}
 		stats, rounds = res.Stats, res.Iterations
 	case "cc":
-		dg := gpualgo.Upload(dev, g.Symmetrize())
+		sym, err := g.Symmetrize()
+		if err != nil {
+			return err
+		}
+		dg := gpualgo.Upload(dev, sym)
 		res, err := gpualgo.ConnectedComponents(dev, dg, opts)
 		if err != nil {
 			return err
@@ -124,7 +134,10 @@ func cmdAlgo(args []string) error {
 		}
 		stats, rounds = res.Stats, res.Iterations
 	case "triangles":
-		sym := g.Symmetrize()
+		sym, err := g.Symmetrize()
+		if err != nil {
+			return err
+		}
 		res, err := gpualgo.TriangleCount(dev, sym, opts)
 		if err != nil {
 			return err
@@ -132,7 +145,11 @@ func cmdAlgo(args []string) error {
 		stats, rounds = res.Stats, res.Iterations
 		note = fmt.Sprintf("%d triangles", res.Total)
 	case "kcore":
-		dg := gpualgo.Upload(dev, g.Symmetrize())
+		sym, err := g.Symmetrize()
+		if err != nil {
+			return err
+		}
+		dg := gpualgo.Upload(dev, sym)
 		res, err := gpualgo.KCore(dev, dg, int32(*coreK), opts)
 		if err != nil {
 			return err
@@ -140,7 +157,11 @@ func cmdAlgo(args []string) error {
 		stats, rounds = res.Stats, res.Iterations
 		note = fmt.Sprintf("|%d-core| = %d", *coreK, res.Remaining)
 	case "mis":
-		dg := gpualgo.Upload(dev, g.Symmetrize())
+		sym, err := g.Symmetrize()
+		if err != nil {
+			return err
+		}
+		dg := gpualgo.Upload(dev, sym)
 		res, err := gpualgo.MIS(dev, dg, *seed, opts)
 		if err != nil {
 			return err
@@ -148,7 +169,11 @@ func cmdAlgo(args []string) error {
 		stats, rounds = res.Stats, res.Iterations
 		note = fmt.Sprintf("|MIS| = %d", res.Size)
 	case "coloring":
-		dg := gpualgo.Upload(dev, g.Symmetrize())
+		sym, err := g.Symmetrize()
+		if err != nil {
+			return err
+		}
+		dg := gpualgo.Upload(dev, sym)
 		res, err := gpualgo.GraphColoring(dev, dg, *seed, opts)
 		if err != nil {
 			return err

@@ -6,6 +6,7 @@
 //	maxwarp list
 //	maxwarp run  [-exp all|E1,E4,...] [-scale N] [-seed N] [-format text|md|csv] [-out FILE]
 //	maxwarp bfs  [-preset NAME | -graph FILE] [-k K] [-dynamic] [-defer N] [-src V] [-scale N]
+//	             [-inject SPEC] [-retries N]
 //	maxwarp algo -name sssp [-preset NAME | -graph FILE] [-k K] [-scale N]
 //	maxwarp info [-preset NAME | -graph FILE] [-scale N]
 package main
@@ -22,6 +23,7 @@ import (
 	"maxwarp/internal/gpualgo"
 	"maxwarp/internal/graph"
 	"maxwarp/internal/report"
+	"maxwarp/internal/resilient"
 	"maxwarp/internal/simt"
 )
 
@@ -205,6 +207,8 @@ func cmdBFS(args []string) error {
 	chunk := fs.Int("chunk", 0, "dynamic fetch chunk size (0 = default)")
 	deferTh := fs.Int("defer", 0, "outlier deferral degree threshold (0 = off)")
 	src := fs.Int("src", -1, "source vertex (-1 = auto: large component)")
+	inject := fs.String("inject", "", "fault-injection spec: abort=N,bitflip=N,buffers=a|b,loss=N,seed=N,maxfaults=N")
+	retries := fs.Int("retries", 3, "per-level retry budget under -inject (min 1)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -220,10 +224,41 @@ func cmdBFS(args []string) error {
 	if err != nil {
 		return err
 	}
-	dg := gpualgo.Upload(dev, g)
-	res, err := gpualgo.BFS(dev, dg, source, gpualgo.Options{
+	opts := gpualgo.Options{
 		K: *k, Dynamic: *dynamic, Chunk: int32(*chunk), DeferThreshold: int32(*deferTh),
-	})
+	}
+	if *inject != "" {
+		plan, err := parseFaultPlan(*inject)
+		if err != nil {
+			return err
+		}
+		if *retries < 1 {
+			return fmt.Errorf("-retries must be >= 1 (got %d)", *retries)
+		}
+		dev.SetFaultPlan(plan)
+		rres, err := resilient.BFS(dev, g, source, opts, resilient.Policy{MaxRetries: *retries})
+		if err != nil {
+			return err
+		}
+		reached := 0
+		for _, l := range rres.Levels {
+			if l >= 0 {
+				reached++
+			}
+		}
+		fmt.Printf("graph       %s (%s)\n", name, graph.Stats(g))
+		fmt.Printf("mapping     K=%d dynamic=%v defer=%d  inject=%s\n", *k, *dynamic, *deferTh, *inject)
+		fmt.Printf("source      %d  reached %d/%d  depth %d\n", source, reached, g.NumVertices(), rres.Depth)
+		printOutcome(os.Stdout, rres.Outcome)
+		if rres.GPU != nil {
+			cfg := dev.Config()
+			fmt.Printf("cycles      %d  (%.3f ms at %.1f GHz)\n",
+				rres.GPU.Stats.Cycles, rres.GPU.Stats.TimeMS(cfg.ClockGHz), cfg.ClockGHz)
+		}
+		return nil
+	}
+	dg := gpualgo.Upload(dev, g)
+	res, err := gpualgo.BFS(dev, dg, source, opts)
 	if err != nil {
 		return err
 	}

@@ -32,7 +32,10 @@ func cmdVerify(args []string) error {
 	if err != nil {
 		return err
 	}
-	sym := g.Symmetrize()
+	sym, err := g.Symmetrize()
+	if err != nil {
+		return err
+	}
 	src := graph.LargestOutComponentSeed(g)
 	weights := gengraph.EdgeWeights(g, 12, *seed)
 	opts := gpualgo.Options{K: *k}

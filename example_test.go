@@ -12,7 +12,7 @@ import (
 func Example() {
 	g, _ := maxwarp.RMAT(10, 16, maxwarp.DefaultRMATParams, 42)
 	dev, _ := maxwarp.NewDevice(maxwarp.DefaultDeviceConfig())
-	dg := maxwarp.UploadGraph(dev, g)
+	dg, _ := maxwarp.UploadGraph(dev, g)
 
 	base, _ := maxwarp.BFS(dev, dg, 0, maxwarp.Options{K: 1})
 	warp, _ := maxwarp.BFS(dev, dg, 0, maxwarp.Options{K: 32})
@@ -59,7 +59,7 @@ func ExampleSSSP() {
 // ExampleTriangleCount counts triangles with one virtual warp per vertex.
 func ExampleTriangleCount() {
 	raw, _ := maxwarp.RMAT(9, 6, maxwarp.DefaultRMATParams, 3)
-	g := raw.Symmetrize()
+	g, _ := raw.Symmetrize()
 	dev, _ := maxwarp.NewDevice(maxwarp.DefaultDeviceConfig())
 
 	res, _ := maxwarp.TriangleCount(dev, g, maxwarp.Options{K: 32})

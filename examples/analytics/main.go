@@ -21,14 +21,20 @@ func main() {
 		log.Fatal(err)
 	}
 	// Analytics below want an undirected simple graph.
-	g := raw.Symmetrize()
+	g, err := raw.Symmetrize()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("social graph (undirected): %s\n\n", maxwarp.Stats(g))
 
 	dev, err := maxwarp.NewDevice(maxwarp.DefaultDeviceConfig())
 	if err != nil {
 		log.Fatal(err)
 	}
-	dg := maxwarp.UploadGraph(dev, g)
+	dg, err := maxwarp.UploadGraph(dev, g)
+	if err != nil {
+		log.Fatal(err)
+	}
 	opts := maxwarp.Options{K: 32}
 
 	tri, err := maxwarp.TriangleCount(dev, g, opts)

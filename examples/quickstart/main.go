@@ -24,7 +24,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	dg := maxwarp.UploadGraph(dev, g)
+	dg, err := maxwarp.UploadGraph(dev, g)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Baseline: one thread per vertex (K=1).
 	base, err := maxwarp.BFS(dev, dg, 0, maxwarp.Options{K: 1})

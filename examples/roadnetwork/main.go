@@ -28,7 +28,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		dg := maxwarp.UploadGraph(dev, g)
+		dg, err := maxwarp.UploadGraph(dev, g)
+		if err != nil {
+			log.Fatal(err)
+		}
 		res, err := maxwarp.BFS(dev, dg, 0, maxwarp.Options{K: k})
 		if err != nil {
 			log.Fatal(err)

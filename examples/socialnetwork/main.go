@@ -31,7 +31,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		dg := maxwarp.UploadGraph(dev, g)
+		dg, err := maxwarp.UploadGraph(dev, g)
+		if err != nil {
+			log.Fatal(err)
+		}
 		res, err := maxwarp.BFS(dev, dg, 0, opts)
 		if err != nil {
 			log.Fatal(err)

@@ -13,14 +13,20 @@ func TestFacadeAnalyticsKernels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := raw.Symmetrize()
+	g, err := raw.Symmetrize()
+	if err != nil {
+		t.Fatal(err)
+	}
 	cfg := maxwarp.DefaultDeviceConfig()
 	cfg.NumSMs = 4
 	dev, err := maxwarp.NewDevice(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dg := maxwarp.UploadGraph(dev, g)
+	dg, err := maxwarp.UploadGraph(dev, g)
+	if err != nil {
+		t.Fatal(err)
+	}
 	opts := maxwarp.Options{K: 16}
 
 	tri, err := maxwarp.TriangleCount(dev, g, opts)
@@ -88,7 +94,10 @@ func TestFacadeTraversalVariants(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dg := maxwarp.UploadGraph(dev, g)
+	dg, err := maxwarp.UploadGraph(dev, g)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := maxwarp.BFSCPU(g, 0)
 
 	front, err := maxwarp.BFSFrontier(dev, dg, 0, maxwarp.Options{K: 8})
@@ -144,7 +153,10 @@ func TestFacadeTraversalVariants(t *testing.T) {
 		}
 	}
 
-	sorted, perm := maxwarp.SortByDegree(g)
+	sorted, perm, err := maxwarp.SortByDegree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if sorted.NumEdges() != g.NumEdges() || len(perm) != g.NumVertices() {
 		t.Fatal("SortByDegree shape wrong")
 	}
@@ -160,7 +172,10 @@ func TestFacadeTuningAndUtilities(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sub, newID := maxwarp.ExtractLargestWCC(g)
+	sub, newID, err := maxwarp.ExtractLargestWCC(g)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if sub.NumVertices() == 0 || sub.NumVertices() > g.NumVertices() {
 		t.Fatalf("WCC size %d", sub.NumVertices())
 	}
@@ -189,7 +204,10 @@ func TestFacadeTuningAndUtilities(t *testing.T) {
 	}
 	tr := &maxwarp.RingTracer{Cap: 1 << 12}
 	dev.SetTracer(tr)
-	dg := maxwarp.UploadGraph(dev, sub)
+	dg, err := maxwarp.UploadGraph(dev, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := maxwarp.BFS(dev, dg, 0, maxwarp.Options{K: 8}); err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +250,11 @@ func TestFacadeSCCAndCloseness(t *testing.T) {
 	}
 
 	srcs := []maxwarp.VertexID{0, 5}
-	ms, err := maxwarp.MSBFS(dev, maxwarp.UploadGraph(dev, g), srcs, maxwarp.Options{K: 8})
+	msdg, err := maxwarp.UploadGraph(dev, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := maxwarp.MSBFS(dev, msdg, srcs, maxwarp.Options{K: 8})
 	if err != nil {
 		t.Fatal(err)
 	}

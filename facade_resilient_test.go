@@ -1,0 +1,83 @@
+package maxwarp_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"maxwarp"
+)
+
+// Pins the robustness surface of the facade: fault-plan injection, the
+// typed-error re-exports, and the resilient wrappers.
+
+func TestFacadeResilientBFSSurvivesAborts(t *testing.T) {
+	g, err := maxwarp.RMAT(8, 8, maxwarp.DefaultRMATParams, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := maxwarp.NewDevice(maxwarp.DefaultDeviceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.SetFaultPlan(&maxwarp.FaultPlan{Seed: 5, AbortEvery: 2})
+	res, err := maxwarp.ResilientBFS(dev, g, 0, maxwarp.Options{K: 8},
+		maxwarp.ResilientPolicy{MaxRetries: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome.Degraded {
+		t.Fatalf("degraded under transient-only faults: %v", res.Outcome.FallbackCause)
+	}
+	if res.Outcome.Retries == 0 {
+		t.Fatal("abort=2 schedule produced no retries")
+	}
+
+	dev.SetFaultPlan(nil)
+	plain, err := maxwarp.ResilientBFS(dev, g, 0, maxwarp.Options{K: 8}, maxwarp.ResilientPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range plain.Levels {
+		if plain.Levels[v] != res.Levels[v] {
+			t.Fatalf("vertex %d: level %d under faults, %d without", v, res.Levels[v], plain.Levels[v])
+		}
+	}
+}
+
+func TestFacadeTypedErrorExports(t *testing.T) {
+	if !maxwarp.IsTransientFault(&maxwarp.KernelFault{Kind: maxwarp.FaultAbort}) {
+		t.Fatal("FaultAbort not transient through facade")
+	}
+	if maxwarp.IsTransientFault(&maxwarp.KernelFault{Kind: maxwarp.FaultOOB}) {
+		t.Fatal("FaultOOB transient through facade")
+	}
+	wrapped := fmt.Errorf("launch: %w", maxwarp.ErrDeviceLost)
+	if !errors.Is(wrapped, maxwarp.ErrDeviceLost) {
+		t.Fatal("ErrDeviceLost does not survive wrapping")
+	}
+	if maxwarp.IsTransientFault(wrapped) {
+		t.Fatal("device loss reported transient")
+	}
+}
+
+func TestFacadeRunResilientGeneric(t *testing.T) {
+	calls := 0
+	v, out, err := maxwarp.RunResilient(
+		maxwarp.ResilientPolicy{MaxRetries: 2, Sleep: func(time.Duration) {}},
+		func(try int) (int, error) {
+			calls++
+			if try < 2 {
+				return 0, &maxwarp.KernelFault{Kind: maxwarp.FaultAbort}
+			}
+			return 42, nil
+		},
+		nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 || calls != 2 || out.Retries != 1 {
+		t.Fatalf("v=%d calls=%d retries=%d", v, calls, out.Retries)
+	}
+}

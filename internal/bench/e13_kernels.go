@@ -84,7 +84,10 @@ func E13IrregularKernels(cfg Config) ([]*report.Table, error) {
 		return outcome{}, fmt.Errorf("bench: unknown kernel %q", kernel)
 	}
 	for _, w := range picks {
-		sym := w.g.Symmetrize()
+		sym, err := w.g.Symmetrize()
+		if err != nil {
+			return nil, err
+		}
 		for _, kernel := range []string{"triangles", "kcore", "mis", "coloring", "bc"} {
 			base, err := runKernel(sym, kernel, 1)
 			if err != nil {

@@ -28,7 +28,10 @@ func E15DegreeSortRelabel(cfg Config) ([]*report.Table, error) {
 		Columns: []string{"graph", "labeling", "K", "Mcycles", "speedup vs original", "SIMD util", "txns/op"},
 	}
 	for _, w := range ws {
-		sorted, _ := graph.SortByDegree(w.g)
+		sorted, _, err := graph.SortByDegree(w.g)
+		if err != nil {
+			return nil, err
+		}
 		for _, k := range []int{1, cfg.Device.WarpWidth} {
 			var origCycles int64
 			for _, variant := range []struct {

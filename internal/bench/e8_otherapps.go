@@ -67,7 +67,11 @@ func E8OtherApps(cfg Config) ([]*report.Table, error) {
 			}
 			return appResult{r.Stats.Cycles, r.Iterations}, nil
 		case "cc":
-			dg := gpualgo.Upload(d, w.g.Symmetrize())
+			sym, err := w.g.Symmetrize()
+			if err != nil {
+				return appResult{}, err
+			}
+			dg := gpualgo.Upload(d, sym)
 			r, err := gpualgo.ConnectedComponents(d, dg, opts)
 			if err != nil {
 				return appResult{}, err

@@ -50,7 +50,10 @@ func TestTriangleCountParallelMatchesSequential(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := raw.Symmetrize()
+	g, err := raw.Symmetrize()
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Reference: simple cubic enumeration on a trimmed subgraph is too slow;
 	// use an independent per-vertex mark-array counter instead.
 	wantPer, wantTotal := triangleCountMarks(g)

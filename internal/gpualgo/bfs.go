@@ -24,11 +24,33 @@ type BFSResult struct {
 	Deferred int
 }
 
-// BFS runs level-synchronous breadth-first search on the device, one kernel
-// launch per level (plus one per level for deferred outliers when enabled),
-// exactly mirroring the paper's implementation structure: a levels array, a
-// global "changed" flag, and re-launch until fixpoint.
-func BFS(d *simt.Device, dg *DeviceGraph, src graph.VertexID, opts Options) (*BFSResult, error) {
+// BFSRun is an open-loop level-synchronous BFS: NewBFSRun allocates the
+// device state, each Step expands one frontier level, and Result collects
+// the output once Step reports done. Host-side progress (the current level)
+// advances only when a step fully succeeds, so a supervisor can restore
+// State after a failed step and call Step again to retry the same level.
+type BFSRun struct {
+	// Launch supervises every kernel launch of the run (deadline, progress
+	// callback). Zero value means unsupervised.
+	Launch simt.LaunchOpts
+
+	d       *simt.Device
+	dg      *DeviceGraph
+	opts    Options
+	levels  *simt.BufI32
+	changed *simt.BufI32
+	counter *simt.BufI32
+	q       *vwarp.OutlierQueue
+	lc      simt.LaunchConfig
+	maxIter int
+	cur     int32
+	res     *BFSResult
+	done    bool
+}
+
+// NewBFSRun validates the inputs and allocates device state for a BFS from
+// src, without launching anything yet.
+func NewBFSRun(d *simt.Device, dg *DeviceGraph, src graph.VertexID, opts Options) (*BFSRun, error) {
 	opts = opts.withDefaults(d)
 	if err := opts.validate(d); err != nil {
 		return nil, err
@@ -37,64 +59,118 @@ func BFS(d *simt.Device, dg *DeviceGraph, src graph.VertexID, opts Options) (*BF
 		return nil, fmt.Errorf("gpualgo: BFS source %d out of range [0,%d)", src, dg.NumVertices)
 	}
 	n := dg.NumVertices
-	levels := d.AllocI32("bfs.levels", n)
-	levels.Fill(Unvisited)
-	levels.Data()[src] = 0
-	changed := d.AllocI32("bfs.changed", 1)
-	var counter *simt.BufI32
+	r := &BFSRun{d: d, dg: dg, opts: opts, res: &BFSResult{}}
+	r.levels = d.AllocI32("bfs.levels", n)
+	r.levels.Fill(Unvisited)
+	r.levels.Data()[src] = 0
+	r.changed = d.AllocI32("bfs.changed", 1)
 	if opts.Dynamic {
-		counter = d.AllocI32("bfs.counter", 1)
+		r.counter = d.AllocI32("bfs.counter", 1)
 	}
-	var q *vwarp.OutlierQueue
 	if opts.DeferThreshold > 0 {
-		q = vwarp.NewOutlierQueue(d, "bfs.outliers", n)
+		r.q = vwarp.NewOutlierQueue(d, "bfs.outliers", n)
 	}
+	r.res.Stats.WarpWidth = d.Config().WarpWidth
+	r.maxIter = opts.MaxIterations
+	if r.maxIter == 0 {
+		r.maxIter = n + 1
+	}
+	r.lc = opts.grid(d, n)
+	return r, nil
+}
 
-	res := &BFSResult{}
-	res.Stats.WarpWidth = d.Config().WarpWidth
-	maxIter := opts.MaxIterations
-	if maxIter == 0 {
-		maxIter = n + 1
+// Step expands the current frontier level (one kernel launch, plus one for
+// deferred outliers when enabled). It returns done=true when the frontier is
+// exhausted or the iteration cap is hit. On error no host state advances:
+// the same level can be retried after restoring State.
+func (r *BFSRun) Step() (bool, error) {
+	if r.done {
+		return true, nil
 	}
-	lc := opts.grid(d, n)
-	for cur := int32(0); int(cur) < maxIter; cur++ {
-		changed.Data()[0] = 0
-		if counter != nil {
-			counter.Data()[0] = 0
-		}
-		if q != nil {
-			q.Reset()
-		}
-		kernel := bfsLevelKernel(dg, levels, changed, counter, q, cur, opts)
-		stats, err := d.Launch(lc, kernel)
+	r.changed.Data()[0] = 0
+	if r.counter != nil {
+		r.counter.Data()[0] = 0
+	}
+	if r.q != nil {
+		r.q.Reset()
+	}
+	kernel := bfsLevelKernel(r.dg, r.levels, r.changed, r.counter, r.q, r.cur, r.opts)
+	stats, err := r.d.LaunchWith(r.lc, r.Launch, kernel)
+	if err != nil {
+		return false, fmt.Errorf("gpualgo: BFS level %d: %w", r.cur, err)
+	}
+	deferred := 0
+	launches := 1
+	if r.q != nil && r.q.Len() > 0 {
+		deferred = r.q.Len()
+		dk := bfsDeferredKernel(r.dg, r.levels, r.changed, r.q, int32(deferred), r.cur, r.opts)
+		dlc := r.opts.grid(r.d, deferred*r.d.Config().WarpWidth/r.opts.K)
+		dstats, err := r.d.LaunchWith(dlc, r.Launch, dk)
 		if err != nil {
-			return nil, fmt.Errorf("gpualgo: BFS level %d: %w", cur, err)
+			return false, fmt.Errorf("gpualgo: BFS deferred pass level %d: %w", r.cur, err)
 		}
-		res.Stats.Add(stats)
-		res.Launches++
-		if q != nil && q.Len() > 0 {
-			res.Deferred += q.Len()
-			dk := bfsDeferredKernel(dg, levels, changed, q, int32(q.Len()), cur, opts)
-			dlc := opts.grid(d, q.Len()*d.Config().WarpWidth/opts.K)
-			dstats, err := d.Launch(dlc, dk)
-			if err != nil {
-				return nil, fmt.Errorf("gpualgo: BFS deferred pass level %d: %w", cur, err)
-			}
-			res.Stats.Add(dstats)
-			res.Launches++
-		}
-		res.Iterations++
-		if changed.Data()[0] == 0 {
-			break
+		stats.Add(dstats)
+		launches++
+	}
+	r.res.Stats.Add(stats)
+	r.res.Launches += launches
+	r.res.Deferred += deferred
+	r.res.Iterations++
+	r.cur++
+	if r.changed.Data()[0] == 0 || int(r.cur) >= r.maxIter {
+		r.done = true
+	}
+	return r.done, nil
+}
+
+// State returns the device buffers a supervisor must snapshot to make Step
+// retryable (BFS state plus the uploaded graph).
+func (r *BFSRun) State() RunState {
+	st := RunState{I32: []*simt.BufI32{r.levels, r.changed}}
+	if r.counter != nil {
+		st.I32 = append(st.I32, r.counter)
+	}
+	if r.q != nil {
+		st.I32 = append(st.I32, r.q.Items, r.q.Count)
+	}
+	graphState(&st, r.dg)
+	return st
+}
+
+// Iterations returns the number of completed levels.
+func (r *BFSRun) Iterations() int { return r.res.Iterations }
+
+// Result finalizes and returns the run's output. Call it after Step reports
+// done (calling earlier returns the levels discovered so far).
+func (r *BFSRun) Result() *BFSResult {
+	r.res.Levels = append([]int32(nil), r.levels.Data()...)
+	r.res.Depth = 0
+	for _, l := range r.res.Levels {
+		if l > r.res.Depth {
+			r.res.Depth = l
 		}
 	}
-	res.Levels = append([]int32(nil), levels.Data()...)
-	for _, l := range res.Levels {
-		if l > res.Depth {
-			res.Depth = l
+	return r.res
+}
+
+// BFS runs level-synchronous breadth-first search on the device, one kernel
+// launch per level (plus one per level for deferred outliers when enabled),
+// exactly mirroring the paper's implementation structure: a levels array, a
+// global "changed" flag, and re-launch until fixpoint.
+func BFS(d *simt.Device, dg *DeviceGraph, src graph.VertexID, opts Options) (*BFSResult, error) {
+	r, err := NewBFSRun(d, dg, src, opts)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		done, err := r.Step()
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return r.Result(), nil
 		}
 	}
-	return res, nil
 }
 
 // bfsLevelKernel expands the frontier at level cur. Discovery writes are

@@ -291,7 +291,10 @@ func TestPageRankValidation(t *testing.T) {
 
 func TestConnectedComponentsMatchesCPU(t *testing.T) {
 	for name, g := range testGraphs(t) {
-		sym := g.Symmetrize()
+		sym, err := g.Symmetrize()
+		if err != nil {
+			t.Fatal(err)
+		}
 		want := cpualgo.ConnectedComponents(sym)
 		for _, opts := range []Options{{K: 1}, {K: 16}, {K: 8, Dynamic: true}} {
 			d := testDevice(t)

@@ -24,7 +24,9 @@ type DeviceGraph struct {
 	NumEdges    int
 }
 
-// Upload copies g into device memory.
+// Upload copies g into device memory. It trusts the caller to hand it a
+// well-formed CSR (internal call sites construct graphs through validated
+// constructors); boundary code should prefer UploadChecked.
 func Upload(d *simt.Device, g *graph.CSR) *DeviceGraph {
 	return &DeviceGraph{
 		RowPtr:      d.UploadI32("graph.rowptr", g.RowPtr),
@@ -32,6 +34,16 @@ func Upload(d *simt.Device, g *graph.CSR) *DeviceGraph {
 		NumVertices: g.NumVertices(),
 		NumEdges:    g.NumEdges(),
 	}
+}
+
+// UploadChecked validates g's CSR invariants before uploading, so malformed
+// graphs are rejected at the host API boundary instead of surfacing later as
+// out-of-bounds kernel faults mid-launch.
+func UploadChecked(d *simt.Device, g *graph.CSR) (*DeviceGraph, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return Upload(d, g), nil
 }
 
 // UploadWeighted copies g and its edge weights into device memory.

@@ -25,15 +25,31 @@ type PageRankOptions struct {
 	Iterations int
 }
 
-// PageRank runs pull-based power iteration on the device. Each vertex pulls
-// contributions rank[u]/outdeg[u] from its in-neighbors (the reverse graph's
-// adjacency list), so the virtual warp-centric trade-off applies to the
-// in-degree distribution. Two kernels alternate per iteration: a contribution
-// kernel (contrib[u] = rank[u]/outdeg[u], perfectly regular) and the pull
-// kernel (irregular — where the paper's method matters). Dangling mass is
-// folded in host-side between iterations, as CUDA implementations do with a
-// small reduction kernel.
-func PageRank(d *simt.Device, g *graph.CSR, opts PageRankOptions) (*PageRankResult, error) {
+// PageRankRun is an open-loop power-iteration run: each Step performs one
+// full iteration (contribution kernel then pull kernel). The rank/next swap
+// happens only after both launches succeed, so a supervisor can restore
+// State after a failure and retry the same iteration.
+type PageRankRun struct {
+	// Launch supervises every kernel launch of the run.
+	Launch simt.LaunchOpts
+
+	d       *simt.Device
+	opts    PageRankOptions
+	dgRev   *DeviceGraph
+	outDeg  []int32
+	dOutDeg *simt.BufI32
+	rank    *simt.BufF32
+	contrib *simt.BufF32
+	next    *simt.BufF32
+	n       int
+	lc      simt.LaunchConfig
+	res     *PageRankResult
+	done    bool
+}
+
+// NewPageRankRun validates the inputs, builds the reverse graph, and
+// allocates device state, without launching anything yet.
+func NewPageRankRun(d *simt.Device, g *graph.CSR, opts PageRankOptions) (*PageRankRun, error) {
 	opts.Options = opts.Options.withDefaults(d)
 	if err := opts.Options.validate(d); err != nil {
 		return nil, err
@@ -48,55 +64,112 @@ func PageRank(d *simt.Device, g *graph.CSR, opts PageRankOptions) (*PageRankResu
 		opts.Iterations = 20
 	}
 	n := g.NumVertices()
-	res := &PageRankResult{}
-	res.Stats.WarpWidth = d.Config().WarpWidth
+	r := &PageRankRun{d: d, opts: opts, n: n, res: &PageRankResult{}}
+	r.res.Stats.WarpWidth = d.Config().WarpWidth
 	if n == 0 {
-		return res, nil
+		r.done = true
+		return r, nil
 	}
-
 	rev := g.Reverse()
-	dgRev := Upload(d, rev)
-	outDeg := make([]int32, n)
+	r.dgRev = Upload(d, rev)
+	r.outDeg = make([]int32, n)
 	for v := 0; v < n; v++ {
-		outDeg[v] = g.Degree(graph.VertexID(v))
+		r.outDeg[v] = g.Degree(graph.VertexID(v))
 	}
-	dOutDeg := d.UploadI32("pr.outdeg", outDeg)
-	rank := d.AllocF32("pr.rank", n)
-	contrib := d.AllocF32("pr.contrib", n)
-	next := d.AllocF32("pr.next", n)
-	rank.Fill(1 / float32(n))
+	r.dOutDeg = d.UploadI32("pr.outdeg", r.outDeg)
+	r.rank = d.AllocF32("pr.rank", n)
+	r.contrib = d.AllocF32("pr.contrib", n)
+	r.next = d.AllocF32("pr.next", n)
+	r.rank.Fill(1 / float32(n))
+	r.lc = opts.grid(d, n)
+	return r, nil
+}
 
-	lc := opts.grid(d, n)
-	for iter := 0; iter < opts.Iterations; iter++ {
-		// Host-side dangling-mass reduction (stand-in for the standard tiny
-		// reduction kernel; not counted in device cycles, matching how CUDA
-		// codes usually exclude it or find it negligible).
-		var dangling float32
-		for v := 0; v < n; v++ {
-			if outDeg[v] == 0 {
-				dangling += rank.Data()[v]
-			}
-		}
-		base := (1-opts.Damping)/float32(n) + opts.Damping*dangling/float32(n)
-
-		stats, err := d.Launch(lc, prContribKernel(n, rank, contrib, dOutDeg))
-		if err != nil {
-			return nil, fmt.Errorf("gpualgo: PageRank contrib iter %d: %w", iter, err)
-		}
-		res.Stats.Add(stats)
-		res.Launches++
-
-		stats, err = d.Launch(lc, prPullKernel(dgRev, contrib, next, base, opts))
-		if err != nil {
-			return nil, fmt.Errorf("gpualgo: PageRank pull iter %d: %w", iter, err)
-		}
-		res.Stats.Add(stats)
-		res.Launches++
-		res.Iterations++
-		rank, next = next, rank
+// Step runs one power iteration (two kernel launches). On error no host
+// state advances and the rank/next buffers are not swapped, so the same
+// iteration can be retried after restoring State.
+func (r *PageRankRun) Step() (bool, error) {
+	if r.done {
+		return true, nil
 	}
-	res.Ranks = append([]float32(nil), rank.Data()...)
-	return res, nil
+	// Host-side dangling-mass reduction (stand-in for the standard tiny
+	// reduction kernel; not counted in device cycles, matching how CUDA
+	// codes usually exclude it or find it negligible).
+	var dangling float32
+	for v := 0; v < r.n; v++ {
+		if r.outDeg[v] == 0 {
+			dangling += r.rank.Data()[v]
+		}
+	}
+	base := (1-r.opts.Damping)/float32(r.n) + r.opts.Damping*dangling/float32(r.n)
+
+	iter := r.res.Iterations
+	stats, err := r.d.LaunchWith(r.lc, r.Launch, prContribKernel(r.n, r.rank, r.contrib, r.dOutDeg))
+	if err != nil {
+		return false, fmt.Errorf("gpualgo: PageRank contrib iter %d: %w", iter, err)
+	}
+	pstats, err := r.d.LaunchWith(r.lc, r.Launch, prPullKernel(r.dgRev, r.contrib, r.next, base, r.opts))
+	if err != nil {
+		return false, fmt.Errorf("gpualgo: PageRank pull iter %d: %w", iter, err)
+	}
+	stats.Add(pstats)
+	r.res.Stats.Add(stats)
+	r.res.Launches += 2
+	r.res.Iterations++
+	r.rank, r.next = r.next, r.rank
+	if r.res.Iterations >= r.opts.Iterations {
+		r.done = true
+	}
+	return r.done, nil
+}
+
+// State returns the device buffers a supervisor must snapshot to make Step
+// retryable (rank vectors, out-degrees, and the reverse graph).
+func (r *PageRankRun) State() RunState {
+	if r.n == 0 {
+		return RunState{}
+	}
+	st := RunState{
+		I32: []*simt.BufI32{r.dOutDeg},
+		F32: []*simt.BufF32{r.rank, r.contrib, r.next},
+	}
+	graphState(&st, r.dgRev)
+	return st
+}
+
+// Iterations returns the number of completed power iterations.
+func (r *PageRankRun) Iterations() int { return r.res.Iterations }
+
+// Result finalizes and returns the run's output.
+func (r *PageRankRun) Result() *PageRankResult {
+	if r.n > 0 {
+		r.res.Ranks = append([]float32(nil), r.rank.Data()...)
+	}
+	return r.res
+}
+
+// PageRank runs pull-based power iteration on the device. Each vertex pulls
+// contributions rank[u]/outdeg[u] from its in-neighbors (the reverse graph's
+// adjacency list), so the virtual warp-centric trade-off applies to the
+// in-degree distribution. Two kernels alternate per iteration: a contribution
+// kernel (contrib[u] = rank[u]/outdeg[u], perfectly regular) and the pull
+// kernel (irregular — where the paper's method matters). Dangling mass is
+// folded in host-side between iterations, as CUDA implementations do with a
+// small reduction kernel.
+func PageRank(d *simt.Device, g *graph.CSR, opts PageRankOptions) (*PageRankResult, error) {
+	r, err := NewPageRankRun(d, g, opts)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		done, err := r.Step()
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return r.Result(), nil
+		}
+	}
 }
 
 // prContribKernel computes contrib[v] = rank[v]/outdeg[v] (0 for dangling

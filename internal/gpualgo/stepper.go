@@ -1,0 +1,35 @@
+package gpualgo
+
+import "maxwarp/internal/simt"
+
+// RunState lists the device buffers that make up a run's replayable state:
+// everything a kernel step reads or writes, including the uploaded graph
+// (fault injection may flip bits in any registered buffer). A supervisor can
+// snapshot these between steps and restore them to retry a failed step.
+type RunState struct {
+	I32 []*simt.BufI32
+	F32 []*simt.BufF32
+}
+
+// stepper is the common shape of the open-loop algorithm runs (BFSRun,
+// SSSPRun, PageRankRun): repeated Step calls until done, with host-side
+// progress advancing only on success so a failed step can be retried after
+// restoring State.
+type stepper interface {
+	Step() (done bool, err error)
+	State() RunState
+	Iterations() int
+}
+
+var (
+	_ stepper = (*BFSRun)(nil)
+	_ stepper = (*SSSPRun)(nil)
+	_ stepper = (*PageRankRun)(nil)
+)
+
+func graphState(st *RunState, dg *DeviceGraph) {
+	st.I32 = append(st.I32, dg.RowPtr, dg.Col)
+	if dg.Weights != nil {
+		st.I32 = append(st.I32, dg.Weights)
+	}
+}

@@ -10,7 +10,11 @@ import (
 
 func undirected(t *testing.T, g *graph.CSR) *graph.CSR {
 	t.Helper()
-	return g.Symmetrize()
+	sym, err := g.Symmetrize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sym
 }
 
 func TestTriangleCountCPUKnownGraphs(t *testing.T) {

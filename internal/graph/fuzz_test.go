@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The fuzz targets pin the package's no-panic contract: arbitrary untrusted
+// input to the parsers and constructors must come back as an error (or a
+// Validate-clean graph), never as a panic. Under plain `go test` these run
+// over the seed corpus; `go test -fuzz FuzzReadDIMACS ./internal/graph`
+// explores further.
+
+func FuzzReadDIMACS(f *testing.F) {
+	f.Add("")
+	f.Add("c comment only\n")
+	f.Add("p sp 3 2\na 1 2 5\na 2 3 7\n")
+	f.Add("p sp 3 2\na 1 2 5\n")        // fewer arcs than declared
+	f.Add("p sp 3 2\na 1 9 5\na 0 1 1") // endpoints out of range
+	f.Add("p sp -1 -1\n")
+	f.Add("p sp 99999999999999999999 1\n") // overflows int
+	f.Add("a 1 2 3\np sp 2 1\n")           // arc before header
+	f.Add("p sp 2 1\na 1 2\n")             // missing weight
+	f.Add("p sp 2 1\na one two three\n")
+	f.Add("p sp 2 2\na 1 2 1\na 1 2 1\n") // duplicate arcs
+	f.Add("p sp 1 0\n\n\nc\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, weights, err := ReadDIMACS(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if g == nil {
+			t.Fatal("nil graph with nil error")
+		}
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("accepted graph fails Validate: %v", verr)
+		}
+		if len(weights) != g.NumEdges() {
+			t.Fatalf("%d weights for %d edges", len(weights), g.NumEdges())
+		}
+		// A parsed graph must survive a write/re-read round trip.
+		var buf bytes.Buffer
+		if werr := WriteDIMACS(&buf, g, weights); werr != nil {
+			t.Fatalf("re-serialize: %v", werr)
+		}
+		if _, _, rerr := ReadDIMACS(&buf); rerr != nil {
+			t.Fatalf("round trip: %v", rerr)
+		}
+	})
+}
+
+func FuzzFromEdges(f *testing.F) {
+	f.Add(3, []byte{0, 1, 1, 2})
+	f.Add(0, []byte{})
+	f.Add(1, []byte{0, 0})
+	f.Add(2, []byte{0, 255, 7, 1}) // out-of-range endpoints
+	f.Add(-1, []byte{1, 2})
+	f.Add(256, []byte{5, 5, 5, 5, 3})
+	f.Fuzz(func(t *testing.T, numVertices int, raw []byte) {
+		if numVertices > 1<<16 {
+			numVertices %= 1 << 16
+		}
+		edges := make([]Edge, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			// Bias endpoints so some land in range and some out.
+			edges = append(edges, Edge{
+				Src: VertexID(int(raw[i]) - 8),
+				Dst: VertexID(int(raw[i+1]) - 8),
+			})
+		}
+		g, err := FromEdges(numVertices, edges)
+		if err == nil {
+			if verr := g.Validate(); verr != nil {
+				t.Fatalf("accepted graph fails Validate: %v", verr)
+			}
+			if g.NumEdges() != len(edges) {
+				t.Fatalf("%d edges in, %d out", len(edges), g.NumEdges())
+			}
+		}
+		gs, err := FromEdgesSimple(numVertices, edges)
+		if err == nil {
+			if verr := gs.Validate(); verr != nil {
+				t.Fatalf("accepted simple graph fails Validate: %v", verr)
+			}
+		}
+	})
+}

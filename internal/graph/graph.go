@@ -107,7 +107,14 @@ func FromEdges(numVertices int, edges []Edge) (*CSR, error) {
 		col[rowPtr[e.Src]+cursor[e.Src]] = e.Dst
 		cursor[e.Src]++
 	}
-	return &CSR{RowPtr: rowPtr, Col: col}, nil
+	g := &CSR{RowPtr: rowPtr, Col: col}
+	if err := g.Validate(); err != nil {
+		// Construction guarantees the invariants; this is a cheap O(V+E)
+		// belt-and-braces check so a bug here can never hand kernels a
+		// malformed graph.
+		return nil, err
+	}
+	return g, nil
 }
 
 // FromEdgesSimple is FromEdges followed by per-vertex neighbor sorting,
@@ -172,8 +179,13 @@ func (g *CSR) Reverse() *CSR {
 }
 
 // Symmetrize returns the undirected closure: for every edge (u,v) both (u,v)
-// and (v,u) are present, with duplicates and self-loops removed.
-func (g *CSR) Symmetrize() *CSR {
+// and (v,u) are present, with duplicates and self-loops removed. A malformed
+// input graph (e.g. out-of-range Col entries) is reported as an error, never
+// a panic.
+func (g *CSR) Symmetrize() (*CSR, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
 	n := g.NumVertices()
 	edges := make([]Edge, 0, 2*len(g.Col))
 	for v := 0; v < n; v++ {
@@ -181,12 +193,7 @@ func (g *CSR) Symmetrize() *CSR {
 			edges = append(edges, Edge{VertexID(v), w}, Edge{w, VertexID(v)})
 		}
 	}
-	sym, err := FromEdgesSimple(n, edges)
-	if err != nil {
-		// Cannot happen: all endpoints came from a valid graph.
-		panic(err)
-	}
-	return sym
+	return FromEdgesSimple(n, edges)
 }
 
 // Clone returns a deep copy of g.

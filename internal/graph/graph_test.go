@@ -111,7 +111,10 @@ func TestReverse(t *testing.T) {
 
 func TestSymmetrize(t *testing.T) {
 	g := mustFromEdges(t, 3, []Edge{{0, 1}, {1, 0}, {1, 2}, {2, 2}})
-	s := g.Symmetrize()
+	s, err := g.Symmetrize()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := s.Validate(); err != nil {
 		t.Fatal(err)
 	}

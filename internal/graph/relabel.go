@@ -72,13 +72,16 @@ func DegreeSortPermutation(g *CSR) []VertexID {
 }
 
 // SortByDegree relabels g in descending-degree order, returning the new
-// graph and the old→new permutation (so results can be mapped back).
-func SortByDegree(g *CSR) (*CSR, []VertexID) {
+// graph and the old→new permutation (so results can be mapped back). A
+// malformed input graph is reported as an error, never a panic.
+func SortByDegree(g *CSR) (*CSR, []VertexID, error) {
+	if err := g.Validate(); err != nil {
+		return nil, nil, err
+	}
 	perm := DegreeSortPermutation(g)
 	out, err := Relabel(g, perm)
 	if err != nil {
-		// DegreeSortPermutation always returns a valid permutation.
-		panic(err)
+		return nil, nil, err
 	}
-	return out, perm
+	return out, perm, nil
 }

@@ -71,7 +71,10 @@ func TestRelabelPreservesStructure(t *testing.T) {
 
 func TestSortByDegreeOrdersDegreesDescending(t *testing.T) {
 	g := randomGraph(7, 200, 2400)
-	sorted, perm := SortByDegree(g)
+	sorted, perm, err := SortByDegree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := checkPermutation(perm, 200); err != nil {
 		t.Fatal(err)
 	}

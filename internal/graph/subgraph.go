@@ -42,12 +42,15 @@ func InducedSubgraph(g *CSR, vertices []VertexID) (*CSR, []VertexID, error) {
 // LargestWCC returns the vertex set of g's largest weakly connected
 // component (smallest-id order). Handy for trimming generated workloads to
 // a single component before traversal experiments.
-func LargestWCC(g *CSR) []VertexID {
+func LargestWCC(g *CSR) ([]VertexID, error) {
 	n := g.NumVertices()
 	if n == 0 {
-		return nil
+		return nil, nil
 	}
-	sym := g.Symmetrize()
+	sym, err := g.Symmetrize()
+	if err != nil {
+		return nil, err
+	}
 	visited := make([]bool, n)
 	var best []VertexID
 	stack := make([]VertexID, 0, n)
@@ -75,16 +78,14 @@ func LargestWCC(g *CSR) []VertexID {
 	}
 	// Deterministic order.
 	sort.Slice(best, func(i, j int) bool { return best[i] < best[j] })
-	return best
+	return best, nil
 }
 
 // ExtractLargestWCC is LargestWCC + InducedSubgraph in one call.
-func ExtractLargestWCC(g *CSR) (*CSR, []VertexID) {
-	comp := LargestWCC(g)
-	sub, newID, err := InducedSubgraph(g, comp)
+func ExtractLargestWCC(g *CSR) (*CSR, []VertexID, error) {
+	comp, err := LargestWCC(g)
 	if err != nil {
-		// LargestWCC always returns a valid, duplicate-free vertex set.
-		panic(err)
+		return nil, nil, err
 	}
-	return sub, newID
+	return InducedSubgraph(g, comp)
 }

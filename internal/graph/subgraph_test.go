@@ -43,19 +43,25 @@ func TestInducedSubgraphErrors(t *testing.T) {
 func TestLargestWCC(t *testing.T) {
 	// Components: {0,1,2} (directed chain counts weakly), {3,4}, {5}.
 	g := mustFromEdges(t, 6, []Edge{{0, 1}, {2, 1}, {3, 4}})
-	comp := LargestWCC(g)
+	comp, err := LargestWCC(g)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !reflect.DeepEqual(comp, []VertexID{0, 1, 2}) {
 		t.Fatalf("largest WCC = %v", comp)
 	}
 	empty := mustFromEdges(t, 0, nil)
-	if LargestWCC(empty) != nil {
+	if comp, err := LargestWCC(empty); err != nil || comp != nil {
 		t.Fatal("empty graph has a component")
 	}
 }
 
 func TestExtractLargestWCC(t *testing.T) {
 	g := mustFromEdges(t, 7, []Edge{{0, 1}, {1, 2}, {2, 0}, {4, 5}})
-	sub, newID := ExtractLargestWCC(g)
+	sub, newID, err := ExtractLargestWCC(g)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if sub.NumVertices() != 3 || sub.NumEdges() != 3 {
 		t.Fatalf("extracted V=%d E=%d", sub.NumVertices(), sub.NumEdges())
 	}

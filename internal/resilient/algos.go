@@ -1,0 +1,154 @@
+package resilient
+
+import (
+	"maxwarp/internal/cpualgo"
+	"maxwarp/internal/gpualgo"
+	"maxwarp/internal/graph"
+	"maxwarp/internal/simt"
+)
+
+// BFSResult is a fault-tolerant BFS answer: device levels when the run
+// survived, oracle levels tagged Degraded when it did not.
+type BFSResult struct {
+	// Levels holds each vertex's hop distance from the source
+	// (gpualgo.Unvisited if unreached), whichever engine produced it.
+	Levels []int32
+	// Depth is the deepest level assigned.
+	Depth int32
+	// Outcome records retries, faults, and whether the result is degraded.
+	Outcome Outcome
+	// GPU carries the device run's stats and output (nil when Degraded).
+	GPU *gpualgo.BFSResult
+}
+
+// BFS uploads g and runs a fault-tolerant device BFS from src: transient
+// kernel faults are retried per level from a checkpoint, and permanent
+// faults (or an exhausted retry budget) degrade to the CPU oracle unless
+// pol.NoFallback is set.
+func BFS(d *simt.Device, g *graph.CSR, src graph.VertexID, opts gpualgo.Options, pol Policy) (*BFSResult, error) {
+	pol = pol.withDefaults()
+	dg, err := gpualgo.UploadChecked(d, g)
+	if err != nil {
+		return nil, err
+	}
+	run, err := gpualgo.NewBFSRun(d, dg, src, opts)
+	if err != nil {
+		return nil, err
+	}
+	run.Launch = pol.Launch
+	out, derr := Drive(pol, run)
+	if derr == nil {
+		res := run.Result()
+		return &BFSResult{Levels: res.Levels, Depth: res.Depth, Outcome: *out, GPU: res}, nil
+	}
+	if pol.NoFallback {
+		return nil, derr
+	}
+	levels := cpualgo.BFSSequential(g, src)
+	out.Degraded = true
+	out.FallbackCause = derr
+	var depth int32
+	for _, l := range levels {
+		if l > depth {
+			depth = l
+		}
+	}
+	return &BFSResult{Levels: levels, Depth: depth, Outcome: *out}, nil
+}
+
+// SSSPResult is a fault-tolerant shortest-paths answer.
+type SSSPResult struct {
+	// Dist holds each vertex's distance from the source (cpualgo.InfDist
+	// if unreachable), whichever engine produced it.
+	Dist []int32
+	// Outcome records retries, faults, and whether the result is degraded.
+	Outcome Outcome
+	// GPU carries the device run's stats and output (nil when Degraded).
+	GPU *gpualgo.SSSPResult
+}
+
+// SSSP uploads g with weights and runs fault-tolerant Bellman-Ford from
+// src, retrying transient faults per round and degrading to the CPU
+// Bellman-Ford oracle on permanent failure.
+func SSSP(d *simt.Device, g *graph.CSR, weights []int32, src graph.VertexID, opts gpualgo.Options, pol Policy) (*SSSPResult, error) {
+	pol = pol.withDefaults()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	dg, err := gpualgo.UploadWeighted(d, g, weights)
+	if err != nil {
+		return nil, err
+	}
+	run, err := gpualgo.NewSSSPRun(d, dg, src, opts)
+	if err != nil {
+		return nil, err
+	}
+	run.Launch = pol.Launch
+	out, derr := Drive(pol, run)
+	if derr == nil {
+		res := run.Result()
+		return &SSSPResult{Dist: res.Dist, Outcome: *out, GPU: res}, nil
+	}
+	if pol.NoFallback {
+		return nil, derr
+	}
+	dist := cpualgo.SSSPBellmanFord(g, weights, src, 0)
+	out.Degraded = true
+	out.FallbackCause = derr
+	return &SSSPResult{Dist: dist, Outcome: *out}, nil
+}
+
+// PageRankResult is a fault-tolerant PageRank answer.
+type PageRankResult struct {
+	// Ranks is the final rank vector (sums to ~1), whichever engine
+	// produced it.
+	Ranks []float32
+	// Outcome records retries, faults, and whether the result is degraded.
+	Outcome Outcome
+	// GPU carries the device run's stats and output (nil when Degraded).
+	GPU *gpualgo.PageRankResult
+}
+
+// PageRank runs fault-tolerant power iteration, retrying transient faults
+// per sweep (the rank/next swap only commits after a sweep's two launches
+// both succeed) and degrading to the CPU oracle on permanent failure. The
+// oracle runs the same damping for the same fixed iteration count.
+func PageRank(d *simt.Device, g *graph.CSR, opts gpualgo.PageRankOptions, pol Policy) (*PageRankResult, error) {
+	pol = pol.withDefaults()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	run, err := gpualgo.NewPageRankRun(d, g, opts)
+	if err != nil {
+		return nil, err
+	}
+	run.Launch = pol.Launch
+	out, derr := Drive(pol, run)
+	if derr == nil {
+		res := run.Result()
+		return &PageRankResult{Ranks: res.Ranks, Outcome: *out, GPU: res}, nil
+	}
+	if pol.NoFallback {
+		return nil, derr
+	}
+	damping := opts.Damping
+	if damping == 0 {
+		damping = 0.85
+	}
+	iters := opts.Iterations
+	if iters == 0 {
+		iters = 20
+	}
+	ranks64, _ := cpualgo.PageRank(g, cpualgo.PageRankOptions{
+		Damping:   float64(damping),
+		MaxIters:  iters,
+		Tolerance: 1e-300, // run the full fixed iteration count, as the device does
+	})
+	ranks := make([]float32, len(ranks64))
+	for i, r := range ranks64 {
+		ranks[i] = float32(r)
+	}
+	out.Degraded = true
+	out.FallbackCause = derr
+	return &PageRankResult{Ranks: ranks, Outcome: *out}, nil
+}

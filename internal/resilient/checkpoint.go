@@ -1,0 +1,52 @@
+package resilient
+
+import (
+	"maxwarp/internal/gpualgo"
+	"maxwarp/internal/simt"
+)
+
+// Checkpoint holds host-side snapshots of a set of device buffers. Save
+// copies device contents out; Restore copies the last snapshot back in,
+// undoing any corruption a failed launch left behind (including injected
+// bit-flips in the graph arrays themselves).
+type Checkpoint struct {
+	i32  []*simt.BufI32
+	f32  []*simt.BufF32
+	i32s [][]int32
+	f32s [][]float32
+}
+
+// NewCheckpoint tracks every buffer in st and takes an initial snapshot.
+func NewCheckpoint(st gpualgo.RunState) *Checkpoint {
+	c := &Checkpoint{i32: st.I32, f32: st.F32}
+	c.i32s = make([][]int32, len(c.i32))
+	for i, b := range c.i32 {
+		c.i32s[i] = make([]int32, b.Len())
+	}
+	c.f32s = make([][]float32, len(c.f32))
+	for i, b := range c.f32 {
+		c.f32s[i] = make([]float32, b.Len())
+	}
+	c.Save()
+	return c
+}
+
+// Save snapshots the current contents of every tracked buffer.
+func (c *Checkpoint) Save() {
+	for i, b := range c.i32 {
+		copy(c.i32s[i], b.Data())
+	}
+	for i, b := range c.f32 {
+		copy(c.f32s[i], b.Data())
+	}
+}
+
+// Restore writes the last snapshot back into every tracked buffer.
+func (c *Checkpoint) Restore() {
+	for i, b := range c.i32 {
+		copy(b.Data(), c.i32s[i])
+	}
+	for i, b := range c.f32 {
+		copy(b.Data(), c.f32s[i])
+	}
+}

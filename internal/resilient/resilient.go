@@ -1,0 +1,145 @@
+// Package resilient wraps the device graph algorithms with fault tolerance:
+// bounded retry with exponential backoff on transient kernel faults,
+// checkpoint/restore of device buffers between iterations of the iterative
+// algorithms (BFS levels, Bellman-Ford rounds, PageRank sweeps), and
+// graceful degradation to the matching CPU oracle once the retry budget is
+// exhausted or the fault is permanent (device loss, deterministic kernel
+// bugs). Degraded results are tagged so callers can tell a GPU answer from
+// an oracle answer.
+package resilient
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"maxwarp/internal/simt"
+)
+
+// Policy bounds how hard the runner tries before degrading to the CPU
+// oracle.
+type Policy struct {
+	// MaxRetries is the per-step transient retry budget (default 3). A
+	// successful step resets the counter: only consecutive failures of the
+	// same step exhaust it.
+	MaxRetries int
+	// BaseBackoff is the sleep before the first retry (default 1ms); it
+	// doubles per consecutive failure up to MaxBackoff (default 50ms).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Sleep is the backoff clock, injectable for tests (default
+	// time.Sleep).
+	Sleep func(time.Duration)
+	// Launch supervises every kernel launch made under this policy
+	// (per-launch deadline and progress callback).
+	Launch simt.LaunchOpts
+	// NoFallback disables CPU-oracle degradation: exhausting the retry
+	// budget returns the last error instead of a Degraded result.
+	NoFallback bool
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxRetries == 0 {
+		p.MaxRetries = 3
+	}
+	if p.BaseBackoff == 0 {
+		p.BaseBackoff = time.Millisecond
+	}
+	if p.MaxBackoff == 0 {
+		p.MaxBackoff = 50 * time.Millisecond
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	return p
+}
+
+// backoff returns the sleep before retry number try (1-based).
+func (p Policy) backoff(try int) time.Duration {
+	d := p.BaseBackoff
+	for i := 1; i < try; i++ {
+		d *= 2
+		if d >= p.MaxBackoff {
+			return p.MaxBackoff
+		}
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d
+}
+
+// FaultRecord logs one fault the runner observed and recovered from (or gave
+// up on).
+type FaultRecord struct {
+	// Iteration is the algorithm iteration (BFS level, PageRank sweep) the
+	// fault interrupted.
+	Iteration int
+	// Attempt is the 1-based attempt number of that step.
+	Attempt int
+	// Err is the launch error, with the typed *simt.KernelFault (or
+	// sentinel) in its chain.
+	Err error
+}
+
+// Outcome describes how a resilient run completed.
+type Outcome struct {
+	// Degraded is true when the device computation was abandoned and the
+	// result comes from the CPU oracle.
+	Degraded bool
+	// Retries is the total number of retried steps across the run.
+	Retries int
+	// Faults logs every fault observed, in order.
+	Faults []FaultRecord
+	// FallbackCause is the error that forced degradation (nil unless
+	// Degraded).
+	FallbackCause error
+}
+
+// permanent reports whether err cannot be cured by retrying the same step:
+// device loss poisons every future launch, and a deterministic kernel fault
+// (OOB, panic) will recur on identical inputs. Injected bit-flips and aborts
+// are transient by construction.
+func permanent(err error) bool {
+	if errors.Is(err, simt.ErrDeviceLost) {
+		return true
+	}
+	return !simt.IsTransient(err)
+}
+
+// Run executes attempt with the policy's retry loop and falls back once the
+// budget is exhausted or the fault is permanent. attempt receives the
+// 1-based attempt number and must be safe to call again after a failure
+// (restore any state it mutates). fallback may be nil, in which case the
+// last error is returned instead of degrading.
+func Run[T any](pol Policy, attempt func(try int) (T, error), fallback func() (T, error)) (T, *Outcome, error) {
+	pol = pol.withDefaults()
+	out := &Outcome{}
+	var zero T
+	var lastErr error
+	for try := 1; try <= 1+pol.MaxRetries; try++ {
+		v, err := attempt(try)
+		if err == nil {
+			return v, out, nil
+		}
+		lastErr = err
+		out.Faults = append(out.Faults, FaultRecord{Attempt: try, Err: err})
+		if permanent(err) {
+			break
+		}
+		if try <= pol.MaxRetries {
+			out.Retries++
+			pol.Sleep(pol.backoff(try))
+		}
+	}
+	if fallback == nil || pol.NoFallback {
+		return zero, out, lastErr
+	}
+	v, err := fallback()
+	if err != nil {
+		return zero, out, fmt.Errorf("resilient: fallback after %w: %v", lastErr, err)
+	}
+	out.Degraded = true
+	out.FallbackCause = lastErr
+	return v, out, nil
+}

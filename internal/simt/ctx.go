@@ -501,7 +501,7 @@ func (c *WarpCtx) chargeMemUseful(addrs []uint64, active, useful int64, kind mem
 // segment touched.
 func (c *WarpCtx) LoadI32(b *BufI32, idx []int32, dst []int32) {
 	addrs, active := c.gatherAddrs(func(lane int) uint64 {
-		b.check(idx[lane])
+		b.check(idx[lane], lane)
 		return b.addr(idx[lane])
 	})
 	c.chargeMem(addrs, active, memLoad, 0)
@@ -519,7 +519,7 @@ func (c *WarpCtx) LoadI32(b *BufI32, idx []int32, dst []int32) {
 func (c *WarpCtx) LoadI32Replicated(groupWidth int, b *BufI32, idx []int32, dst []int32) {
 	c.checkGroupWidth(groupWidth)
 	addrs, active := c.gatherAddrs(func(lane int) uint64 {
-		b.check(idx[lane])
+		b.check(idx[lane], lane)
 		return b.addr(idx[lane])
 	})
 	useful := int64(0)
@@ -541,7 +541,7 @@ func (c *WarpCtx) LoadI32Replicated(groupWidth int, b *BufI32, idx []int32, dst 
 // (here deterministically the highest lane).
 func (c *WarpCtx) StoreI32(b *BufI32, idx []int32, src []int32) {
 	addrs, active := c.gatherAddrs(func(lane int) uint64 {
-		b.check(idx[lane])
+		b.check(idx[lane], lane)
 		return b.addr(idx[lane])
 	})
 	c.chargeMem(addrs, active, memStore, 0)
@@ -555,7 +555,7 @@ func (c *WarpCtx) StoreI32(b *BufI32, idx []int32, src []int32) {
 // LoadF32 gathers float32 values; see LoadI32.
 func (c *WarpCtx) LoadF32(b *BufF32, idx []int32, dst []float32) {
 	addrs, active := c.gatherAddrs(func(lane int) uint64 {
-		b.check(idx[lane])
+		b.check(idx[lane], lane)
 		return b.addr(idx[lane])
 	})
 	c.chargeMem(addrs, active, memLoad, 0)
@@ -569,7 +569,7 @@ func (c *WarpCtx) LoadF32(b *BufF32, idx []int32, dst []float32) {
 // StoreF32 scatters float32 values; see StoreI32.
 func (c *WarpCtx) StoreF32(b *BufF32, idx []int32, src []float32) {
 	addrs, active := c.gatherAddrs(func(lane int) uint64 {
-		b.check(idx[lane])
+		b.check(idx[lane], lane)
 		return b.addr(idx[lane])
 	})
 	c.chargeMem(addrs, active, memStore, 0)
@@ -584,7 +584,7 @@ func (c *WarpCtx) StoreF32(b *BufF32, idx []int32, src []float32) {
 
 func (c *WarpCtx) atomicI32(b *BufI32, idx []int32, apply func(lane int)) {
 	addrs, active := c.gatherAddrs(func(lane int) uint64 {
-		b.check(idx[lane])
+		b.check(idx[lane], lane)
 		return b.addr(idx[lane])
 	})
 	if active == 0 {
@@ -668,7 +668,7 @@ func (c *WarpCtx) AtomicExchI32(b *BufI32, idx []int32, val []int32, old []int32
 // AtomicAddF32 is the float32 atomic add.
 func (c *WarpCtx) AtomicAddF32(b *BufF32, idx []int32, delta []float32, old []float32) {
 	addrs, active := c.gatherAddrs(func(lane int) uint64 {
-		b.check(idx[lane])
+		b.check(idx[lane], lane)
 		return b.addr(idx[lane])
 	})
 	if active == 0 {
@@ -699,7 +699,7 @@ func (c *WarpCtx) SharedI32(key string, n int) *SharedI32 {
 
 // LoadSharedI32 gathers from block-shared memory with bank-conflict cost.
 func (c *WarpCtx) LoadSharedI32(s *SharedI32, idx []int32, dst []int32) {
-	slots, minSlots, active := c.sharedConflicts(s.len(), idx)
+	slots, minSlots, active := c.sharedConflicts(s, idx)
 	if active == 0 {
 		return
 	}
@@ -714,7 +714,7 @@ func (c *WarpCtx) LoadSharedI32(s *SharedI32, idx []int32, dst []int32) {
 // StoreSharedI32 scatters to block-shared memory with bank-conflict cost.
 // Same-address collisions: highest lane wins, deterministically.
 func (c *WarpCtx) StoreSharedI32(s *SharedI32, idx []int32, src []int32) {
-	slots, minSlots, active := c.sharedConflicts(s.len(), idx)
+	slots, minSlots, active := c.sharedConflicts(s, idx)
 	if active == 0 {
 		return
 	}
@@ -731,8 +731,9 @@ func (c *WarpCtx) StoreSharedI32(s *SharedI32, idx []int32, src []int32) {
 // parts); within each service group, distinct words mapping to the same bank
 // serialize, while same-word accesses broadcast for free. The returned slot
 // count is the sum over groups of each group's worst bank degree.
-func (c *WarpCtx) sharedConflicts(n int, idx []int32) (slots, minSlots, active int64) {
+func (c *WarpCtx) sharedConflicts(s *SharedI32, idx []int32) (slots, minSlots, active int64) {
 	banks := c.l.cfg.SharedBanks
+	n := s.len()
 	for base := 0; base < c.width; base += banks {
 		perBank := make(map[int]map[int32]struct{}, banks)
 		groupActive := false
@@ -746,7 +747,9 @@ func (c *WarpCtx) sharedConflicts(n int, idx []int32) (slots, minSlots, active i
 			}
 			i := idx[lane]
 			if i < 0 || int(i) >= n {
-				panic(fmt.Sprintf("simt: shared index %d out of range [0,%d)", i, n))
+				f := newFaultOOB("shared:"+s.key, int64(i), n)
+				f.Lane = lane
+				panic(f)
 			}
 			active++
 			groupActive = true
@@ -790,7 +793,7 @@ func (c *WarpCtx) chargeShared(slots, minSlots, active int64) {
 // lanes serialize like bank conflicts; this is the shared-memory atomicAdd
 // histogram kernels rely on.
 func (c *WarpCtx) AtomicAddSharedI32(s *SharedI32, idx []int32, delta []int32, old []int32) {
-	slots, minSlots, active := c.sharedConflicts(s.len(), idx)
+	slots, minSlots, active := c.sharedConflicts(s, idx)
 	if active == 0 {
 		return
 	}

@@ -17,6 +17,14 @@ type Device struct {
 	cfg    Config
 	mem    *memory
 	tracer Tracer
+
+	// Allocation registry, so fault injection can target live buffers.
+	bufsI32 []*BufI32
+	bufsF32 []*BufF32
+
+	// Fault-injection state (nil when no plan is installed).
+	faults *faultState
+	lost   bool
 }
 
 // NewDevice creates a device with the given configuration.
@@ -46,7 +54,9 @@ func (d *Device) AllocI32(name string, n int) *BufI32 {
 	if n < 0 {
 		panic(fmt.Sprintf("simt: AllocI32(%q, %d): negative length", name, n))
 	}
-	return &BufI32{name: name, base: d.mem.reserve(4 * n), data: make([]int32, n)}
+	b := &BufI32{name: name, base: d.mem.reserve(4 * n), data: make([]int32, n)}
+	d.bufsI32 = append(d.bufsI32, b)
+	return b
 }
 
 // UploadI32 allocates a device buffer holding a copy of data.
@@ -61,7 +71,9 @@ func (d *Device) AllocF32(name string, n int) *BufF32 {
 	if n < 0 {
 		panic(fmt.Sprintf("simt: AllocF32(%q, %d): negative length", name, n))
 	}
-	return &BufF32{name: name, base: d.mem.reserve(4 * n), data: make([]float32, n)}
+	b := &BufF32{name: name, base: d.mem.reserve(4 * n), data: make([]float32, n)}
+	d.bufsF32 = append(d.bufsF32, b)
+	return b
 }
 
 // UploadF32 allocates a device buffer holding a copy of data.
@@ -71,17 +83,53 @@ func (d *Device) UploadF32(name string, data []float32) *BufF32 {
 	return b
 }
 
+// LaunchOpts tune one launch's supervision — a per-launch deadline and a
+// progress hook with cancellation — without touching the device config.
+type LaunchOpts struct {
+	// MaxCycles overrides Config.MaxCycles for this launch (0 = use the
+	// config value). Exceeding it aborts the launch with an error wrapping
+	// ErrLaunchTimeout and returns the partial LaunchStats.
+	MaxCycles int64
+	// OnProgress, when non-nil, is invoked roughly every ProgressEvery
+	// simulated cycles with the current clock. Returning a non-nil error
+	// cancels the launch: the returned launch error wraps both
+	// ErrLaunchCancelled and the callback's error.
+	OnProgress func(cycle int64) error
+	// ProgressEvery is the OnProgress period in cycles (default 65536).
+	ProgressEvery int64
+}
+
 // Launch runs kernel over the grid described by lc and returns the launch
-// statistics. The call blocks until the simulated kernel completes. A kernel
-// panic (including out-of-range buffer access) aborts the launch and is
-// returned as an error; exceeding Config.MaxCycles likewise.
+// statistics. The call blocks until the simulated kernel completes. Any
+// failure — a kernel panic, an out-of-range buffer access, an injected
+// fault, exceeding Config.MaxCycles — is returned as a typed error (see
+// KernelFault, ErrLaunchTimeout, ErrDeviceLost) together with the partial
+// stats accumulated up to the failure. Launch never panics on kernel
+// failures.
 func (d *Device) Launch(lc LaunchConfig, kernel Kernel) (*LaunchStats, error) {
+	return d.LaunchWith(lc, LaunchOpts{}, kernel)
+}
+
+// LaunchWith is Launch with per-launch supervision options.
+func (d *Device) LaunchWith(lc LaunchConfig, opts LaunchOpts, kernel Kernel) (*LaunchStats, error) {
 	if err := lc.Validate(d.cfg); err != nil {
 		return nil, err
 	}
 	if kernel == nil {
 		return nil, fmt.Errorf("simt: nil kernel")
 	}
+	if opts.MaxCycles < 0 || opts.ProgressEvery < 0 {
+		return nil, fmt.Errorf("simt: negative LaunchOpts value")
+	}
+	if d.lost {
+		return nil, fmt.Errorf("simt: %w (call Revive to reset)", ErrDeviceLost)
+	}
 	l := newLaunch(d, lc, kernel)
-	return l.run()
+	l.opts = opts
+	l.inj = d.planInjection()
+	stats, err := l.run()
+	if d.faults != nil && stats != nil {
+		d.faults.cycles += stats.Cycles
+	}
+	return stats, err
 }

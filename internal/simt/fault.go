@@ -1,0 +1,199 @@
+package simt
+
+import (
+	"fmt"
+	"math"
+
+	"maxwarp/internal/xrand"
+)
+
+// FaultPlan describes a deterministic, seeded schedule of injected faults —
+// the chaos-engineering hook that lets tests prove the stack degrades
+// gracefully instead of hoping. Install with Device.SetFaultPlan.
+//
+// Faults come in two classes. Transient faults (bit-flips, kernel aborts)
+// corrupt or kill a single launch; the launch reports a typed *KernelFault
+// and a retry with restored buffers succeeds. The permanent fault (device
+// loss) kills the launch in flight and poisons every later launch with
+// ErrDeviceLost until Revive is called.
+//
+// All scheduling is derived from Seed, so a given plan over a given launch
+// sequence injects exactly the same faults every run.
+type FaultPlan struct {
+	// Seed drives every pseudo-random choice (fault cycle, target buffer,
+	// flipped bit).
+	Seed uint64
+
+	// BitFlipEvery injects a single-bit corruption into a tracked device
+	// buffer on every Nth launch (launch numbers are 1-based, so the first
+	// faulting launch is launch N). The corruption is detected ECC-style:
+	// the launch aborts with a transient *KernelFault{Kind: FaultBitFlip}
+	// naming the corrupted buffer. 0 disables.
+	BitFlipEvery int
+	// Buffers restricts bit-flip targets to buffers with these names
+	// (empty = any allocated buffer).
+	Buffers []string
+
+	// AbortEvery aborts every Nth launch mid-flight with a transient
+	// *KernelFault{Kind: FaultAbort} (a preempted kernel). When a launch
+	// matches both BitFlipEvery and AbortEvery, the bit-flip wins.
+	// 0 disables.
+	AbortEvery int
+
+	// DeviceLossAfterCycles permanently kills the device once its
+	// cumulative simulated cycle count (across launches) crosses this
+	// value: the in-flight launch aborts with ErrDeviceLost, and every
+	// later launch fails immediately with ErrDeviceLost until Revive.
+	// 0 disables.
+	DeviceLossAfterCycles int64
+
+	// MaxFaults bounds the total number of injected transient faults
+	// (bit-flips plus aborts); 0 means unlimited. Device loss is not
+	// counted — it is permanent, not a budget.
+	MaxFaults int
+}
+
+// faultState is the device's mutable injection bookkeeping.
+type faultState struct {
+	plan     FaultPlan
+	rng      *xrand.Rand
+	launches int   // launches started since the plan was installed
+	injected int   // transient faults injected so far
+	cycles   int64 // cumulative simulated cycles across completed launches
+}
+
+// injection is one launch's pre-computed fault decision.
+type injection struct {
+	// abortAt is the within-launch cycle at which the launch aborts with
+	// err; if the kernel drains first, the abort fires at drain time so an
+	// injected fault is never silently swallowed.
+	abortAt int64
+	err     error
+	// loseDevice marks the device lost when the abort fires.
+	loseDevice bool
+}
+
+// SetFaultPlan installs (or, with nil, removes) a fault-injection plan.
+// Installing a plan resets the injection state: launch numbering restarts
+// at 1 and the random stream is re-seeded.
+func (d *Device) SetFaultPlan(p *FaultPlan) {
+	if p == nil {
+		d.faults = nil
+		return
+	}
+	plan := *p
+	d.faults = &faultState{plan: plan, rng: xrand.New(plan.Seed)}
+}
+
+// Lost reports whether the device has failed permanently (an injected
+// device loss fired). A lost device fails every launch with ErrDeviceLost.
+func (d *Device) Lost() bool { return d.lost }
+
+// Revive clears the lost state — the simulated analogue of a driver reset.
+// Device memory contents survive (as they may or may not on real hardware;
+// callers that care should re-upload).
+func (d *Device) Revive() { d.lost = false }
+
+// planInjection decides this launch's fault, consuming randomness only when
+// a fault actually fires so unaffected launches stay bit-identical with and
+// without surrounding faulty ones.
+func (d *Device) planInjection() *injection {
+	fs := d.faults
+	if fs == nil {
+		return nil
+	}
+	fs.launches++
+
+	// Device loss is a cycle threshold, not a launch schedule: arm it
+	// whenever the remaining budget could be crossed by this launch.
+	if lossAt := fs.plan.DeviceLossAfterCycles; lossAt > 0 {
+		remaining := lossAt - fs.cycles
+		if remaining < 0 {
+			remaining = 0
+		}
+		return &injection{
+			abortAt:    remaining,
+			err:        fmt.Errorf("simt: launch %d: %w", fs.launches, ErrDeviceLost),
+			loseDevice: true,
+		}
+	}
+
+	budgetLeft := fs.plan.MaxFaults == 0 || fs.injected < fs.plan.MaxFaults
+	if !budgetLeft {
+		return nil
+	}
+	if n := fs.plan.BitFlipEvery; n > 0 && fs.launches%n == 0 {
+		if inj := d.injectBitFlip(fs); inj != nil {
+			fs.injected++
+			return inj
+		}
+	}
+	if n := fs.plan.AbortEvery; n > 0 && fs.launches%n == 0 {
+		fs.injected++
+		return &injection{
+			abortAt: 1 + int64(fs.rng.Uint64()%4096),
+			err: &KernelFault{
+				Kind:  FaultAbort,
+				Index: -1, Block: -1, Warp: -1, Lane: -1,
+				Detail: fmt.Sprintf("injected abort on launch %d", fs.launches),
+			},
+		}
+	}
+	return nil
+}
+
+// injectBitFlip corrupts one bit of one eligible tracked buffer and returns
+// the matching transient fault, or nil when no buffer is eligible.
+func (d *Device) injectBitFlip(fs *faultState) *injection {
+	type target struct {
+		name string
+		i32  *BufI32
+		f32  *BufF32
+	}
+	var targets []target
+	eligible := func(name string) bool {
+		if len(fs.plan.Buffers) == 0 {
+			return true
+		}
+		for _, want := range fs.plan.Buffers {
+			if name == want {
+				return true
+			}
+		}
+		return false
+	}
+	for _, b := range d.bufsI32 {
+		if len(b.data) > 0 && eligible(b.name) {
+			targets = append(targets, target{name: b.name, i32: b})
+		}
+	}
+	for _, b := range d.bufsF32 {
+		if len(b.data) > 0 && eligible(b.name) {
+			targets = append(targets, target{name: b.name, f32: b})
+		}
+	}
+	if len(targets) == 0 {
+		return nil
+	}
+	t := targets[fs.rng.Uint64()%uint64(len(targets))]
+	bit := uint(fs.rng.Uint64() % 32)
+	var idx int64
+	if t.i32 != nil {
+		idx = int64(fs.rng.Uint64() % uint64(len(t.i32.data)))
+		t.i32.data[idx] ^= 1 << bit
+	} else {
+		idx = int64(fs.rng.Uint64() % uint64(len(t.f32.data)))
+		bits := math.Float32bits(t.f32.data[idx]) ^ 1<<bit
+		t.f32.data[idx] = math.Float32frombits(bits)
+	}
+	return &injection{
+		abortAt: 1 + int64(fs.rng.Uint64()%4096),
+		err: &KernelFault{
+			Kind:   FaultBitFlip,
+			Buffer: t.name,
+			Index:  idx,
+			Block:  -1, Warp: -1, Lane: -1,
+			Detail: fmt.Sprintf("injected bit %d flip on launch %d", bit, fs.launches),
+		},
+	}
+}

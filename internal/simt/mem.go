@@ -1,7 +1,5 @@
 package simt
 
-import "fmt"
-
 // memory is the simulated global-memory address space. Buffers receive
 // disjoint, segment-aligned address ranges so the coalescing model can map
 // any (buffer, element) pair to a byte address.
@@ -55,9 +53,13 @@ func (b *BufI32) Fill(v int32) {
 
 func (b *BufI32) addr(idx int32) uint64 { return b.base + 4*uint64(idx) }
 
-func (b *BufI32) check(idx int32) {
+// check panics with a typed *KernelFault on an out-of-range access; the
+// launch recovers it at the warp boundary and returns it as an error.
+func (b *BufI32) check(idx int32, lane int) {
 	if idx < 0 || int(idx) >= len(b.data) {
-		panic(fmt.Sprintf("simt: buffer %q index %d out of range [0,%d)", b.name, idx, len(b.data)))
+		f := newFaultOOB(b.name, int64(idx), len(b.data))
+		f.Lane = lane
+		panic(f)
 	}
 }
 
@@ -86,9 +88,13 @@ func (b *BufF32) Fill(v float32) {
 
 func (b *BufF32) addr(idx int32) uint64 { return b.base + 4*uint64(idx) }
 
-func (b *BufF32) check(idx int32) {
+// check panics with a typed *KernelFault on an out-of-range access; see
+// BufI32.check.
+func (b *BufF32) check(idx int32, lane int) {
 	if idx < 0 || int(idx) >= len(b.data) {
-		panic(fmt.Sprintf("simt: buffer %q index %d out of range [0,%d)", b.name, idx, len(b.data)))
+		f := newFaultOOB(b.name, int64(idx), len(b.data))
+		f.Lane = lane
+		panic(f)
 	}
 }
 

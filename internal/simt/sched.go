@@ -91,6 +91,8 @@ type launch struct {
 	lc     LaunchConfig
 	kernel Kernel
 	stats  *LaunchStats
+	opts   LaunchOpts
+	inj    *injection
 
 	sms           []*smRT
 	warpsPerBlock int
@@ -99,6 +101,7 @@ type launch struct {
 
 	aborted  bool
 	abortErr error
+	injFired bool
 }
 
 func newLaunch(d *Device, lc LaunchConfig, kernel Kernel) *launch {
@@ -132,17 +135,56 @@ func (l *launch) trace(e TraceEvent) {
 	}
 }
 
+// run drives the launch to completion. On failure the error is typed (a
+// *KernelFault, or a wrap of ErrLaunchTimeout / ErrLaunchCancelled /
+// ErrDeviceLost) and the returned stats hold everything accumulated up to
+// the failure — partial, but honest.
 func (l *launch) run() (*LaunchStats, error) {
 	l.trace(TraceEvent{Kind: TraceLaunchStart, Warp: -1, Block: -1, SM: -1})
+	maxCycles := l.cfg.MaxCycles
+	if l.opts.MaxCycles > 0 {
+		maxCycles = l.opts.MaxCycles
+	}
+	progressEvery := l.opts.ProgressEvery
+	if progressEvery == 0 {
+		progressEvery = 65536
+	}
+	nextProgress := progressEvery
 	for {
 		sm := l.pickSM()
 		if sm == nil {
 			break
 		}
 		l.stepSM(sm)
-		if sm.clock > l.cfg.MaxCycles && !l.aborted {
-			l.abort(fmt.Errorf("simt: launch exceeded MaxCycles=%d (possible kernel livelock)", l.cfg.MaxCycles))
+		if l.aborted {
+			continue
 		}
+		if l.inj != nil && !l.injFired && sm.clock >= l.inj.abortAt {
+			l.fireInjection()
+			continue
+		}
+		if sm.clock > maxCycles {
+			l.abort(fmt.Errorf("simt: launch exceeded MaxCycles=%d (possible kernel livelock): %w",
+				maxCycles, ErrLaunchTimeout))
+			continue
+		}
+		if l.opts.OnProgress != nil && sm.clock >= nextProgress {
+			for nextProgress <= sm.clock {
+				nextProgress += progressEvery
+			}
+			if err := l.opts.OnProgress(sm.clock); err != nil {
+				l.abort(fmt.Errorf("simt: launch cancelled at cycle %d: %w: %w",
+					sm.clock, ErrLaunchCancelled, err))
+				continue
+			}
+		}
+	}
+	// A transient injection whose cycle the kernel outran still fires at
+	// drain: a bit-flip already corrupted memory, so swallowing it would be
+	// silent corruption. Device loss is a genuine cycle threshold — a launch
+	// that finishes under it survives.
+	if l.inj != nil && !l.injFired && !l.aborted && !l.inj.loseDevice {
+		l.fireInjection()
 	}
 	for _, sm := range l.sms {
 		if sm.everUsed {
@@ -154,9 +196,18 @@ func (l *launch) run() (*LaunchStats, error) {
 	}
 	l.trace(TraceEvent{Kind: TraceLaunchEnd, Cycle: l.stats.Cycles, Warp: -1, Block: -1, SM: -1})
 	if l.abortErr != nil {
-		return nil, l.abortErr
+		return l.stats, l.abortErr
 	}
 	return l.stats, nil
+}
+
+// fireInjection triggers the launch's planned fault.
+func (l *launch) fireInjection() {
+	l.injFired = true
+	if l.inj.loseDevice {
+		l.dev.lost = true
+	}
+	l.abort(l.inj.err)
 }
 
 // pickSM returns the SM with work and the smallest clock, or nil when the
@@ -226,14 +277,25 @@ func (l *launch) admitBlocks(sm *smRT) {
 	}
 }
 
-// runWarp is the warp goroutine body.
+// runWarp is the warp goroutine body. Any panic escaping the kernel —
+// including the typed *KernelFault panics raised by buffer bounds checks —
+// is recovered here, located (block/warp/cycle), and reported through the
+// opDone request so Launch returns it as a typed error.
 func (l *launch) runWarp(w *warpRT) {
 	defer func() {
 		var err error
 		if r := recover(); r != nil {
-			if rErr, ok := r.(error); !ok || !errors.Is(rErr, errAborted) {
-				err = fmt.Errorf("simt: kernel panic in block %d warp %d: %v\n%s",
-					w.blockID, w.warpInBlock, r, debug.Stack())
+			switch v := r.(type) {
+			case *KernelFault:
+				v.Block, v.Warp = w.blockID, w.globalID
+				v.Cycle = w.sm.clock
+				err = v
+			case error:
+				if !errors.Is(v, errAborted) {
+					err = l.panicFault(w, r)
+				}
+			default:
+				err = l.panicFault(w, r)
 			}
 		}
 		w.req <- request{class: opDone, err: err}
@@ -243,6 +305,18 @@ func (l *launch) runWarp(w *warpRT) {
 		panic(errAborted)
 	}
 	l.kernel(w.ctx)
+}
+
+// panicFault wraps an arbitrary kernel panic as a typed fault.
+func (l *launch) panicFault(w *warpRT, r interface{}) *KernelFault {
+	return &KernelFault{
+		Kind:  FaultPanic,
+		Index: -1,
+		Block: w.blockID, Warp: w.globalID, Lane: -1,
+		Cycle:  w.sm.clock,
+		Detail: fmt.Sprint(r),
+		Stack:  string(debug.Stack()),
+	}
 }
 
 // stepSM advances one SM by one warp instruction.
@@ -350,7 +424,15 @@ func (l *launch) apply(sm *smRT, w *warpRT, r request) {
 		b := w.block
 		b.liveWarps--
 		if r.err != nil && !l.aborted {
-			l.abort(r.err)
+			// A fault during a launch with a pending transient injection is
+			// attributed to the injection: the corruption it planted is the
+			// root cause of whatever the kernel tripped over, and reporting
+			// it as transient keeps retry-with-restore sound.
+			if l.inj != nil && !l.injFired && !l.inj.loseDevice {
+				l.fireInjection()
+			} else {
+				l.abort(r.err)
+			}
 			return
 		}
 		if b.liveWarps == 0 {

@@ -17,15 +17,21 @@
 //   - seeded workload generators matching the paper's dataset regimes
 //     (internal/gengraph);
 //   - the experiment harness regenerating every table/figure
-//     (internal/bench).
+//     (internal/bench);
+//   - fault injection and a resilient launch/retry layer
+//     (internal/simt fault plans, internal/resilient) — typed kernel
+//     errors, checkpointed retries, CPU-oracle degradation.
 //
 // Quick start:
 //
 //	g, _ := maxwarp.RMAT(14, 16, maxwarp.DefaultRMATParams, 42)
 //	dev, _ := maxwarp.NewDevice(maxwarp.DefaultDeviceConfig())
-//	dg := maxwarp.UploadGraph(dev, g)
+//	dg, _ := maxwarp.UploadGraph(dev, g)
 //	res, _ := maxwarp.BFS(dev, dg, 0, maxwarp.Options{K: 32})
 //	fmt.Println(res.Depth, res.Stats.Cycles)
+//
+// See docs/ROBUSTNESS.md for the failure model: every kernel failure
+// surfaces as a typed error at the launch boundary, never as a panic.
 //
 // See README.md for the architecture overview and EXPERIMENTS.md for the
 // paper-vs-measured record.
@@ -40,6 +46,7 @@ import (
 	"maxwarp/internal/gpualgo"
 	"maxwarp/internal/graph"
 	"maxwarp/internal/report"
+	"maxwarp/internal/resilient"
 	"maxwarp/internal/simt"
 )
 
@@ -75,6 +82,59 @@ type (
 	RingTracer = simt.RingTracer
 	// TraceEvent is one scheduler observation.
 	TraceEvent = simt.TraceEvent
+	// LaunchOpts supervise one launch: cycle deadline and progress
+	// callback (see Device.LaunchWith).
+	LaunchOpts = simt.LaunchOpts
+	// KernelFault is the typed error describing a failed kernel launch.
+	KernelFault = simt.KernelFault
+	// FaultKind classifies a KernelFault.
+	FaultKind = simt.FaultKind
+	// FaultPlan is a seeded deterministic fault-injection schedule (see
+	// Device.SetFaultPlan).
+	FaultPlan = simt.FaultPlan
+)
+
+// Kernel fault kinds.
+const (
+	FaultOOB       = simt.FaultOOB
+	FaultPanic     = simt.FaultPanic
+	FaultBitFlip   = simt.FaultBitFlip
+	FaultAbort     = simt.FaultAbort
+	FaultCancelled = simt.FaultCancelled
+)
+
+// Device-level launch failure sentinels; test with errors.Is (they are
+// returned wrapped).
+var (
+	// ErrDeviceLost: the simulated device failed permanently; launches
+	// fail until Device.Revive.
+	ErrDeviceLost = simt.ErrDeviceLost
+	// ErrLaunchTimeout: the launch exceeded its cycle deadline.
+	ErrLaunchTimeout = simt.ErrLaunchTimeout
+	// ErrLaunchCancelled: LaunchOpts.OnProgress aborted the launch.
+	ErrLaunchCancelled = simt.ErrLaunchCancelled
+)
+
+// IsTransientFault reports whether err is a transient launch failure (an
+// injected bit-flip or abort) that a retry with restored buffers should
+// survive.
+func IsTransientFault(err error) bool { return simt.IsTransient(err) }
+
+// Resilient execution types (fault-tolerant wrappers over the device
+// algorithms).
+type (
+	// ResilientPolicy bounds retries/backoff and configures launch
+	// supervision for the resilient runners.
+	ResilientPolicy = resilient.Policy
+	// ResilientOutcome records retries, observed faults, and whether the
+	// result was degraded to the CPU oracle.
+	ResilientOutcome = resilient.Outcome
+	// ResilientBFSResult is the output of ResilientBFS.
+	ResilientBFSResult = resilient.BFSResult
+	// ResilientSSSPResult is the output of ResilientSSSP.
+	ResilientSSSPResult = resilient.SSSPResult
+	// ResilientPageRankResult is the output of ResilientPageRank.
+	ResilientPageRankResult = resilient.PageRankResult
 )
 
 // Algorithm types.
@@ -177,14 +237,19 @@ func Stats(g *Graph) DegreeStats { return graph.Stats(g) }
 // SortByDegree relabels g in descending-degree order (returns graph and the
 // old→new permutation) — preprocessing that evens out per-warp work for
 // static thread-per-vertex mappings.
-func SortByDegree(g *Graph) (*Graph, []VertexID) { return graph.SortByDegree(g) }
+func SortByDegree(g *Graph) (*Graph, []VertexID, error) { return graph.SortByDegree(g) }
 
-// UploadGraph copies a graph into device memory.
-func UploadGraph(d *Device, g *Graph) *DeviceGraph { return gpualgo.Upload(d, g) }
+// UploadGraph validates g's CSR invariants and copies it into device
+// memory; malformed graphs are rejected here instead of faulting kernels
+// mid-launch.
+func UploadGraph(d *Device, g *Graph) (*DeviceGraph, error) { return gpualgo.UploadChecked(d, g) }
 
 // UploadWeightedGraph copies a graph and per-edge weights (aligned with
 // g.Col) into device memory.
 func UploadWeightedGraph(d *Device, g *Graph, weights []int32) (*DeviceGraph, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
 	return gpualgo.UploadWeighted(d, g, weights)
 }
 
@@ -369,7 +434,7 @@ func ChungLu(n int, avgDegree, gamma float64, seed uint64) (*Graph, error) {
 
 // ExtractLargestWCC trims g to its largest weakly connected component
 // (returns the subgraph and the old→new id map, -1 = dropped).
-func ExtractLargestWCC(g *Graph) (*Graph, []VertexID) { return graph.ExtractLargestWCC(g) }
+func ExtractLargestWCC(g *Graph) (*Graph, []VertexID, error) { return graph.ExtractLargestWCC(g) }
 
 // AutoTuneBFS sweeps BFS over all virtual warp widths and reports the best.
 func AutoTuneBFS(cfg DeviceConfig, g *Graph, src VertexID, opts Options) (*TuneResult, error) {
@@ -388,6 +453,34 @@ func ReadDIMACS(r io.Reader) (*Graph, []int32, error) { return graph.ReadDIMACS(
 // WriteDIMACS writes a weighted graph in the DIMACS shortest-path format.
 func WriteDIMACS(w io.Writer, g *Graph, weights []int32) error {
 	return graph.WriteDIMACS(w, g, weights)
+}
+
+// Resilient execution: device algorithms wrapped with bounded retry on
+// transient faults (checkpoint/restore between iterations) and graceful
+// degradation to the CPU oracle, tagged Outcome.Degraded.
+
+// ResilientBFS runs fault-tolerant BFS: transient kernel faults are retried
+// per level from a checkpoint; permanent faults (device loss, kernel bugs)
+// or an exhausted retry budget degrade to the CPU oracle.
+func ResilientBFS(d *Device, g *Graph, src VertexID, opts Options, pol ResilientPolicy) (*ResilientBFSResult, error) {
+	return resilient.BFS(d, g, src, opts, pol)
+}
+
+// ResilientSSSP runs fault-tolerant Bellman-Ford shortest paths.
+func ResilientSSSP(d *Device, g *Graph, weights []int32, src VertexID, opts Options, pol ResilientPolicy) (*ResilientSSSPResult, error) {
+	return resilient.SSSP(d, g, weights, src, opts, pol)
+}
+
+// ResilientPageRank runs fault-tolerant power iteration.
+func ResilientPageRank(d *Device, g *Graph, opts PageRankOptions, pol ResilientPolicy) (*ResilientPageRankResult, error) {
+	return resilient.PageRank(d, g, opts, pol)
+}
+
+// RunResilient executes attempt under pol's retry loop: transient errors
+// are retried with exponential backoff, then fallback (if non-nil) supplies
+// the degraded answer. attempt receives the 1-based attempt number.
+func RunResilient[T any](pol ResilientPolicy, attempt func(try int) (T, error), fallback func() (T, error)) (T, *ResilientOutcome, error) {
+	return resilient.Run(pol, attempt, fallback)
 }
 
 // Experiments.

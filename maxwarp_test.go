@@ -20,7 +20,10 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dg := maxwarp.UploadGraph(dev, g)
+	dg, err := maxwarp.UploadGraph(dev, g)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	res, err := maxwarp.BFS(dev, dg, 0, maxwarp.Options{K: 32})
 	if err != nil {
@@ -57,8 +60,14 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	sym := g.Symmetrize()
-	sdg := maxwarp.UploadGraph(dev, sym)
+	sym, err := g.Symmetrize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdg, err := maxwarp.UploadGraph(dev, sym)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := maxwarp.ConnectedComponents(dev, sdg, maxwarp.Options{K: 16}); err != nil {
 		t.Fatal(err)
 	}
