@@ -26,6 +26,7 @@ func cmdAlgo(args []string) error {
 	iters := fs.Int("iters", 10, "iterations for pagerank")
 	inject := fs.String("inject", "", "fault-injection spec (bfs, sssp, pagerank only): abort=N,bitflip=N,buffers=a|b,loss=N,seed=N,maxfaults=N")
 	retries := fs.Int("retries", 3, "per-iteration retry budget under -inject (min 1)")
+	parallel := fs.Int("parallel", 0, "host goroutines driving SMs (0 = one per CPU, 1 = sequential event loop)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -39,7 +40,9 @@ func cmdAlgo(args []string) error {
 		}
 		return gengraph.EdgeWeights(g, 16, *seed)
 	}
-	dev, err := simt.NewDevice(simt.DefaultConfig())
+	dcfg := simt.DefaultConfig()
+	dcfg.ParallelSMs = *parallel
+	dev, err := simt.NewDevice(dcfg)
 	if err != nil {
 		return err
 	}

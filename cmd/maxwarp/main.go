@@ -99,10 +99,12 @@ func cmdRun(args []string) error {
 	seed := fs.Uint64("seed", 42, "generator seed")
 	format := fs.String("format", "text", "output format: text, md, csv, chart")
 	out := fs.String("out", "", "write output to file instead of stdout")
+	parallel := fs.Int("parallel", 0, "host goroutines driving SMs (0 = one per CPU, 1 = sequential event loop)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	cfg := bench.Config{Scale: *scale, Seed: *seed}.WithDefaults()
+	cfg.Device.ParallelSMs = *parallel
 
 	var exps []bench.Experiment
 	if *exp == "all" {
@@ -209,6 +211,7 @@ func cmdBFS(args []string) error {
 	src := fs.Int("src", -1, "source vertex (-1 = auto: large component)")
 	inject := fs.String("inject", "", "fault-injection spec: abort=N,bitflip=N,buffers=a|b,loss=N,seed=N,maxfaults=N")
 	retries := fs.Int("retries", 3, "per-level retry budget under -inject (min 1)")
+	parallel := fs.Int("parallel", 0, "host goroutines driving SMs (0 = one per CPU, 1 = sequential event loop)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -220,7 +223,9 @@ func cmdBFS(args []string) error {
 	if *src < 0 {
 		source = graph.LargestOutComponentSeed(g)
 	}
-	dev, err := simt.NewDevice(simt.DefaultConfig())
+	dcfg := simt.DefaultConfig()
+	dcfg.ParallelSMs = *parallel
+	dev, err := simt.NewDevice(dcfg)
 	if err != nil {
 		return err
 	}

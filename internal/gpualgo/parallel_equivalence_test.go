@@ -1,0 +1,143 @@
+package gpualgo
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"maxwarp/internal/gengraph"
+	"maxwarp/internal/graph"
+	"maxwarp/internal/simt"
+)
+
+// parallelDevice is testDevice with an explicit host execution mode.
+func parallelDevice(t testing.TB, parallelSMs int) *simt.Device {
+	t.Helper()
+	cfg := simt.DefaultConfig()
+	cfg.NumSMs = 4
+	cfg.MaxWarpsPerSM = 16
+	cfg.MaxBlocksPerSM = 4
+	cfg.MaxCycles = 50_000_000
+	cfg.ParallelSMs = parallelSMs
+	d, err := simt.NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// equivalenceGraph is a seeded Chung-Lu power-law workload, the paper's
+// skewed-degree regime where atomics and imbalance are busiest.
+func equivalenceGraph(t testing.TB) *graph.CSR {
+	t.Helper()
+	g, err := gengraph.ChungLu(1500, 8, 2.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// checkStatsEqual compares two accumulated launch-stat totals, ignoring only
+// the recorded host mode.
+func checkStatsEqual(t *testing.T, name string, seq, par simt.LaunchStats) {
+	t.Helper()
+	par.ParallelSMs = seq.ParallelSMs
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("%s: merged LaunchStats differ between host modes\n seq: %+v\n par: %+v", name, seq, par)
+	}
+}
+
+// TestAlgorithmsParallelEquivalence is the ISSUE's satellite coverage: for
+// seeded BFS, SSSP, and PageRank on a Chung-Lu preset, ParallelSMs=1 and
+// ParallelSMs=N must produce identical algorithm results and identical
+// merged LaunchStats (run under -race via make race / make check).
+func TestAlgorithmsParallelEquivalence(t *testing.T) {
+	g := equivalenceGraph(t)
+	src := graph.LargestOutComponentSeed(g)
+	weights := gengraph.EdgeWeights(g, 12, 17)
+	opts := Options{K: 8}
+
+	type run struct {
+		levels []int32
+		dist   []int32
+		ranks  []float32
+		bfs    simt.LaunchStats
+		sssp   simt.LaunchStats
+		pr     simt.LaunchStats
+	}
+	exec := func(mode int) run {
+		var r run
+
+		d := parallelDevice(t, mode)
+		bfs, err := BFS(d, Upload(d, g), src, opts)
+		if err != nil {
+			t.Fatalf("BFS (ParallelSMs=%d): %v", mode, err)
+		}
+		r.levels, r.bfs = bfs.Levels, bfs.Stats
+
+		d = parallelDevice(t, mode)
+		dg, err := UploadWeighted(d, g, weights)
+		if err != nil {
+			t.Fatalf("UploadWeighted: %v", err)
+		}
+		sssp, err := SSSP(d, dg, src, opts)
+		if err != nil {
+			t.Fatalf("SSSP (ParallelSMs=%d): %v", mode, err)
+		}
+		r.dist, r.sssp = sssp.Dist, sssp.Stats
+
+		d = parallelDevice(t, mode)
+		pr, err := PageRank(d, g, PageRankOptions{Options: opts, Iterations: 8})
+		if err != nil {
+			t.Fatalf("PageRank (ParallelSMs=%d): %v", mode, err)
+		}
+		r.ranks, r.pr = pr.Ranks, pr.Stats
+		return r
+	}
+
+	seq := exec(1)
+	for _, mode := range []int{2, 4} {
+		par := exec(mode)
+		if !reflect.DeepEqual(seq.levels, par.levels) {
+			t.Errorf("BFS levels differ between ParallelSMs=1 and %d", mode)
+		}
+		if !reflect.DeepEqual(seq.dist, par.dist) {
+			t.Errorf("SSSP distances differ between ParallelSMs=1 and %d", mode)
+		}
+		if !reflect.DeepEqual(seq.ranks, par.ranks) {
+			t.Errorf("PageRank ranks differ between ParallelSMs=1 and %d", mode)
+		}
+		checkStatsEqual(t, "BFS", seq.bfs, par.bfs)
+		checkStatsEqual(t, "SSSP", seq.sssp, par.sssp)
+		checkStatsEqual(t, "PageRank", seq.pr, par.pr)
+	}
+}
+
+// BenchmarkBFSHostParallelism measures wall-clock for an E9/E10-class BFS
+// workload across host execution modes. ParallelSMs=1 is the classic
+// sequential event loop; higher modes shard SMs across host goroutines.
+// Results are only meaningful relative to GOMAXPROCS — see EXPERIMENTS.md
+// for recorded numbers and the reproduction command.
+func BenchmarkBFSHostParallelism(b *testing.B) {
+	g, err := gengraph.ChungLu(1<<14, 16, 2.2, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := graph.LargestOutComponentSeed(g)
+	for _, mode := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("ParallelSMs=%d", mode), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := simt.DefaultConfig()
+				cfg.ParallelSMs = mode
+				cfg.MaxCycles = 500_000_000
+				d, err := simt.NewDevice(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := BFS(d, Upload(d, g), src, Options{K: 32}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -14,11 +14,18 @@
 // While) that maintain the active-lane mask exactly like a SIMT
 // reconvergence stack. Data manipulation runs natively (functionally exact);
 // its cost is charged in instruction issues. Everything is deterministic:
-// the event loop always steps the SM with the smallest clock, so atomics
-// have a reproducible global order.
+// simulated effects execute in lexicographic (step key, SM id) order, so
+// atomics have a reproducible global order. The sequential event loop
+// realizes that order by always stepping the SM with the smallest clock;
+// with Config.ParallelSMs > 1 each SM runs on its own host goroutine and
+// synchronizes only at globally visible operations (global-memory atomics,
+// block admission), reproducing the same order bit-for-bit.
 package simt
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+)
 
 // Config describes the simulated GPU. The defaults are loosely modeled on
 // the GTX 275-class hardware used in the paper (tens of SMs, 32-wide warps,
@@ -66,6 +73,17 @@ type Config struct {
 	// greedy-then-oldest: lowest ready-time first) or "lrr" (loose
 	// round-robin: rotate through ready warps).
 	SchedulerPolicy string
+
+	// ParallelSMs selects the host execution mode. 1 runs the classic
+	// single-goroutine event loop; any value > 1 runs every simulated SM's
+	// event loop on its own host goroutine, synchronizing only at
+	// global-memory atomics and block admission (the Go runtime multiplexes
+	// the SM goroutines onto the available cores). Zero defaults to
+	// runtime.NumCPU(). Results and stats are bit-identical across all
+	// settings; launches that attach a tracer, a fault-injection plan, or an
+	// OnProgress callback fall back to the sequential loop (recorded in
+	// LaunchStats.SequentialFallback).
+	ParallelSMs int
 
 	// MaxCycles aborts any single kernel launch whose simulated time exceeds
 	// it, turning accidental livelocks (e.g. spin-polling kernels) into
@@ -120,6 +138,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("simt: negative cache parameter in config")
 	case c.SchedulerPolicy != "" && c.SchedulerPolicy != "gto" && c.SchedulerPolicy != "lrr":
 		return fmt.Errorf("simt: unknown scheduler policy %q (want gto or lrr)", c.SchedulerPolicy)
+	case c.ParallelSMs < 0:
+		return fmt.Errorf("simt: ParallelSMs = %d, need >= 0 (0 = NumCPU)", c.ParallelSMs)
 	case c.ClockGHz <= 0:
 		return fmt.Errorf("simt: ClockGHz = %f, need > 0", c.ClockGHz)
 	}
@@ -133,6 +153,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SchedulerPolicy == "" {
 		c.SchedulerPolicy = "gto"
+	}
+	if c.ParallelSMs == 0 {
+		c.ParallelSMs = runtime.NumCPU()
 	}
 	if c.CacheLines > 0 {
 		if c.CacheWays == 0 {

@@ -55,7 +55,7 @@ func newWarpCtx(l *launch, w *warpRT) *WarpCtx {
 func (c *WarpCtx) charge(r request) {
 	c.w.req <- r
 	<-c.w.resume
-	if c.l.aborted {
+	if c.l.aborted.Load() {
 		panic(errAborted)
 	}
 }
@@ -71,11 +71,12 @@ func (c *WarpCtx) activeCount() int {
 }
 
 func (c *WarpCtx) noteALU(instrs, activeLanes, usefulLanes int64) {
-	s := c.l.stats
+	s := &c.w.sm.stats
 	s.Instructions += instrs
 	s.IssueSlots += instrs
 	s.ActiveLaneOps += instrs * activeLanes
 	s.UsefulLaneOps += instrs * usefulLanes
+	s.LaneSlots += instrs * int64(c.width)
 }
 
 // --- identity / geometry -------------------------------------------------
@@ -255,7 +256,7 @@ func (c *WarpCtx) ifImpl(groupWidth int, pred func(lane int) bool, thenFn, elseF
 	c.noteALU(1, active, useful)
 	c.charge(request{class: opALU, issue: 1, latency: c.l.cfg.ALULatency})
 	if thenAny && elseAny && elseFn != nil {
-		c.l.stats.DivergentBranches++
+		c.w.sm.stats.DivergentBranches++
 	}
 	if thenAny && thenFn != nil {
 		copy(c.mask, thenMask)
@@ -453,11 +454,12 @@ func (c *WarpCtx) chargeMemUseful(addrs []uint64, active, useful int64, kind mem
 	segs := coalesceSegments(addrs, uint64(c.l.cfg.SegmentBytes), c.segScratch[:0])
 	c.segScratch = segs
 	txns := int64(len(segs))
-	s := c.l.stats
+	s := &c.w.sm.stats
 	s.Instructions++
 	s.IssueSlots += txns
 	s.ActiveLaneOps += active
 	s.UsefulLaneOps += useful
+	s.LaneSlots += int64(c.width)
 	s.MemOps++
 
 	cache := c.w.sm.cache
@@ -496,6 +498,24 @@ func (c *WarpCtx) chargeMemUseful(addrs []uint64, active, useful int64, kind mem
 	})
 }
 
+// readI32 is the plain-load data phase: the frozen launch-entry value
+// overridden by this SM's own stores (and its own atomics, which mirror into
+// the SM shadow). Other SMs' same-launch writes are never visible — see the
+// memory-model comment in mem.go.
+func (c *WarpCtx) readI32(b *BufI32, i int32) int32 {
+	if sh := b.sh[c.w.sm.id]; sh != nil {
+		return sh.load(i)
+	}
+	return b.data[i]
+}
+
+func (c *WarpCtx) readF32(b *BufF32, i int32) float32 {
+	if sh := b.sh[c.w.sm.id]; sh != nil {
+		return sh.load(i)
+	}
+	return b.data[i]
+}
+
 // LoadI32 gathers b[idx[lane]] into dst[lane] for every active lane. The
 // instruction's cost is one coalesced transaction per distinct 128-byte
 // segment touched.
@@ -507,7 +527,7 @@ func (c *WarpCtx) LoadI32(b *BufI32, idx []int32, dst []int32) {
 	c.chargeMem(addrs, active, memLoad, 0)
 	for lane := 0; lane < c.width; lane++ {
 		if c.mask[lane] {
-			dst[lane] = b.data[idx[lane]]
+			dst[lane] = c.readI32(b, idx[lane])
 		}
 	}
 }
@@ -531,7 +551,7 @@ func (c *WarpCtx) LoadI32Replicated(groupWidth int, b *BufI32, idx []int32, dst 
 	c.chargeMemUseful(addrs, active, useful, memLoad, 0)
 	for lane := 0; lane < c.width; lane++ {
 		if c.mask[lane] {
-			dst[lane] = b.data[idx[lane]]
+			dst[lane] = c.readI32(b, idx[lane])
 		}
 	}
 }
@@ -545,9 +565,10 @@ func (c *WarpCtx) StoreI32(b *BufI32, idx []int32, src []int32) {
 		return b.addr(idx[lane])
 	})
 	c.chargeMem(addrs, active, memStore, 0)
+	sh := b.shadowFor(c.w.sm.id)
 	for lane := 0; lane < c.width; lane++ {
 		if c.mask[lane] {
-			b.data[idx[lane]] = src[lane]
+			sh.store(idx[lane], src[lane])
 		}
 	}
 }
@@ -561,7 +582,7 @@ func (c *WarpCtx) LoadF32(b *BufF32, idx []int32, dst []float32) {
 	c.chargeMem(addrs, active, memLoad, 0)
 	for lane := 0; lane < c.width; lane++ {
 		if c.mask[lane] {
-			dst[lane] = b.data[idx[lane]]
+			dst[lane] = c.readF32(b, idx[lane])
 		}
 	}
 }
@@ -573,14 +594,46 @@ func (c *WarpCtx) StoreF32(b *BufF32, idx []int32, src []float32) {
 		return b.addr(idx[lane])
 	})
 	c.chargeMem(addrs, active, memStore, 0)
+	sh := b.shadowFor(c.w.sm.id)
 	for lane := 0; lane < c.width; lane++ {
 		if c.mask[lane] {
-			b.data[idx[lane]] = src[lane]
+			sh.store(idx[lane], src[lane])
 		}
 	}
 }
 
 // --- atomics -------------------------------------------------------------------
+
+// atomLoadI32 reads the current value of an atomic target: the globally
+// ordered overlay if any atomic has written the cell this launch, else this
+// SM's own plain-store view. The atomic gate must be held.
+func (c *WarpCtx) atomLoadI32(b *BufI32, i int32) int32 {
+	if b.ov != nil && b.ov.written(i) {
+		return b.ov.load(i)
+	}
+	return c.readI32(b, i)
+}
+
+// atomStoreI32 publishes an atomic result: into the overlay (the globally
+// ordered value every later atomic reads) and mirrored into this SM's own
+// shadow so the SM's later plain loads observe its atomics, exactly as the
+// sequential machine would. The atomic gate must be held.
+func (c *WarpCtx) atomStoreI32(b *BufI32, i int32, v int32) {
+	b.overlay().store(i, v)
+	b.shadowFor(c.w.sm.id).store(i, v)
+}
+
+func (c *WarpCtx) atomLoadF32(b *BufF32, i int32) float32 {
+	if b.ov != nil && b.ov.written(i) {
+		return b.ov.load(i)
+	}
+	return c.readF32(b, i)
+}
+
+func (c *WarpCtx) atomStoreF32(b *BufF32, i int32, v float32) {
+	b.overlay().store(i, v)
+	b.shadowFor(c.w.sm.id).store(i, v)
+}
 
 func (c *WarpCtx) atomicI32(b *BufI32, idx []int32, apply func(lane int)) {
 	addrs, active := c.gatherAddrs(func(lane int) uint64 {
@@ -591,13 +644,17 @@ func (c *WarpCtx) atomicI32(b *BufI32, idx []int32, apply func(lane int)) {
 		return
 	}
 	serial := int64(conflictGroups(addrs) - 1)
-	c.l.stats.AtomicSerial += serial
+	c.w.sm.stats.AtomicSerial += serial
 	c.chargeMem(addrs, active, memAtomic, serial*c.l.cfg.AtomicExtraLatency)
+	if !c.l.gateEnter(c.w.sm) {
+		panic(errAborted)
+	}
 	for lane := 0; lane < c.width; lane++ {
 		if c.mask[lane] {
 			apply(lane)
 		}
 	}
+	c.l.gateExit(c.w.sm)
 }
 
 // AtomicAddI32 performs old[lane] = b[idx[lane]]; b[idx[lane]] += delta[lane]
@@ -606,10 +663,11 @@ func (c *WarpCtx) atomicI32(b *BufI32, idx []int32, apply func(lane int)) {
 func (c *WarpCtx) AtomicAddI32(b *BufI32, idx []int32, delta []int32, old []int32) {
 	c.atomicI32(b, idx, func(lane int) {
 		i := idx[lane]
+		cur := c.atomLoadI32(b, i)
 		if old != nil {
-			old[lane] = b.data[i]
+			old[lane] = cur
 		}
-		b.data[i] += delta[lane]
+		c.atomStoreI32(b, i, cur+delta[lane])
 	})
 }
 
@@ -617,11 +675,12 @@ func (c *WarpCtx) AtomicAddI32(b *BufI32, idx []int32, delta []int32, old []int3
 func (c *WarpCtx) AtomicMinI32(b *BufI32, idx []int32, val []int32, old []int32) {
 	c.atomicI32(b, idx, func(lane int) {
 		i := idx[lane]
+		cur := c.atomLoadI32(b, i)
 		if old != nil {
-			old[lane] = b.data[i]
+			old[lane] = cur
 		}
-		if val[lane] < b.data[i] {
-			b.data[i] = val[lane]
+		if val[lane] < cur {
+			c.atomStoreI32(b, i, val[lane])
 		}
 	})
 }
@@ -631,12 +690,12 @@ func (c *WarpCtx) AtomicMinI32(b *BufI32, idx []int32, val []int32, old []int32)
 func (c *WarpCtx) AtomicCASI32(b *BufI32, idx []int32, cmp, val []int32, old []int32) {
 	c.atomicI32(b, idx, func(lane int) {
 		i := idx[lane]
-		cur := b.data[i]
+		cur := c.atomLoadI32(b, i)
 		if old != nil {
 			old[lane] = cur
 		}
 		if cur == cmp[lane] {
-			b.data[i] = val[lane]
+			c.atomStoreI32(b, i, val[lane])
 		}
 	})
 }
@@ -646,10 +705,11 @@ func (c *WarpCtx) AtomicCASI32(b *BufI32, idx []int32, cmp, val []int32, old []i
 func (c *WarpCtx) AtomicOrI32(b *BufI32, idx []int32, val []int32, old []int32) {
 	c.atomicI32(b, idx, func(lane int) {
 		i := idx[lane]
+		cur := c.atomLoadI32(b, i)
 		if old != nil {
-			old[lane] = b.data[i]
+			old[lane] = cur
 		}
-		b.data[i] |= val[lane]
+		c.atomStoreI32(b, i, cur|val[lane])
 	})
 }
 
@@ -658,10 +718,11 @@ func (c *WarpCtx) AtomicOrI32(b *BufI32, idx []int32, val []int32, old []int32) 
 func (c *WarpCtx) AtomicExchI32(b *BufI32, idx []int32, val []int32, old []int32) {
 	c.atomicI32(b, idx, func(lane int) {
 		i := idx[lane]
+		cur := c.atomLoadI32(b, i)
 		if old != nil {
-			old[lane] = b.data[i]
+			old[lane] = cur
 		}
-		b.data[i] = val[lane]
+		c.atomStoreI32(b, i, val[lane])
 	})
 }
 
@@ -675,17 +736,22 @@ func (c *WarpCtx) AtomicAddF32(b *BufF32, idx []int32, delta []float32, old []fl
 		return
 	}
 	serial := int64(conflictGroups(addrs) - 1)
-	c.l.stats.AtomicSerial += serial
+	c.w.sm.stats.AtomicSerial += serial
 	c.chargeMem(addrs, active, memAtomic, serial*c.l.cfg.AtomicExtraLatency)
+	if !c.l.gateEnter(c.w.sm) {
+		panic(errAborted)
+	}
 	for lane := 0; lane < c.width; lane++ {
 		if c.mask[lane] {
 			i := idx[lane]
+			cur := c.atomLoadF32(b, i)
 			if old != nil {
-				old[lane] = b.data[i]
+				old[lane] = cur
 			}
-			b.data[i] += delta[lane]
+			c.atomStoreF32(b, i, cur+delta[lane])
 		}
 	}
+	c.l.gateExit(c.w.sm)
 }
 
 // --- shared memory & barriers ------------------------------------------------
@@ -778,11 +844,12 @@ func (c *WarpCtx) sharedConflicts(s *SharedI32, idx []int32) (slots, minSlots, a
 }
 
 func (c *WarpCtx) chargeShared(slots, minSlots, active int64) {
-	s := c.l.stats
+	s := &c.w.sm.stats
 	s.Instructions++
 	s.IssueSlots += slots
 	s.ActiveLaneOps += active
 	s.UsefulLaneOps += active
+	s.LaneSlots += int64(c.width)
 	s.SharedOps++
 	s.SharedBankConflicts += slots - minSlots
 	c.charge(request{class: opShared, issue: slots, latency: c.l.cfg.SharedLatency})

@@ -1,6 +1,9 @@
 package simt
 
-import "fmt"
+import (
+	"fmt"
+	"log"
+)
 
 // Kernel is a GPU kernel: it is invoked once per warp and runs lockstep
 // across the warp's lanes via the WarpCtx primitives.
@@ -25,6 +28,23 @@ type Device struct {
 	// Fault-injection state (nil when no plan is installed).
 	faults *faultState
 	lost   bool
+
+	// fallbackWarned dedupes the sequential-fallback log line per reason.
+	fallbackWarned map[string]bool
+}
+
+// warnSequentialFallback logs, once per reason per device, that a
+// ParallelSMs>1 launch was forced onto the sequential event loop. The reason
+// is also recorded in LaunchStats.SequentialFallback.
+func (d *Device) warnSequentialFallback(reason string) {
+	if d.fallbackWarned[reason] {
+		return
+	}
+	if d.fallbackWarned == nil {
+		d.fallbackWarned = make(map[string]bool)
+	}
+	d.fallbackWarned[reason] = true
+	log.Printf("simt: ParallelSMs=%d requested but launch runs sequentially (%s)", d.cfg.ParallelSMs, reason)
 }
 
 // NewDevice creates a device with the given configuration.

@@ -66,7 +66,11 @@ func TestPropertyStatsInvariants(t *testing.T) {
 			r = r*6364136223846793005 + 1442695040888963407
 			return int(r>>33) % n
 		}
-		d := MustNewDevice(testConfig())
+		// The kernel mutates the shared `next` closure from every warp, so
+		// it is only well-defined on the sequential event loop.
+		cfg := testConfig()
+		cfg.ParallelSMs = 1
+		d := MustNewDevice(cfg)
 		buf := d.AllocI32("buf", 1024)
 		cnt := d.AllocI32("cnt", 4)
 		nOps := next(6) + 1
@@ -130,7 +134,10 @@ func TestPropertyDeterminismRandomKernels(t *testing.T) {
 			r = r*6364136223846793005 + 1442695040888963407
 			return int(r>>33) % n
 		}
-		d := MustNewDevice(testConfig())
+		// Shared `next` closure mutated inside the kernel: sequential only.
+		cfg := testConfig()
+		cfg.ParallelSMs = 1
+		d := MustNewDevice(cfg)
 		buf := d.AllocI32("buf", 512)
 		k := func(w *WarpCtx) {
 			lane := w.LaneIDs()

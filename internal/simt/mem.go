@@ -1,5 +1,7 @@
 package simt
 
+import "math/bits"
+
 // memory is the simulated global-memory address space. Buffers receive
 // disjoint, segment-aligned address ranges so the coalescing model can map
 // any (buffer, element) pair to a byte address.
@@ -26,11 +28,128 @@ func (m *memory) reserve(bytes int) uint64 {
 	return base
 }
 
+// Launch-time memory model. While a launch is in flight the base data of
+// every buffer is frozen: plain loads read it directly, plain stores land in
+// a per-SM write shadow (visible to later loads from the same SM), and
+// atomics read-modify-write a single globally-ordered overlay. At launch end
+// everything folds back into the base array: per-SM shadows in ascending SM
+// id, then the atomic overlay. Because no simulated memory effect ever
+// crosses between SMs mid-launch except through the (deterministically
+// ordered) atomic overlay, the simulation computes bit-identical results and
+// stats whether the SMs run on one host goroutine or many.
+
+const (
+	shadowPageShift = 8 // 256 elements (1 KiB) per shadow page
+	shadowPageSize  = 1 << shadowPageShift
+	shadowPageMask  = shadowPageSize - 1
+)
+
+type shadowElem interface{ ~int32 | ~float32 }
+
+// bufShadow overlays writes on a buffer whose base data is frozen for the
+// duration of a launch. Pages are copied from base on first touch so loads
+// are a plain index; dirty bits record which elements were actually written
+// so the end-of-launch merge never clobbers another shard's elements with
+// stale base copies.
+type bufShadow[T shadowElem] struct {
+	base  []T
+	pages [][]T
+	dirty [][]uint64
+}
+
+func newBufShadow[T shadowElem](base []T) *bufShadow[T] {
+	n := (len(base) + shadowPageMask) >> shadowPageShift
+	return &bufShadow[T]{
+		base:  base,
+		pages: make([][]T, n),
+		dirty: make([][]uint64, n),
+	}
+}
+
+func (s *bufShadow[T]) load(i int32) T {
+	if pg := s.pages[i>>shadowPageShift]; pg != nil {
+		return pg[i&shadowPageMask]
+	}
+	return s.base[i]
+}
+
+// written reports whether element i was stored through this shadow.
+func (s *bufShadow[T]) written(i int32) bool {
+	p := int(i) >> shadowPageShift
+	if s.dirty[p] == nil {
+		return false
+	}
+	off := int(i) & shadowPageMask
+	return s.dirty[p][off>>6]&(1<<uint(off&63)) != 0
+}
+
+func (s *bufShadow[T]) store(i int32, v T) {
+	p := int(i) >> shadowPageShift
+	if s.pages[p] == nil {
+		lo := p << shadowPageShift
+		hi := lo + shadowPageSize
+		if hi > len(s.base) {
+			hi = len(s.base)
+		}
+		pg := make([]T, shadowPageSize)
+		copy(pg, s.base[lo:hi])
+		s.pages[p] = pg
+		s.dirty[p] = make([]uint64, shadowPageSize/64)
+	}
+	off := int(i) & shadowPageMask
+	s.pages[p][off] = v
+	s.dirty[p][off>>6] |= 1 << uint(off&63)
+}
+
+// merge folds the dirty elements back into the base array.
+func (s *bufShadow[T]) merge() {
+	for p, words := range s.dirty {
+		if words == nil {
+			continue
+		}
+		elemBase := p << shadowPageShift
+		pg := s.pages[p]
+		for w, word := range words {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &^= 1 << uint(b)
+				off := w*64 + b
+				s.base[elemBase+off] = pg[off]
+			}
+		}
+	}
+}
+
 // BufI32 is a device-resident buffer of int32 elements.
 type BufI32 struct {
 	name string
 	base uint64
 	data []int32
+
+	// Launch-scoped write shadows: sh[smID] is that SM's private store
+	// shadow, ov the globally-ordered atomic overlay. Created lazily during
+	// a launch (launch.initShadows sizes sh) and folded back into data by
+	// launch.mergeMemory; nil between launches.
+	sh []*bufShadow[int32]
+	ov *bufShadow[int32]
+}
+
+// shadowFor returns (creating on first use) the store shadow owned by smID.
+// Only the owning SM's goroutine may call it.
+func (b *BufI32) shadowFor(smID int) *bufShadow[int32] {
+	if b.sh[smID] == nil {
+		b.sh[smID] = newBufShadow(b.data)
+	}
+	return b.sh[smID]
+}
+
+// overlay returns (creating on first use) the atomic overlay. Callers must
+// hold the launch's atomic gate.
+func (b *BufI32) overlay() *bufShadow[int32] {
+	if b.ov == nil {
+		b.ov = newBufShadow(b.data)
+	}
+	return b.ov
 }
 
 // Name returns the buffer's debug name.
@@ -68,6 +187,28 @@ type BufF32 struct {
 	name string
 	base uint64
 	data []float32
+
+	// Launch-scoped write shadows; see BufI32.
+	sh []*bufShadow[float32]
+	ov *bufShadow[float32]
+}
+
+// shadowFor returns (creating on first use) the store shadow owned by smID.
+// Only the owning SM's goroutine may call it.
+func (b *BufF32) shadowFor(smID int) *bufShadow[float32] {
+	if b.sh[smID] == nil {
+		b.sh[smID] = newBufShadow(b.data)
+	}
+	return b.sh[smID]
+}
+
+// overlay returns (creating on first use) the atomic overlay. Callers must
+// hold the launch's atomic gate.
+func (b *BufF32) overlay() *bufShadow[float32] {
+	if b.ov == nil {
+		b.ov = newBufShadow(b.data)
+	}
+	return b.ov
 }
 
 // Name returns the buffer's debug name.

@@ -5,15 +5,39 @@ import (
 	"fmt"
 	"math"
 	"runtime/debug"
+	"sync"
+	"sync/atomic"
 )
 
 // The simulation protocol: every warp runs its kernel on a dedicated
-// goroutine, but exactly one goroutine (warp or scheduler) executes at any
-// moment. A warp blocks inside charge() after sending a cost request; the
-// scheduler picks the next warp to advance by simulated time and hands the
-// execution token back over the warp's resume channel. This makes the whole
-// simulation sequential and deterministic while letting kernels be written
-// as straight-line Go code.
+// goroutine, and within one SM exactly one goroutine (a warp or the SM's
+// event loop) executes at any moment. A warp blocks inside charge() after
+// sending a cost request; the SM loop picks the next warp to advance by
+// simulated time and hands the execution token back over the warp's resume
+// channel.
+//
+// With Config.ParallelSMs == 1 a single host goroutine multiplexes all SMs,
+// always stepping the SM with the smallest clock (lowest id on ties). With
+// ParallelSMs > 1 every SM's event loop runs on its own host goroutine and
+// the SMs advance concurrently. Determinism is preserved by construction:
+//
+//   - Plain global-memory stores go to a per-SM write shadow and plain loads
+//     read base-overridden-by-own-shadow (see mem.go), so no plain access
+//     ever crosses between SMs mid-launch.
+//   - Atomics and block admission — the only cross-SM effects — pass through
+//     a global gate that releases them in the sequential loop's exact order:
+//     lexicographic (step clock, SM id). Each SM publishes its current step
+//     clock as a "horizon"; a gated op at key (k, i) waits until every other
+//     SM j has horizon > k (or == k with j > i), which proves no effect
+//     ordered before it can still be produced.
+//   - Stats accumulate in per-SM shards and merge in ascending SM id at
+//     launch end; Cycles = max over SMFinish.
+//
+// The result: identical memory contents and bit-identical LaunchStats for
+// every ParallelSMs setting. The one caveat is aborts — which host goroutine
+// trips a fault or timeout first is timing-dependent, so the partial stats of
+// a FAILED parallel launch (and which of several concurrent errors is
+// reported) may vary run to run. Successful launches are fully deterministic.
 
 type opClass uint8
 
@@ -44,6 +68,10 @@ type request struct {
 var errAborted = errors.New("simt: launch aborted")
 
 const neverReady = math.MaxInt64
+
+// gateIdle marks an SM with no pending gated operation (and is the horizon
+// published by an SM whose event loop has exited).
+const gateIdle = int64(math.MaxInt64)
 
 type warpRT struct {
 	globalID    int
@@ -83,6 +111,13 @@ type smRT struct {
 	everUsed      bool
 	cache         *smCache
 	rrCursor      int
+
+	// stepKey is the SM clock at the top of the current event-loop step —
+	// the ordering key of every memory effect the step produces.
+	stepKey int64
+	// stats is this SM's shard of the launch counters; shards merge in
+	// ascending SM id at launch end so totals are order-independent.
+	stats LaunchStats
 }
 
 type launch struct {
@@ -96,12 +131,30 @@ type launch struct {
 
 	sms           []*smRT
 	warpsPerBlock int
-	nextBlock     int
+	nextBlock     atomic.Int64
 	totalBlocks   int
 
-	aborted  bool
+	// parallel selects per-SM host goroutines; when false the gate calls
+	// below are no-ops and a single goroutine multiplexes the SMs.
+	parallel bool
+
+	aborted  atomic.Bool
+	failMu   sync.Mutex
 	abortErr error
 	injFired bool
+
+	// Atomic-gate state (parallel mode only). horizons[i] is SM i's current
+	// step key (gateIdle once its loop exits); pending[i] is the key of SM
+	// i's waiting gated op, gateIdle when none. minPending caches the least
+	// pending key so horizon publishes can skip the broadcast when nobody
+	// could be unblocked. gateMu is held for the duration of every gated
+	// operation, making them mutually exclusive; the (horizon, id) ordering
+	// rule makes them execute in the sequential loop's exact order.
+	gateMu     sync.Mutex
+	gateCond   *sync.Cond
+	horizons   []atomic.Int64
+	pending    []int64
+	minPending atomic.Int64
 }
 
 func newLaunch(d *Device, lc LaunchConfig, kernel Kernel) *launch {
@@ -126,6 +179,13 @@ func newLaunch(d *Device, lc LaunchConfig, kernel Kernel) *launch {
 		}
 		l.sms[i] = sm
 	}
+	l.gateCond = sync.NewCond(&l.gateMu)
+	l.horizons = make([]atomic.Int64, d.cfg.NumSMs)
+	l.pending = make([]int64, d.cfg.NumSMs)
+	for i := range l.pending {
+		l.pending[i] = gateIdle
+	}
+	l.minPending.Store(gateIdle)
 	return l
 }
 
@@ -135,16 +195,92 @@ func (l *launch) trace(e TraceEvent) {
 	}
 }
 
+// execMode resolves the host execution mode: the effective ParallelSMs value
+// and, when a parallel request is forced sequential, the reason.
+func (l *launch) execMode() (int, string) {
+	n := l.cfg.ParallelSMs
+	if n > l.cfg.NumSMs {
+		n = l.cfg.NumSMs
+	}
+	if n <= 1 {
+		return 1, ""
+	}
+	// These features observe mid-launch state in ways that are only
+	// meaningful under the single sequential clock: a tracer wants one
+	// globally ordered event stream, fault injection aborts at an exact
+	// cycle, and OnProgress reports a single advancing clock.
+	switch {
+	case l.dev.tracer != nil:
+		return 1, "tracer"
+	case l.inj != nil:
+		return 1, "fault-injection"
+	case l.opts.OnProgress != nil:
+		return 1, "on-progress"
+	}
+	return n, ""
+}
+
 // run drives the launch to completion. On failure the error is typed (a
 // *KernelFault, or a wrap of ErrLaunchTimeout / ErrLaunchCancelled /
 // ErrDeviceLost) and the returned stats hold everything accumulated up to
 // the failure — partial, but honest.
 func (l *launch) run() (*LaunchStats, error) {
-	l.trace(TraceEvent{Kind: TraceLaunchStart, Warp: -1, Block: -1, SM: -1})
 	maxCycles := l.cfg.MaxCycles
 	if l.opts.MaxCycles > 0 {
 		maxCycles = l.opts.MaxCycles
 	}
+	mode, fallback := l.execMode()
+	l.parallel = mode > 1
+	l.stats.ParallelSMs = mode
+	l.stats.SequentialFallback = fallback
+	if fallback != "" {
+		l.dev.warnSequentialFallback(fallback)
+	}
+	l.initShadows()
+	l.trace(TraceEvent{Kind: TraceLaunchStart, Warp: -1, Block: -1, SM: -1})
+	if l.parallel {
+		l.runParallel(maxCycles)
+	} else {
+		l.runSequential(maxCycles)
+	}
+	// A transient injection whose cycle the kernel outran still fires at
+	// drain: a bit-flip already corrupted memory, so swallowing it would be
+	// silent corruption. Device loss is a genuine cycle threshold — a launch
+	// that finishes under it survives. (Injection forces sequential mode, so
+	// this never races with SM goroutines.)
+	if l.inj != nil && !l.injFired && !l.aborted.Load() && !l.inj.loseDevice {
+		l.fireInjection()
+	}
+	l.mergeMemory()
+	for _, sm := range l.sms {
+		l.stats.addCounters(&sm.stats)
+	}
+	// The watchdog observes the clock at step granularity, so one
+	// long-latency op can overshoot MaxCycles by its full latency; report
+	// the budget, not the overshoot.
+	timedOut := errors.Is(l.abortErr, ErrLaunchTimeout)
+	for _, sm := range l.sms {
+		if sm.everUsed {
+			finish := sm.clock
+			if timedOut && finish > maxCycles {
+				finish = maxCycles
+			}
+			l.stats.SMFinish = append(l.stats.SMFinish, finish)
+			if finish > l.stats.Cycles {
+				l.stats.Cycles = finish
+			}
+		}
+	}
+	l.trace(TraceEvent{Kind: TraceLaunchEnd, Cycle: l.stats.Cycles, Warp: -1, Block: -1, SM: -1})
+	if l.abortErr != nil {
+		return l.stats, l.abortErr
+	}
+	return l.stats, nil
+}
+
+// runSequential is the classic event loop: one goroutine, always stepping
+// the SM with the smallest clock.
+func (l *launch) runSequential(maxCycles int64) {
 	progressEvery := l.opts.ProgressEvery
 	if progressEvery == 0 {
 		progressEvery = 65536
@@ -156,7 +292,7 @@ func (l *launch) run() (*LaunchStats, error) {
 			break
 		}
 		l.stepSM(sm)
-		if l.aborted {
+		if l.aborted.Load() {
 			continue
 		}
 		if l.inj != nil && !l.injFired && sm.clock >= l.inj.abortAt {
@@ -164,7 +300,7 @@ func (l *launch) run() (*LaunchStats, error) {
 			continue
 		}
 		if sm.clock > maxCycles {
-			l.abort(fmt.Errorf("simt: launch exceeded MaxCycles=%d (possible kernel livelock): %w",
+			l.fail(fmt.Errorf("simt: launch exceeded MaxCycles=%d (possible kernel livelock): %w",
 				maxCycles, ErrLaunchTimeout))
 			continue
 		}
@@ -173,32 +309,48 @@ func (l *launch) run() (*LaunchStats, error) {
 				nextProgress += progressEvery
 			}
 			if err := l.opts.OnProgress(sm.clock); err != nil {
-				l.abort(fmt.Errorf("simt: launch cancelled at cycle %d: %w: %w",
+				l.fail(fmt.Errorf("simt: launch cancelled at cycle %d: %w: %w",
 					sm.clock, ErrLaunchCancelled, err))
 				continue
 			}
 		}
 	}
-	// A transient injection whose cycle the kernel outran still fires at
-	// drain: a bit-flip already corrupted memory, so swallowing it would be
-	// silent corruption. Device loss is a genuine cycle threshold — a launch
-	// that finishes under it survives.
-	if l.inj != nil && !l.injFired && !l.aborted && !l.inj.loseDevice {
-		l.fireInjection()
-	}
+}
+
+// runParallel runs every SM's event loop on its own host goroutine.
+func (l *launch) runParallel(maxCycles int64) {
+	var wg sync.WaitGroup
 	for _, sm := range l.sms {
-		if sm.everUsed {
-			l.stats.SMFinish = append(l.stats.SMFinish, sm.clock)
-			if sm.clock > l.stats.Cycles {
-				l.stats.Cycles = sm.clock
-			}
+		wg.Add(1)
+		go func(sm *smRT) {
+			defer wg.Done()
+			// Unblock any gated op still waiting on this SM's horizon.
+			defer l.publishHorizon(sm.id, gateIdle)
+			l.smLoop(sm, maxCycles)
+		}(sm)
+	}
+	wg.Wait()
+}
+
+// smLoop is one SM's event loop in parallel mode. The horizon published at
+// the top of each step is the ordering key of every memory effect the step
+// can produce; it is monotone because the SM clock never decreases.
+func (l *launch) smLoop(sm *smRT, maxCycles int64) {
+	for {
+		if l.aborted.Load() {
+			l.drainSM(sm)
+			return
+		}
+		if !l.smHasWork(sm) {
+			return
+		}
+		l.publishHorizon(sm.id, sm.clock)
+		l.stepSM(sm)
+		if sm.clock > maxCycles && !l.aborted.Load() {
+			l.fail(fmt.Errorf("simt: launch exceeded MaxCycles=%d (possible kernel livelock): %w",
+				maxCycles, ErrLaunchTimeout))
 		}
 	}
-	l.trace(TraceEvent{Kind: TraceLaunchEnd, Cycle: l.stats.Cycles, Warp: -1, Block: -1, SM: -1})
-	if l.abortErr != nil {
-		return l.stats, l.abortErr
-	}
-	return l.stats, nil
 }
 
 // fireInjection triggers the launch's planned fault.
@@ -207,7 +359,7 @@ func (l *launch) fireInjection() {
 	if l.inj.loseDevice {
 		l.dev.lost = true
 	}
-	l.abort(l.inj.err)
+	l.fail(l.inj.err)
 }
 
 // pickSM returns the SM with work and the smallest clock, or nil when the
@@ -231,7 +383,7 @@ func (l *launch) smHasWork(sm *smRT) bool {
 			return true
 		}
 	}
-	return l.nextBlock < l.totalBlocks && l.canAdmit(sm)
+	return l.nextBlock.Load() < int64(l.totalBlocks) && l.canAdmit(sm)
 }
 
 func (l *launch) canAdmit(sm *smRT) bool {
@@ -240,13 +392,24 @@ func (l *launch) canAdmit(sm *smRT) bool {
 }
 
 // admitBlocks hands the SM at most one pending block per scheduling step.
-// Because the event loop always steps the SM with the smallest clock, this
-// distributes blocks breadth-first across SMs — matching the hardware block
-// distributor — instead of piling the whole grid onto the first SM.
+// Because steps are ordered by (clock, SM id) — explicitly by pickSM in
+// sequential mode, by the gate in parallel mode — this distributes blocks
+// breadth-first across SMs, matching the hardware block distributor, and the
+// block→SM assignment is identical in both modes.
+//
+// The unsynchronized pre-check is sound: nextBlock is monotone and, while
+// this SM's horizon sits at the current step key, only operations ordered
+// before this step can have advanced it. So a pre-check that reads
+// "exhausted" proves the gated re-check would too.
 func (l *launch) admitBlocks(sm *smRT) {
-	if l.nextBlock < l.totalBlocks && l.canAdmit(sm) {
-		blockID := l.nextBlock
-		l.nextBlock++
+	if l.nextBlock.Load() >= int64(l.totalBlocks) || !l.canAdmit(sm) {
+		return
+	}
+	if !l.gateEnter(sm) {
+		return // aborted while waiting; the SM loop drains next
+	}
+	if l.nextBlock.Load() < int64(l.totalBlocks) && l.canAdmit(sm) {
+		blockID := int(l.nextBlock.Add(1) - 1)
 		b := &blockRT{
 			id:     blockID,
 			shared: newSharedArena(),
@@ -271,10 +434,11 @@ func (l *launch) admitBlocks(sm *smRT) {
 		sm.warps = append(sm.warps, b.warps...)
 		sm.warpSlotsUsed += l.warpsPerBlock
 		sm.everUsed = true
-		l.stats.BlocksLaunched++
-		l.stats.WarpsLaunched += len(b.warps)
+		sm.stats.BlocksLaunched++
+		sm.stats.WarpsLaunched += len(b.warps)
 		l.trace(TraceEvent{Kind: TraceBlockStart, Cycle: sm.clock, SM: sm.id, Block: blockID, Warp: -1})
 	}
+	l.gateExit(sm)
 }
 
 // runWarp is the warp goroutine body. Any panic escaping the kernel —
@@ -301,7 +465,7 @@ func (l *launch) runWarp(w *warpRT) {
 		w.req <- request{class: opDone, err: err}
 	}()
 	<-w.resume
-	if l.aborted {
+	if l.aborted.Load() {
 		panic(errAborted)
 	}
 	l.kernel(w.ctx)
@@ -321,6 +485,7 @@ func (l *launch) panicFault(w *warpRT, r interface{}) *KernelFault {
 
 // stepSM advances one SM by one warp instruction.
 func (l *launch) stepSM(sm *smRT) {
+	sm.stepKey = sm.clock
 	l.admitBlocks(sm)
 	w := l.nextWarp(sm)
 	if w == nil {
@@ -335,7 +500,7 @@ func (l *launch) stepSM(sm *smRT) {
 	}
 	if w.readyAt > sm.clock {
 		if hadOthers || w.started {
-			l.stats.StallCycles += w.readyAt - sm.clock
+			sm.stats.StallCycles += w.readyAt - sm.clock
 		}
 		sm.clock = w.readyAt
 	}
@@ -415,7 +580,7 @@ func (l *launch) apply(sm *smRT, w *warpRT, r request) {
 		if sm.clock > b.barrierLatest {
 			b.barrierLatest = sm.clock
 		}
-		l.maybeReleaseBarrier(b)
+		l.maybeReleaseBarrier(sm, b)
 	case opDone:
 		w.done = true
 		w.readyAt = neverReady
@@ -423,7 +588,7 @@ func (l *launch) apply(sm *smRT, w *warpRT, r request) {
 		l.stats.WarpBusy[w.globalID] = w.busy
 		b := w.block
 		b.liveWarps--
-		if r.err != nil && !l.aborted {
+		if r.err != nil && !l.aborted.Load() {
 			// A fault during a launch with a pending transient injection is
 			// attributed to the injection: the corruption it planted is the
 			// root cause of whatever the kernel tripped over, and reporting
@@ -431,7 +596,7 @@ func (l *launch) apply(sm *smRT, w *warpRT, r request) {
 			if l.inj != nil && !l.injFired && !l.inj.loseDevice {
 				l.fireInjection()
 			} else {
-				l.abort(r.err)
+				l.fail(r.err)
 			}
 			return
 		}
@@ -440,12 +605,12 @@ func (l *launch) apply(sm *smRT, w *warpRT, r request) {
 			l.retireBlock(sm, b)
 		} else {
 			// A warp exiting may satisfy an outstanding barrier.
-			l.maybeReleaseBarrier(b)
+			l.maybeReleaseBarrier(sm, b)
 		}
 	}
 }
 
-func (l *launch) maybeReleaseBarrier(b *blockRT) {
+func (l *launch) maybeReleaseBarrier(sm *smRT, b *blockRT) {
 	if b.inBarrier == 0 || b.inBarrier < b.liveWarps {
 		return
 	}
@@ -458,7 +623,7 @@ func (l *launch) maybeReleaseBarrier(b *blockRT) {
 	l.trace(TraceEvent{Kind: TraceBarrierRelease, Cycle: b.barrierLatest, Block: b.id, Warp: -1})
 	b.inBarrier = 0
 	b.barrierLatest = 0
-	l.stats.Barriers++
+	sm.stats.Barriers++
 }
 
 func (l *launch) retireBlock(sm *smRT, b *blockRT) {
@@ -478,25 +643,184 @@ func (l *launch) retireBlock(sm *smRT, b *blockRT) {
 	sm.warpSlotsUsed -= l.warpsPerBlock
 }
 
-// abort cancels the launch: every live warp is woken, unwinds via the
-// errAborted panic, and reports done. The first error wins.
-func (l *launch) abort(err error) {
-	l.aborted = true
-	l.abortErr = err
+// fail cancels the launch; the first error wins. In sequential mode every
+// live warp is synchronously woken, unwinds via the errAborted panic, and
+// reports done. In parallel mode each SM loop notices the flag and drains
+// its own warps; warps blocked in the atomic gate are woken by the
+// broadcast and unwind the same way.
+func (l *launch) fail(err error) {
+	l.failMu.Lock()
+	if l.abortErr == nil {
+		l.abortErr = err
+	}
+	l.failMu.Unlock()
+	l.aborted.Store(true)
+	if l.parallel {
+		l.gateMu.Lock()
+		l.gateCond.Broadcast()
+		l.gateMu.Unlock()
+		return
+	}
 	for _, sm := range l.sms {
-		for _, w := range sm.warps {
-			for !w.done {
-				w.resume <- 0
-				r := <-w.req
-				if r.class == opDone {
-					w.done = true
-					if w.block.liveWarps > 0 {
-						w.block.liveWarps--
-					}
+		l.drainSM(sm)
+	}
+}
+
+// drainSM unwinds every live warp resident on sm. Must only be called from
+// the goroutine driving sm's event loop (or the sequential loop).
+func (l *launch) drainSM(sm *smRT) {
+	for _, w := range sm.warps {
+		for !w.done {
+			w.resume <- 0
+			r := <-w.req
+			if r.class == opDone {
+				w.done = true
+				if w.block.liveWarps > 0 {
+					w.block.liveWarps--
 				}
-				// Any non-done request from an unwinding warp is impossible:
-				// charge panics immediately after resume when aborted.
+			}
+			// Any non-done request from an unwinding warp is impossible:
+			// charge panics immediately after resume when aborted.
+		}
+	}
+}
+
+// --- the atomic gate -----------------------------------------------------
+//
+// Sequential-mode memory effects execute in lexicographic (step clock, SM
+// id, program order) order. In parallel mode the cross-SM effects (overlay
+// atomics, block admission) reproduce that order by waiting until no other
+// SM can still produce an earlier-ordered effect: SM j cannot once its
+// horizon — the clock of the step it is currently executing, monotone
+// non-decreasing — has passed the waiter's key. The waiter then holds
+// gateMu for the duration of the operation. Two gated ops can never be
+// admitted concurrently (each one's clearance asserts it orders after the
+// other — a contradiction), so the gate also provides mutual exclusion and
+// the happens-before edges that publish overlay data between SMs.
+
+// publishHorizon announces that every effect sm will produce from now on has
+// ordering key >= key. Waiters are only woken when the new horizon could
+// actually clear someone.
+func (l *launch) publishHorizon(smID int, key int64) {
+	if !l.parallel {
+		return
+	}
+	l.horizons[smID].Store(key)
+	if key >= l.minPending.Load() {
+		l.gateMu.Lock()
+		l.gateCond.Broadcast()
+		l.gateMu.Unlock()
+	}
+}
+
+// gateEnter blocks until every cross-SM effect ordered before sm's current
+// step has executed, then returns true with the gate held (release with
+// gateExit). It returns false — gate not held — if the launch aborted while
+// waiting. Sequential mode: no-op, returns true.
+func (l *launch) gateEnter(sm *smRT) bool {
+	if !l.parallel {
+		return true
+	}
+	key := sm.stepKey
+	l.gateMu.Lock()
+	l.pending[sm.id] = key
+	if key < l.minPending.Load() {
+		l.minPending.Store(key)
+	}
+	for {
+		if l.aborted.Load() {
+			l.pending[sm.id] = gateIdle
+			l.refreshMinPending()
+			l.gateMu.Unlock()
+			return false
+		}
+		if l.gateClear(key, sm.id) {
+			return true
+		}
+		l.gateCond.Wait()
+	}
+}
+
+// gateExit releases the gate taken by gateEnter.
+func (l *launch) gateExit(sm *smRT) {
+	if !l.parallel {
+		return
+	}
+	l.pending[sm.id] = gateIdle
+	l.refreshMinPending()
+	l.gateMu.Unlock()
+}
+
+// gateClear reports whether a gated op with ordering key (key, smID) may
+// execute: every other SM must have moved past it.
+func (l *launch) gateClear(key int64, smID int) bool {
+	for j := range l.horizons {
+		if j == smID {
+			continue
+		}
+		h := l.horizons[j].Load()
+		if h > key || (h == key && j > smID) {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// refreshMinPending recomputes the least pending gate key. Caller holds
+// gateMu.
+func (l *launch) refreshMinPending() {
+	min := gateIdle
+	for _, k := range l.pending {
+		if k < min {
+			min = k
+		}
+	}
+	l.minPending.Store(min)
+}
+
+// --- launch-scoped memory shadows ----------------------------------------
+
+// initShadows arms every device buffer's per-SM store shadows and atomic
+// overlay for this launch (see the memory-model comment in mem.go).
+func (l *launch) initShadows() {
+	n := l.cfg.NumSMs
+	for _, b := range l.dev.bufsI32 {
+		b.sh = make([]*bufShadow[int32], n)
+		b.ov = nil
+	}
+	for _, b := range l.dev.bufsF32 {
+		b.sh = make([]*bufShadow[float32], n)
+		b.ov = nil
+	}
+}
+
+// mergeMemory folds every buffer's launch-scoped shadows back into its base
+// array: per-SM store shadows in ascending SM id, then the atomic overlay
+// last so final atomic values beat any stale same-cell plain store. A cell
+// that mixes plain stores and atomics within one launch has no sequential
+// analogue; the overlay-last rule makes the outcome deterministic.
+func (l *launch) mergeMemory() {
+	for _, b := range l.dev.bufsI32 {
+		for _, sh := range b.sh {
+			if sh != nil {
+				sh.merge()
 			}
 		}
+		if b.ov != nil {
+			b.ov.merge()
+		}
+		b.sh, b.ov = nil, nil
+	}
+	for _, b := range l.dev.bufsF32 {
+		for _, sh := range b.sh {
+			if sh != nil {
+				sh.merge()
+			}
+		}
+		if b.ov != nil {
+			b.ov.merge()
+		}
+		b.sh, b.ov = nil, nil
 	}
 }

@@ -30,6 +30,12 @@ type LaunchStats struct {
 	// lanes only once per virtual-warp group; it is the numerator of the
 	// paper's "useful ALU utilization".
 	UsefulLaneOps int64
+	// LaneSlots counts the lane capacity offered by issued instructions
+	// (Instructions x the warp width each instruction ran at). It is the
+	// exact utilization denominator and, unlike Instructions*WarpWidth,
+	// stays correct when stats from devices with different warp widths are
+	// totaled with Add.
+	LaneSlots int64
 
 	// MemOps / MemTxns / MemBytes describe global-memory traffic. MemTxns
 	// per MemOps measures coalescing quality.
@@ -67,50 +73,75 @@ type LaunchStats struct {
 	// SMFinish holds each SM's final clock.
 	SMFinish []int64
 
-	// WarpWidth records the machine width for utilization math.
+	// WarpWidth records the machine width for utilization math. After an Add
+	// across devices with different widths it keeps the first width seen;
+	// utilizations stay exact because they divide by LaneSlots.
 	WarpWidth int
+
+	// ParallelSMs records the host execution mode the launch actually used
+	// (1 = sequential event loop, >1 = per-SM goroutines). Informational;
+	// Add keeps the receiver's value.
+	ParallelSMs int
+	// SequentialFallback names the reason a ParallelSMs>1 launch was forced
+	// onto the sequential loop ("tracer", "fault-injection", "on-progress"),
+	// or is empty. Informational; Add keeps the receiver's value.
+	SequentialFallback string
+}
+
+// laneSlots returns the utilization denominator: the recorded LaneSlots, or
+// the legacy Instructions*WarpWidth estimate for hand-built stats that never
+// went through a launch.
+func (s *LaunchStats) laneSlots() int64 {
+	if s.LaneSlots > 0 {
+		return s.LaneSlots
+	}
+	return s.Instructions * int64(s.WarpWidth)
 }
 
 // SIMDUtilization returns active-lane occupancy in [0,1]: how full the SIMD
 // lanes were across all issued instructions.
 func (s *LaunchStats) SIMDUtilization() float64 {
-	if s.Instructions == 0 {
+	slots := s.laneSlots()
+	if slots == 0 {
 		return 0
 	}
-	return float64(s.ActiveLaneOps) / float64(s.Instructions*int64(s.WarpWidth))
+	return float64(s.ActiveLaneOps) / float64(slots)
 }
 
 // UsefulUtilization returns the fraction of lane-ops doing non-redundant
 // work (replicated SISD-phase execution counts once per virtual warp).
 func (s *LaunchStats) UsefulUtilization() float64 {
-	if s.Instructions == 0 {
+	slots := s.laneSlots()
+	if slots == 0 {
 		return 0
 	}
-	return float64(s.UsefulLaneOps) / float64(s.Instructions*int64(s.WarpWidth))
+	return float64(s.UsefulLaneOps) / float64(slots)
 }
 
 // WarpImbalanceCV returns the coefficient of variation of per-warp busy
 // cycles: 0 for perfectly balanced warps, large for skewed workloads.
+// Variance uses the two-pass sum of squared deviations: the textbook
+// E[x^2]-E[x]^2 shortcut cancels catastrophically when busy cycles are large
+// and nearly equal, reporting 0 spread for warps that do differ.
 func (s *LaunchStats) WarpImbalanceCV() float64 {
 	n := len(s.WarpBusy)
 	if n == 0 {
 		return 0
 	}
-	var sum, sumsq float64
+	var sum float64
 	for _, b := range s.WarpBusy {
-		f := float64(b)
-		sum += f
-		sumsq += f * f
+		sum += float64(b)
 	}
 	mean := sum / float64(n)
 	if mean == 0 {
 		return 0
 	}
-	variance := sumsq/float64(n) - mean*mean
-	if variance < 0 {
-		variance = 0
+	var sqdev float64
+	for _, b := range s.WarpBusy {
+		d := float64(b) - mean
+		sqdev += d * d
 	}
-	return math.Sqrt(variance) / mean
+	return math.Sqrt(sqdev/float64(n)) / mean
 }
 
 // WarpBusyMaxOverMean returns max/mean of per-warp busy cycles, a second
@@ -152,7 +183,31 @@ func (s *LaunchStats) TimeMS(clockGHz float64) float64 {
 // Add accumulates other into s (used to total multi-launch algorithms such
 // as level-synchronous BFS). Per-warp vectors are concatenated; Cycles adds
 // because launches are sequential.
+//
+// Stats from devices with different warp widths merge safely: lane-op
+// accounting is normalized through LaneSlots (backfilled from
+// Instructions*WarpWidth for stats that predate the field), so the
+// utilization ratios stay exact instead of silently adopting one width's
+// denominator.
 func (s *LaunchStats) Add(other *LaunchStats) {
+	// Normalize lane-slot accounting before the widths can disagree.
+	if s.LaneSlots == 0 && s.Instructions > 0 {
+		w := s.WarpWidth
+		if w == 0 {
+			w = other.WarpWidth
+		}
+		s.LaneSlots = s.Instructions * int64(w)
+	}
+	otherSlots := other.LaneSlots
+	if otherSlots == 0 && other.Instructions > 0 {
+		w := other.WarpWidth
+		if w == 0 {
+			w = s.WarpWidth
+		}
+		otherSlots = other.Instructions * int64(w)
+	}
+	s.LaneSlots += otherSlots
+
 	s.Cycles += other.Cycles
 	s.StallCycles += other.StallCycles
 	s.IssueSlots += other.IssueSlots
@@ -177,6 +232,31 @@ func (s *LaunchStats) Add(other *LaunchStats) {
 	if s.WarpWidth == 0 {
 		s.WarpWidth = other.WarpWidth
 	}
+}
+
+// addCounters folds a per-SM shard's counters into the merged launch stats.
+// Cycles, WarpBusy, SMFinish, WarpWidth, and the execution-mode fields are
+// owned by the scheduler's merge epilogue and are not touched here.
+func (s *LaunchStats) addCounters(o *LaunchStats) {
+	s.StallCycles += o.StallCycles
+	s.IssueSlots += o.IssueSlots
+	s.Instructions += o.Instructions
+	s.ActiveLaneOps += o.ActiveLaneOps
+	s.UsefulLaneOps += o.UsefulLaneOps
+	s.LaneSlots += o.LaneSlots
+	s.MemOps += o.MemOps
+	s.MemTxns += o.MemTxns
+	s.MemBytes += o.MemBytes
+	s.AtomicOps += o.AtomicOps
+	s.AtomicSerial += o.AtomicSerial
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.SharedOps += o.SharedOps
+	s.SharedBankConflicts += o.SharedBankConflicts
+	s.DivergentBranches += o.DivergentBranches
+	s.Barriers += o.Barriers
+	s.WarpsLaunched += o.WarpsLaunched
+	s.BlocksLaunched += o.BlocksLaunched
 }
 
 // String renders the headline counters on one line.
