@@ -1,24 +1,41 @@
 GO ?= go
 
-.PHONY: build test check race vet fuzz
+.PHONY: build test short vet race benchgate check fuzz
 
 build:
 	$(GO) build ./...
 
+# Long tier: the full suite — the differential/metamorphic kernel matrix,
+# the observability determinism goldens, and the E4 regression gate included.
 test:
 	$(GO) test ./...
+
+# Short tier: -short trims the differential matrix to its quick subset and
+# skips the benchmark-regression gate. For fast inner-loop iteration.
+short:
+	$(GO) test -short ./...
 
 vet:
 	$(GO) vet ./...
 
-# The full gate: vet plus the entire suite — chaos tests included — under
-# the race detector.
+# The full gate: vet plus the entire suite — chaos tests and the
+# differential suite included — under the race detector.
 race:
 	$(GO) test -race ./...
 
-check: vet race
+# Benchmark-regression gate: E4 BFS warp-width sweep cycles must stay within
+# ±10% of the committed baseline (internal/bench/testdata/e4_baseline.json).
+# After an intentional performance-model change, regenerate with
+#   go test ./internal/bench -run TestE4CyclesRegression -update-e4-baseline
+benchgate:
+	$(GO) test ./internal/bench -run TestE4CyclesRegression -count=1
 
-# Short fuzz pass over the untrusted-input parsers.
+check: vet race benchgate
+
+# Short fuzz pass over the untrusted-input parsers and the observability
+# exporters' round-trip properties.
 fuzz:
 	$(GO) test -fuzz FuzzReadDIMACS -fuzztime 15s ./internal/graph
 	$(GO) test -fuzz FuzzFromEdges -fuzztime 15s ./internal/graph
+	$(GO) test -fuzz FuzzPromTextRoundTrip -fuzztime 15s ./internal/report
+	$(GO) test -fuzz FuzzChromeTraceRoundTrip -fuzztime 15s ./internal/traceview

@@ -27,6 +27,7 @@ func cmdAlgo(args []string) error {
 	inject := fs.String("inject", "", "fault-injection spec (bfs, sssp, pagerank only): abort=N,bitflip=N,buffers=a|b,loss=N,seed=N,maxfaults=N")
 	retries := fs.Int("retries", 3, "per-iteration retry budget under -inject (min 1)")
 	parallel := fs.Int("parallel", 0, "host goroutines driving SMs (0 = one per CPU, 1 = sequential event loop)")
+	sinks := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -46,7 +47,8 @@ func cmdAlgo(args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := gpualgo.Options{K: *k, Dynamic: *dynamic}
+	sinks.arm(dev, 64, 4096)
+	opts := gpualgo.Options{K: *k, Dynamic: *dynamic, Metrics: sinks.metrics}
 	src := graph.LargestOutComponentSeed(g)
 
 	if *inject != "" {
@@ -217,5 +219,5 @@ func cmdAlgo(args []string) error {
 	fmt.Println()
 	fmt.Printf("cycles   %d (%.3f ms at %.1f GHz)\n", stats.Cycles, stats.TimeMS(cfg.ClockGHz), cfg.ClockGHz)
 	fmt.Printf("stats    %s\n", stats.String())
-	return nil
+	return sinks.flush(&stats)
 }

@@ -22,6 +22,7 @@ import (
 	"maxwarp/internal/gengraph"
 	"maxwarp/internal/gpualgo"
 	"maxwarp/internal/graph"
+	"maxwarp/internal/obs"
 	"maxwarp/internal/report"
 	"maxwarp/internal/resilient"
 	"maxwarp/internal/simt"
@@ -50,6 +51,8 @@ func run(args []string) error {
 		return cmdAlgo(args[1:])
 	case "trace":
 		return cmdTrace(args[1:])
+	case "profile":
+		return cmdProfile(args[1:])
 	case "verify":
 		return cmdVerify(args[1:])
 	case "graph500":
@@ -74,6 +77,7 @@ subcommands:
   bfs    run one BFS configuration and print its stats
   algo   run any kernel (sssp, pagerank, cc, spmv, triangles, kcore, mis, ...)
   trace  run a traced BFS and print instruction mix + SM timeline
+  profile run one kernel with sampled tracing + metrics (parallel-safe)
   verify cross-check every kernel against its CPU oracle
   graph500 run a Graph500-style BFS benchmark with validation
   info   print a workload's degree statistics
@@ -100,11 +104,27 @@ func cmdRun(args []string) error {
 	format := fs.String("format", "text", "output format: text, md, csv, chart")
 	out := fs.String("out", "", "write output to file instead of stdout")
 	parallel := fs.Int("parallel", 0, "host goroutines driving SMs (0 = one per CPU, 1 = sequential event loop)")
+	metricsOut := fs.String("metrics", "", "write Prometheus-style metrics totals across all experiment devices to file ('-' = stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	cfg := bench.Config{Scale: *scale, Seed: *seed}.WithDefaults()
 	cfg.Device.ParallelSMs = *parallel
+
+	// With -metrics, every device the experiments create gets profiling
+	// enabled and its lifetime totals are folded into one document at the
+	// end. Counter totals are deterministic; Cycles sums every launch.
+	var devices []*simt.Device
+	if *metricsOut != "" {
+		cfg.NewDevice = func(dc simt.Config) (*simt.Device, error) {
+			d, err := simt.NewDevice(dc)
+			if err == nil {
+				d.SetProfiling(true)
+				devices = append(devices, d)
+			}
+			return d, err
+		}
+	}
 
 	var exps []bench.Experiment
 	if *exp == "all" {
@@ -150,6 +170,25 @@ func cmdRun(args []string) error {
 			default:
 				return fmt.Errorf("unknown format %q", *format)
 			}
+		}
+	}
+	if *metricsOut != "" {
+		var total simt.LaunchStats
+		var launches int64
+		for _, d := range devices {
+			t := d.Totals()
+			total.Add(&t)
+			launches += d.LaunchCount()
+		}
+		text, err := obs.ExportPromText("maxwarp", &total, nil, false)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "metrics: totals over %d devices, %d launches\n", len(devices), launches)
+		if *metricsOut == "-" {
+			fmt.Print(text)
+		} else if err := os.WriteFile(*metricsOut, []byte(text), 0o644); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -212,6 +251,7 @@ func cmdBFS(args []string) error {
 	inject := fs.String("inject", "", "fault-injection spec: abort=N,bitflip=N,buffers=a|b,loss=N,seed=N,maxfaults=N")
 	retries := fs.Int("retries", 3, "per-level retry budget under -inject (min 1)")
 	parallel := fs.Int("parallel", 0, "host goroutines driving SMs (0 = one per CPU, 1 = sequential event loop)")
+	sinks := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -229,8 +269,10 @@ func cmdBFS(args []string) error {
 	if err != nil {
 		return err
 	}
+	sinks.arm(dev, 64, 4096)
 	opts := gpualgo.Options{
 		K: *k, Dynamic: *dynamic, Chunk: int32(*chunk), DeferThreshold: int32(*deferTh),
+		Metrics: sinks.metrics,
 	}
 	if *inject != "" {
 		plan, err := parseFaultPlan(*inject)
@@ -285,7 +327,7 @@ func cmdBFS(args []string) error {
 		res.Stats.SIMDUtilization(), res.Stats.UsefulUtilization(), res.Stats.WarpImbalanceCV())
 	fmt.Printf("memory      %d txns (%.2f/op)   atomics %d (+%d serial)   deferred %d\n",
 		res.Stats.MemTxns, res.Stats.TxnsPerMemOp(), res.Stats.AtomicOps, res.Stats.AtomicSerial, res.Deferred)
-	return nil
+	return sinks.flush(&res.Stats)
 }
 
 func cmdInfo(args []string) error {

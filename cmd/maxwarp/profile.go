@@ -1,0 +1,162 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"maxwarp/internal/gengraph"
+	"maxwarp/internal/gpualgo"
+	"maxwarp/internal/graph"
+	"maxwarp/internal/obs"
+	"maxwarp/internal/simt"
+	"maxwarp/internal/traceview"
+)
+
+// obsSinks bundles the observability outputs shared by the profile, bfs,
+// algo, and run subcommands: a metrics registry destined for a Prometheus
+// text file ("-" = stdout) and a sampling tracer destined for a Chrome
+// trace_event JSON file.
+type obsSinks struct {
+	metricsOut string
+	traceOut   string
+	perSM      bool
+
+	metrics *obs.Metrics
+	tracer  *obs.SamplingTracer
+}
+
+// addObsFlags registers the shared -metrics/-trace-out flags.
+func addObsFlags(fs *flag.FlagSet) *obsSinks {
+	s := &obsSinks{}
+	fs.StringVar(&s.metricsOut, "metrics", "", "write Prometheus-style metrics to file ('-' = stdout)")
+	fs.StringVar(&s.traceOut, "trace-out", "", "write a Chrome trace_event JSON timeline to file")
+	fs.BoolVar(&s.perSM, "persm", false, "include per-SM samples in -metrics output")
+	return s
+}
+
+// arm attaches the requested sinks to a device: a metrics registry (with
+// per-launch histograms enabled) and/or a parallel-safe sampling tracer.
+// Sampled tracing and metrics never force the sequential fallback.
+func (s *obsSinks) arm(dev *simt.Device, sampleEvery int64, capPerSM int) {
+	cfg := dev.Config()
+	if s.metricsOut != "" {
+		s.metrics = obs.NewMetrics(cfg.NumSMs)
+		dev.SetProfiling(true)
+	}
+	if s.traceOut != "" {
+		s.tracer = obs.NewSamplingTracer(cfg.NumSMs, sampleEvery, capPerSM)
+		dev.SetTracer(s.tracer)
+	}
+}
+
+// flush writes the collected outputs. stats is the run's merged LaunchStats
+// (the Prometheus document contains it plus any registry counters).
+func (s *obsSinks) flush(stats *simt.LaunchStats) error {
+	if s.metricsOut != "" {
+		text, err := obs.ExportPromText("maxwarp", stats, s.metrics, s.perSM)
+		if err != nil {
+			return err
+		}
+		if s.metricsOut == "-" {
+			fmt.Print(text)
+		} else if err := os.WriteFile(s.metricsOut, []byte(text), 0o644); err != nil {
+			return err
+		}
+	}
+	if s.traceOut != "" && s.tracer != nil {
+		data, err := traceview.ChromeTrace(s.tracer.Events())
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(s.traceOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace: sampled %d of %d instructions, kept %d events -> %s\n",
+			s.tracer.InstrSampled(), s.tracer.InstrSeen(), s.tracer.Kept(), s.traceOut)
+	}
+	return nil
+}
+
+// cmdProfile runs one kernel with the full observability stack — sharded
+// counters, per-launch histograms, and the parallel-safe sampling tracer —
+// and emits Prometheus text plus (optionally) a Chrome timeline. Unlike the
+// trace subcommand, this keeps the ParallelSMs fast path.
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ContinueOnError)
+	name := fs.String("name", "bfs", "kernel: bfs | sssp | pagerank")
+	preset := fs.String("preset", "", "workload preset name (see 'maxwarp list')")
+	file := fs.String("graph", "", "graph file (.bin or edge list)")
+	scale := fs.Int("scale", 12, "log2 vertices for presets")
+	seed := fs.Uint64("seed", 42, "generator seed")
+	k := fs.Int("k", 32, "virtual warp width (1 = thread-per-vertex baseline)")
+	dynamic := fs.Bool("dynamic", false, "dynamic workload distribution")
+	iters := fs.Int("iters", 10, "iterations for pagerank")
+	sample := fs.Int64("sample", 64, "keep 1 in N instruction events per SM")
+	events := fs.Int("events", 4096, "trace ring capacity per SM")
+	parallel := fs.Int("parallel", 0, "host goroutines driving SMs (0 = one per CPU, 1 = sequential event loop)")
+	sinks := addObsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if sinks.metricsOut == "" {
+		sinks.metricsOut = "-"
+	}
+	g, gname, fileWeights, err := loadWorkloadWeighted(*preset, *file, *scale, *seed)
+	if err != nil {
+		return err
+	}
+	dcfg := simt.DefaultConfig()
+	dcfg.ParallelSMs = *parallel
+	dev, err := simt.NewDevice(dcfg)
+	if err != nil {
+		return err
+	}
+	sinks.arm(dev, *sample, *events)
+	opts := gpualgo.Options{K: *k, Dynamic: *dynamic, Metrics: sinks.metrics}
+	src := graph.LargestOutComponentSeed(g)
+
+	var (
+		stats  simt.LaunchStats
+		rounds int
+	)
+	switch *name {
+	case "bfs":
+		res, err := gpualgo.BFS(dev, gpualgo.Upload(dev, g), src, opts)
+		if err != nil {
+			return err
+		}
+		stats, rounds = res.Stats, res.Iterations
+	case "sssp":
+		weights := fileWeights
+		if weights == nil {
+			weights = gengraph.EdgeWeights(g, 16, *seed)
+		}
+		dg, err := gpualgo.UploadWeighted(dev, g, weights)
+		if err != nil {
+			return err
+		}
+		res, err := gpualgo.SSSP(dev, dg, src, opts)
+		if err != nil {
+			return err
+		}
+		stats, rounds = res.Stats, res.Iterations
+	case "pagerank":
+		res, err := gpualgo.PageRank(dev, g, gpualgo.PageRankOptions{Options: opts, Iterations: *iters})
+		if err != nil {
+			return err
+		}
+		stats, rounds = res.Stats, res.Iterations
+	default:
+		return fmt.Errorf("profile: unknown kernel %q (want bfs, sssp, or pagerank)", *name)
+	}
+
+	cfg := dev.Config()
+	fmt.Fprintf(os.Stderr, "profiled %s on %s (K=%d, ParallelSMs=%d): %d cycles over %d rounds",
+		*name, gname, *k, stats.ParallelSMs, stats.Cycles, rounds)
+	if stats.SequentialFallback != "" {
+		fmt.Fprintf(os.Stderr, "  [sequential fallback: %s]", stats.SequentialFallback)
+	}
+	fmt.Fprintf(os.Stderr, "  (%.3f ms at %.1f GHz)\n", stats.TimeMS(cfg.ClockGHz), cfg.ClockGHz)
+	return sinks.flush(&stats)
+}

@@ -26,6 +26,11 @@ type Config struct {
 	Ks []int
 	// BlockSize is threads per block for all launches (default 128).
 	BlockSize int
+	// NewDevice, when non-nil, replaces the default device constructor for
+	// every device an experiment creates — the hook observability tooling
+	// uses to attach tracers/profiling and accumulate device-lifetime totals
+	// across an experiment's launches.
+	NewDevice func(simt.Config) (*simt.Device, error)
 }
 
 // WithDefaults fills zero values.
@@ -82,5 +87,8 @@ func buildWorkloads(cfg Config) ([]workload, error) {
 }
 
 func newDevice(cfg Config) (*simt.Device, error) {
+	if cfg.NewDevice != nil {
+		return cfg.NewDevice(cfg.Device)
+	}
 	return simt.NewDevice(cfg.Device)
 }

@@ -7,6 +7,43 @@ import (
 	"maxwarp/internal/report"
 )
 
+// E4Point is one simulated data point of the E4 sweep: BFS cycles for one
+// (workload, K) pair. The simulator is deterministic, so for a fixed Config
+// the points are exactly reproducible — which is what the benchmark
+// regression gate (TestE4CyclesRegression) compares against its committed
+// baseline.
+type E4Point struct {
+	Graph  string `json:"graph"`
+	K      int    `json:"k"`
+	Cycles int64  `json:"cycles"`
+}
+
+// E4SweepPoints runs the E4 BFS sweep and returns the raw cycle counts,
+// ordered by (workload, K) as configured.
+func E4SweepPoints(cfg Config) ([]E4Point, error) {
+	cfg = cfg.WithDefaults()
+	ws, err := buildWorkloads(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var points []E4Point
+	for _, w := range ws {
+		for _, k := range cfg.Ks {
+			d, err := newDevice(cfg)
+			if err != nil {
+				return nil, err
+			}
+			dg := gpualgo.Upload(d, w.g)
+			res, err := gpualgo.BFS(d, dg, w.src, gpualgo.Options{K: k, BlockSize: cfg.BlockSize})
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, E4Point{Graph: w.name, K: k, Cycles: res.Stats.Cycles})
+		}
+	}
+	return points, nil
+}
+
 // E4WarpSizeSweep reproduces the headline figure: virtual warp-centric BFS
 // speedup over the thread-per-vertex baseline as a function of the virtual
 // warp width K, across workloads. The expected shape: large speedups and
@@ -14,7 +51,7 @@ import (
 // K, or none) as workloads become regular.
 func E4WarpSizeSweep(cfg Config) ([]*report.Table, error) {
 	cfg = cfg.WithDefaults()
-	ws, err := buildWorkloads(cfg)
+	points, err := E4SweepPoints(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -32,28 +69,22 @@ func E4WarpSizeSweep(cfg Config) ([]*report.Table, error) {
 	}
 	t.Columns = append(t.Columns, "best K", "best speedup")
 	t.ChartSpec = &report.ChartSpec{GroupCol: 0, BarCol: len(t.Columns) - 2, ValueCol: len(t.Columns) - 1, Unit: "best speedup x"}
-	for _, w := range ws {
+	i := 0
+	for i < len(points) {
+		w := points[i].Graph
 		var baseline int64
 		bestK, bestSpeed := 1, 1.0
-		cells := []string{w.name}
-		for _, k := range cfg.Ks {
-			d, err := newDevice(cfg)
-			if err != nil {
-				return nil, err
-			}
-			dg := gpualgo.Upload(d, w.g)
-			res, err := gpualgo.BFS(d, dg, w.src, gpualgo.Options{K: k, BlockSize: cfg.BlockSize})
-			if err != nil {
-				return nil, err
-			}
-			if k == 1 {
-				baseline = res.Stats.Cycles
+		cells := []string{w}
+		for ; i < len(points) && points[i].Graph == w; i++ {
+			p := points[i]
+			if p.K == 1 {
+				baseline = p.Cycles
 				cells = append(cells, report.F(float64(baseline)/1e6, 2))
 				continue
 			}
-			speed := float64(baseline) / float64(res.Stats.Cycles)
+			speed := float64(baseline) / float64(p.Cycles)
 			if speed > bestSpeed {
-				bestK, bestSpeed = k, speed
+				bestK, bestSpeed = p.K, speed
 			}
 			cells = append(cells, report.F(speed, 2)+"x")
 		}

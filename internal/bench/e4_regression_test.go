@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateE4Baseline = flag.Bool("update-e4-baseline", false,
+	"rewrite testdata/e4_baseline.json from the current simulator instead of comparing")
+
+const e4BaselinePath = "testdata/e4_baseline.json"
+
+// e4Baseline is the committed regression baseline: the E4 sweep's cycle
+// counts at a pinned config. The gate tolerates ±10% so deliberate
+// performance-model changes don't break CI noise-free runs, while mapping or
+// scheduler regressions (which move cycles by far more) are caught.
+type e4Baseline struct {
+	Scale  int       `json:"scale"`
+	Seed   uint64    `json:"seed"`
+	Points []E4Point `json:"points"`
+}
+
+// e4GateConfig pins the sweep the gate runs: small enough for CI (~1s),
+// large enough that the warp-centric mapping effects dominate the counts.
+func e4GateConfig() Config {
+	return Config{Scale: 9, Seed: 42}
+}
+
+// TestE4CyclesRegression is the benchmark-regression gate: simulated cycles
+// of the E4 BFS warp-width sweep must stay within ±10% of the committed
+// baseline, point by point. Simulated cycles are deterministic, so any drift
+// is a code change, not noise. Regenerate after an intentional
+// performance-model change with:
+//
+//	go test ./internal/bench -run TestE4CyclesRegression -update-e4-baseline
+func TestE4CyclesRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regression gate skipped in -short mode")
+	}
+	points, err := E4SweepPoints(e4GateConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *updateE4Baseline {
+		cfg := e4GateConfig()
+		data, err := json.MarshalIndent(e4Baseline{Scale: cfg.Scale, Seed: cfg.Seed, Points: points}, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(e4BaselinePath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(e4BaselinePath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d points)", e4BaselinePath, len(points))
+		return
+	}
+
+	raw, err := os.ReadFile(e4BaselinePath)
+	if err != nil {
+		t.Fatalf("reading baseline (rerun with -update-e4-baseline to create it): %v", err)
+	}
+	var base e4Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatalf("parsing %s: %v", e4BaselinePath, err)
+	}
+	cfg := e4GateConfig()
+	if base.Scale != cfg.Scale || base.Seed != cfg.Seed {
+		t.Fatalf("baseline recorded at scale=%d seed=%d, gate runs scale=%d seed=%d — regenerate it",
+			base.Scale, base.Seed, cfg.Scale, cfg.Seed)
+	}
+	if len(base.Points) != len(points) {
+		t.Fatalf("sweep shape changed: %d points vs %d in baseline — regenerate it",
+			len(points), len(base.Points))
+	}
+	const tolerance = 0.10
+	for i, p := range points {
+		b := base.Points[i]
+		if p.Graph != b.Graph || p.K != b.K {
+			t.Fatalf("point %d is (%s, K=%d) but baseline has (%s, K=%d) — regenerate it",
+				i, p.Graph, p.K, b.Graph, b.K)
+		}
+		drift := math.Abs(float64(p.Cycles)-float64(b.Cycles)) / float64(b.Cycles)
+		if drift > tolerance {
+			t.Errorf("%s K=%d: %d cycles vs baseline %d (%+.1f%%, tolerance ±%.0f%%)",
+				p.Graph, p.K, p.Cycles, b.Cycles,
+				100*(float64(p.Cycles)/float64(b.Cycles)-1), 100*tolerance)
+		}
+	}
+	if t.Failed() {
+		t.Log("if the drift is an intentional performance-model change, regenerate with -update-e4-baseline")
+	}
+}

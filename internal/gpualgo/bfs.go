@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"maxwarp/internal/graph"
+	"maxwarp/internal/obs"
 	"maxwarp/internal/simt"
 	"maxwarp/internal/vwarp"
 )
@@ -177,11 +178,27 @@ func BFS(d *simt.Device, dg *DeviceGraph, src graph.VertexID, opts Options) (*BF
 // plain stores (a benign race, as in the paper: any winner writes the same
 // level value).
 func bfsLevelKernel(dg *DeviceGraph, levels, changed, counter *simt.BufI32, q *vwarp.OutlierQueue, cur int32, opts Options) simt.Kernel {
+	var cFrontier, cEdges *obs.Counter
+	if m := opts.Metrics; m != nil {
+		cFrontier = m.Counter(MetricBFSFrontier, "BFS frontier vertices expanded.")
+		cEdges = m.Counter(MetricBFSEdges, "BFS adjacency entries scanned.")
+	}
 	return func(w *simt.WarpCtx) {
 		body := func(ts *vwarp.Tasks) {
 			g := ts.Groups
 			lvl := make([]int32, g)
 			ts.LoadI32Grouped(levels, ts.Task, lvl)
+			if cFrontier != nil {
+				var fr int64
+				for gi := 0; gi < g; gi++ {
+					if ts.Valid(gi) && lvl[gi] == cur {
+						fr++
+					}
+				}
+				if fr > 0 {
+					cFrontier.Add(w.SMID(), fr)
+				}
+			}
 			ts.Mask(func(gi int) bool { return lvl[gi] == cur }, func() {
 				start := make([]int32, g)
 				end := make([]int32, g)
@@ -189,6 +206,20 @@ func bfsLevelKernel(dg *DeviceGraph, levels, changed, counter *simt.BufI32, q *v
 				ts.LoadI32Grouped(dg.RowPtr, ts.Task, start)
 				ts.SISD(1, func(gi int) { taskP1[gi] = ts.Task[gi] + 1 })
 				ts.LoadI32Grouped(dg.RowPtr, taskP1, end)
+				if cEdges != nil {
+					// Heavy vertices are deferred below; their edges are
+					// counted by the deferred pass.
+					var eg int64
+					for gi := 0; gi < g; gi++ {
+						if ts.Valid(gi) && lvl[gi] == cur &&
+							(q == nil || end[gi]-start[gi] <= opts.DeferThreshold) {
+							eg += int64(end[gi] - start[gi])
+						}
+					}
+					if eg > 0 {
+						cEdges.Add(w.SMID(), eg)
+					}
+				}
 				expand := func() {
 					bfsExpand(ts, dg, levels, changed, start, end, cur)
 				}
@@ -215,6 +246,10 @@ func bfsLevelKernel(dg *DeviceGraph, levels, changed, counter *simt.BufI32, q *v
 // bfsDeferredKernel processes outlier vertices with one full physical warp
 // per vertex, the paper's maximum-parallelism follow-up pass.
 func bfsDeferredKernel(dg *DeviceGraph, levels, changed *simt.BufI32, q *vwarp.OutlierQueue, numDeferred, cur int32, opts Options) simt.Kernel {
+	var cEdges *obs.Counter
+	if m := opts.Metrics; m != nil {
+		cEdges = m.Counter(MetricBFSEdges, "BFS adjacency entries scanned.")
+	}
 	return func(w *simt.WarpCtx) {
 		vwarp.ForEachDeferred(w, w.Width(), q, numDeferred, func(ts *vwarp.Tasks) {
 			g := ts.Groups
@@ -224,6 +259,17 @@ func bfsDeferredKernel(dg *DeviceGraph, levels, changed *simt.BufI32, q *vwarp.O
 			ts.LoadI32Grouped(dg.RowPtr, ts.Task, start)
 			ts.SISD(1, func(gi int) { taskP1[gi] = ts.Task[gi] + 1 })
 			ts.LoadI32Grouped(dg.RowPtr, taskP1, end)
+			if cEdges != nil {
+				var eg int64
+				for gi := 0; gi < g; gi++ {
+					if ts.Valid(gi) {
+						eg += int64(end[gi] - start[gi])
+					}
+				}
+				if eg > 0 {
+					cEdges.Add(w.SMID(), eg)
+				}
+			}
 			bfsExpand(ts, dg, levels, changed, start, end, cur)
 		})
 	}

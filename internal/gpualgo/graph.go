@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"maxwarp/internal/graph"
+	"maxwarp/internal/obs"
 	"maxwarp/internal/simt"
 )
 
@@ -84,7 +85,26 @@ type Options struct {
 	// MaxIterations bounds iterative algorithms (default: |V|+1 for BFS and
 	// SSSP-like loops).
 	MaxIterations int
+	// Metrics, when non-nil, receives algorithm-level event counters
+	// (frontier sizes, edges traversed — see the Metric* names). Counting is
+	// host-side accounting sharded by SM: it charges no simulated cycles, so
+	// LaunchStats are unchanged, and the totals are bit-identical across
+	// ParallelSMs settings.
+	Metrics *obs.Metrics
 }
+
+// Counter names registered on Options.Metrics by the instrumented kernels.
+const (
+	// MetricBFSFrontier counts frontier vertices expanded across BFS levels.
+	MetricBFSFrontier = "maxwarp_bfs_frontier_vertices_total"
+	// MetricBFSEdges counts adjacency entries scanned by BFS expansion
+	// (main and deferred passes).
+	MetricBFSEdges = "maxwarp_bfs_edges_scanned_total"
+	// MetricSSSPEdges counts edges relaxed across Bellman-Ford rounds.
+	MetricSSSPEdges = "maxwarp_sssp_edges_relaxed_total"
+	// MetricPREdges counts in-edges pulled across PageRank iterations.
+	MetricPREdges = "maxwarp_pagerank_edges_pulled_total"
+)
 
 func (o Options) withDefaults(d *simt.Device) Options {
 	if o.K == 0 {

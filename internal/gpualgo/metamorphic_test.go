@@ -1,0 +1,223 @@
+package gpualgo
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"maxwarp/internal/graph"
+	"maxwarp/internal/obs"
+	"maxwarp/internal/xrand"
+)
+
+// Metamorphic tests: instead of comparing against an oracle, each test
+// transforms the input in a way with a known effect on the output and checks
+// the relation holds. Vertex relabeling must permute BFS levels and SSSP
+// distances; PageRank must stay a probability distribution and survive a
+// double edge reversal; and the obs traversal counters (frontier sizes,
+// edges scanned) must be relabeling-invariant since they count structural
+// events, not vertex ids.
+
+// metamorphicPerms returns the permutations exercised per graph: the
+// degree-sort reordering (adversarial for warp mapping — it moves every
+// hub) and a seeded random shuffle.
+func metamorphicPerms(g *graph.CSR, seed uint64) map[string][]graph.VertexID {
+	n := g.NumVertices()
+	random := make([]graph.VertexID, n)
+	for i, v := range xrand.New(seed).Perm(n) {
+		random[i] = graph.VertexID(v)
+	}
+	return map[string][]graph.VertexID{
+		"degreesort": graph.DegreeSortPermutation(g),
+		"random":     random,
+	}
+}
+
+// endpointWeight derives an edge weight purely from the edge's endpoint ids
+// in the ORIGINAL labeling, so original and relabeled graphs can be given
+// structurally identical weights even though their CSR edge order differs.
+func endpointWeight(u, v graph.VertexID) int32 {
+	h := uint64(u)*0x9e3779b97f4a7c15 ^ uint64(v)*0xbf58476d1ce4e5b9
+	h ^= h >> 31
+	return int32(h%16) + 1
+}
+
+// endpointWeights materializes endpointWeight over g's edge array. inv maps
+// g's vertex ids back to the original labeling (nil = identity).
+func endpointWeights(g *graph.CSR, inv []graph.VertexID) []int32 {
+	orig := func(v graph.VertexID) graph.VertexID {
+		if inv == nil {
+			return v
+		}
+		return inv[v]
+	}
+	w := make([]int32, 0, g.NumEdges())
+	for u := 0; u < g.NumVertices(); u++ {
+		for _, v := range g.Neighbors(graph.VertexID(u)) {
+			w = append(w, endpointWeight(orig(graph.VertexID(u)), orig(v)))
+		}
+	}
+	return w
+}
+
+// invert turns an old→new permutation into new→old.
+func invert(p []graph.VertexID) []graph.VertexID {
+	inv := make([]graph.VertexID, len(p))
+	for old, new := range p {
+		inv[new] = graph.VertexID(old)
+	}
+	return inv
+}
+
+func metamorphicVariants() []diffVariant {
+	return []diffVariant{
+		{name: "K1", opts: Options{K: 1}},
+		{name: "K8+defer", opts: Options{K: 8, DeferThreshold: 16}},
+		{name: "K8+dynamic", opts: Options{K: 8, Dynamic: true}},
+	}
+}
+
+// TestMetamorphicBFSRelabelInvariance checks that relabeling vertices
+// permutes the BFS level array and leaves the obs traversal counters
+// (frontier vertices, edges scanned) untouched: both count structural
+// events of the traversal, which relabeling cannot change.
+func TestMetamorphicBFSRelabelInvariance(t *testing.T) {
+	graphs := diffGraphs(t)
+	if testing.Short() {
+		graphs = graphs[:1]
+	}
+	for _, gr := range graphs {
+		src := graph.LargestOutComponentSeed(gr.g)
+		for permName, perm := range metamorphicPerms(gr.g, 17) {
+			rg, err := graph.Relabel(gr.g, perm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range metamorphicVariants() {
+				label := fmt.Sprintf("bfs/%s/%s/%s", gr.name, permName, v.name)
+
+				run := func(g *graph.CSR, s graph.VertexID) ([]int32, map[string]int64) {
+					d := parallelDevice(t, 0)
+					m := obs.NewMetrics(d.Config().NumSMs)
+					opts := v.opts
+					opts.Metrics = m
+					res, err := BFS(d, Upload(d, g), s, opts)
+					if err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+					return res.Levels, m.Values()
+				}
+				base, baseCounters := run(gr.g, src)
+				rel, relCounters := run(rg, perm[src])
+
+				for v0 := range base {
+					if rel[perm[v0]] != base[v0] {
+						t.Errorf("%s: level[%d]=%d but relabeled level[%d]=%d",
+							label, v0, base[v0], perm[v0], rel[perm[v0]])
+						break
+					}
+				}
+				for _, name := range []string{MetricBFSFrontier, MetricBFSEdges} {
+					if baseCounters[name] != relCounters[name] {
+						t.Errorf("%s: counter %s changed under relabeling: %d -> %d",
+							label, name, baseCounters[name], relCounters[name])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMetamorphicSSSPRelabelInvariance checks that relabeling vertices (with
+// weights derived from original endpoint ids, so the weighted graph is
+// isomorphic) permutes the distance array. Relaxation counts are NOT asserted:
+// in-round propagation order legitimately differs between labelings, so the
+// same fixed point can be reached with different work.
+func TestMetamorphicSSSPRelabelInvariance(t *testing.T) {
+	graphs := diffGraphs(t)
+	if testing.Short() {
+		graphs = graphs[:1]
+	}
+	for _, gr := range graphs {
+		src := graph.LargestOutComponentSeed(gr.g)
+		baseWeights := endpointWeights(gr.g, nil)
+		for permName, perm := range metamorphicPerms(gr.g, 23) {
+			rg, err := graph.Relabel(gr.g, perm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			relWeights := endpointWeights(rg, invert(perm))
+			for _, v := range metamorphicVariants() {
+				label := fmt.Sprintf("sssp/%s/%s/%s", gr.name, permName, v.name)
+
+				run := func(g *graph.CSR, w []int32, s graph.VertexID) []int32 {
+					d := parallelDevice(t, 0)
+					dg, err := UploadWeighted(d, g, w)
+					if err != nil {
+						t.Fatal(err)
+					}
+					res, err := SSSP(d, dg, s, v.opts)
+					if err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+					return res.Dist
+				}
+				base := run(gr.g, baseWeights, src)
+				rel := run(rg, relWeights, perm[src])
+
+				for v0 := range base {
+					if rel[perm[v0]] != base[v0] {
+						t.Errorf("%s: dist[%d]=%d but relabeled dist[%d]=%d",
+							label, v0, base[v0], perm[v0], rel[perm[v0]])
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMetamorphicPageRank checks two relations: the rank vector remains a
+// probability distribution (sums to ~1) for every mapping variant, and
+// reversing every edge twice — which rebuilds the CSR and reorders adjacency
+// lists — leaves the ranks unchanged up to float summation tolerance.
+func TestMetamorphicPageRank(t *testing.T) {
+	const iters = 10
+	graphs := diffGraphs(t)
+	if testing.Short() {
+		graphs = graphs[:1]
+	}
+	for _, gr := range graphs {
+		rr := gr.g.Reverse().Reverse()
+		for _, v := range metamorphicVariants() {
+			label := fmt.Sprintf("pagerank/%s/%s", gr.name, v.name)
+
+			run := func(g *graph.CSR) []float32 {
+				d := parallelDevice(t, 0)
+				res, err := PageRank(d, g, PageRankOptions{Options: v.opts, Iterations: iters})
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				return res.Ranks
+			}
+			base := run(gr.g)
+
+			var sum float64
+			for _, r := range base {
+				sum += float64(r)
+			}
+			if math.Abs(sum-1) > 1e-2 {
+				t.Errorf("%s: ranks sum to %g, want ~1", label, sum)
+			}
+
+			rev := run(rr)
+			for v0 := range base {
+				if diff := math.Abs(float64(rev[v0]) - float64(base[v0])); diff > 1e-4 {
+					t.Errorf("%s: rank[%d] changed under double reversal: %g -> %g",
+						label, v0, base[v0], rev[v0])
+					break
+				}
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"maxwarp/internal/graph"
+	"maxwarp/internal/obs"
 	"maxwarp/internal/simt"
 	"maxwarp/internal/vwarp"
 )
@@ -201,6 +202,10 @@ func prContribKernel(n int, rank, contrib *simt.BufF32, outDeg *simt.BufI32) sim
 // prPullKernel computes next[v] = base + d * sum_{u in in(v)} contrib[u]
 // with one virtual warp per vertex.
 func prPullKernel(dgRev *DeviceGraph, contrib, next *simt.BufF32, base float32, opts PageRankOptions) simt.Kernel {
+	var cEdges *obs.Counter
+	if m := opts.Metrics; m != nil {
+		cEdges = m.Counter(MetricPREdges, "PageRank in-edges pulled.")
+	}
 	return func(w *simt.WarpCtx) {
 		vwarp.ForEachStatic(w, opts.K, int32(dgRev.NumVertices), func(ts *vwarp.Tasks) {
 			g := ts.Groups
@@ -210,6 +215,17 @@ func prPullKernel(dgRev *DeviceGraph, contrib, next *simt.BufF32, base float32, 
 			ts.LoadI32Grouped(dgRev.RowPtr, ts.Task, start)
 			ts.SISD(1, func(gi int) { taskP1[gi] = ts.Task[gi] + 1 })
 			ts.LoadI32Grouped(dgRev.RowPtr, taskP1, end)
+			if cEdges != nil {
+				var eg int64
+				for gi := 0; gi < g; gi++ {
+					if ts.Valid(gi) {
+						eg += int64(end[gi] - start[gi])
+					}
+				}
+				if eg > 0 {
+					cEdges.Add(w.SMID(), eg)
+				}
+			}
 			acc := w.VecF32()
 			w.Apply(1, func(lane int) { acc[lane] = 0 })
 			nbr := w.VecI32()

@@ -7,6 +7,7 @@ import (
 
 	"maxwarp/internal/gengraph"
 	"maxwarp/internal/graph"
+	"maxwarp/internal/obs"
 	"maxwarp/internal/simt"
 )
 
@@ -110,6 +111,82 @@ func TestAlgorithmsParallelEquivalence(t *testing.T) {
 		checkStatsEqual(t, "BFS", seq.bfs, par.bfs)
 		checkStatsEqual(t, "SSSP", seq.sssp, par.sssp)
 		checkStatsEqual(t, "PageRank", seq.pr, par.pr)
+	}
+}
+
+// TestTracedLaunchParallelEquivalence extends the equivalence coverage to
+// traced launches: with the parallel-safe sampling tracer attached, a
+// ParallelSMs>1 launch must keep the fast path (no SequentialFallback), and
+// its algorithm results, merged stats, and merged trace must match the
+// sequential loop's bit for bit.
+func TestTracedLaunchParallelEquivalence(t *testing.T) {
+	g := equivalenceGraph(t)
+	src := graph.LargestOutComponentSeed(g)
+	weights := gengraph.EdgeWeights(g, 12, 17)
+	opts := Options{K: 8}
+
+	type run struct {
+		levels    []int32
+		dist      []int32
+		bfs, sssp simt.LaunchStats
+		bfsTrace  []simt.TraceEvent
+		ssspTrace []simt.TraceEvent
+	}
+	exec := func(mode int) run {
+		var r run
+
+		d := parallelDevice(t, mode)
+		tr := obs.NewSamplingTracer(d.Config().NumSMs, 16, 1024)
+		d.SetTracer(tr)
+		bfs, err := BFS(d, Upload(d, g), src, opts)
+		if err != nil {
+			t.Fatalf("BFS (ParallelSMs=%d): %v", mode, err)
+		}
+		if mode > 1 && bfs.Stats.SequentialFallback != "" {
+			t.Fatalf("BFS (ParallelSMs=%d): sampling tracer forced fallback %q",
+				mode, bfs.Stats.SequentialFallback)
+		}
+		r.levels, r.bfs, r.bfsTrace = bfs.Levels, bfs.Stats, tr.Events()
+
+		d = parallelDevice(t, mode)
+		tr = obs.NewSamplingTracer(d.Config().NumSMs, 16, 1024)
+		d.SetTracer(tr)
+		dg, err := UploadWeighted(d, g, weights)
+		if err != nil {
+			t.Fatalf("UploadWeighted: %v", err)
+		}
+		sssp, err := SSSP(d, dg, src, opts)
+		if err != nil {
+			t.Fatalf("SSSP (ParallelSMs=%d): %v", mode, err)
+		}
+		if mode > 1 && sssp.Stats.SequentialFallback != "" {
+			t.Fatalf("SSSP (ParallelSMs=%d): sampling tracer forced fallback %q",
+				mode, sssp.Stats.SequentialFallback)
+		}
+		r.dist, r.sssp, r.ssspTrace = sssp.Dist, sssp.Stats, tr.Events()
+		return r
+	}
+
+	seq := exec(1)
+	if len(seq.bfsTrace) == 0 || len(seq.ssspTrace) == 0 {
+		t.Fatal("sequential reference retained no trace events")
+	}
+	for _, mode := range []int{2, 4} {
+		par := exec(mode)
+		if !reflect.DeepEqual(seq.levels, par.levels) {
+			t.Errorf("BFS levels differ between ParallelSMs=1 and %d", mode)
+		}
+		if !reflect.DeepEqual(seq.dist, par.dist) {
+			t.Errorf("SSSP distances differ between ParallelSMs=1 and %d", mode)
+		}
+		checkStatsEqual(t, "BFS traced", seq.bfs, par.bfs)
+		checkStatsEqual(t, "SSSP traced", seq.sssp, par.sssp)
+		if !reflect.DeepEqual(seq.bfsTrace, par.bfsTrace) {
+			t.Errorf("BFS sampled trace differs between ParallelSMs=1 and %d", mode)
+		}
+		if !reflect.DeepEqual(seq.ssspTrace, par.ssspTrace) {
+			t.Errorf("SSSP sampled trace differs between ParallelSMs=1 and %d", mode)
+		}
 	}
 }
 

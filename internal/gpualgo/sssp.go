@@ -5,6 +5,7 @@ import (
 
 	"maxwarp/internal/cpualgo"
 	"maxwarp/internal/graph"
+	"maxwarp/internal/obs"
 	"maxwarp/internal/simt"
 	"maxwarp/internal/vwarp"
 )
@@ -133,6 +134,10 @@ func SSSP(d *simt.Device, dg *DeviceGraph, src graph.VertexID, opts Options) (*S
 }
 
 func ssspRelaxKernel(dg *DeviceGraph, dist, changed, counter *simt.BufI32, opts Options) simt.Kernel {
+	var cEdges *obs.Counter
+	if m := opts.Metrics; m != nil {
+		cEdges = m.Counter(MetricSSSPEdges, "SSSP edges relaxed.")
+	}
 	return func(w *simt.WarpCtx) {
 		body := func(ts *vwarp.Tasks) {
 			g := ts.Groups
@@ -145,6 +150,17 @@ func ssspRelaxKernel(dg *DeviceGraph, dist, changed, counter *simt.BufI32, opts 
 				ts.LoadI32Grouped(dg.RowPtr, ts.Task, start)
 				ts.SISD(1, func(gi int) { taskP1[gi] = ts.Task[gi] + 1 })
 				ts.LoadI32Grouped(dg.RowPtr, taskP1, end)
+				if cEdges != nil {
+					var eg int64
+					for gi := 0; gi < g; gi++ {
+						if ts.Valid(gi) && dv[gi] < cpualgo.InfDist {
+							eg += int64(end[gi] - start[gi])
+						}
+					}
+					if eg > 0 {
+						cEdges.Add(w.SMID(), eg)
+					}
+				}
 				nbr := w.VecI32()
 				wt := w.VecI32()
 				cand := w.VecI32()

@@ -1,0 +1,154 @@
+package obs_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"maxwarp/internal/gengraph"
+	"maxwarp/internal/gpualgo"
+	"maxwarp/internal/graph"
+	"maxwarp/internal/obs"
+	"maxwarp/internal/simt"
+	"maxwarp/internal/traceview"
+)
+
+// This file holds the tentpole's acceptance tests: with the full
+// observability stack attached (sampling tracer + sharded counters +
+// profiling histograms), launches must keep the parallel fast path, and
+// every observable output — merged trace, counter values, rendered
+// Prometheus text, rendered Chrome JSON — must be bit-identical across
+// repeated runs and across ParallelSMs settings. Run under -race by
+// make race / make check.
+
+type obsRun struct {
+	fallback string
+	events   []simt.TraceEvent
+	counters map[string]int64
+	prom     string
+	chrome   []byte
+}
+
+// observedBFS runs a metrics- and tracer-instrumented BFS in the given host
+// mode and captures every exported artifact.
+func observedBFS(t *testing.T, g *graph.CSR, src graph.VertexID, mode int) obsRun {
+	t.Helper()
+	cfg := simt.DefaultConfig()
+	cfg.NumSMs = 4
+	cfg.MaxWarpsPerSM = 16
+	cfg.MaxBlocksPerSM = 4
+	cfg.MaxCycles = 50_000_000
+	cfg.ParallelSMs = mode
+	d, err := simt.NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := obs.NewSamplingTracer(cfg.NumSMs, 32, 2048)
+	d.SetTracer(tracer)
+	d.SetProfiling(true)
+	m := obs.NewMetrics(cfg.NumSMs)
+
+	res, err := gpualgo.BFS(d, gpualgo.Upload(d, g), src,
+		gpualgo.Options{K: 8, DeferThreshold: 16, Metrics: m})
+	if err != nil {
+		t.Fatalf("BFS (ParallelSMs=%d): %v", mode, err)
+	}
+	prom, err := obs.ExportPromText("maxwarp", &res.Stats, m, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chrome, err := traceview.ChromeTrace(tracer.Events())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obsRun{
+		fallback: res.Stats.SequentialFallback,
+		events:   tracer.Events(),
+		counters: m.Values(),
+		prom:     prom,
+		chrome:   chrome,
+	}
+}
+
+// TestObservabilityDeterministicAcrossModes pins the determinism guarantee:
+// sampled trace, counters, and both rendered exports are bit-identical for
+// ParallelSMs ∈ {1, 2, 0} and across repeated runs, and sampled tracing
+// never forces the sequential fallback.
+func TestObservabilityDeterministicAcrossModes(t *testing.T) {
+	g, err := gengraph.ChungLu(1200, 7, 2.2, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := graph.LargestOutComponentSeed(g)
+
+	ref := observedBFS(t, g, src, 1)
+	if len(ref.events) == 0 {
+		t.Fatal("reference run retained no trace events")
+	}
+	if ref.counters[gpualgo.MetricBFSEdges] == 0 {
+		t.Fatal("reference run counted no BFS edges")
+	}
+
+	runs := []struct {
+		name string
+		mode int
+	}{
+		{"ParallelSMs=2", 2},
+		{"ParallelSMs=0", 0},
+		{"ParallelSMs=0/rerun", 0},
+		{"ParallelSMs=1/rerun", 1},
+	}
+	for _, r := range runs {
+		got := observedBFS(t, g, src, r.mode)
+		if r.mode != 1 && got.fallback != "" {
+			t.Errorf("%s: sampled tracing forced SequentialFallback=%q", r.name, got.fallback)
+		}
+		if !reflect.DeepEqual(got.events, ref.events) {
+			t.Errorf("%s: merged trace events differ from sequential reference", r.name)
+		}
+		if !reflect.DeepEqual(got.counters, ref.counters) {
+			t.Errorf("%s: counter values differ: %v vs %v", r.name, got.counters, ref.counters)
+		}
+		if got.prom != ref.prom {
+			t.Errorf("%s: Prometheus text differs from reference", r.name)
+		}
+		if !bytes.Equal(got.chrome, ref.chrome) {
+			t.Errorf("%s: Chrome trace JSON differs from reference", r.name)
+		}
+	}
+}
+
+// TestFullFidelityTracerStillFallsBack pins the other half of the contract:
+// a tracer that is not parallel-safe (here, one lacking ParallelSafe) still
+// forces the sequential event loop, so existing tooling stays correct.
+type plainTracer struct{ n int }
+
+func (p *plainTracer) Event(simt.TraceEvent) { p.n++ }
+
+func TestFullFidelityTracerStillFallsBack(t *testing.T) {
+	g, err := gengraph.Mesh2D(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := simt.DefaultConfig()
+	cfg.NumSMs = 2
+	// Explicit >1 (not 0): 0 resolves to NumCPU, which is 1 on a single-core
+	// host and would make the launch sequential with no fallback to record.
+	cfg.ParallelSMs = 2
+	d, err := simt.NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &plainTracer{}
+	d.SetTracer(tr)
+	res, err := gpualgo.BFS(d, gpualgo.Upload(d, g), 0, gpualgo.Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SequentialFallback != "tracer" {
+		t.Fatalf("SequentialFallback = %q, want \"tracer\"", res.Stats.SequentialFallback)
+	}
+	if tr.n == 0 {
+		t.Fatal("plain tracer received no events")
+	}
+}

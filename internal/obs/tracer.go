@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"sort"
+
+	"maxwarp/internal/simt"
+)
+
+// SamplingTracer is a bounded, parallel-safe tracer: it implements
+// simt.ParallelTracer, so attaching it to a ParallelSMs>1 device does NOT
+// force the sequential fallback. Events land in per-SM ring buffers with no
+// locking (the scheduler guarantees one calling goroutine per SM), and
+// TraceInstr events are sampled — every Every-th instruction per SM — to
+// bound both memory and host overhead. Structural events (launch, block,
+// barrier, warp-done) are always kept.
+//
+// Determinism: each SM's event stream is bit-identical across host modes, so
+// per-shard counting samples the same instructions whatever the host
+// interleaving. Events() defines a canonical merged order — stable sort by
+// (Cycle, SM, per-SM sequence) — rather than reproducing the sequential
+// loop's emission order, which interleaves SMs by their (non-monotone across
+// SMs) clocks and is not a useful timeline anyway. The merged output is
+// bit-identical across runs and across ParallelSMs settings.
+type SamplingTracer struct {
+	// Every samples one TraceInstr event in Every per SM (default 64;
+	// 1 keeps every instruction). Set before the first launch.
+	Every int64
+	// CapPerSM bounds retained events per SM ring (default 4096).
+	CapPerSM int
+
+	shards []traceShard
+	// launchEvents holds the SM=-1 launch-start/end events, which the
+	// scheduler emits from the single launching goroutine.
+	launchEvents []simt.TraceEvent
+}
+
+type traceShard struct {
+	events  []sampledEvent
+	next    int
+	filled  bool
+	seen    int64 // TraceInstr events observed (sampled or not)
+	kept    int64 // events written into the ring
+	sampled int64 // TraceInstr events kept
+	seq     int64 // per-SM arrival sequence of kept events
+	// padding to keep adjacent shards off one cache line
+	_ [4]int64
+}
+
+// sampledEvent carries an event plus its per-SM arrival sequence, the
+// tie-breaker that makes the merged order total.
+type sampledEvent struct {
+	simt.TraceEvent
+	// Seq is the event's per-SM arrival index (over kept events).
+	Seq int64
+}
+
+// NewSamplingTracer returns a tracer with numSMs shards.
+func NewSamplingTracer(numSMs int, every int64, capPerSM int) *SamplingTracer {
+	if numSMs < 1 {
+		numSMs = 1
+	}
+	t := &SamplingTracer{Every: every, CapPerSM: capPerSM}
+	t.shards = make([]traceShard, numSMs)
+	return t
+}
+
+// ParallelSafe implements simt.ParallelTracer: events for different SMs may
+// arrive concurrently.
+func (t *SamplingTracer) ParallelSafe() bool { return true }
+
+// Event implements simt.Tracer.
+func (t *SamplingTracer) Event(e simt.TraceEvent) {
+	if e.SM < 0 || e.SM >= len(t.shards) {
+		// Launch start/end: emitted before goroutines fan out / after they
+		// join, so plain appends are race-free.
+		t.launchEvents = append(t.launchEvents, e)
+		return
+	}
+	s := &t.shards[e.SM]
+	if e.Kind == simt.TraceInstr {
+		s.seen++
+		every := t.Every
+		if every <= 0 {
+			every = 64
+		}
+		if (s.seen-1)%every != 0 {
+			return
+		}
+		s.sampled++
+	}
+	if s.events == nil {
+		c := t.CapPerSM
+		if c <= 0 {
+			c = 4096
+		}
+		s.events = make([]sampledEvent, c)
+	}
+	s.events[s.next] = sampledEvent{TraceEvent: e, Seq: s.seq}
+	s.seq++
+	s.kept++
+	s.next++
+	if s.next == len(s.events) {
+		s.next = 0
+		s.filled = true
+	}
+}
+
+// InstrSeen returns how many TraceInstr events were observed across SMs
+// (before sampling).
+func (t *SamplingTracer) InstrSeen() int64 {
+	var n int64
+	for i := range t.shards {
+		n += t.shards[i].seen
+	}
+	return n
+}
+
+// InstrSampled returns how many TraceInstr events passed the sampler.
+func (t *SamplingTracer) InstrSampled() int64 {
+	var n int64
+	for i := range t.shards {
+		n += t.shards[i].sampled
+	}
+	return n
+}
+
+// Kept returns how many events were written to rings (sampled TraceInstr
+// plus structural events), including any later evicted.
+func (t *SamplingTracer) Kept() int64 {
+	n := int64(len(t.launchEvents))
+	for i := range t.shards {
+		n += t.shards[i].kept
+	}
+	return n
+}
+
+// Events returns the retained events in the canonical merged order: launch
+// events first/last by kind, per-SM events stable-sorted by
+// (Cycle, SM, per-SM sequence). The result is bit-identical across runs and
+// ParallelSMs settings for a deterministic launch.
+func (t *SamplingTracer) Events() []simt.TraceEvent {
+	var merged []sampledEvent
+	for i := range t.shards {
+		s := &t.shards[i]
+		if s.events == nil {
+			continue
+		}
+		if s.filled {
+			merged = append(merged, s.events[s.next:]...)
+		}
+		merged = append(merged, s.events[:s.next]...)
+	}
+	sort.SliceStable(merged, func(i, j int) bool {
+		a, b := &merged[i], &merged[j]
+		if a.Cycle != b.Cycle {
+			return a.Cycle < b.Cycle
+		}
+		if a.SM != b.SM {
+			return a.SM < b.SM
+		}
+		return a.Seq < b.Seq
+	})
+	out := make([]simt.TraceEvent, 0, len(merged)+len(t.launchEvents))
+	// Launch-start events (and any other SM=-1 prologue) lead; launch-end
+	// trails — preserving the scheduler's emission order for them.
+	for _, e := range t.launchEvents {
+		if e.Kind != simt.TraceLaunchEnd {
+			out = append(out, e)
+		}
+	}
+	for _, e := range merged {
+		out = append(out, e.TraceEvent)
+	}
+	for _, e := range t.launchEvents {
+		if e.Kind == simt.TraceLaunchEnd {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Reset clears all shards for reuse across launches.
+func (t *SamplingTracer) Reset() {
+	for i := range t.shards {
+		t.shards[i] = traceShard{}
+	}
+	t.launchEvents = nil
+}

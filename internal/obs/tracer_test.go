@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+
+	"maxwarp/internal/simt"
+)
+
+func instrEvent(sm int, cycle int64) simt.TraceEvent {
+	return simt.TraceEvent{Kind: simt.TraceInstr, SM: sm, Cycle: cycle, Class: "alu", Warp: 0}
+}
+
+func TestSamplingCadencePerSM(t *testing.T) {
+	tr := NewSamplingTracer(2, 4, 64)
+	for i := int64(0); i < 40; i++ {
+		tr.Event(instrEvent(0, i))
+	}
+	for i := int64(0); i < 7; i++ {
+		tr.Event(instrEvent(1, i))
+	}
+	if got := tr.InstrSeen(); got != 47 {
+		t.Fatalf("InstrSeen = %d, want 47", got)
+	}
+	// SM0: instructions 0,4,8,...,36 -> 10. SM1: 0,4 -> 2.
+	if got := tr.InstrSampled(); got != 12 {
+		t.Fatalf("InstrSampled = %d, want 12", got)
+	}
+	// The sampler is a per-SM modulus, not a shared one: both SMs keep their
+	// first instruction regardless of arrival interleaving.
+	events := tr.Events()
+	bySM := map[int]int64{}
+	for _, e := range events {
+		if _, ok := bySM[e.SM]; !ok {
+			bySM[e.SM] = e.Cycle
+		}
+	}
+	if bySM[0] != 0 || bySM[1] != 0 {
+		t.Fatalf("first sampled cycle per SM = %v, want 0 for both", bySM)
+	}
+}
+
+func TestStructuralEventsBypassSampler(t *testing.T) {
+	tr := NewSamplingTracer(1, 1000, 64)
+	tr.Event(instrEvent(0, 1))
+	tr.Event(instrEvent(0, 2)) // dropped by sampler
+	tr.Event(simt.TraceEvent{Kind: simt.TraceBarrierRelease, SM: 0, Cycle: 3, Warp: -1})
+	tr.Event(simt.TraceEvent{Kind: simt.TraceWarpDone, SM: 0, Cycle: 4})
+	kinds := []simt.TraceKind{}
+	for _, e := range tr.Events() {
+		kinds = append(kinds, e.Kind)
+	}
+	want := []simt.TraceKind{simt.TraceInstr, simt.TraceBarrierRelease, simt.TraceWarpDone}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Fatalf("kinds = %v, want %v", kinds, want)
+	}
+}
+
+func TestRingEvictsOldestPerSM(t *testing.T) {
+	tr := NewSamplingTracer(1, 1, 4)
+	for i := int64(0); i < 10; i++ {
+		tr.Event(instrEvent(0, i))
+	}
+	events := tr.Events()
+	if len(events) != 4 {
+		t.Fatalf("retained %d events, want 4", len(events))
+	}
+	for i, e := range events {
+		if want := int64(6 + i); e.Cycle != want {
+			t.Fatalf("event %d cycle = %d, want %d (last 4 retained in order)", i, e.Cycle, want)
+		}
+	}
+	if got := tr.Kept(); got != 10 {
+		t.Fatalf("Kept = %d, want 10 (counts evicted writes too)", got)
+	}
+}
+
+func TestEventsMergeOrderIsCanonical(t *testing.T) {
+	// Feed two SMs with interleaved arrival but overlapping cycles: merged
+	// order must be (Cycle, SM, seq), independent of arrival order.
+	build := func(arrival []simt.TraceEvent) []simt.TraceEvent {
+		tr := NewSamplingTracer(2, 1, 16)
+		for _, e := range arrival {
+			tr.Event(e)
+		}
+		return tr.Events()
+	}
+	a := []simt.TraceEvent{instrEvent(0, 5), instrEvent(1, 3), instrEvent(0, 7), instrEvent(1, 5)}
+	b := []simt.TraceEvent{instrEvent(1, 3), instrEvent(1, 5), instrEvent(0, 5), instrEvent(0, 7)}
+	if !reflect.DeepEqual(build(a), build(b)) {
+		t.Fatal("merged order depends on cross-SM arrival interleaving")
+	}
+	got := build(a)
+	wantCycles := []int64{3, 5, 5, 7}
+	wantSMs := []int{1, 0, 1, 0}
+	for i, e := range got {
+		if e.Cycle != wantCycles[i] || e.SM != wantSMs[i] {
+			t.Fatalf("event %d = (cycle %d, sm %d), want (%d, %d)",
+				i, e.Cycle, e.SM, wantCycles[i], wantSMs[i])
+		}
+	}
+}
+
+func TestLaunchEventsLeadAndTrail(t *testing.T) {
+	tr := NewSamplingTracer(1, 1, 16)
+	tr.Event(simt.TraceEvent{Kind: simt.TraceLaunchStart, SM: -1, Cycle: 0})
+	tr.Event(instrEvent(0, 1))
+	tr.Event(simt.TraceEvent{Kind: simt.TraceLaunchEnd, SM: -1, Cycle: 2})
+	events := tr.Events()
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	if events[0].Kind != simt.TraceLaunchStart || events[2].Kind != simt.TraceLaunchEnd {
+		t.Fatalf("launch events misplaced: %v", events)
+	}
+}
+
+func TestTracerReset(t *testing.T) {
+	tr := NewSamplingTracer(1, 1, 16)
+	tr.Event(simt.TraceEvent{Kind: simt.TraceLaunchStart, SM: -1})
+	tr.Event(instrEvent(0, 1))
+	tr.Reset()
+	if n := len(tr.Events()); n != 0 {
+		t.Fatalf("after Reset, %d events retained", n)
+	}
+	if tr.InstrSeen() != 0 || tr.Kept() != 0 {
+		t.Fatal("after Reset, counters nonzero")
+	}
+}

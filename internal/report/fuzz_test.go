@@ -1,0 +1,88 @@
+package report
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzPromTextRoundTrip checks the render→parse→render fixed point: any text
+// our parser accepts must re-render to a form that parses to the same
+// families and renders identically from then on. NaN values make Sample
+// structs incomparable with reflect.DeepEqual, so equality is asserted on
+// the rendered text (which is also what downstream scrapers consume).
+func FuzzPromTextRoundTrip(f *testing.F) {
+	seed, err := PromText([]MetricFamily{
+		{
+			Name: "maxwarp_cycles_total", Help: "total cycles", Type: "counter",
+			Samples: []Sample{{Value: 12345}},
+		},
+		{
+			Name: "maxwarp_frontier_vertices_total", Help: "per-SM frontier \\ \"counts\"\nsecond line", Type: "counter",
+			Samples: []Sample{
+				{Labels: []Label{{Name: "sm", Value: "0"}}, Value: 7},
+				{Labels: []Label{{Name: "sm", Value: "wei\\rd\"\nvalue"}}, Value: 8.25},
+			},
+		},
+		{
+			Name: "maxwarp_instr_latency_cycles", Type: "histogram",
+			Samples: []Sample{
+				{Labels: []Label{{Name: "le", Value: "1"}}, Value: 3},
+				{Labels: []Label{{Name: "le", Value: "+Inf"}}, Value: 9},
+			},
+		},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add("up 1\n")
+	f.Add("# TYPE a gauge\na{x=\"\\\\\\n\\\"\"} -0.5\n")
+	f.Add("a 1e300\nb NaN\nc +Inf\n")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		fams, err := ParsePromText(text)
+		if err != nil {
+			return // rejected input: nothing to round-trip
+		}
+		first, err := PromText(fams)
+		if err != nil {
+			// The parser accepted something the renderer refuses: parsed
+			// output must always be renderable.
+			t.Fatalf("parsed text does not re-render: %v\ninput: %q", err, text)
+		}
+		fams2, err := ParsePromText(first)
+		if err != nil {
+			t.Fatalf("rendered text does not re-parse: %v\nrendered: %q", err, first)
+		}
+		second, err := PromText(fams2)
+		if err != nil {
+			t.Fatalf("re-parsed families do not re-render: %v", err)
+		}
+		if first != second {
+			t.Fatalf("render/parse is not a fixed point:\nfirst:  %q\nsecond: %q", first, second)
+		}
+	})
+}
+
+// TestPromTextRoundTripPreservesFamilies is the deterministic companion: for
+// NaN-free documents the parsed families must match structurally, not just
+// textually.
+func TestPromTextRoundTripPreservesFamilies(t *testing.T) {
+	fams := []MetricFamily{
+		{Name: "a_total", Help: "with\nnewline and back\\slash", Type: "counter",
+			Samples: []Sample{{Value: 1}, {Labels: []Label{{Name: "k", Value: "v w"}}, Value: 2}}},
+		{Name: "b", Type: "gauge",
+			Samples: []Sample{{Labels: []Label{{Name: "q", Value: "a\"b\\c\nd"}}, Value: -7.5}}},
+	}
+	text, err := PromText(fams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParsePromText(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, fams) {
+		t.Fatalf("round trip changed families:\n got: %+v\nwant: %+v", got, fams)
+	}
+}

@@ -1,0 +1,323 @@
+package report
+
+// Prometheus-style text exposition for the observability layer: a tiny,
+// dependency-free subset of the text format (# HELP / # TYPE comments and
+// flat samples with optional labels). The renderer validates and escapes;
+// ParsePromText inverts it, so render→parse→render is a fixed point — the
+// property the fuzz target holds us to.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Label is one name="value" pair on a sample.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Sample is one metric sample: optional labels plus a float64 value.
+type Sample struct {
+	Labels []Label
+	Value  float64
+}
+
+// MetricFamily is one named metric with its help text, type, and samples.
+type MetricFamily struct {
+	Name string
+	Help string
+	// Type is the Prometheus metric type: "counter", "gauge", "histogram",
+	// "summary", or "untyped" (the default when empty).
+	Type    string
+	Samples []Sample
+}
+
+// CheckMetricName validates a metric name against the Prometheus grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func CheckMetricName(name string) error {
+	if name == "" {
+		return fmt.Errorf("report: empty metric name")
+	}
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return fmt.Errorf("report: invalid metric name %q (char %q at %d)", name, r, i)
+		}
+	}
+	return nil
+}
+
+// CheckLabelName validates a label name against [a-zA-Z_][a-zA-Z0-9_]*
+// (names starting with __ are reserved by Prometheus and rejected).
+func CheckLabelName(name string) error {
+	if name == "" {
+		return fmt.Errorf("report: empty label name")
+	}
+	if strings.HasPrefix(name, "__") {
+		return fmt.Errorf("report: reserved label name %q", name)
+	}
+	for i, r := range name {
+		ok := r == '_' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return fmt.Errorf("report: invalid label name %q (char %q at %d)", name, r, i)
+		}
+	}
+	return nil
+}
+
+var validTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true,
+}
+
+// escapeHelp escapes a HELP string (backslash and newline).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes a label value (backslash, double quote, newline).
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatValue renders a sample value the way Prometheus clients do.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// PromText renders metric families in the Prometheus text exposition format.
+// Families are rendered sorted by name; each family's samples keep their
+// order but their labels are rendered sorted by label name. Invalid metric or
+// label names are an error, not silent corruption.
+func PromText(fams []MetricFamily) (string, error) {
+	fams = append([]MetricFamily(nil), fams...)
+	sort.SliceStable(fams, func(i, j int) bool { return fams[i].Name < fams[j].Name })
+	var b strings.Builder
+	seen := make(map[string]bool)
+	for _, f := range fams {
+		if err := CheckMetricName(f.Name); err != nil {
+			return "", err
+		}
+		if seen[f.Name] {
+			return "", fmt.Errorf("report: duplicate metric family %q", f.Name)
+		}
+		seen[f.Name] = true
+		typ := f.Type
+		if typ == "" {
+			typ = "untyped"
+		}
+		if !validTypes[typ] {
+			return "", fmt.Errorf("report: metric %q has invalid type %q", f.Name, typ)
+		}
+		if f.Help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.Name, typ)
+		for _, s := range f.Samples {
+			b.WriteString(f.Name)
+			if len(s.Labels) > 0 {
+				labels := append([]Label(nil), s.Labels...)
+				sort.SliceStable(labels, func(i, j int) bool { return labels[i].Name < labels[j].Name })
+				b.WriteByte('{')
+				for i, l := range labels {
+					if err := CheckLabelName(l.Name); err != nil {
+						return "", err
+					}
+					if i > 0 {
+						b.WriteByte(',')
+					}
+					// Not %q: the value is already escaped, and Go quoting
+					// would escape the escapes (fuzz-found double escaping).
+					fmt.Fprintf(&b, "%s=\"%s\"", l.Name, escapeLabelValue(l.Value))
+				}
+				b.WriteByte('}')
+			}
+			b.WriteByte(' ')
+			b.WriteString(formatValue(s.Value))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String(), nil
+}
+
+// ParsePromText parses text produced by PromText back into metric families.
+// It accepts the subset PromText emits: # HELP / # TYPE comments and sample
+// lines with optional sorted labels. Unknown comment lines are skipped;
+// malformed sample lines are an error.
+func ParsePromText(text string) ([]MetricFamily, error) {
+	var fams []MetricFamily
+	byName := make(map[string]*MetricFamily)
+	family := func(name string) *MetricFamily {
+		if f, ok := byName[name]; ok {
+			return f
+		}
+		fams = append(fams, MetricFamily{Name: name})
+		f := &fams[len(fams)-1]
+		byName[name] = f
+		return f
+	}
+	for lineNo, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest, kind := "", ""
+			switch {
+			case strings.HasPrefix(line, "# HELP "):
+				rest, kind = line[len("# HELP "):], "help"
+			case strings.HasPrefix(line, "# TYPE "):
+				rest, kind = line[len("# TYPE "):], "type"
+			default:
+				continue // other comments are legal and ignored
+			}
+			name, val, ok := strings.Cut(rest, " ")
+			if !ok && kind == "help" {
+				name, val = rest, ""
+			}
+			if err := CheckMetricName(name); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+			}
+			f := family(name)
+			if kind == "help" {
+				f.Help = unescapeHelp(val)
+			} else {
+				if !validTypes[val] {
+					return nil, fmt.Errorf("line %d: invalid type %q", lineNo+1, val)
+				}
+				f.Type = val
+			}
+			continue
+		}
+		name, sample, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+		f := family(name)
+		f.Samples = append(f.Samples, sample)
+	}
+	// Match the renderer's defaults and ordering so round-trips are stable.
+	for i := range fams {
+		if fams[i].Type == "" {
+			fams[i].Type = "untyped"
+		}
+	}
+	sort.SliceStable(fams, func(i, j int) bool { return fams[i].Name < fams[j].Name })
+	return fams, nil
+}
+
+func unescapeHelp(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case 'n':
+				b.WriteByte('\n')
+				i++
+				continue
+			case '\\':
+				b.WriteByte('\\')
+				i++
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+func parseSampleLine(line string) (string, Sample, error) {
+	var s Sample
+	rest := line
+	// Metric name runs until '{' or ' '.
+	end := strings.IndexAny(rest, "{ ")
+	if end < 0 {
+		return "", s, fmt.Errorf("report: sample line without value: %q", line)
+	}
+	name := rest[:end]
+	if err := CheckMetricName(name); err != nil {
+		return "", s, err
+	}
+	rest = rest[end:]
+	if rest[0] == '{' {
+		rest = rest[1:]
+		for {
+			if rest == "" {
+				return "", s, fmt.Errorf("report: unterminated label set: %q", line)
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 {
+				return "", s, fmt.Errorf("report: malformed label in %q", line)
+			}
+			lname := rest[:eq]
+			if err := CheckLabelName(lname); err != nil {
+				return "", s, err
+			}
+			rest = rest[eq+1:]
+			if rest == "" || rest[0] != '"' {
+				return "", s, fmt.Errorf("report: unquoted label value in %q", line)
+			}
+			lval, remain, err := parseQuoted(rest)
+			if err != nil {
+				return "", s, err
+			}
+			s.Labels = append(s.Labels, Label{Name: lname, Value: lval})
+			rest = remain
+			if rest != "" && rest[0] == ',' {
+				rest = rest[1:]
+			}
+		}
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return "", s, fmt.Errorf("report: bad sample value in %q: %w", line, err)
+	}
+	s.Value = v
+	return name, s, nil
+}
+
+// parseQuoted consumes a double-quoted, backslash-escaped string at the
+// start of s, returning the value and the unconsumed remainder.
+func parseQuoted(s string) (string, string, error) {
+	if s == "" || s[0] != '"' {
+		return "", "", fmt.Errorf("report: expected quoted string")
+	}
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("report: dangling escape in %q", s)
+			}
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case '\\', '"':
+				b.WriteByte(s[i])
+			default:
+				// Prometheus treats unknown escapes literally.
+				b.WriteByte('\\')
+				b.WriteByte(s[i])
+			}
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("report: unterminated quoted string in %q", s)
+}

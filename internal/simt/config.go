@@ -80,8 +80,9 @@ type Config struct {
 	// global-memory atomics and block admission (the Go runtime multiplexes
 	// the SM goroutines onto the available cores). Zero defaults to
 	// runtime.NumCPU(). Results and stats are bit-identical across all
-	// settings; launches that attach a tracer, a fault-injection plan, or an
-	// OnProgress callback fall back to the sequential loop (recorded in
+	// settings; launches that attach a non-parallel-safe tracer (see
+	// ParallelTracer), a fault-injection plan, or an OnProgress callback fall
+	// back to the sequential loop (recorded in
 	// LaunchStats.SequentialFallback).
 	ParallelSMs int
 

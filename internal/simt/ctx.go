@@ -98,6 +98,11 @@ func (c *WarpCtx) BlockID() int { return c.w.blockID }
 // WarpInBlock returns this warp's index within its block.
 func (c *WarpCtx) WarpInBlock() int { return c.w.warpInBlock }
 
+// SMID returns the id of the SM this warp is resident on. The block→SM
+// assignment is deterministic (identical across ParallelSMs settings), so
+// per-SM sharded host-side accounting keyed on it is deterministic too.
+func (c *WarpCtx) SMID() int { return c.w.sm.id }
+
 // GlobalWarpID returns this warp's grid-wide index.
 func (c *WarpCtx) GlobalWarpID() int { return c.w.globalID }
 

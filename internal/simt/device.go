@@ -31,6 +31,14 @@ type Device struct {
 
 	// fallbackWarned dedupes the sequential-fallback log line per reason.
 	fallbackWarned map[string]bool
+
+	// profiling enables per-launch histograms (LaunchStats.Profile) on every
+	// launch; see SetProfiling.
+	profiling bool
+	// totals accumulates device-lifetime counters across launches (counter
+	// fields plus Cycles; the per-warp vectors are per-launch only).
+	totals   LaunchStats
+	launches int64
 }
 
 // warnSequentialFallback logs, once per reason per device, that a
@@ -68,6 +76,36 @@ func MustNewDevice(cfg Config) *Device {
 
 // Config returns the device configuration.
 func (d *Device) Config() Config { return d.cfg }
+
+// SetProfiling enables (or disables) per-launch cycle/latency histograms for
+// subsequent launches: their LaunchStats.Profile is populated, at the cost of
+// a few histogram updates per instruction. Equivalent to passing
+// LaunchOpts.Profile on every launch.
+func (d *Device) SetProfiling(on bool) { d.profiling = on }
+
+// Totals returns the device-lifetime accumulation of launch counters: every
+// LaunchStats counter field plus Cycles summed across launches (successful or
+// partial). The per-launch vectors (WarpBusy, SMFinish) are not accumulated.
+func (d *Device) Totals() LaunchStats {
+	t := d.totals
+	if t.Profile != nil {
+		t.Profile = t.Profile.Clone()
+	}
+	return t
+}
+
+// LaunchCount returns how many launches the device has executed.
+func (d *Device) LaunchCount() int64 { return d.launches }
+
+// noteLaunch folds one launch's stats into the device-lifetime totals.
+func (d *Device) noteLaunch(stats *LaunchStats) {
+	d.launches++
+	d.totals.addCounters(stats)
+	d.totals.Cycles += stats.Cycles
+	if d.totals.WarpWidth == 0 {
+		d.totals.WarpWidth = stats.WarpWidth
+	}
+}
 
 // AllocI32 allocates a zeroed device buffer of n int32 elements.
 func (d *Device) AllocI32(name string, n int) *BufI32 {
@@ -117,6 +155,9 @@ type LaunchOpts struct {
 	OnProgress func(cycle int64) error
 	// ProgressEvery is the OnProgress period in cycles (default 65536).
 	ProgressEvery int64
+	// Profile enables the per-launch cycle/latency histograms for this launch
+	// (LaunchStats.Profile); see also Device.SetProfiling.
+	Profile bool
 }
 
 // Launch runs kernel over the grid described by lc and returns the launch
@@ -150,6 +191,9 @@ func (d *Device) LaunchWith(lc LaunchConfig, opts LaunchOpts, kernel Kernel) (*L
 	stats, err := l.run()
 	if d.faults != nil && stats != nil {
 		d.faults.cycles += stats.Cycles
+	}
+	if stats != nil {
+		d.noteLaunch(stats)
 	}
 	return stats, err
 }

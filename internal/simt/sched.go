@@ -206,11 +206,13 @@ func (l *launch) execMode() (int, string) {
 		return 1, ""
 	}
 	// These features observe mid-launch state in ways that are only
-	// meaningful under the single sequential clock: a tracer wants one
-	// globally ordered event stream, fault injection aborts at an exact
-	// cycle, and OnProgress reports a single advancing clock.
+	// meaningful under the single sequential clock: a full-fidelity tracer
+	// wants one globally ordered event stream, fault injection aborts at an
+	// exact cycle, and OnProgress reports a single advancing clock. A tracer
+	// that declares itself parallel-safe (ParallelTracer) shards its state by
+	// SM and keeps the fast path.
 	switch {
-	case l.dev.tracer != nil:
+	case l.dev.tracer != nil && !tracerParallelSafe(l.dev.tracer):
 		return 1, "tracer"
 	case l.inj != nil:
 		return 1, "fault-injection"
@@ -235,6 +237,11 @@ func (l *launch) run() (*LaunchStats, error) {
 	l.stats.SequentialFallback = fallback
 	if fallback != "" {
 		l.dev.warnSequentialFallback(fallback)
+	}
+	if l.dev.profiling || l.opts.Profile {
+		for _, sm := range l.sms {
+			sm.stats.Profile = &LaunchProfile{}
+		}
 	}
 	l.initShadows()
 	l.trace(TraceEvent{Kind: TraceLaunchStart, Warp: -1, Block: -1, SM: -1})
@@ -501,6 +508,9 @@ func (l *launch) stepSM(sm *smRT) {
 	if w.readyAt > sm.clock {
 		if hadOthers || w.started {
 			sm.stats.StallCycles += w.readyAt - sm.clock
+			if p := sm.stats.Profile; p != nil {
+				p.StallWait.Observe(w.readyAt - sm.clock)
+			}
 		}
 		sm.clock = w.readyAt
 	}
@@ -555,6 +565,12 @@ func (l *launch) apply(sm *smRT, w *warpRT, r request) {
 			Class: classString(r.class), Issue: r.issue, Latency: r.latency, Txns: r.txns,
 		})
 	}
+	if p := sm.stats.Profile; p != nil && r.class != opDone {
+		p.InstrLatency.Observe(r.latency)
+		if r.class == opMem || r.class == opAtomic {
+			p.MemTxns.Observe(r.txns)
+		}
+	}
 	switch r.class {
 	case opALU, opShared:
 		sm.clock += r.issue
@@ -585,6 +601,9 @@ func (l *launch) apply(sm *smRT, w *warpRT, r request) {
 		w.done = true
 		w.readyAt = neverReady
 		l.trace(TraceEvent{Kind: TraceWarpDone, Cycle: sm.clock, SM: sm.id, Block: w.blockID, Warp: w.globalID})
+		if p := sm.stats.Profile; p != nil {
+			p.WarpBusy.Observe(w.busy)
+		}
 		l.stats.WarpBusy[w.globalID] = w.busy
 		b := w.block
 		b.liveWarps--
@@ -620,7 +639,7 @@ func (l *launch) maybeReleaseBarrier(sm *smRT, b *blockRT) {
 			w.readyAt = b.barrierLatest + 1
 		}
 	}
-	l.trace(TraceEvent{Kind: TraceBarrierRelease, Cycle: b.barrierLatest, Block: b.id, Warp: -1})
+	l.trace(TraceEvent{Kind: TraceBarrierRelease, Cycle: b.barrierLatest, SM: sm.id, Block: b.id, Warp: -1})
 	b.inBarrier = 0
 	b.barrierLatest = 0
 	sm.stats.Barriers++

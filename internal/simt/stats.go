@@ -78,13 +78,18 @@ type LaunchStats struct {
 	// utilizations stay exact because they divide by LaneSlots.
 	WarpWidth int
 
+	// Profile holds the optional per-launch histograms (nil unless profiling
+	// was enabled via Device.SetProfiling or LaunchOpts.Profile).
+	Profile *LaunchProfile
+
 	// ParallelSMs records the host execution mode the launch actually used
 	// (1 = sequential event loop, >1 = per-SM goroutines). Informational;
-	// Add keeps the receiver's value.
+	// Add adopts the first non-zero value, so multi-launch algorithm totals
+	// report the mode their launches ran under.
 	ParallelSMs int
 	// SequentialFallback names the reason a ParallelSMs>1 launch was forced
 	// onto the sequential loop ("tracer", "fault-injection", "on-progress"),
-	// or is empty. Informational; Add keeps the receiver's value.
+	// or is empty. Informational; Add adopts the first non-empty value.
 	SequentialFallback string
 }
 
@@ -232,6 +237,25 @@ func (s *LaunchStats) Add(other *LaunchStats) {
 	if s.WarpWidth == 0 {
 		s.WarpWidth = other.WarpWidth
 	}
+	if s.ParallelSMs == 0 {
+		s.ParallelSMs = other.ParallelSMs
+	}
+	if s.SequentialFallback == "" {
+		s.SequentialFallback = other.SequentialFallback
+	}
+	s.mergeProfile(other.Profile)
+}
+
+// mergeProfile folds another launch's histograms into s, allocating the
+// receiver's profile on first use so unprofiled launches stay nil.
+func (s *LaunchStats) mergeProfile(o *LaunchProfile) {
+	if o == nil {
+		return
+	}
+	if s.Profile == nil {
+		s.Profile = &LaunchProfile{}
+	}
+	s.Profile.add(o)
 }
 
 // addCounters folds a per-SM shard's counters into the merged launch stats.
@@ -257,6 +281,7 @@ func (s *LaunchStats) addCounters(o *LaunchStats) {
 	s.Barriers += o.Barriers
 	s.WarpsLaunched += o.WarpsLaunched
 	s.BlocksLaunched += o.BlocksLaunched
+	s.mergeProfile(o.Profile)
 }
 
 // String renders the headline counters on one line.

@@ -62,8 +62,33 @@ type TraceEvent struct {
 
 // Tracer receives events during a launch. Implementations must not call
 // back into the Device.
+//
+// A plain Tracer receives events from a single goroutine: attaching one to a
+// ParallelSMs>1 device forces the launch onto the sequential event loop
+// (recorded in LaunchStats.SequentialFallback). A tracer that additionally
+// implements ParallelTracer and reports ParallelSafe() == true keeps the
+// parallel fast path; its Event method is then called concurrently from one
+// goroutine per SM and must shard its state by TraceEvent.SM (see
+// obs.SamplingTracer).
 type Tracer interface {
 	Event(TraceEvent)
+}
+
+// ParallelTracer marks a Tracer whose Event method is safe to call
+// concurrently from per-SM host goroutines. Per-SM event streams are
+// bit-identical across host modes, so a sharding tracer can still produce
+// deterministic output.
+type ParallelTracer interface {
+	Tracer
+	// ParallelSafe reports whether this tracer instance may receive events
+	// concurrently (one calling goroutine per SM).
+	ParallelSafe() bool
+}
+
+// tracerParallelSafe reports whether t opts out of the sequential fallback.
+func tracerParallelSafe(t Tracer) bool {
+	p, ok := t.(ParallelTracer)
+	return ok && p.ParallelSafe()
 }
 
 // SetTracer installs (or with nil removes) the device's tracer. It applies

@@ -1,0 +1,102 @@
+package traceview
+
+// Chrome trace_event JSON export: renders a simt trace as a timeline that
+// chrome://tracing / Perfetto can open, with each SM as a thread row.
+// Every TraceEvent field rides along in args, so ParseChromeTrace recovers
+// the original event stream losslessly — the round-trip property the fuzz
+// target checks.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"maxwarp/internal/simt"
+)
+
+// chromeArgs carries the full simt.TraceEvent through the viewer format.
+type chromeArgs struct {
+	Kind    int    `json:"kind"`
+	Cycle   int64  `json:"cycle"`
+	SM      int    `json:"sm"`
+	Block   int    `json:"block"`
+	Warp    int    `json:"warp"`
+	Class   string `json:"class,omitempty"`
+	Issue   int64  `json:"issue,omitempty"`
+	Latency int64  `json:"latency,omitempty"`
+	Txns    int64  `json:"txns,omitempty"`
+}
+
+// chromeEvent is one trace_event record. We emit "X" (complete) events:
+// ts is the simulated cycle, dur the instruction's latency (min 1 so zero-
+// cost markers stay visible), tid the SM id.
+type chromeEvent struct {
+	Name string     `json:"name"`
+	Ph   string     `json:"ph"`
+	Ts   int64      `json:"ts"`
+	Dur  int64      `json:"dur"`
+	Pid  int        `json:"pid"`
+	Tid  int        `json:"tid"`
+	Args chromeArgs `json:"args"`
+}
+
+// chromeDoc is the JSON object format of the trace_event spec.
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeTrace renders events as Chrome trace_event JSON (object format).
+// Cycles map to microsecond ticks 1:1; each SM is a thread of pid 1
+// (SM -1 — launch-scoped events — renders as tid 0's markers).
+func ChromeTrace(events []simt.TraceEvent) ([]byte, error) {
+	doc := chromeDoc{TraceEvents: make([]chromeEvent, 0, len(events)), DisplayTimeUnit: "ns"}
+	for _, e := range events {
+		name := e.Kind.String()
+		if e.Kind == simt.TraceInstr && e.Class != "" {
+			name = e.Class
+		}
+		dur := e.Latency
+		if dur < 1 {
+			dur = 1
+		}
+		tid := e.SM
+		if tid < 0 {
+			tid = 0
+		}
+		ts := e.Cycle
+		if ts < 0 {
+			ts = 0
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: name, Ph: "X", Ts: ts, Dur: dur, Pid: 1, Tid: tid,
+			Args: chromeArgs{
+				Kind: int(e.Kind), Cycle: e.Cycle, SM: e.SM, Block: e.Block, Warp: e.Warp,
+				Class: e.Class, Issue: e.Issue, Latency: e.Latency, Txns: e.Txns,
+			},
+		})
+	}
+	return json.MarshalIndent(doc, "", " ")
+}
+
+// ParseChromeTrace inverts ChromeTrace: it reads the args payload of each
+// record back into a simt.TraceEvent. Records produced by other tools (no
+// args payload) decode as zero-valued events rather than erroring, but any
+// malformed JSON or an out-of-range event kind is an error.
+func ParseChromeTrace(data []byte) ([]simt.TraceEvent, error) {
+	var doc chromeDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("traceview: bad chrome trace: %w", err)
+	}
+	events := make([]simt.TraceEvent, 0, len(doc.TraceEvents))
+	for i, ce := range doc.TraceEvents {
+		a := ce.Args
+		if a.Kind < 0 || a.Kind > int(simt.TraceWarpDone) {
+			return nil, fmt.Errorf("traceview: record %d has invalid event kind %d", i, a.Kind)
+		}
+		events = append(events, simt.TraceEvent{
+			Kind: simt.TraceKind(a.Kind), Cycle: a.Cycle, SM: a.SM, Block: a.Block, Warp: a.Warp,
+			Class: a.Class, Issue: a.Issue, Latency: a.Latency, Txns: a.Txns,
+		})
+	}
+	return events, nil
+}

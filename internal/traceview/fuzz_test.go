@@ -1,0 +1,76 @@
+package traceview
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"maxwarp/internal/simt"
+)
+
+// FuzzChromeTraceRoundTrip checks the parse→render→parse fixed point on
+// arbitrary JSON: anything ParseChromeTrace accepts must re-render to a
+// document that parses to the same events and renders identically.
+func FuzzChromeTraceRoundTrip(f *testing.F) {
+	seed, err := ChromeTrace([]simt.TraceEvent{
+		{Kind: simt.TraceLaunchStart, SM: -1, Warp: -1, Block: -1},
+		{Kind: simt.TraceInstr, Cycle: 10, SM: 0, Block: 1, Warp: 2, Class: "mem", Issue: 1, Latency: 400, Txns: 7},
+		{Kind: simt.TraceBarrierRelease, Cycle: 25, SM: 1, Block: 3, Warp: -1},
+		{Kind: simt.TraceLaunchEnd, Cycle: 99, SM: -1, Warp: -1, Block: -1},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{"traceEvents":[],"displayTimeUnit":"ns"}`))
+	f.Add([]byte(`{"traceEvents":[{"name":"alu","ph":"X","ts":-5,"dur":0,"pid":1,"tid":-3,"args":{"kind":1,"cycle":-5,"sm":-3,"block":0,"warp":-9}}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := ParseChromeTrace(data)
+		if err != nil {
+			return
+		}
+		first, err := ChromeTrace(events)
+		if err != nil {
+			t.Fatalf("parsed events do not render: %v", err)
+		}
+		events2, err := ParseChromeTrace(first)
+		if err != nil {
+			t.Fatalf("rendered trace does not re-parse: %v\nrendered: %s", err, first)
+		}
+		if !reflect.DeepEqual(events, events2) {
+			t.Fatalf("round trip changed events:\n got: %+v\nwant: %+v", events2, events)
+		}
+		second, err := ChromeTrace(events2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatal("render/parse is not a fixed point")
+		}
+	})
+}
+
+// TestChromeTraceRoundTripFromEvents is the deterministic companion: every
+// TraceEvent field must survive the args payload losslessly.
+func TestChromeTraceRoundTripFromEvents(t *testing.T) {
+	in := []simt.TraceEvent{
+		{Kind: simt.TraceLaunchStart, SM: -1, Warp: -1, Block: -1},
+		{Kind: simt.TraceBlockStart, Cycle: 0, SM: 2, Block: 5, Warp: -1},
+		{Kind: simt.TraceInstr, Cycle: 3, SM: 0, Block: 0, Warp: 1, Class: "atomic", Issue: 2, Latency: 600, Txns: 3},
+		{Kind: simt.TraceInstr, Cycle: 4, SM: 3, Block: 2, Warp: 0, Class: "alu", Issue: 1, Latency: 1},
+		{Kind: simt.TraceWarpDone, Cycle: 8, SM: 1, Block: 1, Warp: 2},
+		{Kind: simt.TraceLaunchEnd, Cycle: 20, SM: -1, Warp: -1, Block: -1},
+	}
+	data, err := ChromeTrace(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseChromeTrace(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip changed events:\n got: %+v\nwant: %+v", out, in)
+	}
+}

@@ -45,9 +45,11 @@ import (
 	"maxwarp/internal/gengraph"
 	"maxwarp/internal/gpualgo"
 	"maxwarp/internal/graph"
+	"maxwarp/internal/obs"
 	"maxwarp/internal/report"
 	"maxwarp/internal/resilient"
 	"maxwarp/internal/simt"
+	"maxwarp/internal/traceview"
 )
 
 // Graph and edge types.
@@ -490,3 +492,43 @@ func Experiments() []Experiment { return bench.All() }
 
 // ExperimentByID looks up one experiment ("E1".."E10", "A1", "A2").
 func ExperimentByID(id string) (Experiment, error) { return bench.ByID(id) }
+
+// Observability: sharded counters, sampling tracer, and exporters (see
+// DESIGN.md §Observability).
+type (
+	// Metrics is a registry of per-SM sharded event counters; attach one
+	// via Options.Metrics to count traversal events without forcing the
+	// sequential fallback.
+	Metrics = obs.Metrics
+	// MetricCounter is one lock-free sharded counter in a Metrics registry.
+	MetricCounter = obs.Counter
+	// SamplingTracer is the parallel-safe bounded tracer (implements
+	// ParallelTracer, so ParallelSMs launches keep the fast path).
+	SamplingTracer = obs.SamplingTracer
+	// ParallelTracer marks a Tracer safe for concurrent per-SM delivery.
+	ParallelTracer = simt.ParallelTracer
+	// LaunchProfile holds the optional per-launch histograms (see
+	// Device.SetProfiling and LaunchStats.Profile).
+	LaunchProfile = simt.LaunchProfile
+	// MetricFamily is one named metric in the Prometheus text exposition.
+	MetricFamily = report.MetricFamily
+)
+
+// NewMetrics returns a counter registry sharded for numSMs SMs.
+func NewMetrics(numSMs int) *Metrics { return obs.NewMetrics(numSMs) }
+
+// NewSamplingTracer returns a parallel-safe tracer keeping 1-in-every
+// sampled instruction events per SM in rings of capPerSM events.
+func NewSamplingTracer(numSMs int, every int64, capPerSM int) *SamplingTracer {
+	return obs.NewSamplingTracer(numSMs, every, capPerSM)
+}
+
+// ExportPromText renders launch stats (plus optional registry counters) as
+// Prometheus text exposition.
+func ExportPromText(prefix string, stats *LaunchStats, m *Metrics, perSM bool) (string, error) {
+	return obs.ExportPromText(prefix, stats, m, perSM)
+}
+
+// ChromeTrace renders trace events as Chrome trace_event JSON (load in
+// chrome://tracing or Perfetto).
+func ChromeTrace(events []TraceEvent) ([]byte, error) { return traceview.ChromeTrace(events) }
