@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short vet race benchgate check fuzz
+.PHONY: build test short vet lint race benchgate check fuzz sanitize
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,23 @@ short:
 vet:
 	$(GO) vet ./...
 
+# Static kernel-discipline lint: the kernelcheck analyzers flag
+# nondeterminism inside kernels (math/rand, time, go statements, map
+# ranges), barriers under divergent control flow, Data() host-view aliasing
+# in device code, and loop-variable-capturing kernel closures that escape.
+# Shipped as a standalone driver rather than a `go vet -vettool` plugin
+# because the build environment is offline (no golang.org/x/tools); the
+# analyzers mirror the go/analysis shape, so a vettool port is mechanical.
+# Suppress a deliberate finding with `//kernelcheck:ignore <rule>`.
+lint:
+	$(GO) run ./cmd/kernelcheck ./...
+
+# Dynamic kernel sanitizer sweep: every kernel on a small skewed workload
+# under racecheck/memcheck/synccheck; exits non-zero on any error-severity
+# hazard.
+sanitize:
+	$(GO) run ./cmd/maxwarp sanitize -scale 8
+
 # The full gate: vet plus the entire suite — chaos tests and the
 # differential suite included — under the race detector.
 race:
@@ -30,7 +47,7 @@ race:
 benchgate:
 	$(GO) test ./internal/bench -run TestE4CyclesRegression -count=1
 
-check: vet race benchgate
+check: vet lint race benchgate
 
 # Short fuzz pass over the untrusted-input parsers and the observability
 # exporters' round-trip properties.

@@ -1,0 +1,119 @@
+// Command kernelcheck runs the repo's kernel-discipline analyzers (package
+// internal/kernelcheck) over Go source trees. It is the stand-in for a
+// `go vet -vettool` driver: the real go/analysis plumbing lives in
+// golang.org/x/tools, which this repo deliberately does not depend on, so a
+// small standalone driver walks, parses, and checks files itself.
+//
+// Usage:
+//
+//	kernelcheck [./... | dir | file.go]...
+//
+// With no arguments it checks ./... . Findings print as
+// file:line:col: message [rule] and the exit status is 1 when any survive
+// //kernelcheck:ignore suppression.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"maxwarp/internal/kernelcheck"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	files, err := collectFiles(args)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kernelcheck: %v\n", err)
+		os.Exit(2)
+	}
+	findings := 0
+	for _, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kernelcheck: %v\n", err)
+			os.Exit(2)
+		}
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kernelcheck: %v\n", err)
+			os.Exit(2)
+		}
+		for _, d := range kernelcheck.CheckFile(fset, file) {
+			fmt.Println(d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "kernelcheck: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// collectFiles expands the argument list into a sorted, de-duplicated set of
+// .go files. "dir/..." walks recursively; a plain directory takes only its
+// own files; a .go path is taken as-is. Hidden directories, testdata, and
+// vendor are skipped.
+func collectFiles(args []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(path string) {
+		if !seen[path] {
+			seen[path] = true
+			out = append(out, path)
+		}
+	}
+	for _, arg := range args {
+		switch {
+		case strings.HasSuffix(arg, "/..."):
+			root := strings.TrimSuffix(arg, "/...")
+			if root == "" {
+				root = "."
+			}
+			err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if d.IsDir() {
+					name := d.Name()
+					if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+						name == "testdata" || name == "vendor" || name == "bin") {
+						return filepath.SkipDir
+					}
+					return nil
+				}
+				if strings.HasSuffix(path, ".go") {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(arg, ".go"):
+			add(arg)
+		default:
+			entries, err := os.ReadDir(arg)
+			if err != nil {
+				return nil, err
+			}
+			for _, e := range entries {
+				if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+					add(filepath.Join(arg, e.Name()))
+				}
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

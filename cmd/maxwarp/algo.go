@@ -11,11 +11,37 @@ import (
 	"maxwarp/internal/xrand"
 )
 
+// algoNames lists every kernel runAlgoOnce can dispatch, in display order.
+var algoNames = []string{
+	"bfs", "bfsfrontier", "bfsdir", "sssp", "deltastep", "pagerank",
+	"cc", "scc", "nbrsum", "spmv", "triangles", "kcore", "mis",
+	"coloring", "bc", "closeness", "msbfs",
+}
+
+// algoRun summarizes one kernel run for the CLI printers.
+type algoRun struct {
+	stats  simt.LaunchStats
+	rounds int
+	note   string
+}
+
+// algoParams carries the per-kernel tuning knobs that only some kernels
+// read (seed for priorities/weights, k for kcore, iteration and sample
+// counts) so runAlgoOnce keeps one signature across all dispatch cases.
+type algoParams struct {
+	seed    uint64
+	coreK   int
+	iters   int
+	samples int
+	// edgeWeights lazily supplies weights for the SSSP variants.
+	edgeWeights func() []int32
+}
+
 // cmdAlgo runs any of the library's kernels once and prints its stats — the
 // generic sibling of the bfs subcommand.
 func cmdAlgo(args []string) error {
 	fs := flag.NewFlagSet("algo", flag.ContinueOnError)
-	name := fs.String("name", "bfs", "bfs | bfsfrontier | sssp | deltastep | pagerank | cc | scc | nbrsum | spmv | triangles | kcore | mis | coloring | bc")
+	name := fs.String("name", "bfs", "bfs | bfsfrontier | bfsdir | sssp | deltastep | pagerank | cc | scc | nbrsum | spmv | triangles | kcore | mis | coloring | bc | closeness | msbfs")
 	preset := fs.String("preset", "", "workload preset name (see 'maxwarp list')")
 	file := fs.String("graph", "", "graph file (.bin or edge list)")
 	scale := fs.Int("scale", 12, "log2 vertices for presets")
@@ -24,9 +50,11 @@ func cmdAlgo(args []string) error {
 	dynamic := fs.Bool("dynamic", false, "dynamic workload distribution")
 	coreK := fs.Int("corek", 2, "k for the kcore kernel")
 	iters := fs.Int("iters", 10, "iterations for pagerank")
+	samples := fs.Int("samples", 4, "landmark samples for closeness")
 	inject := fs.String("inject", "", "fault-injection spec (bfs, sssp, pagerank only): abort=N,bitflip=N,buffers=a|b,loss=N,seed=N,maxfaults=N")
 	retries := fs.Int("retries", 3, "per-iteration retry budget under -inject (min 1)")
 	parallel := fs.Int("parallel", 0, "host goroutines driving SMs (0 = one per CPU, 1 = sequential event loop)")
+	sanitized := fs.Bool("sanitize", false, "run under the kernel sanitizer and report hazards after the stats")
 	sinks := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -43,10 +71,12 @@ func cmdAlgo(args []string) error {
 	}
 	dcfg := simt.DefaultConfig()
 	dcfg.ParallelSMs = *parallel
+	dcfg.Sanitize = *sanitized
 	dev, err := simt.NewDevice(dcfg)
 	if err != nil {
 		return err
 	}
+	san := armSanitizer(dev, *sanitized)
 	sinks.arm(dev, 64, 4096)
 	opts := gpualgo.Options{K: *k, Dynamic: *dynamic, Metrics: sinks.metrics}
 	src := graph.LargestOutComponentSeed(g)
@@ -55,62 +85,92 @@ func cmdAlgo(args []string) error {
 		return runInjected(dev, g, *name, src, opts, *inject, *retries, *iters, edgeWeights, gname, *k, *dynamic)
 	}
 
-	var (
-		stats  simt.LaunchStats
-		rounds int
-		note   string
-	)
-	switch *name {
+	params := algoParams{seed: *seed, coreK: *coreK, iters: *iters, samples: *samples, edgeWeights: edgeWeights}
+	run, err := runAlgoOnce(dev, g, *name, src, opts, params)
+	if err != nil {
+		return err
+	}
+
+	cfg := dev.Config()
+	fmt.Printf("graph    %s (%s)\n", gname, graph.Stats(g))
+	fmt.Printf("kernel   %s  K=%d dynamic=%v  rounds=%d", *name, *k, *dynamic, run.rounds)
+	if run.note != "" {
+		fmt.Printf("  [%s]", run.note)
+	}
+	fmt.Println()
+	fmt.Printf("cycles   %d (%.3f ms at %.1f GHz)\n", run.stats.Cycles, run.stats.TimeMS(cfg.ClockGHz), cfg.ClockGHz)
+	fmt.Printf("stats    %s\n", run.stats.String())
+	if err := sinks.flush(&run.stats); err != nil {
+		return err
+	}
+	return reportSanitizer(san, false)
+}
+
+// runAlgoOnce dispatches one named kernel over g and returns its stats —
+// shared by the algo and sanitize subcommands. Kernels whose preconditions
+// demand an undirected simple graph (cc, triangles, kcore, mis, coloring)
+// get the symmetrized closure, exactly as their doc comments require.
+func runAlgoOnce(dev *simt.Device, g *graph.CSR, name string, src graph.VertexID, opts gpualgo.Options, p algoParams) (algoRun, error) {
+	var out algoRun
+	switch name {
 	case "bfs", "bfsfrontier":
 		dg := gpualgo.Upload(dev, g)
 		var res *gpualgo.BFSResult
-		if *name == "bfs" {
+		var err error
+		if name == "bfs" {
 			res, err = gpualgo.BFS(dev, dg, src, opts)
 		} else {
 			res, err = gpualgo.BFSFrontier(dev, dg, src, opts)
 		}
 		if err != nil {
-			return err
+			return out, err
 		}
-		stats, rounds = res.Stats, res.Iterations
-		note = fmt.Sprintf("depth %d", res.Depth)
-	case "sssp":
-		dg, err := gpualgo.UploadWeighted(dev, g, edgeWeights())
+		out.stats, out.rounds = res.Stats, res.Iterations
+		out.note = fmt.Sprintf("depth %d", res.Depth)
+	case "bfsdir":
+		res, err := gpualgo.BFSDirectionOpt(dev, g, src, gpualgo.DirOptions{Options: opts})
 		if err != nil {
-			return err
+			return out, err
+		}
+		out.stats, out.rounds = res.Stats, res.Iterations
+		out.note = fmt.Sprintf("depth %d", res.Depth)
+	case "sssp":
+		dg, err := gpualgo.UploadWeighted(dev, g, p.edgeWeights())
+		if err != nil {
+			return out, err
 		}
 		res, err := gpualgo.SSSP(dev, dg, src, opts)
 		if err != nil {
-			return err
+			return out, err
 		}
-		stats, rounds = res.Stats, res.Iterations
+		out.stats, out.rounds = res.Stats, res.Iterations
 	case "deltastep":
-		dg, err := gpualgo.UploadWeighted(dev, g, edgeWeights())
+		dg, err := gpualgo.UploadWeighted(dev, g, p.edgeWeights())
 		if err != nil {
-			return err
+			return out, err
 		}
 		res, err := gpualgo.DeltaStepping(dev, dg, src, gpualgo.DeltaSteppingOptions{Options: opts})
 		if err != nil {
-			return err
+			return out, err
 		}
-		stats, rounds = res.Stats, res.Iterations
+		out.stats, out.rounds = res.Stats, res.Iterations
 	case "pagerank":
-		res, err := gpualgo.PageRank(dev, g, gpualgo.PageRankOptions{Options: opts, Iterations: *iters})
+		res, err := gpualgo.PageRank(dev, g, gpualgo.PageRankOptions{Options: opts, Iterations: p.iters})
 		if err != nil {
-			return err
+			return out, err
 		}
-		stats, rounds = res.Stats, res.Iterations
+		out.stats, out.rounds = res.Stats, res.Iterations
 	case "cc":
 		sym, err := g.Symmetrize()
 		if err != nil {
-			return err
+			return out, err
 		}
 		dg := gpualgo.Upload(dev, sym)
 		res, err := gpualgo.ConnectedComponents(dev, dg, opts)
 		if err != nil {
-			return err
+			return out, err
 		}
-		stats, rounds = res.Stats, res.Iterations
+		out.stats, out.rounds = res.Stats, res.Iterations
 	case "nbrsum":
 		dg := gpualgo.Upload(dev, g)
 		values := make([]int32, g.NumVertices())
@@ -119,11 +179,11 @@ func cmdAlgo(args []string) error {
 		}
 		res, err := gpualgo.NeighborSum(dev, dg, values, opts)
 		if err != nil {
-			return err
+			return out, err
 		}
-		stats, rounds = res.Stats, res.Iterations
+		out.stats, out.rounds = res.Stats, res.Iterations
 	case "spmv":
-		r := xrand.New(*seed)
+		r := xrand.New(p.seed)
 		vals := make([]float32, g.NumEdges())
 		for i := range vals {
 			vals[i] = float32(r.Float64())
@@ -135,89 +195,94 @@ func cmdAlgo(args []string) error {
 		dg := gpualgo.Upload(dev, g)
 		res, err := gpualgo.SpMV(dev, dg, vals, x, opts)
 		if err != nil {
-			return err
+			return out, err
 		}
-		stats, rounds = res.Stats, res.Iterations
+		out.stats, out.rounds = res.Stats, res.Iterations
 	case "triangles":
 		sym, err := g.Symmetrize()
 		if err != nil {
-			return err
+			return out, err
 		}
 		res, err := gpualgo.TriangleCount(dev, sym, opts)
 		if err != nil {
-			return err
+			return out, err
 		}
-		stats, rounds = res.Stats, res.Iterations
-		note = fmt.Sprintf("%d triangles", res.Total)
+		out.stats, out.rounds = res.Stats, res.Iterations
+		out.note = fmt.Sprintf("%d triangles", res.Total)
 	case "kcore":
 		sym, err := g.Symmetrize()
 		if err != nil {
-			return err
+			return out, err
 		}
 		dg := gpualgo.Upload(dev, sym)
-		res, err := gpualgo.KCore(dev, dg, int32(*coreK), opts)
+		res, err := gpualgo.KCore(dev, dg, int32(p.coreK), opts)
 		if err != nil {
-			return err
+			return out, err
 		}
-		stats, rounds = res.Stats, res.Iterations
-		note = fmt.Sprintf("|%d-core| = %d", *coreK, res.Remaining)
+		out.stats, out.rounds = res.Stats, res.Iterations
+		out.note = fmt.Sprintf("|%d-core| = %d", p.coreK, res.Remaining)
 	case "mis":
 		sym, err := g.Symmetrize()
 		if err != nil {
-			return err
+			return out, err
 		}
 		dg := gpualgo.Upload(dev, sym)
-		res, err := gpualgo.MIS(dev, dg, *seed, opts)
+		res, err := gpualgo.MIS(dev, dg, p.seed, opts)
 		if err != nil {
-			return err
+			return out, err
 		}
-		stats, rounds = res.Stats, res.Iterations
-		note = fmt.Sprintf("|MIS| = %d", res.Size)
+		out.stats, out.rounds = res.Stats, res.Iterations
+		out.note = fmt.Sprintf("|MIS| = %d", res.Size)
 	case "coloring":
 		sym, err := g.Symmetrize()
 		if err != nil {
-			return err
+			return out, err
 		}
 		dg := gpualgo.Upload(dev, sym)
-		res, err := gpualgo.GraphColoring(dev, dg, *seed, opts)
+		res, err := gpualgo.GraphColoring(dev, dg, p.seed, opts)
 		if err != nil {
-			return err
+			return out, err
 		}
-		stats, rounds = res.Stats, res.Iterations
-		note = fmt.Sprintf("%d colors", res.NumColors)
+		out.stats, out.rounds = res.Stats, res.Iterations
+		out.note = fmt.Sprintf("%d colors", res.NumColors)
 	case "scc":
 		res, err := gpualgo.SCC(dev, g, opts)
 		if err != nil {
-			return err
+			return out, err
 		}
-		stats, rounds = res.Stats, res.Iterations
-		note = fmt.Sprintf("%d components, %d trimmed", res.Components, res.Trimmed)
+		out.stats, out.rounds = res.Stats, res.Iterations
+		out.note = fmt.Sprintf("%d components, %d trimmed", res.Components, res.Trimmed)
 	case "bc":
 		srcs := []graph.VertexID{src}
 		res, err := gpualgo.BetweennessCentrality(dev, g, srcs, opts)
 		if err != nil {
-			return err
+			return out, err
 		}
-		stats, rounds = res.Stats, res.Iterations
+		out.stats, out.rounds = res.Stats, res.Iterations
 		var top float32
 		for _, s := range res.Scores {
 			if s > top {
 				top = s
 			}
 		}
-		note = fmt.Sprintf("max score %.1f (1 source)", top)
+		out.note = fmt.Sprintf("max score %.1f (1 source)", top)
+	case "closeness":
+		res, err := gpualgo.ClosenessCentrality(dev, g, p.samples, p.seed, opts)
+		if err != nil {
+			return out, err
+		}
+		out.stats, out.rounds = res.Stats, res.Iterations
+		out.note = fmt.Sprintf("%d landmark samples", len(res.Sources))
+	case "msbfs":
+		dg := gpualgo.Upload(dev, g)
+		res, err := gpualgo.MSBFS(dev, dg, []graph.VertexID{src, 0}, opts)
+		if err != nil {
+			return out, err
+		}
+		out.stats, out.rounds = res.Stats, res.Iterations
+		out.note = "2 sources, bit-parallel"
 	default:
-		return fmt.Errorf("unknown kernel %q", *name)
+		return out, fmt.Errorf("unknown kernel %q", name)
 	}
-
-	cfg := dev.Config()
-	fmt.Printf("graph    %s (%s)\n", gname, graph.Stats(g))
-	fmt.Printf("kernel   %s  K=%d dynamic=%v  rounds=%d", *name, *k, *dynamic, rounds)
-	if note != "" {
-		fmt.Printf("  [%s]", note)
-	}
-	fmt.Println()
-	fmt.Printf("cycles   %d (%.3f ms at %.1f GHz)\n", stats.Cycles, stats.TimeMS(cfg.ClockGHz), cfg.ClockGHz)
-	fmt.Printf("stats    %s\n", stats.String())
-	return sinks.flush(&stats)
+	return out, nil
 }

@@ -49,6 +49,8 @@ func run(args []string) error {
 		return cmdBFS(args[1:])
 	case "algo":
 		return cmdAlgo(args[1:])
+	case "sanitize":
+		return cmdSanitize(args[1:])
 	case "trace":
 		return cmdTrace(args[1:])
 	case "profile":
@@ -76,6 +78,7 @@ subcommands:
   run    run experiments and print their tables
   bfs    run one BFS configuration and print its stats
   algo   run any kernel (sssp, pagerank, cc, spmv, triangles, kcore, mis, ...)
+  sanitize run kernels under the race/memcheck/synccheck sanitizer
   trace  run a traced BFS and print instruction mix + SM timeline
   profile run one kernel with sampled tracing + metrics (parallel-safe)
   verify cross-check every kernel against its CPU oracle
@@ -251,6 +254,7 @@ func cmdBFS(args []string) error {
 	inject := fs.String("inject", "", "fault-injection spec: abort=N,bitflip=N,buffers=a|b,loss=N,seed=N,maxfaults=N")
 	retries := fs.Int("retries", 3, "per-level retry budget under -inject (min 1)")
 	parallel := fs.Int("parallel", 0, "host goroutines driving SMs (0 = one per CPU, 1 = sequential event loop)")
+	sanitized := fs.Bool("sanitize", false, "run under the kernel sanitizer and report hazards after the stats")
 	sinks := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -265,10 +269,12 @@ func cmdBFS(args []string) error {
 	}
 	dcfg := simt.DefaultConfig()
 	dcfg.ParallelSMs = *parallel
+	dcfg.Sanitize = *sanitized
 	dev, err := simt.NewDevice(dcfg)
 	if err != nil {
 		return err
 	}
+	san := armSanitizer(dev, *sanitized)
 	sinks.arm(dev, 64, 4096)
 	opts := gpualgo.Options{
 		K: *k, Dynamic: *dynamic, Chunk: int32(*chunk), DeferThreshold: int32(*deferTh),
@@ -302,7 +308,7 @@ func cmdBFS(args []string) error {
 			fmt.Printf("cycles      %d  (%.3f ms at %.1f GHz)\n",
 				rres.GPU.Stats.Cycles, rres.GPU.Stats.TimeMS(cfg.ClockGHz), cfg.ClockGHz)
 		}
-		return nil
+		return reportSanitizer(san, false)
 	}
 	dg := gpualgo.Upload(dev, g)
 	res, err := gpualgo.BFS(dev, dg, source, opts)
@@ -327,7 +333,10 @@ func cmdBFS(args []string) error {
 		res.Stats.SIMDUtilization(), res.Stats.UsefulUtilization(), res.Stats.WarpImbalanceCV())
 	fmt.Printf("memory      %d txns (%.2f/op)   atomics %d (+%d serial)   deferred %d\n",
 		res.Stats.MemTxns, res.Stats.TxnsPerMemOp(), res.Stats.AtomicOps, res.Stats.AtomicSerial, res.Deferred)
-	return sinks.flush(&res.Stats)
+	if err := sinks.flush(&res.Stats); err != nil {
+		return err
+	}
+	return reportSanitizer(san, false)
 }
 
 func cmdInfo(args []string) error {

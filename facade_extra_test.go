@@ -282,3 +282,49 @@ func TestFacadeSCCAndCloseness(t *testing.T) {
 		}
 	}
 }
+
+// TestFacadeSanitizer runs BFS under the sanitizer through the public API:
+// the paper's benign same-value level race must surface as informational
+// only, with zero error-severity findings and unchanged simulated cycles.
+func TestFacadeSanitizer(t *testing.T) {
+	g, err := maxwarp.RMAT(8, 6, maxwarp.DefaultRMATParams, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(sanitized bool) (*maxwarp.BFSResult, *maxwarp.KernelSanitizer) {
+		cfg := maxwarp.DefaultDeviceConfig()
+		cfg.NumSMs = 4
+		cfg.Sanitize = sanitized
+		dev, err := maxwarp.NewDevice(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var san *maxwarp.KernelSanitizer
+		if sanitized {
+			san = maxwarp.NewKernelSanitizer()
+			dev.SetSanitizer(san)
+		}
+		dg, err := maxwarp.UploadGraph(dev, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := maxwarp.BFS(dev, dg, 0, maxwarp.Options{K: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, san
+	}
+	plain, _ := run(false)
+	checked, san := run(true)
+	if plain.Stats.Cycles != checked.Stats.Cycles {
+		t.Errorf("sanitizer changed simulated cycles: %d vs %d", plain.Stats.Cycles, checked.Stats.Cycles)
+	}
+	if errs := san.Errors(); len(errs) != 0 {
+		t.Errorf("BFS raised %d error-severity findings:\n%s", len(errs), san.Text())
+	}
+	for _, d := range san.Diagnostics() {
+		if d.Severity != maxwarp.SeverityInfo {
+			t.Errorf("unexpected severity %v for %s", d.Severity, d.String())
+		}
+	}
+}

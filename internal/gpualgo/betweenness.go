@@ -38,6 +38,9 @@ func BetweennessCentrality(d *simt.Device, g *graph.CSR, sources []graph.VertexI
 	sigma := d.AllocF32("bc.sigma", n)
 	delta := d.AllocF32("bc.delta", n)
 	bc := d.AllocF32("bc.scores", n)
+	// The backward pass accumulates bc[v] += delta[v] from the first source
+	// on — the initial zeros are load-bearing, so set them explicitly.
+	bc.Fill(0)
 	discovered := d.AllocI32("bc.discovered", 1)
 
 	res := &BCResult{}

@@ -10,6 +10,8 @@ import (
 	"maxwarp/internal/gengraph"
 	"maxwarp/internal/graph"
 	"maxwarp/internal/obs"
+	"maxwarp/internal/sanitize"
+	"maxwarp/internal/simt"
 )
 
 // The differential harness: every kernel variant runs against its cpualgo
@@ -204,6 +206,179 @@ func TestDifferentialKernelVariants(t *testing.T) {
 								alg.name, gr.name, v.name, modes[0], mode, perMode[modes[0]], perMode[mode])
 						}
 					}
+				}
+			}
+		})
+	}
+}
+
+// --- sanitizer sweep -------------------------------------------------------
+
+// sanitizedDevice is a sequential-mode device with the kernel sanitizer
+// attached: the dynamic racecheck/memcheck/synccheck side of the harness.
+func sanitizedDevice(t testing.TB) (*simt.Device, *sanitize.Sanitizer) {
+	t.Helper()
+	cfg := simt.DefaultConfig()
+	cfg.NumSMs = 4
+	cfg.MaxWarpsPerSM = 16
+	cfg.MaxBlocksPerSM = 4
+	cfg.MaxCycles = 50_000_000
+	cfg.ParallelSMs = 1
+	cfg.Sanitize = true
+	d, err := simt.NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sanitize.NewSanitizer()
+	d.SetSanitizer(s)
+	return d, s
+}
+
+// TestSanitizerKernelSweep runs every gpualgo algorithm — the full kernel
+// set, mirroring cmd/maxwarp's dispatch — under the sanitizer on small
+// graphs and requires zero Error-severity diagnostics. Benign Info findings
+// (the BFS same-value frontier race, frozen-snapshot stale reads) are
+// allowed; conflicting-value races, plain/atomic mixes, shared-memory
+// races, OOB lanes, uninitialized reads, and barrier hazards are not.
+func TestSanitizerKernelSweep(t *testing.T) {
+	rm, err := gengraph.RMAT(6, 8, gengraph.DefaultRMAT, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh, err := gengraph.Mesh2D(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs := []struct {
+		name string
+		g    *graph.CSR
+	}{{"rmat", rm}, {"mesh", mesh}}
+	opts := Options{K: 4}
+	algos := []struct {
+		name string
+		run  func(t *testing.T, d *simt.Device, g *graph.CSR, weights []int32, src graph.VertexID) error
+	}{
+		{"bfs", func(t *testing.T, d *simt.Device, g *graph.CSR, _ []int32, src graph.VertexID) error {
+			_, err := BFS(d, Upload(d, g), src, opts)
+			return err
+		}},
+		{"bfsfrontier", func(t *testing.T, d *simt.Device, g *graph.CSR, _ []int32, src graph.VertexID) error {
+			_, err := BFSFrontier(d, Upload(d, g), src, opts)
+			return err
+		}},
+		{"bfsdir", func(t *testing.T, d *simt.Device, g *graph.CSR, _ []int32, src graph.VertexID) error {
+			_, err := BFSDirectionOpt(d, g, src, DirOptions{Options: opts})
+			return err
+		}},
+		{"sssp", func(t *testing.T, d *simt.Device, g *graph.CSR, weights []int32, src graph.VertexID) error {
+			dg, err := UploadWeighted(d, g, weights)
+			if err != nil {
+				return err
+			}
+			_, err = SSSP(d, dg, src, opts)
+			return err
+		}},
+		{"deltastep", func(t *testing.T, d *simt.Device, g *graph.CSR, weights []int32, src graph.VertexID) error {
+			dg, err := UploadWeighted(d, g, weights)
+			if err != nil {
+				return err
+			}
+			_, err = DeltaStepping(d, dg, src, DeltaSteppingOptions{Options: opts})
+			return err
+		}},
+		{"pagerank", func(t *testing.T, d *simt.Device, g *graph.CSR, _ []int32, _ graph.VertexID) error {
+			_, err := PageRank(d, g, PageRankOptions{Options: opts, Iterations: 5})
+			return err
+		}},
+		{"cc", func(t *testing.T, d *simt.Device, g *graph.CSR, _ []int32, _ graph.VertexID) error {
+			_, err := ConnectedComponents(d, Upload(d, g), opts)
+			return err
+		}},
+		{"scc", func(t *testing.T, d *simt.Device, g *graph.CSR, _ []int32, _ graph.VertexID) error {
+			_, err := SCC(d, g, opts)
+			return err
+		}},
+		{"nbrsum", func(t *testing.T, d *simt.Device, g *graph.CSR, _ []int32, _ graph.VertexID) error {
+			vals := make([]int32, g.NumVertices())
+			for i := range vals {
+				vals[i] = int32(i%7 + 1)
+			}
+			_, err := NeighborSum(d, Upload(d, g), vals, opts)
+			return err
+		}},
+		{"spmv", func(t *testing.T, d *simt.Device, g *graph.CSR, _ []int32, _ graph.VertexID) error {
+			vals := make([]float32, g.NumEdges())
+			for i := range vals {
+				vals[i] = float32(i%5+1) * 0.5
+			}
+			x := make([]float32, g.NumVertices())
+			for i := range x {
+				x[i] = float32(i%3 + 1)
+			}
+			_, err := SpMV(d, Upload(d, g), vals, x, opts)
+			return err
+		}},
+		// Triangles, k-core, MIS, and coloring require the undirected simple
+		// closure, exactly as cmd/maxwarp prepares it.
+		{"triangles", func(t *testing.T, d *simt.Device, g *graph.CSR, _ []int32, _ graph.VertexID) error {
+			sym, err := g.Symmetrize()
+			if err != nil {
+				return err
+			}
+			_, err = TriangleCount(d, sym, opts)
+			return err
+		}},
+		{"kcore", func(t *testing.T, d *simt.Device, g *graph.CSR, _ []int32, _ graph.VertexID) error {
+			sym, err := g.Symmetrize()
+			if err != nil {
+				return err
+			}
+			_, err = KCore(d, Upload(d, sym), 2, opts)
+			return err
+		}},
+		{"mis", func(t *testing.T, d *simt.Device, g *graph.CSR, _ []int32, _ graph.VertexID) error {
+			sym, err := g.Symmetrize()
+			if err != nil {
+				return err
+			}
+			_, err = MIS(d, Upload(d, sym), 42, opts)
+			return err
+		}},
+		{"coloring", func(t *testing.T, d *simt.Device, g *graph.CSR, _ []int32, _ graph.VertexID) error {
+			sym, err := g.Symmetrize()
+			if err != nil {
+				return err
+			}
+			_, err = GraphColoring(d, Upload(d, sym), 42, opts)
+			return err
+		}},
+		{"bc", func(t *testing.T, d *simt.Device, g *graph.CSR, _ []int32, src graph.VertexID) error {
+			_, err := BetweennessCentrality(d, g, []graph.VertexID{src}, opts)
+			return err
+		}},
+		{"msbfs", func(t *testing.T, d *simt.Device, g *graph.CSR, _ []int32, src graph.VertexID) error {
+			_, err := MSBFS(d, Upload(d, g), []graph.VertexID{src, 0}, opts)
+			return err
+		}},
+		{"closeness", func(t *testing.T, d *simt.Device, g *graph.CSR, _ []int32, _ graph.VertexID) error {
+			_, err := ClosenessCentrality(d, g, 2, 7, opts)
+			return err
+		}},
+	}
+	for _, alg := range algos {
+		alg := alg
+		t.Run(alg.name, func(t *testing.T) {
+			t.Parallel()
+			for _, gr := range graphs {
+				d, s := sanitizedDevice(t)
+				src := graph.LargestOutComponentSeed(gr.g)
+				weights := gengraph.EdgeWeights(gr.g, 10, 5)
+				if err := alg.run(t, d, gr.g, weights, src); err != nil {
+					t.Fatalf("%s/%s: %v", alg.name, gr.name, err)
+				}
+				if errs := s.Errors(); len(errs) != 0 {
+					t.Errorf("%s/%s: sanitizer found %d Error diagnostic(s):\n%s",
+						alg.name, gr.name, len(errs), s.Text())
 				}
 			}
 		})

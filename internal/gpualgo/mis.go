@@ -40,6 +40,9 @@ func MIS(d *simt.Device, dg *DeviceGraph, seed uint64, opts Options) (*MISResult
 	n := dg.NumVertices
 	prio := d.UploadI32("mis.prio", misPriorities(n, seed))
 	status := d.AllocI32("mis.status", n)
+	// Every round reads status; 0 = undecided is the starting state, so
+	// initialize it explicitly rather than leaning on zeroed allocation.
+	status.Fill(0)
 	changed := d.AllocI32("mis.changed", 1)
 	res := &MISResult{}
 	res.Stats.WarpWidth = d.Config().WarpWidth

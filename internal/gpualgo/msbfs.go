@@ -46,6 +46,9 @@ func MSBFS(d *simt.Device, dg *DeviceGraph, sources []graph.VertexID, opts Optio
 	visited := d.AllocI32("msbfs.visited", n)   // all bits seen so far
 	frontier := d.AllocI32("msbfs.frontier", n) // bits active this level
 	next := d.AllocI32("msbfs.next", n)         // bits discovered this level
+	// The update kernel reads every next cell, including ones no lane ORed
+	// this level — zero them explicitly (cudaMemset, not cudaMalloc luck).
+	next.Fill(0)
 	levelOf := d.AllocI32("msbfs.levels", n*len(sources))
 	levelOf.Fill(Unvisited)
 	for s, src := range sources {

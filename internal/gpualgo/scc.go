@@ -46,6 +46,9 @@ func SCC(d *simt.Device, g *graph.CSR, opts Options) (*SCCResult, error) {
 	dg := Upload(d, g)
 	dgRev := Upload(d, g.Reverse())
 	region := d.AllocI32("scc.region", n) // current partition; -1 = resolved
+	// Kernels read region from the first iteration; partition 0 is the
+	// initial state, so write it explicitly.
+	region.Fill(0)
 	scc := d.AllocI32("scc.labels", n)
 	scc.Fill(-1)
 	fwd := d.AllocI32("scc.fwd", n)

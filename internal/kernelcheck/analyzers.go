@@ -1,0 +1,361 @@
+package kernelcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// NondetermAnalyzer flags host nondeterminism inside kernel bodies: the
+// simulator replays kernels under tracing, fault-injection retry, and the
+// sanitizer, and differential tests compare runs bit-for-bit — a kernel that
+// draws from math/rand, reads the clock, iterates a map, or spawns a
+// goroutine breaks all of that.
+var NondetermAnalyzer = &Analyzer{
+	Name: "nondeterm",
+	Doc:  "flags math/rand, time.Now/Since/Until, map iteration, and go statements in kernels",
+	Run:  runNondeterm,
+}
+
+func runNondeterm(p *Pass) {
+	randPkgs := make(map[string]bool)
+	timePkgs := make(map[string]bool)
+	for _, imp := range p.File.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		var name string
+		switch path {
+		case "math/rand", "math/rand/v2":
+			name = "rand"
+		case "time":
+			name = "time"
+		default:
+			continue
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if path == "time" {
+			timePkgs[name] = true
+		} else {
+			randPkgs[name] = true
+		}
+	}
+	for _, body := range kernelBodies(p.File) {
+		mapVars := collectMapVars(body)
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				p.Reportf(n.Pos(), "kernel spawns a goroutine: kernels must stay single-goroutine deterministic code")
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				pkg, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if randPkgs[pkg.Name] {
+					p.Reportf(n.Pos(), "kernel calls %s.%s: math/rand makes replayed launches diverge; precompute random data on the host and upload it", pkg.Name, sel.Sel.Name)
+				}
+				if timePkgs[pkg.Name] {
+					switch sel.Sel.Name {
+					case "Now", "Since", "Until":
+						p.Reportf(n.Pos(), "kernel calls %s.%s: wall-clock reads make replayed launches diverge; use LaunchStats.Cycles for timing", pkg.Name, sel.Sel.Name)
+					}
+				}
+			case *ast.RangeStmt:
+				if id, ok := n.X.(*ast.Ident); ok && mapVars[id.Name] {
+					p.Reportf(n.Pos(), "kernel ranges over map %q: map iteration order is nondeterministic; iterate a sorted slice instead", id.Name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// collectMapVars gathers names that are locally, syntactically map-typed
+// (make(map...), map literal, or var with a map type). A heuristic — without
+// type checking we cannot see maps that arrive through calls or captures.
+func collectMapVars(body ast.Node) map[string]bool {
+	vars := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				id, ok := lhs.(*ast.Ident)
+				if ok && isMapExpr(n.Rhs[i]) {
+					vars[id.Name] = true
+				}
+			}
+		case *ast.ValueSpec:
+			if _, ok := n.Type.(*ast.MapType); ok {
+				for _, id := range n.Names {
+					vars[id.Name] = true
+				}
+			}
+			for i, v := range n.Values {
+				if i < len(n.Names) && isMapExpr(v) {
+					vars[n.Names[i].Name] = true
+				}
+			}
+		}
+		return true
+	})
+	return vars
+}
+
+func isMapExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		_, ok := e.Type.(*ast.MapType)
+		return ok
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "make" && len(e.Args) > 0 {
+			_, ok := e.Args[0].(*ast.MapType)
+			return ok
+		}
+	}
+	return false
+}
+
+// BarrierAnalyzer flags SyncThreads calls lexically inside the function-
+// literal bodies of If / IfGrouped / While: those bodies run under a
+// restricted lane mask, and a barrier under a divergent mask is the classic
+// synccheck hazard (and can deadlock the block when whole warps skip it).
+// Warp-uniform plain-Go branching around a barrier is invisible to this
+// lexical rule; the dynamic synccheck covers it.
+var BarrierAnalyzer = &Analyzer{
+	Name: "barrier",
+	Doc:  "flags SyncThreads/Barrier inside If/IfGrouped/While branch bodies",
+	Run:  runBarrier,
+}
+
+func runBarrier(p *Pass) {
+	seen := make(map[token.Pos]bool)
+	for _, body := range kernelBodies(p.File) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			branch := sel.Sel.Name
+			if branch != "If" && branch != "IfGrouped" && branch != "While" {
+				return true
+			}
+			for _, arg := range call.Args {
+				fl, ok := arg.(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				ast.Inspect(fl.Body, func(m ast.Node) bool {
+					inner, ok := m.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					is, ok := inner.Fun.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					name := is.Sel.Name
+					if (name == "SyncThreads" || name == "Barrier") && !seen[inner.Pos()] {
+						seen[inner.Pos()] = true
+						p.Reportf(inner.Pos(), "%s inside a %s body executes under a divergent lane mask; hoist the barrier to warp-uniform control flow", name, branch)
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+}
+
+// BufAliasAnalyzer flags raw access to a device buffer's backing slice from
+// kernel code: Data() hands out the host-side array, which bypasses the
+// launch memory model (frozen base, per-SM store shadows, atomic overlay)
+// and charges no simulated cycles. Kernels must go through the WarpCtx
+// Load/Store/Atomic primitives.
+var BufAliasAnalyzer = &Analyzer{
+	Name: "bufalias",
+	Doc:  "flags Data() calls in kernels and kernel uses of host Data() aliases",
+	Run:  runBufAlias,
+}
+
+func runBufAlias(p *Pass) {
+	kernels := kernelBodies(p.File)
+	inKernel := func(pos token.Pos) bool {
+		for _, b := range kernels {
+			if b.Pos() <= pos && pos <= b.End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, body := range kernels {
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if ok && sel.Sel.Name == "Data" && len(call.Args) == 0 {
+				p.Reportf(call.Pos(), "kernel calls %s.Data(): raw backing-slice access bypasses the launch memory model; use the Load/Store/Atomic primitives", exprText(sel.X))
+			}
+			return true
+		})
+	}
+
+	// Host code binding v := buf.Data() and a kernel literal in the same
+	// function using v: the kernel reads/writes through a host alias.
+	ast.Inspect(p.File, func(n ast.Node) bool {
+		fd, ok := n.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			return true
+		}
+		aliases := make(map[string]bool)
+		ast.Inspect(fd.Body, func(m ast.Node) bool {
+			as, ok := m.(*ast.AssignStmt)
+			if !ok || inKernel(as.Pos()) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				if i >= len(as.Rhs) {
+					break
+				}
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				call, ok := as.Rhs[i].(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Data" && len(call.Args) == 0 {
+					aliases[id.Name] = true
+				}
+			}
+			return true
+		})
+		if len(aliases) == 0 {
+			return true
+		}
+		for _, body := range kernels {
+			if !(fd.Body.Pos() <= body.Pos() && body.End() <= fd.Body.End()) {
+				continue
+			}
+			reported := make(map[string]bool)
+			ast.Inspect(body, func(m ast.Node) bool {
+				if sel, ok := m.(*ast.SelectorExpr); ok {
+					// Only the receiver side can be an alias use.
+					ast.Inspect(sel.X, func(k ast.Node) bool {
+						if id, ok := k.(*ast.Ident); ok && aliases[id.Name] && !reported[id.Name] {
+							reported[id.Name] = true
+							p.Reportf(id.Pos(), "kernel uses %q, a host-side Data() alias: accesses bypass the launch memory model", id.Name)
+						}
+						return true
+					})
+					return false
+				}
+				if id, ok := m.(*ast.Ident); ok && aliases[id.Name] && !reported[id.Name] {
+					reported[id.Name] = true
+					p.Reportf(id.Pos(), "kernel uses %q, a host-side Data() alias: accesses bypass the launch memory model", id.Name)
+				}
+				return true
+			})
+		}
+		return true
+	})
+}
+
+// LoopCaptureAnalyzer flags kernel closures that escape the loop that
+// creates them (stored, appended, returned, sent, or run via go/defer) while
+// capturing a loop variable. Go 1.22 gives each iteration fresh variables,
+// but an escaped kernel launches after the loop's host state has moved on —
+// deferred-launch kernels must take their inputs from device buffers, not
+// captured iteration state. Closures passed directly to a call (Apply,
+// Launch, If bodies) run before the iteration advances and are exempt.
+var LoopCaptureAnalyzer = &Analyzer{
+	Name: "loopcapture",
+	Doc:  "flags escaping kernel closures that capture loop variables",
+	Run:  runLoopCapture,
+}
+
+func runLoopCapture(p *Pass) {
+	parents := parentMap(p.File)
+	ast.Inspect(p.File, func(n ast.Node) bool {
+		var loopVars []string
+		var body *ast.BlockStmt
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			if as, ok := n.Init.(*ast.AssignStmt); ok {
+				for _, l := range as.Lhs {
+					if id, ok := l.(*ast.Ident); ok && id.Name != "_" {
+						loopVars = append(loopVars, id.Name)
+					}
+				}
+			}
+			body = n.Body
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{n.Key, n.Value} {
+				if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+					loopVars = append(loopVars, id.Name)
+				}
+			}
+			body = n.Body
+		default:
+			return true
+		}
+		if len(loopVars) == 0 || body == nil {
+			return true
+		}
+		ast.Inspect(body, func(m ast.Node) bool {
+			fl, ok := m.(*ast.FuncLit)
+			if !ok || !isKernelFuncType(fl.Type) || !escapes(fl, parents) {
+				return true
+			}
+			for _, v := range loopVars {
+				if usesIdent(fl.Body, v) {
+					p.Reportf(fl.Pos(), "kernel closure escapes the loop and captures loop variable %q; a deferred launch will read host state the loop has since abandoned", v)
+					break
+				}
+			}
+			return true
+		})
+		return true
+	})
+}
+
+// escapes classifies a function literal's immediate syntactic context:
+// anything that lets it outlive the statement that creates it.
+func escapes(fl *ast.FuncLit, parents map[ast.Node]ast.Node) bool {
+	switch par := parents[fl].(type) {
+	case *ast.CallExpr:
+		if par.Fun == fl {
+			// Immediately invoked — unless the invocation itself is deferred.
+			switch parents[par].(type) {
+			case *ast.GoStmt, *ast.DeferStmt:
+				return true
+			}
+			return false
+		}
+		// An argument: append stashes it, any other call consumes it now.
+		if id, ok := par.Fun.(*ast.Ident); ok && id.Name == "append" {
+			return true
+		}
+		return false
+	case *ast.AssignStmt:
+		// `=` targets a variable from an outer scope; `:=` stays loop-local.
+		return par.Tok == token.ASSIGN
+	case *ast.CompositeLit, *ast.KeyValueExpr, *ast.ReturnStmt, *ast.SendStmt:
+		return true
+	}
+	return false
+}

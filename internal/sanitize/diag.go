@@ -1,0 +1,228 @@
+package sanitize
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"maxwarp/internal/report"
+)
+
+// Severity ranks a diagnostic. The acceptance bar for kernels in this repo is
+// "zero Error-severity diagnostics"; Info diagnostics describe behavior that
+// is well-defined under the simulator's launch memory model (frozen base +
+// per-SM store shadows + ordered atomic overlay) but would be a hazard on
+// real hardware with a weaker model, so they stay visible for review.
+type Severity uint8
+
+const (
+	// SeverityInfo marks benign-but-notable behavior: same-value multi-writer
+	// stores (the paper's benign BFS race) and cross-warp read-vs-write
+	// overlaps whose reads are well-defined frozen-snapshot reads here.
+	SeverityInfo Severity = iota
+	// SeverityError marks behavior with no sequential analogue or an outright
+	// fault: divergent barriers, mismatched barrier counts, out-of-bounds
+	// lanes, uninitialized reads, conflicting-value races, plain/atomic mixes,
+	// and unsynchronized shared-memory conflicts.
+	SeverityError
+)
+
+// String names the severity for reports.
+func (s Severity) String() string {
+	if s == SeverityError {
+		return "ERROR"
+	}
+	return "INFO"
+}
+
+// Rule identifiers, one per distinct hazard the checkers detect.
+const (
+	// racecheck (global memory)
+	RuleWriteWrite       = "write-write"        // cross-warp stores of differing values
+	RuleBenignWriteWrite = "benign-write-write" // cross-warp stores, all values equal
+	RulePlainAtomic      = "plain-atomic"       // plain store + atomic on one cell
+	RuleStaleRead        = "stale-read"         // cross-warp plain read vs write
+	// racecheck (shared memory)
+	RuleSharedRace = "shared-race" // same-epoch cross-warp conflict
+	// memcheck
+	RuleOOB        = "oob"         // lane index outside the buffer
+	RuleSharedOOB  = "shared-oob"  // lane index outside the shared array
+	RuleUninitRead = "uninit-read" // plain load of a never-written cell
+	// synccheck
+	RuleDivergentBarrier = "divergent-barrier" // SyncThreads under a divergent mask
+	RuleBarrierMismatch  = "barrier-mismatch"  // block warps passed unequal barrier counts
+)
+
+// maxWarpSample bounds how many distinct warp ids a diagnostic records.
+const maxWarpSample = 8
+
+// Diagnostic is one deduplicated finding. Repeated occurrences of the same
+// (checker, rule, buffer) fold into a single diagnostic with an occurrence
+// count, an element-index range, and a sample of the warps involved.
+type Diagnostic struct {
+	// Checker is "racecheck", "memcheck", or "synccheck".
+	Checker string
+	// Rule is one of the Rule* constants.
+	Rule string
+	// Severity classifies the finding; see Severity.
+	Severity Severity
+	// Buffer names the global buffer or shared array ("shared:<key>")
+	// involved; empty for barrier findings.
+	Buffer string
+	// Message describes the first occurrence in concrete terms.
+	Message string
+	// Count is how many occurrences folded into this diagnostic.
+	Count int
+	// MinIndex/MaxIndex bound the element indices involved (-1 when the rule
+	// has no element, e.g. barrier findings).
+	MinIndex, MaxIndex int64
+	// Warps samples the grid-wide warp ids involved (at most maxWarpSample,
+	// ascending).
+	Warps []int
+}
+
+// String renders the diagnostic as a single report line.
+func (d *Diagnostic) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s/%s", d.Severity, d.Checker, d.Rule)
+	if d.Buffer != "" {
+		fmt.Fprintf(&b, " [%s]", d.Buffer)
+	}
+	fmt.Fprintf(&b, ": %s", d.Message)
+	if d.Count > 1 {
+		fmt.Fprintf(&b, " (x%d)", d.Count)
+	}
+	return b.String()
+}
+
+type diagKey struct {
+	checker, rule, buffer string
+}
+
+// record folds one occurrence into the dedup map.
+func (s *Sanitizer) record(checker, rule string, sev Severity, buffer, msg string, index int64, warps ...int) {
+	k := diagKey{checker, rule, buffer}
+	d := s.diags[k]
+	if d == nil {
+		d = &Diagnostic{
+			Checker:  checker,
+			Rule:     rule,
+			Severity: sev,
+			Buffer:   buffer,
+			Message:  msg,
+			MinIndex: index,
+			MaxIndex: index,
+		}
+		s.diags[k] = d
+		s.order = append(s.order, k)
+	}
+	d.Count++
+	if index >= 0 {
+		if d.MinIndex < 0 || index < d.MinIndex {
+			d.MinIndex = index
+		}
+		if index > d.MaxIndex {
+			d.MaxIndex = index
+		}
+	}
+	for _, w := range warps {
+		d.addWarp(w)
+	}
+}
+
+func (d *Diagnostic) addWarp(w int) {
+	i := sort.SearchInts(d.Warps, w)
+	if i < len(d.Warps) && d.Warps[i] == w {
+		return
+	}
+	if len(d.Warps) >= maxWarpSample {
+		return
+	}
+	d.Warps = append(d.Warps, 0)
+	copy(d.Warps[i+1:], d.Warps[i:])
+	d.Warps[i] = w
+}
+
+// Diagnostics returns every finding, most severe first, then by checker,
+// rule, and buffer — a deterministic order independent of detection order.
+func (s *Sanitizer) Diagnostics() []*Diagnostic {
+	out := make([]*Diagnostic, 0, len(s.diags))
+	for _, k := range s.order {
+		out = append(out, s.diags[k])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Severity != b.Severity {
+			return a.Severity > b.Severity
+		}
+		if a.Checker != b.Checker {
+			return a.Checker < b.Checker
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Buffer < b.Buffer
+	})
+	return out
+}
+
+// Errors returns only the Error-severity findings, in Diagnostics order.
+func (s *Sanitizer) Errors() []*Diagnostic {
+	var out []*Diagnostic
+	for _, d := range s.Diagnostics() {
+		if d.Severity == SeverityError {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// HasErrors reports whether any Error-severity finding was recorded.
+func (s *Sanitizer) HasErrors() bool {
+	for _, d := range s.diags {
+		if d.Severity == SeverityError {
+			return true
+		}
+	}
+	return false
+}
+
+// Table renders all findings as a report table (the repo's standard text /
+// markdown / CSV surface).
+func (s *Sanitizer) Table() *report.Table {
+	t := &report.Table{
+		ID:      "SAN",
+		Title:   "Kernel sanitizer findings",
+		Columns: []string{"severity", "checker", "rule", "buffer", "count", "elems", "warps", "detail"},
+	}
+	for _, d := range s.Diagnostics() {
+		elems := "-"
+		if d.MinIndex >= 0 {
+			if d.MinIndex == d.MaxIndex {
+				elems = fmt.Sprintf("[%d]", d.MinIndex)
+			} else {
+				elems = fmt.Sprintf("[%d..%d]", d.MinIndex, d.MaxIndex)
+			}
+		}
+		warps := "-"
+		if len(d.Warps) > 0 {
+			parts := make([]string, len(d.Warps))
+			for i, w := range d.Warps {
+				parts[i] = fmt.Sprintf("%d", w)
+			}
+			warps = strings.Join(parts, ",")
+			if len(d.Warps) == maxWarpSample {
+				warps += ",…"
+			}
+		}
+		t.AddRow(d.Severity.String(), d.Checker, d.Rule, d.Buffer,
+			fmt.Sprintf("%d", d.Count), elems, warps, d.Message)
+	}
+	if len(t.Rows) == 0 {
+		t.Notes = append(t.Notes, "no findings")
+	}
+	return t
+}
+
+// Text renders the findings table as aligned terminal text.
+func (s *Sanitizer) Text() string { return s.Table().Text() }

@@ -1,0 +1,51 @@
+package sanitize_test
+
+import (
+	"testing"
+
+	"maxwarp/internal/gengraph"
+	"maxwarp/internal/gpualgo"
+	"maxwarp/internal/graph"
+	"maxwarp/internal/sanitize"
+	"maxwarp/internal/simt"
+)
+
+// BenchmarkBFSSanitizer measures the host wall-clock cost of the sanitizer
+// on the same workload as internal/obs's observability benchmark. Simulated
+// cycles are unchanged by construction (TestSanitizerCyclesUnchanged); this
+// pins what the checking actually costs: nothing when attached but not
+// enabled, and the per-access bookkeeping when it is.
+func BenchmarkBFSSanitizer(b *testing.B) {
+	g, err := gengraph.ChungLu(1<<12, 8, 2.2, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := graph.LargestOutComponentSeed(g)
+
+	cases := []struct {
+		name             string
+		attach, sanitize bool
+	}{
+		{name: "bare"},
+		{name: "attached-disabled", attach: true},
+		{name: "sanitized", attach: true, sanitize: true},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := simt.DefaultConfig()
+				cfg.Sanitize = c.sanitize
+				d, err := simt.NewDevice(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if c.attach {
+					d.SetSanitizer(sanitize.NewSanitizer())
+				}
+				if _, err := gpualgo.BFS(d, gpualgo.Upload(d, g), src, gpualgo.Options{K: 8}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,468 @@
+// Package sanitize implements the device-side kernel sanitizer: the
+// repository's equivalent of NVIDIA compute-sanitizer. It attaches to a
+// simulated device through the simt.Sanitizer hook and runs three checkers
+// over every sanitized launch:
+//
+//   - racecheck: unsynchronized conflicts — cross-warp plain stores of
+//     differing values to one global cell, plain-store/atomic mixes on one
+//     cell (which have no sequential analogue under the launch memory
+//     model), and same-barrier-epoch conflicts on block-shared arrays.
+//     Benign overlaps (same-value multi-writer stores, the paper's BFS
+//     frontier race; cross-warp read-vs-write overlaps, which read a
+//     well-defined frozen snapshot here) are reported at Info severity.
+//   - memcheck: out-of-bounds lane indices on global buffers and shared
+//     arrays (observed even though the launch then faults), and plain loads
+//     from cells no kernel ever wrote on buffers the host never initialized.
+//   - synccheck: SyncThreads executed under a divergent active mask, and
+//     block warps that finish a launch having passed unequal barrier counts.
+//
+// Findings are deduplicated per (checker, rule, buffer) into Diagnostics
+// with occurrence counts, element ranges, and warp samples; severity Error
+// is the acceptance bar ("a clean kernel has zero Errors"), severity Info is
+// advisory. Because hooks charge no simulated cycles, LaunchStats are
+// bit-identical with the sanitizer attached; the only cost is host time.
+package sanitize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"maxwarp/internal/simt"
+)
+
+// Sanitizer implements simt.Sanitizer. Attach with Device.SetSanitizer and
+// enable per launch (LaunchOpts.Sanitize) or device-wide (Config.Sanitize).
+// It is driven from the simulation goroutine in execution order, so it needs
+// no locking; one Sanitizer must not be shared between concurrently
+// launching devices. State spanning launches (which cells kernels have
+// written, accumulated diagnostics) persists until Reset.
+type Sanitizer struct {
+	diags map[diagKey]*Diagnostic
+	order []diagKey
+
+	// launch stamps launch-scoped cell state so it lazily resets without a
+	// sweep over every tracked buffer.
+	launch int
+
+	i32 map[*simt.BufI32]*bufState
+	f32 map[*simt.BufF32]*bufState
+
+	// shared tracks block-shared arrays, keyed per (block, array); rebuilt
+	// each launch since shared arrays do not outlive their block.
+	shared map[sharedKey]*sharedState
+
+	// barrierCounts is block -> warp -> barriers passed, filled by WarpDone
+	// and analyzed at LaunchEnd; launch-scoped.
+	barrierCounts map[int]map[int]int
+}
+
+// NewSanitizer returns an empty sanitizer ready to attach to a device.
+func NewSanitizer() *Sanitizer {
+	return &Sanitizer{
+		diags: make(map[diagKey]*Diagnostic),
+		i32:   make(map[*simt.BufI32]*bufState),
+		f32:   make(map[*simt.BufF32]*bufState),
+	}
+}
+
+var _ simt.Sanitizer = (*Sanitizer)(nil)
+
+// Reset discards all diagnostics and all cross-launch tracking (including
+// which cells kernels have written), as if freshly constructed.
+func (s *Sanitizer) Reset() {
+	s.diags = make(map[diagKey]*Diagnostic)
+	s.order = nil
+	s.i32 = make(map[*simt.BufI32]*bufState)
+	s.f32 = make(map[*simt.BufF32]*bufState)
+	s.shared = nil
+	s.barrierCounts = nil
+}
+
+// bufState tracks one global buffer: the persistent set of kernel-written
+// cells (memcheck) and the launch-stamped per-cell race state (racecheck).
+type bufState struct {
+	name    string
+	isF32   bool
+	written map[int32]struct{}
+	cells   map[int32]*cell
+}
+
+// cell is one global cell's launch-scoped access history. Conflicts are
+// cross-warp by definition: a single warp's program order is real order.
+type cell struct {
+	launch int
+
+	wrote       bool
+	writer      int
+	multiWriter bool
+	valBits     uint32 // last stored value (for benign-vs-conflicting)
+
+	hadAtomic   bool
+	atomicWarp  int
+	multiAtomic bool
+
+	hadRead     bool
+	reader      int
+	multiReader bool
+}
+
+// reset clears launch-scoped history when first touched in a new launch.
+func (c *cell) reset(launch int) {
+	if c.launch == launch {
+		return
+	}
+	*c = cell{launch: launch}
+}
+
+type sharedKey struct {
+	block int
+	key   string
+}
+
+type sharedState struct {
+	cells map[int32]*sharedCell
+}
+
+// sharedCell is one shared-array cell's history within its current barrier
+// epoch. Any same-epoch cross-warp conflict involving a plain access is a
+// race: unlike global memory there is no frozen snapshot — shared stores are
+// immediately visible, so interleaving order is real.
+type sharedCell struct {
+	epoch int
+
+	wrote       bool
+	writer      int
+	multiWriter bool
+
+	hadAtomic   bool
+	atomicWarp  int
+	multiAtomic bool
+
+	hadRead     bool
+	reader      int
+	multiReader bool
+}
+
+// LaunchBegin implements simt.Sanitizer.
+func (s *Sanitizer) LaunchBegin(lc simt.LaunchConfig) {
+	s.launch++
+	s.shared = make(map[sharedKey]*sharedState)
+	s.barrierCounts = make(map[int]map[int]int)
+}
+
+// stateI32 returns (creating) the tracking state for an int32 buffer.
+func (s *Sanitizer) stateI32(b *simt.BufI32) *bufState {
+	st := s.i32[b]
+	if st == nil {
+		st = &bufState{name: b.Name(), written: make(map[int32]struct{}), cells: make(map[int32]*cell)}
+		s.i32[b] = st
+	}
+	return st
+}
+
+// stateF32 returns (creating) the tracking state for a float32 buffer.
+func (s *Sanitizer) stateF32(b *simt.BufF32) *bufState {
+	st := s.f32[b]
+	if st == nil {
+		st = &bufState{name: b.Name(), isF32: true, written: make(map[int32]struct{}), cells: make(map[int32]*cell)}
+		s.f32[b] = st
+	}
+	return st
+}
+
+// formatVal renders a stored value for messages, honoring the element type.
+func (st *bufState) formatVal(bits uint32) string {
+	if st.isF32 {
+		return fmt.Sprintf("%v", math.Float32frombits(bits))
+	}
+	return fmt.Sprintf("%d", int32(bits))
+}
+
+// GlobalAccess implements simt.Sanitizer: one warp instruction on a global
+// buffer, observed before its bounds check.
+func (s *Sanitizer) GlobalAccess(a *simt.GlobalAccess) {
+	var st *bufState
+	var n int
+	var hostInit bool
+	if a.I32 != nil {
+		st = s.stateI32(a.I32)
+		n = a.I32.Len()
+		hostInit = a.I32.HostInitialized()
+	} else {
+		st = s.stateF32(a.F32)
+		n = a.F32.Len()
+		hostInit = a.F32.HostInitialized()
+	}
+	for lane, active := range a.Mask {
+		if !active {
+			continue
+		}
+		idx := a.Idx[lane]
+		if idx < 0 || int(idx) >= n {
+			s.record("memcheck", RuleOOB, SeverityError, st.name,
+				fmt.Sprintf("warp %d lane %d %s at index %d, buffer length %d",
+					a.Warp, lane, a.Kind, idx, n),
+				int64(idx), a.Warp)
+			continue
+		}
+		switch a.Kind {
+		case simt.AccessLoad:
+			s.checkLoad(st, hostInit, idx, a.Warp)
+		case simt.AccessStore:
+			var bits uint32
+			if a.ValI32 != nil {
+				bits = uint32(a.ValI32[lane])
+			} else if a.ValF32 != nil {
+				bits = math.Float32bits(a.ValF32[lane])
+			}
+			s.checkStore(st, idx, a.Warp, bits)
+		case simt.AccessAtomic:
+			s.checkAtomic(st, idx, a.Warp)
+		}
+	}
+}
+
+// checkLoad handles a plain global load of one lane.
+func (s *Sanitizer) checkLoad(st *bufState, hostInit bool, idx int32, warp int) {
+	if _, ok := st.written[idx]; !ok && !hostInit {
+		s.record("memcheck", RuleUninitRead, SeverityError, st.name,
+			fmt.Sprintf("warp %d read %s[%d], which no kernel wrote and the host never initialized",
+				warp, st.name, idx),
+			int64(idx), warp)
+	}
+	c := st.cells[idx]
+	if c == nil {
+		c = &cell{launch: s.launch}
+		st.cells[idx] = c
+	}
+	c.reset(s.launch)
+	if (c.wrote && (c.writer != warp || c.multiWriter)) ||
+		(c.hadAtomic && (c.atomicWarp != warp || c.multiAtomic)) {
+		s.record("racecheck", RuleStaleRead, SeverityInfo, st.name,
+			fmt.Sprintf("warp %d plain-read %s[%d] while another warp writes it this launch (read sees the pre-launch snapshot)",
+				warp, st.name, idx),
+			int64(idx), warp)
+	}
+	if !c.hadRead {
+		c.hadRead, c.reader = true, warp
+	} else if c.reader != warp {
+		c.multiReader = true
+	}
+}
+
+// checkStore handles a plain global store of one lane.
+func (s *Sanitizer) checkStore(st *bufState, idx int32, warp int, bits uint32) {
+	st.written[idx] = struct{}{}
+	c := st.cells[idx]
+	if c == nil {
+		c = &cell{launch: s.launch}
+		st.cells[idx] = c
+	}
+	c.reset(s.launch)
+	if c.hadAtomic && (c.atomicWarp != warp || c.multiAtomic) {
+		s.record("racecheck", RulePlainAtomic, SeverityError, st.name,
+			fmt.Sprintf("warp %d plain-stored %s[%d], which warp %d updates atomically this launch (no sequential analogue)",
+				warp, st.name, idx, c.atomicWarp),
+			int64(idx), warp, c.atomicWarp)
+	}
+	if c.wrote && c.writer != warp {
+		if bits != c.valBits {
+			s.record("racecheck", RuleWriteWrite, SeverityError, st.name,
+				fmt.Sprintf("warps %d and %d stored different values (%s vs %s) to %s[%d] in one launch",
+					c.writer, warp, st.formatVal(c.valBits), st.formatVal(bits), st.name, idx),
+				int64(idx), warp, c.writer)
+		} else {
+			s.record("racecheck", RuleBenignWriteWrite, SeverityInfo, st.name,
+				fmt.Sprintf("warps %d and %d stored the same value (%s) to %s[%d] in one launch",
+					c.writer, warp, st.formatVal(bits), st.name, idx),
+				int64(idx), warp, c.writer)
+		}
+	}
+	if c.hadRead && (c.reader != warp || c.multiReader) {
+		s.record("racecheck", RuleStaleRead, SeverityInfo, st.name,
+			fmt.Sprintf("warp %d stored %s[%d] after another warp plain-read it this launch (the read saw the pre-launch snapshot)",
+				warp, st.name, idx),
+			int64(idx), warp)
+	}
+	if !c.wrote {
+		c.wrote, c.writer = true, warp
+	} else if c.writer != warp {
+		c.multiWriter = true
+	}
+	c.valBits = bits
+}
+
+// checkAtomic handles an atomic read-modify-write of one lane.
+func (s *Sanitizer) checkAtomic(st *bufState, idx int32, warp int) {
+	st.written[idx] = struct{}{}
+	c := st.cells[idx]
+	if c == nil {
+		c = &cell{launch: s.launch}
+		st.cells[idx] = c
+	}
+	c.reset(s.launch)
+	if c.wrote && (c.writer != warp || c.multiWriter) {
+		s.record("racecheck", RulePlainAtomic, SeverityError, st.name,
+			fmt.Sprintf("warp %d atomically updated %s[%d], which warp %d plain-stores this launch (no sequential analogue)",
+				warp, st.name, idx, c.writer),
+			int64(idx), warp, c.writer)
+	}
+	if c.hadRead && (c.reader != warp || c.multiReader) {
+		s.record("racecheck", RuleStaleRead, SeverityInfo, st.name,
+			fmt.Sprintf("warp %d atomically updated %s[%d] while another warp plain-reads it this launch",
+				warp, st.name, idx),
+			int64(idx), warp)
+	}
+	if !c.hadAtomic {
+		c.hadAtomic, c.atomicWarp = true, warp
+	} else if c.atomicWarp != warp {
+		c.multiAtomic = true
+	}
+}
+
+// SharedAccess implements simt.Sanitizer: one warp instruction on a
+// block-shared array, observed before its bounds check.
+func (s *Sanitizer) SharedAccess(a *simt.SharedAccess) {
+	name := "shared:" + a.Key
+	st := s.shared[sharedKey{a.Block, a.Key}]
+	if st == nil {
+		st = &sharedState{cells: make(map[int32]*sharedCell)}
+		s.shared[sharedKey{a.Block, a.Key}] = st
+	}
+	for lane, active := range a.Mask {
+		if !active {
+			continue
+		}
+		idx := a.Idx[lane]
+		if idx < 0 || int(idx) >= a.Len {
+			s.record("memcheck", RuleSharedOOB, SeverityError, name,
+				fmt.Sprintf("warp %d lane %d %s at index %d, shared array length %d",
+					a.Warp, lane, a.Kind, idx, a.Len),
+				int64(idx), a.Warp)
+			continue
+		}
+		c := st.cells[idx]
+		if c == nil {
+			c = &sharedCell{epoch: a.Epoch}
+			st.cells[idx] = c
+		}
+		if c.epoch != a.Epoch {
+			// A barrier separates the histories; start a fresh interval.
+			*c = sharedCell{epoch: a.Epoch}
+		}
+		s.checkShared(c, name, a.Kind, idx, a.Warp)
+	}
+}
+
+// checkShared flags same-epoch cross-warp conflicts on one shared cell.
+// Shared stores are immediately visible to the whole block, so any
+// unsynchronized cross-warp overlap involving a plain access is an Error;
+// atomic-vs-atomic is the one safe concurrent combination.
+func (s *Sanitizer) checkShared(c *sharedCell, name string, kind simt.AccessKind, idx int32, warp int) {
+	conflict := ""
+	switch kind {
+	case simt.AccessLoad:
+		if c.wrote && (c.writer != warp || c.multiWriter) {
+			conflict = "read vs store"
+		} else if c.hadAtomic && (c.atomicWarp != warp || c.multiAtomic) {
+			conflict = "read vs atomic"
+		}
+	case simt.AccessStore:
+		if c.wrote && (c.writer != warp || c.multiWriter) {
+			conflict = "store vs store"
+		} else if c.hadAtomic && (c.atomicWarp != warp || c.multiAtomic) {
+			conflict = "store vs atomic"
+		} else if c.hadRead && (c.reader != warp || c.multiReader) {
+			conflict = "store vs read"
+		}
+	case simt.AccessAtomic:
+		if c.wrote && (c.writer != warp || c.multiWriter) {
+			conflict = "atomic vs store"
+		} else if c.hadRead && (c.reader != warp || c.multiReader) {
+			conflict = "atomic vs read"
+		}
+	}
+	if conflict != "" {
+		s.record("racecheck", RuleSharedRace, SeverityError, name,
+			fmt.Sprintf("%s on %s[%d] by warp %d and another warp with no barrier between them",
+				conflict, name, idx, warp),
+			int64(idx), warp)
+	}
+	switch kind {
+	case simt.AccessLoad:
+		if !c.hadRead {
+			c.hadRead, c.reader = true, warp
+		} else if c.reader != warp {
+			c.multiReader = true
+		}
+	case simt.AccessStore:
+		if !c.wrote {
+			c.wrote, c.writer = true, warp
+		} else if c.writer != warp {
+			c.multiWriter = true
+		}
+	case simt.AccessAtomic:
+		if !c.hadAtomic {
+			c.hadAtomic, c.atomicWarp = true, warp
+		} else if c.atomicWarp != warp {
+			c.multiAtomic = true
+		}
+	}
+}
+
+// Barrier implements simt.Sanitizer.
+func (s *Sanitizer) Barrier(block, warp int, divergent bool) {
+	if divergent {
+		s.record("synccheck", RuleDivergentBarrier, SeverityError, "",
+			fmt.Sprintf("warp %d (block %d) executed SyncThreads under a divergent mask: some lanes branched around the barrier",
+				warp, block),
+			-1, warp)
+	}
+}
+
+// WarpDone implements simt.Sanitizer.
+func (s *Sanitizer) WarpDone(block, warp, barriers int) {
+	m := s.barrierCounts[block]
+	if m == nil {
+		m = make(map[int]int)
+		s.barrierCounts[block] = m
+	}
+	m[warp] = barriers
+}
+
+// LaunchEnd implements simt.Sanitizer. On a clean launch it runs the
+// whole-launch synccheck analysis: every warp of a block must have passed
+// the same number of barriers. Aborted launches skip it — their warps were
+// torn down mid-kernel, so unequal counts are expected.
+func (s *Sanitizer) LaunchEnd(err error) {
+	if err != nil {
+		return
+	}
+	blocks := make([]int, 0, len(s.barrierCounts))
+	for b := range s.barrierCounts {
+		blocks = append(blocks, b)
+	}
+	sort.Ints(blocks)
+	for _, b := range blocks {
+		m := s.barrierCounts[b]
+		warps := make([]int, 0, len(m))
+		for w := range m {
+			warps = append(warps, w)
+		}
+		sort.Ints(warps)
+		first, count := -1, 0
+		for _, w := range warps {
+			if first < 0 {
+				first, count = w, m[w]
+				continue
+			}
+			if m[w] != count {
+				s.record("synccheck", RuleBarrierMismatch, SeverityError, "",
+					fmt.Sprintf("block %d: warp %d passed %d barriers but warp %d passed %d — some warps skipped a SyncThreads",
+						b, first, count, w, m[w]),
+					-1, first, w)
+			}
+		}
+	}
+}

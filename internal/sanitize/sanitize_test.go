@@ -1,0 +1,398 @@
+package sanitize
+
+import (
+	"strings"
+	"testing"
+
+	"maxwarp/internal/simt"
+)
+
+// sanConfig is a tiny device: 4-wide warps so cross-warp scenarios need only
+// 8 threads, and few SMs so tests stay fast.
+func sanConfig() simt.Config {
+	cfg := simt.DefaultConfig()
+	cfg.NumSMs = 2
+	cfg.WarpWidth = 4
+	cfg.MaxWarpsPerSM = 8
+	cfg.MaxBlocksPerSM = 4
+	cfg.Sanitize = true
+	return cfg
+}
+
+// sanDevice returns a sanitized device and its attached sanitizer.
+func sanDevice(t *testing.T) (*simt.Device, *Sanitizer) {
+	t.Helper()
+	d := simt.MustNewDevice(sanConfig())
+	s := NewSanitizer()
+	d.SetSanitizer(s)
+	return d, s
+}
+
+// launch runs the kernel over blocks×tpb and fails the test on launch error.
+func launch(t *testing.T, d *simt.Device, blocks, tpb int, k simt.Kernel) *simt.LaunchStats {
+	t.Helper()
+	stats, err := d.Launch(simt.LaunchConfig{Blocks: blocks, ThreadsPerBlock: tpb}, k)
+	if err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	return stats
+}
+
+// hasRule reports whether any diagnostic matches checker/rule.
+func hasRule(diags []*Diagnostic, checker, rule string) bool {
+	for _, d := range diags {
+		if d.Checker == checker && d.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+func wantError(t *testing.T, s *Sanitizer, checker, rule string) {
+	t.Helper()
+	if !hasRule(s.Errors(), checker, rule) {
+		t.Errorf("missing Error %s/%s; diagnostics:\n%s", checker, rule, s.Text())
+	}
+}
+
+func wantClean(t *testing.T, s *Sanitizer) {
+	t.Helper()
+	if errs := s.Errors(); len(errs) != 0 {
+		t.Errorf("expected zero Error diagnostics, got %d:\n%s", len(errs), s.Text())
+	}
+}
+
+// --- racecheck: global memory ---
+
+func TestRacecheckWriteWriteConflicting(t *testing.T) {
+	d, s := sanDevice(t)
+	out := d.AllocI32("out", 1)
+	// Two warps each store their own warp id to out[0]: a conflicting-value
+	// cross-warp write-write race.
+	launch(t, d, 1, 8, func(w *simt.WarpCtx) {
+		w.StoreI32(out, w.ConstI32(0), w.ConstI32(int32(w.GlobalWarpID())))
+	})
+	wantError(t, s, "racecheck", RuleWriteWrite)
+}
+
+func TestRacecheckBenignSameValue(t *testing.T) {
+	d, s := sanDevice(t)
+	out := d.AllocI32("out", 1)
+	// Both warps store the same constant: the paper's benign BFS-style race.
+	launch(t, d, 1, 8, func(w *simt.WarpCtx) {
+		w.StoreI32(out, w.ConstI32(0), w.ConstI32(7))
+	})
+	wantClean(t, s)
+	if !hasRule(s.Diagnostics(), "racecheck", RuleBenignWriteWrite) {
+		t.Errorf("missing Info benign-write-write:\n%s", s.Text())
+	}
+}
+
+func TestRacecheckPlainAtomicMix(t *testing.T) {
+	d, s := sanDevice(t)
+	out := d.AllocI32("out", 1)
+	out.Fill(0)
+	launch(t, d, 1, 8, func(w *simt.WarpCtx) {
+		if w.GlobalWarpID() == 0 {
+			w.StoreI32(out, w.ConstI32(0), w.ConstI32(1))
+		} else {
+			w.AtomicAddI32(out, w.ConstI32(0), w.ConstI32(1), nil)
+		}
+	})
+	wantError(t, s, "racecheck", RulePlainAtomic)
+}
+
+func TestRacecheckStaleReadIsInfo(t *testing.T) {
+	d, s := sanDevice(t)
+	buf := d.AllocI32("flag", 1)
+	buf.Fill(0)
+	// Warp 0 stores, warp 1 plain-reads the same cell: well-defined under the
+	// frozen-snapshot launch model, so Info, not Error.
+	launch(t, d, 1, 8, func(w *simt.WarpCtx) {
+		if w.GlobalWarpID() == 0 {
+			w.StoreI32(buf, w.ConstI32(0), w.ConstI32(1))
+		} else {
+			dst := w.VecI32()
+			w.LoadI32(buf, w.ConstI32(0), dst)
+		}
+	})
+	wantClean(t, s)
+	if !hasRule(s.Diagnostics(), "racecheck", RuleStaleRead) {
+		t.Errorf("missing Info stale-read:\n%s", s.Text())
+	}
+}
+
+// --- racecheck: shared memory ---
+
+func TestRacecheckSharedStoreStore(t *testing.T) {
+	d, s := sanDevice(t)
+	launch(t, d, 1, 8, func(w *simt.WarpCtx) {
+		tile := w.SharedI32("tile", 4)
+		// Both warps store shared[0] with no barrier between them.
+		w.StoreSharedI32(tile, w.ConstI32(0), w.ConstI32(1))
+	})
+	wantError(t, s, "racecheck", RuleSharedRace)
+}
+
+func TestRacecheckSharedBarrierSeparates(t *testing.T) {
+	d, s := sanDevice(t)
+	out := d.AllocI32("out", 8)
+	launch(t, d, 1, 8, func(w *simt.WarpCtx) {
+		hist := w.SharedI32("hist", 4)
+		// Same-epoch shared atomics from both warps are the safe concurrent
+		// combination; the barrier then orders them before the plain reads.
+		w.AtomicAddSharedI32(hist, w.LaneIDs(), w.ConstI32(1), nil)
+		w.SyncThreads()
+		dst := w.VecI32()
+		w.LoadSharedI32(hist, w.LaneIDs(), dst)
+		w.StoreI32(out, w.GlobalThreadIDs(), dst)
+	})
+	wantClean(t, s)
+	if len(s.Diagnostics()) != 0 {
+		t.Errorf("expected no diagnostics at all:\n%s", s.Text())
+	}
+}
+
+// --- memcheck ---
+
+func TestMemcheckOOB(t *testing.T) {
+	d, s := sanDevice(t)
+	out := d.AllocI32("out", 4)
+	_, err := d.Launch(simt.LaunchConfig{Blocks: 1, ThreadsPerBlock: 4}, func(w *simt.WarpCtx) {
+		w.StoreI32(out, w.ConstI32(5), w.ConstI32(1))
+	})
+	if err == nil {
+		t.Fatal("OOB launch should fail")
+	}
+	wantError(t, s, "memcheck", RuleOOB)
+}
+
+func TestMemcheckSharedOOB(t *testing.T) {
+	d, s := sanDevice(t)
+	_, err := d.Launch(simt.LaunchConfig{Blocks: 1, ThreadsPerBlock: 4}, func(w *simt.WarpCtx) {
+		tile := w.SharedI32("tile", 2)
+		w.StoreSharedI32(tile, w.ConstI32(3), w.ConstI32(1))
+	})
+	if err == nil {
+		t.Fatal("shared OOB launch should fail")
+	}
+	wantError(t, s, "memcheck", RuleSharedOOB)
+}
+
+func TestMemcheckUninitRead(t *testing.T) {
+	d, s := sanDevice(t)
+	buf := d.AllocI32("scratch", 8)
+	// Alloc without Upload/Fill/Data: reads are CUDA-uninitialized.
+	launch(t, d, 1, 8, func(w *simt.WarpCtx) {
+		dst := w.VecI32()
+		w.LoadI32(buf, w.GlobalThreadIDs(), dst)
+	})
+	wantError(t, s, "memcheck", RuleUninitRead)
+}
+
+func TestMemcheckHostInitIsClean(t *testing.T) {
+	d, s := sanDevice(t)
+	buf := d.AllocI32("scratch", 8)
+	buf.Fill(0)
+	launch(t, d, 1, 8, func(w *simt.WarpCtx) {
+		dst := w.VecI32()
+		w.LoadI32(buf, w.GlobalThreadIDs(), dst)
+	})
+	wantClean(t, s)
+}
+
+func TestMemcheckKernelWriteInitializes(t *testing.T) {
+	d, s := sanDevice(t)
+	buf := d.AllocI32("scratch", 8)
+	// First launch writes every cell; the second launch's reads are then
+	// initialized even though the host never touched the buffer.
+	launch(t, d, 1, 8, func(w *simt.WarpCtx) {
+		w.StoreI32(buf, w.GlobalThreadIDs(), w.GlobalThreadIDs())
+	})
+	launch(t, d, 1, 8, func(w *simt.WarpCtx) {
+		dst := w.VecI32()
+		w.LoadI32(buf, w.GlobalThreadIDs(), dst)
+	})
+	wantClean(t, s)
+}
+
+// --- synccheck ---
+
+func TestSynccheckDivergentBarrier(t *testing.T) {
+	d, s := sanDevice(t)
+	// One warp per block so the barrier itself completes; the hazard is the
+	// divergent mask at the barrier, not a hang.
+	launch(t, d, 1, 4, func(w *simt.WarpCtx) {
+		w.If(func(lane int) bool { return lane < 2 }, func() {
+			w.SyncThreads() //kernelcheck:ignore barrier
+		}, nil)
+	})
+	wantError(t, s, "synccheck", RuleDivergentBarrier)
+}
+
+func TestSynccheckBarrierMismatch(t *testing.T) {
+	d, s := sanDevice(t)
+	// Warp 0 passes one barrier, warp 1 passes none. The simulator releases
+	// the barrier when warp 1 exits (as real hardware effectively does), so
+	// the launch completes — but the counts disagree.
+	launch(t, d, 1, 8, func(w *simt.WarpCtx) {
+		if w.GlobalWarpID()%2 == 0 {
+			w.SyncThreads()
+		}
+	})
+	wantError(t, s, "synccheck", RuleBarrierMismatch)
+}
+
+func TestSynccheckUniformBarrierClean(t *testing.T) {
+	d, s := sanDevice(t)
+	launch(t, d, 2, 8, func(w *simt.WarpCtx) {
+		w.SyncThreads()
+		w.SyncThreads()
+	})
+	wantClean(t, s)
+	if len(s.Diagnostics()) != 0 {
+		t.Errorf("expected no diagnostics:\n%s", s.Text())
+	}
+}
+
+// --- clean corpus: idiomatic kernels must produce zero diagnostics ---
+
+func TestCleanDisjointWrites(t *testing.T) {
+	d, s := sanDevice(t)
+	in := d.UploadI32("in", []int32{1, 2, 3, 4, 5, 6, 7, 8})
+	out := d.AllocI32("out", 8)
+	launch(t, d, 1, 8, func(w *simt.WarpCtx) {
+		v := w.VecI32()
+		w.LoadI32(in, w.GlobalThreadIDs(), v)
+		w.Apply(1, func(lane int) { v[lane] *= 2 })
+		w.StoreI32(out, w.GlobalThreadIDs(), v)
+	})
+	wantClean(t, s)
+	if len(s.Diagnostics()) != 0 {
+		t.Errorf("expected no diagnostics:\n%s", s.Text())
+	}
+}
+
+func TestCleanAtomicMin(t *testing.T) {
+	d, s := sanDevice(t)
+	dist := d.AllocI32("dist", 2)
+	dist.Fill(1 << 30)
+	launch(t, d, 1, 8, func(w *simt.WarpCtx) {
+		idx := w.VecI32()
+		w.Apply(1, func(lane int) { idx[lane] = w.GlobalThreadIDs()[lane] % 2 })
+		w.AtomicMinI32(dist, idx, w.GlobalThreadIDs(), nil)
+	})
+	wantClean(t, s)
+	if len(s.Diagnostics()) != 0 {
+		t.Errorf("expected no diagnostics:\n%s", s.Text())
+	}
+}
+
+// --- reporting ---
+
+func TestDiagnosticRendering(t *testing.T) {
+	d, s := sanDevice(t)
+	out := d.AllocI32("out", 1)
+	launch(t, d, 1, 8, func(w *simt.WarpCtx) {
+		w.StoreI32(out, w.ConstI32(0), w.ConstI32(int32(w.GlobalWarpID())))
+	})
+	text := s.Text()
+	for _, want := range []string{"ERROR", "racecheck", RuleWriteWrite, "out"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, text)
+		}
+	}
+	errs := s.Errors()
+	if len(errs) == 0 {
+		t.Fatal("no errors recorded")
+	}
+	line := errs[0].String()
+	if !strings.Contains(line, "racecheck/write-write") || !strings.Contains(line, "[out]") {
+		t.Errorf("Diagnostic.String() = %q", line)
+	}
+	if !s.HasErrors() {
+		t.Error("HasErrors() = false with errors present")
+	}
+	s.Reset()
+	if len(s.Diagnostics()) != 0 || s.HasErrors() {
+		t.Error("Reset did not clear diagnostics")
+	}
+}
+
+func TestDedupFoldsOccurrences(t *testing.T) {
+	d, s := sanDevice(t)
+	buf := d.AllocI32("scratch", 64)
+	// 16 warps each read 4 distinct uninitialized cells: one diagnostic, many
+	// occurrences, with the element range covering the whole buffer.
+	launch(t, d, 8, 8, func(w *simt.WarpCtx) {
+		dst := w.VecI32()
+		w.LoadI32(buf, w.GlobalThreadIDs(), dst)
+	})
+	errs := s.Errors()
+	if len(errs) != 1 {
+		t.Fatalf("expected 1 deduplicated diagnostic, got %d:\n%s", len(errs), s.Text())
+	}
+	dgn := errs[0]
+	if dgn.Count != 64 {
+		t.Errorf("Count = %d, want 64", dgn.Count)
+	}
+	if dgn.MinIndex != 0 || dgn.MaxIndex != 63 {
+		t.Errorf("index range [%d..%d], want [0..63]", dgn.MinIndex, dgn.MaxIndex)
+	}
+	if len(dgn.Warps) != 8 {
+		t.Errorf("warp sample size %d, want capped at 8", len(dgn.Warps))
+	}
+}
+
+// --- overhead: the sanitizer must not perturb the simulation ---
+
+func TestSanitizerCyclesUnchanged(t *testing.T) {
+	kernel := func(in, out *simt.BufI32) simt.Kernel {
+		return func(w *simt.WarpCtx) {
+			v := w.VecI32()
+			w.LoadI32(in, w.GlobalThreadIDs(), v)
+			w.Apply(2, func(lane int) { v[lane] = v[lane]*3 + 1 })
+			w.SyncThreads()
+			w.StoreI32(out, w.GlobalThreadIDs(), v)
+		}
+	}
+	run := func(sanitize bool) int64 {
+		cfg := sanConfig()
+		cfg.Sanitize = sanitize
+		d := simt.MustNewDevice(cfg)
+		if sanitize {
+			d.SetSanitizer(NewSanitizer())
+		}
+		data := make([]int32, 256)
+		for i := range data {
+			data[i] = int32(i)
+		}
+		in := d.UploadI32("in", data)
+		out := d.AllocI32("out", 256)
+		stats, err := d.Launch(simt.Grid1D(256, 8), kernel(in, out))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.Cycles
+	}
+	plain, sanitized := run(false), run(true)
+	if plain != sanitized {
+		t.Errorf("sanitizer changed simulated cycles: %d -> %d", plain, sanitized)
+	}
+}
+
+func TestSanitizedLaunchFallsBackSequential(t *testing.T) {
+	cfg := sanConfig()
+	cfg.ParallelSMs = 2 // request parallel so the forced fallback is visible
+	d := simt.MustNewDevice(cfg)
+	s := NewSanitizer()
+	d.SetSanitizer(s)
+	out := d.AllocI32("out", 8)
+	stats := launch(t, d, 1, 8, func(w *simt.WarpCtx) {
+		w.StoreI32(out, w.GlobalThreadIDs(), w.GlobalThreadIDs())
+	})
+	if stats.SequentialFallback != "sanitizer" {
+		t.Errorf("SequentialFallback = %q, want \"sanitizer\"", stats.SequentialFallback)
+	}
+	wantClean(t, s)
+}

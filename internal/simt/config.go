@@ -86,6 +86,15 @@ type Config struct {
 	// LaunchStats.SequentialFallback).
 	ParallelSMs int
 
+	// Sanitize runs every launch under the attached sanitizer (see
+	// Device.SetSanitizer): racecheck/memcheck/synccheck hooks observe each
+	// memory access and barrier. Sanitized launches are forced onto the
+	// sequential event loop (LaunchStats.SequentialFallback = "sanitizer");
+	// simulated cycles and all other stats are unchanged. Without an
+	// attached sanitizer the flag is inert. Per-launch opt-in is
+	// LaunchOpts.Sanitize.
+	Sanitize bool
+
 	// MaxCycles aborts any single kernel launch whose simulated time exceeds
 	// it, turning accidental livelocks (e.g. spin-polling kernels) into
 	// errors instead of hangs. Zero means the default.

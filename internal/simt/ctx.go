@@ -22,10 +22,20 @@ type WarpCtx struct {
 	lanes []int32
 	gtids []int32
 
+	// entryMask is the kernel-entry active mask (the tail-warp mask); the
+	// sanitizer's synccheck compares the live mask against it at barriers.
+	// barriers counts SyncThreads passed — the shared-memory barrier epoch.
+	entryMask []bool
+	barriers  int
+
 	// scratch buffers reused across ops to keep the simulator allocation-free
 	// in steady state.
 	addrScratch []uint64
 	segScratch  []uint64
+
+	// sanitizer event scratch, reused per access (see Sanitizer).
+	ga GlobalAccess
+	sa SharedAccess
 }
 
 func newWarpCtx(l *launch, w *warpRT) *WarpCtx {
@@ -47,7 +57,39 @@ func newWarpCtx(l *launch, w *warpRT) *WarpCtx {
 		c.gtids[lane] = int32(w.blockID*l.lc.ThreadsPerBlock + tidInBlock)
 		c.mask[lane] = tidInBlock < l.lc.ThreadsPerBlock
 	}
+	c.entryMask = append(make([]bool, 0, width), c.mask...)
 	return c
+}
+
+// --- sanitizer hooks -------------------------------------------------------
+
+// sanGlobal reports a global-buffer access to the attached sanitizer.
+// Exactly one of bi/bf is non-nil; vi/vf carry stored values for stores.
+func (c *WarpCtx) sanGlobal(kind AccessKind, bi *BufI32, bf *BufF32, idx []int32, vi []int32, vf []float32) {
+	san := c.l.san
+	if san == nil {
+		return
+	}
+	c.ga = GlobalAccess{
+		Kind: kind, I32: bi, F32: bf,
+		Block: c.w.blockID, Warp: c.w.globalID, SM: c.w.sm.id,
+		Mask: c.mask, Idx: idx, ValI32: vi, ValF32: vf,
+	}
+	san.GlobalAccess(&c.ga)
+}
+
+// sanShared reports a block-shared access to the attached sanitizer.
+func (c *WarpCtx) sanShared(kind AccessKind, s *SharedI32, idx []int32, val []int32) {
+	san := c.l.san
+	if san == nil {
+		return
+	}
+	c.sa = SharedAccess{
+		Kind: kind, Key: s.key, Len: s.len(),
+		Block: c.w.blockID, Warp: c.w.globalID, Epoch: c.barriers,
+		Mask: c.mask, Idx: idx, Val: val,
+	}
+	san.SharedAccess(&c.sa)
 }
 
 // charge reports an instruction's cost to the scheduler and blocks until the
@@ -525,6 +567,7 @@ func (c *WarpCtx) readF32(b *BufF32, i int32) float32 {
 // instruction's cost is one coalesced transaction per distinct 128-byte
 // segment touched.
 func (c *WarpCtx) LoadI32(b *BufI32, idx []int32, dst []int32) {
+	c.sanGlobal(AccessLoad, b, nil, idx, nil, nil)
 	addrs, active := c.gatherAddrs(func(lane int) uint64 {
 		b.check(idx[lane], lane)
 		return b.addr(idx[lane])
@@ -543,6 +586,7 @@ func (c *WarpCtx) LoadI32(b *BufI32, idx []int32, dst []int32) {
 // as useful.
 func (c *WarpCtx) LoadI32Replicated(groupWidth int, b *BufI32, idx []int32, dst []int32) {
 	c.checkGroupWidth(groupWidth)
+	c.sanGlobal(AccessLoad, b, nil, idx, nil, nil)
 	addrs, active := c.gatherAddrs(func(lane int) uint64 {
 		b.check(idx[lane], lane)
 		return b.addr(idx[lane])
@@ -565,6 +609,7 @@ func (c *WarpCtx) LoadI32Replicated(groupWidth int, b *BufI32, idx []int32, dst 
 // Same-address collisions behave like CUDA: one of the writing lanes wins
 // (here deterministically the highest lane).
 func (c *WarpCtx) StoreI32(b *BufI32, idx []int32, src []int32) {
+	c.sanGlobal(AccessStore, b, nil, idx, src, nil)
 	addrs, active := c.gatherAddrs(func(lane int) uint64 {
 		b.check(idx[lane], lane)
 		return b.addr(idx[lane])
@@ -580,6 +625,7 @@ func (c *WarpCtx) StoreI32(b *BufI32, idx []int32, src []int32) {
 
 // LoadF32 gathers float32 values; see LoadI32.
 func (c *WarpCtx) LoadF32(b *BufF32, idx []int32, dst []float32) {
+	c.sanGlobal(AccessLoad, nil, b, idx, nil, nil)
 	addrs, active := c.gatherAddrs(func(lane int) uint64 {
 		b.check(idx[lane], lane)
 		return b.addr(idx[lane])
@@ -594,6 +640,7 @@ func (c *WarpCtx) LoadF32(b *BufF32, idx []int32, dst []float32) {
 
 // StoreF32 scatters float32 values; see StoreI32.
 func (c *WarpCtx) StoreF32(b *BufF32, idx []int32, src []float32) {
+	c.sanGlobal(AccessStore, nil, b, idx, nil, src)
 	addrs, active := c.gatherAddrs(func(lane int) uint64 {
 		b.check(idx[lane], lane)
 		return b.addr(idx[lane])
@@ -641,6 +688,7 @@ func (c *WarpCtx) atomStoreF32(b *BufF32, i int32, v float32) {
 }
 
 func (c *WarpCtx) atomicI32(b *BufI32, idx []int32, apply func(lane int)) {
+	c.sanGlobal(AccessAtomic, b, nil, idx, nil, nil)
 	addrs, active := c.gatherAddrs(func(lane int) uint64 {
 		b.check(idx[lane], lane)
 		return b.addr(idx[lane])
@@ -733,6 +781,7 @@ func (c *WarpCtx) AtomicExchI32(b *BufI32, idx []int32, val []int32, old []int32
 
 // AtomicAddF32 is the float32 atomic add.
 func (c *WarpCtx) AtomicAddF32(b *BufF32, idx []int32, delta []float32, old []float32) {
+	c.sanGlobal(AccessAtomic, nil, b, idx, nil, nil)
 	addrs, active := c.gatherAddrs(func(lane int) uint64 {
 		b.check(idx[lane], lane)
 		return b.addr(idx[lane])
@@ -770,6 +819,7 @@ func (c *WarpCtx) SharedI32(key string, n int) *SharedI32 {
 
 // LoadSharedI32 gathers from block-shared memory with bank-conflict cost.
 func (c *WarpCtx) LoadSharedI32(s *SharedI32, idx []int32, dst []int32) {
+	c.sanShared(AccessLoad, s, idx, nil)
 	slots, minSlots, active := c.sharedConflicts(s, idx)
 	if active == 0 {
 		return
@@ -785,6 +835,7 @@ func (c *WarpCtx) LoadSharedI32(s *SharedI32, idx []int32, dst []int32) {
 // StoreSharedI32 scatters to block-shared memory with bank-conflict cost.
 // Same-address collisions: highest lane wins, deterministically.
 func (c *WarpCtx) StoreSharedI32(s *SharedI32, idx []int32, src []int32) {
+	c.sanShared(AccessStore, s, idx, src)
 	slots, minSlots, active := c.sharedConflicts(s, idx)
 	if active == 0 {
 		return
@@ -865,6 +916,7 @@ func (c *WarpCtx) chargeShared(slots, minSlots, active int64) {
 // lanes serialize like bank conflicts; this is the shared-memory atomicAdd
 // histogram kernels rely on.
 func (c *WarpCtx) AtomicAddSharedI32(s *SharedI32, idx []int32, delta []int32, old []int32) {
+	c.sanShared(AccessAtomic, s, idx, delta)
 	slots, minSlots, active := c.sharedConflicts(s, idx)
 	if active == 0 {
 		return
@@ -900,5 +952,16 @@ func (c *WarpCtx) AtomicAddSharedI32(s *SharedI32, idx []int32, delta []int32, o
 // the block must reach it; warps that have already returned from the kernel
 // are excluded from the rendezvous.
 func (c *WarpCtx) SyncThreads() {
+	if san := c.l.san; san != nil {
+		divergent := false
+		for lane := 0; lane < c.width; lane++ {
+			if c.mask[lane] != c.entryMask[lane] {
+				divergent = true
+				break
+			}
+		}
+		san.Barrier(c.w.blockID, c.w.globalID, divergent)
+	}
 	c.charge(request{class: opBarrier})
+	c.barriers++
 }

@@ -20,6 +20,7 @@ type Device struct {
 	cfg    Config
 	mem    *memory
 	tracer Tracer
+	san    Sanitizer
 
 	// Allocation registry, so fault injection can target live buffers.
 	bufsI32 []*BufI32
@@ -77,6 +78,13 @@ func MustNewDevice(cfg Config) *Device {
 // Config returns the device configuration.
 func (d *Device) Config() Config { return d.cfg }
 
+// SetSanitizer attaches (or, with nil, detaches) a sanitizer. Launches run
+// under it when Config.Sanitize is set, or per-launch via
+// LaunchOpts.Sanitize. Sanitized launches are forced onto the sequential
+// event loop so the sanitizer observes the canonical execution order;
+// simulated cycles are unaffected (hooks charge nothing).
+func (d *Device) SetSanitizer(s Sanitizer) { d.san = s }
+
 // SetProfiling enables (or disables) per-launch cycle/latency histograms for
 // subsequent launches: their LaunchStats.Profile is populated, at the cost of
 // a few histogram updates per instruction. Equivalent to passing
@@ -121,6 +129,7 @@ func (d *Device) AllocI32(name string, n int) *BufI32 {
 func (d *Device) UploadI32(name string, data []int32) *BufI32 {
 	b := d.AllocI32(name, len(data))
 	copy(b.data, data)
+	b.hostInit = true
 	return b
 }
 
@@ -138,6 +147,7 @@ func (d *Device) AllocF32(name string, n int) *BufF32 {
 func (d *Device) UploadF32(name string, data []float32) *BufF32 {
 	b := d.AllocF32(name, len(data))
 	copy(b.data, data)
+	b.hostInit = true
 	return b
 }
 
@@ -158,6 +168,9 @@ type LaunchOpts struct {
 	// Profile enables the per-launch cycle/latency histograms for this launch
 	// (LaunchStats.Profile); see also Device.SetProfiling.
 	Profile bool
+	// Sanitize runs this launch under the device's attached sanitizer even
+	// when Config.Sanitize is off; see Device.SetSanitizer.
+	Sanitize bool
 }
 
 // Launch runs kernel over the grid described by lc and returns the launch
@@ -188,6 +201,9 @@ func (d *Device) LaunchWith(lc LaunchConfig, opts LaunchOpts, kernel Kernel) (*L
 	l := newLaunch(d, lc, kernel)
 	l.opts = opts
 	l.inj = d.planInjection()
+	if d.san != nil && (d.cfg.Sanitize || opts.Sanitize) {
+		l.san = d.san
+	}
 	stats, err := l.run()
 	if d.faults != nil && stats != nil {
 		d.faults.cycles += stats.Cycles

@@ -126,6 +126,13 @@ type BufI32 struct {
 	base uint64
 	data []int32
 
+	// hostInit records that the host plausibly initialized the buffer
+	// (Upload, Fill, or any Data() call — Data hands out a writable alias,
+	// so this is deliberately conservative). The sanitizer's memcheck uses
+	// it: reads of a buffer that was never host-touched and never
+	// kernel-written are reads of CUDA-uninitialized memory.
+	hostInit bool
+
 	// Launch-scoped write shadows: sh[smID] is that SM's private store
 	// shadow, ov the globally-ordered atomic overlay. Created lazily during
 	// a launch (launch.initShadows sizes sh) and folded back into data by
@@ -161,14 +168,23 @@ func (b *BufI32) Len() int { return len(b.data) }
 // Data exposes the backing store for host-side reads and writes between
 // launches (the analogue of cudaMemcpy). It must not be touched while a
 // launch is in flight.
-func (b *BufI32) Data() []int32 { return b.data }
+func (b *BufI32) Data() []int32 {
+	b.hostInit = true
+	return b.data
+}
 
 // Fill sets every element to v (host-side).
 func (b *BufI32) Fill(v int32) {
+	b.hostInit = true
 	for i := range b.data {
 		b.data[i] = v
 	}
 }
+
+// HostInitialized reports whether the host ever uploaded, filled, or aliased
+// (via Data) this buffer — i.e. whether its contents may legitimately
+// predate any kernel write.
+func (b *BufI32) HostInitialized() bool { return b.hostInit }
 
 func (b *BufI32) addr(idx int32) uint64 { return b.base + 4*uint64(idx) }
 
@@ -187,6 +203,9 @@ type BufF32 struct {
 	name string
 	base uint64
 	data []float32
+
+	// hostInit mirrors BufI32.hostInit; see there.
+	hostInit bool
 
 	// Launch-scoped write shadows; see BufI32.
 	sh []*bufShadow[float32]
@@ -218,14 +237,22 @@ func (b *BufF32) Name() string { return b.name }
 func (b *BufF32) Len() int { return len(b.data) }
 
 // Data exposes the backing store for host-side access between launches.
-func (b *BufF32) Data() []float32 { return b.data }
+func (b *BufF32) Data() []float32 {
+	b.hostInit = true
+	return b.data
+}
 
 // Fill sets every element to v (host-side).
 func (b *BufF32) Fill(v float32) {
+	b.hostInit = true
 	for i := range b.data {
 		b.data[i] = v
 	}
 }
+
+// HostInitialized reports whether the host ever uploaded, filled, or aliased
+// (via Data) this buffer; see BufI32.HostInitialized.
+func (b *BufF32) HostInitialized() bool { return b.hostInit }
 
 func (b *BufF32) addr(idx int32) uint64 { return b.base + 4*uint64(idx) }
 

@@ -1,0 +1,109 @@
+package simt
+
+// This file defines the device-side sanitizer hook: a compute-sanitizer-style
+// observation interface that sees every global-memory access, shared-memory
+// access, and barrier a launch executes, without charging a single simulated
+// cycle. The checkers themselves (racecheck, memcheck, synccheck) live in
+// internal/sanitize; simt only knows the event vocabulary, so the dependency
+// points outward and the simulator core stays self-contained.
+//
+// A sanitized launch always runs on the sequential event loop (recorded as
+// SequentialFallback="sanitizer"): the hook sees events in the canonical
+// (step clock, SM id, program order) execution order, which makes its
+// diagnostics deterministic and lets the implementation skip all locking.
+// Because hooks never call charge, LaunchStats — including Cycles — are
+// bit-identical with and without a sanitizer attached.
+
+// AccessKind classifies a sanitized memory access.
+type AccessKind uint8
+
+const (
+	// AccessLoad is a plain (non-atomic) read.
+	AccessLoad AccessKind = iota
+	// AccessStore is a plain (non-atomic) write.
+	AccessStore
+	// AccessAtomic is an atomic read-modify-write.
+	AccessAtomic
+)
+
+// String names the kind for diagnostics.
+func (k AccessKind) String() string {
+	switch k {
+	case AccessLoad:
+		return "load"
+	case AccessStore:
+		return "store"
+	case AccessAtomic:
+		return "atomic"
+	default:
+		return "unknown"
+	}
+}
+
+// GlobalAccess describes one warp instruction touching a global device
+// buffer. Exactly one of I32/F32 is non-nil. Mask and Idx are full
+// warp-width vectors: only lanes with Mask[lane] true participate (inactive
+// lanes may hold stale scratch indices). ValI32/ValF32 carry the stored
+// per-lane values for AccessStore (nil otherwise). The struct and its slices
+// are reused between calls; implementations must not retain them.
+type GlobalAccess struct {
+	Kind AccessKind
+	I32  *BufI32
+	F32  *BufF32
+
+	// Block, Warp, SM locate the accessing warp (grid-wide warp id).
+	Block, Warp, SM int
+
+	Mask   []bool
+	Idx    []int32
+	ValI32 []int32
+	ValF32 []float32
+}
+
+// SharedAccess describes one warp instruction touching a block-shared array.
+// Epoch is the accessing warp's barrier interval: it starts at 0 and
+// increments every time the warp passes a SyncThreads, so two same-block
+// accesses with equal epochs are not ordered by any barrier. Reused between
+// calls; implementations must not retain it.
+type SharedAccess struct {
+	Kind AccessKind
+	// Key is the shared array's registration key; Len its element count.
+	Key string
+	Len int
+
+	Block, Warp int
+	Epoch       int
+
+	Mask []bool
+	Idx  []int32
+	// Val carries stored per-lane values for AccessStore, and the per-lane
+	// addends for the shared atomic add (nil for loads).
+	Val []int32
+}
+
+// Sanitizer observes a launch's memory and synchronization behavior. All
+// methods are called from the (sequential) simulation goroutine, in exact
+// execution order; implementations need no locking and must not block.
+type Sanitizer interface {
+	// LaunchBegin opens a launch; launch-scoped tracking resets here.
+	LaunchBegin(lc LaunchConfig)
+	// GlobalAccess reports one warp instruction on a global buffer. It fires
+	// before the access's bounds check, so out-of-range lanes are observed
+	// even though the launch subsequently faults.
+	GlobalAccess(a *GlobalAccess)
+	// SharedAccess reports one warp instruction on a block-shared array,
+	// likewise before the bounds check.
+	SharedAccess(a *SharedAccess)
+	// Barrier reports a warp arriving at SyncThreads. divergent is true when
+	// the warp's active mask at the barrier differs from its kernel-entry
+	// mask — i.e. the barrier sits inside a divergent If/While region.
+	Barrier(block, warp int, divergent bool)
+	// WarpDone reports a warp returning cleanly from the kernel with the
+	// total number of barriers it passed. Warps torn down by a launch abort
+	// do not report.
+	WarpDone(block, warp, barriers int)
+	// LaunchEnd closes the launch; err is the launch's failure (nil on
+	// success). Whole-launch checks (e.g. mismatched barrier counts) run
+	// here.
+	LaunchEnd(err error)
+}

@@ -128,6 +128,7 @@ type launch struct {
 	stats  *LaunchStats
 	opts   LaunchOpts
 	inj    *injection
+	san    Sanitizer
 
 	sms           []*smRT
 	warpsPerBlock int
@@ -218,6 +219,10 @@ func (l *launch) execMode() (int, string) {
 		return 1, "fault-injection"
 	case l.opts.OnProgress != nil:
 		return 1, "on-progress"
+	case l.san != nil:
+		// The sanitizer keeps cross-warp shadow state; the sequential loop
+		// hands it the canonical event order with no locking.
+		return 1, "sanitizer"
 	}
 	return n, ""
 }
@@ -244,6 +249,9 @@ func (l *launch) run() (*LaunchStats, error) {
 		}
 	}
 	l.initShadows()
+	if l.san != nil {
+		l.san.LaunchBegin(l.lc)
+	}
 	l.trace(TraceEvent{Kind: TraceLaunchStart, Warp: -1, Block: -1, SM: -1})
 	if l.parallel {
 		l.runParallel(maxCycles)
@@ -279,6 +287,9 @@ func (l *launch) run() (*LaunchStats, error) {
 		}
 	}
 	l.trace(TraceEvent{Kind: TraceLaunchEnd, Cycle: l.stats.Cycles, Warp: -1, Block: -1, SM: -1})
+	if l.san != nil {
+		l.san.LaunchEnd(l.abortErr)
+	}
 	if l.abortErr != nil {
 		return l.stats, l.abortErr
 	}
@@ -600,6 +611,9 @@ func (l *launch) apply(sm *smRT, w *warpRT, r request) {
 	case opDone:
 		w.done = true
 		w.readyAt = neverReady
+		if l.san != nil && r.err == nil {
+			l.san.WarpDone(w.blockID, w.globalID, w.ctx.barriers)
+		}
 		l.trace(TraceEvent{Kind: TraceWarpDone, Cycle: sm.clock, SM: sm.id, Block: w.blockID, Warp: w.globalID})
 		if p := sm.stats.Profile; p != nil {
 			p.WarpBusy.Observe(w.busy)

@@ -48,6 +48,7 @@ import (
 	"maxwarp/internal/obs"
 	"maxwarp/internal/report"
 	"maxwarp/internal/resilient"
+	"maxwarp/internal/sanitize"
 	"maxwarp/internal/simt"
 	"maxwarp/internal/traceview"
 )
@@ -513,6 +514,39 @@ type (
 	// MetricFamily is one named metric in the Prometheus text exposition.
 	MetricFamily = report.MetricFamily
 )
+
+// Kernel sanitizer: the simulator's cuda-memcheck/racecheck/synccheck
+// analogue. Attach with Device.SetSanitizer and enable per device
+// (DeviceConfig.Sanitize) or per launch (LaunchOpts.Sanitize); sanitized
+// launches run on the sequential event loop and report identical
+// LaunchStats.Cycles. See docs/PROGRAMMING.md §Kernel discipline.
+type (
+	// KernelSanitizer is the standard hazard-detecting sanitizer: global and
+	// shared-memory race detection, out-of-bounds and uninitialized-read
+	// checking, and barrier-divergence checking, with deduplicated reports.
+	KernelSanitizer = sanitize.Sanitizer
+	// SanitizerHook is the low-level observation interface a custom
+	// sanitizer implements (Device.SetSanitizer accepts any SanitizerHook).
+	SanitizerHook = simt.Sanitizer
+	// SanitizerDiagnostic is one deduplicated finding.
+	SanitizerDiagnostic = sanitize.Diagnostic
+	// SanitizerSeverity ranks findings (SeverityInfo < SeverityError).
+	SanitizerSeverity = sanitize.Severity
+)
+
+// Sanitizer finding severities.
+const (
+	// SeverityInfo marks benign or by-design findings (same-value racy
+	// writes, cross-launch stale reads under the frozen-snapshot model).
+	SeverityInfo = sanitize.SeverityInfo
+	// SeverityError marks genuine hazards (conflicting racy writes,
+	// out-of-bounds, uninitialized reads, divergent barriers).
+	SeverityError = sanitize.SeverityError
+)
+
+// NewKernelSanitizer returns an empty sanitizer ready for
+// Device.SetSanitizer; its state persists across launches until Reset.
+func NewKernelSanitizer() *KernelSanitizer { return sanitize.NewSanitizer() }
 
 // NewMetrics returns a counter registry sharded for numSMs SMs.
 func NewMetrics(numSMs int) *Metrics { return obs.NewMetrics(numSMs) }
