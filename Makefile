@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short vet lint race benchgate check fuzz sanitize
+.PHONY: build test short vet lint race benchgate check fuzz sanitize servesmoke
 
 build:
 	$(GO) build ./...
@@ -47,7 +47,14 @@ race:
 benchgate:
 	$(GO) test ./internal/bench -run TestE4CyclesRegression -count=1
 
-check: vet lint race benchgate
+# End-to-end service smoke: start `maxwarp serve` with injected device
+# faults, drive a saturating loadtest with tight deadlines, assert the
+# robustness contract (no 5xx, load shed, oracle degradation), and require
+# a clean SIGTERM drain. See scripts/serve_smoke.sh and docs/SERVICE.md.
+servesmoke:
+	bash scripts/serve_smoke.sh
+
+check: vet lint race benchgate servesmoke
 
 # Short fuzz pass over the untrusted-input parsers and the observability
 # exporters' round-trip properties.

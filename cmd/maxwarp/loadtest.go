@@ -1,0 +1,135 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"maxwarp/internal/report"
+	"maxwarp/internal/serve"
+)
+
+// cmdLoadtest drives a synthetic query mix against a running serve daemon
+// and reports latency percentiles, shed rate, and degradation counts.
+func cmdLoadtest(args []string) error {
+	fs := flag.NewFlagSet("loadtest", flag.ContinueOnError)
+	url := fs.String("url", "http://127.0.0.1:8321", "serve base URL")
+	mixSpec := fs.String("mix", "bfs@wiki=3,pagerank@wiki=1,cc@road=1,sssp@road=1",
+		"weighted query mix: algo@graph[=weight],...")
+	duration := fs.Duration("duration", 5*time.Second, "run length")
+	qps := fs.Float64("qps", 50, "target offered QPS")
+	conc := fs.Int("concurrency", 8, "sender goroutines")
+	tenants := fs.Int("tenants", 4, "synthetic tenant count")
+	dlMin := fs.Duration("deadline-min", 0, "per-request deadline spread lower bound (0 = server default)")
+	dlMax := fs.Duration("deadline-max", 0, "per-request deadline spread upper bound")
+	nocache := fs.Float64("nocache", 0.5, "fraction of requests bypassing the result cache")
+	seed := fs.Uint64("seed", 1, "workload RNG seed")
+	waitReady := fs.Duration("wait-ready", 0, "poll /readyz up to this long before starting")
+	jsonOut := fs.String("json", "", "also write the report as JSON to this file ('-' = stdout)")
+	assertSmoke := fs.Bool("assert-smoke", false,
+		"exit non-zero unless: no 5xx, some load was shed, and some requests degraded to the oracle")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	mix, err := serve.ParseMix(*mixSpec)
+	if err != nil {
+		return err
+	}
+	if *waitReady > 0 {
+		if err := serve.WaitReady(*url, *waitReady); err != nil {
+			return err
+		}
+	}
+
+	rep, err := serve.Load(context.Background(), serve.LoadOptions{
+		URL: *url, Mix: mix, Duration: *duration, QPS: *qps,
+		Concurrency: *conc, Tenants: *tenants,
+		DeadlineMin: *dlMin, DeadlineMax: *dlMax,
+		NoCacheFraction: *nocache, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("loadtest: %s for %.1fs @ %.0f offered QPS\n", *url, rep.DurationSec, rep.OfferedQPS)
+	fmt.Printf("  requests   %d (%.1f achieved QPS, %d transport errors)\n", rep.Requests, rep.AchievedQPS, rep.Errors)
+	codes := make([]string, 0, len(rep.ByCode))
+	for c := range rep.ByCode {
+		codes = append(codes, c)
+	}
+	sort.Strings(codes)
+	for _, c := range codes {
+		fmt.Printf("  code %-4s  %d\n", c, rep.ByCode[c])
+	}
+	for reason, n := range rep.ShedBy {
+		fmt.Printf("  shed %-12s %d\n", reason, n)
+	}
+	fmt.Printf("  degraded   %d   cached %d\n", rep.Degraded, rep.Cached)
+	fmt.Printf("  latency ms p50=%.2f p95=%.2f p99=%.2f max=%.2f\n",
+		rep.P50Millis, rep.P95Millis, rep.P99Millis, rep.MaxMillis)
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			return err
+		}
+	}
+
+	if *assertSmoke {
+		return assertSmokeInvariants(*url, rep)
+	}
+	return nil
+}
+
+// assertSmokeInvariants enforces the CI smoke contract: the server under
+// injected faults and saturation returns no 5xx (other than drain 503s),
+// sheds some load, and degrades some requests to the oracle — all visible
+// both in the client-side report and the scraped /metrics.
+func assertSmokeInvariants(url string, rep *serve.LoadReport) error {
+	if rep.Requests == 0 {
+		return fmt.Errorf("loadtest: no requests completed")
+	}
+	if rep.Server5xx > 0 {
+		return fmt.Errorf("loadtest: %d unexpected 5xx responses", rep.Server5xx)
+	}
+	if rep.ByCode["200"] == 0 {
+		return fmt.Errorf("loadtest: nothing succeeded: %v", rep.ByCode)
+	}
+	fams, err := serve.ScrapeMetrics(url)
+	if err != nil {
+		return fmt.Errorf("loadtest: scraping /metrics: %w", err)
+	}
+	shed := familySum(fams, "maxwarp_serve_shed_total")
+	degraded := familySum(fams, "maxwarp_serve_degraded_total")
+	if shed == 0 {
+		return fmt.Errorf("loadtest: smoke run never shed load (shed_total = 0)")
+	}
+	if degraded == 0 {
+		return fmt.Errorf("loadtest: smoke run never degraded to the oracle (degraded_total = 0)")
+	}
+	fmt.Printf("smoke: OK (shed=%.0f degraded=%.0f, no 5xx)\n", shed, degraded)
+	return nil
+}
+
+func familySum(fams []report.MetricFamily, name string) float64 {
+	f := report.FamilyByName(fams, name)
+	if f == nil {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range f.Samples {
+		sum += s.Value
+	}
+	return sum
+}

@@ -25,6 +25,7 @@ var (
 	_ stepper = (*BFSRun)(nil)
 	_ stepper = (*SSSPRun)(nil)
 	_ stepper = (*PageRankRun)(nil)
+	_ stepper = (*CCRun)(nil)
 )
 
 func graphState(st *RunState, dg *DeviceGraph) {

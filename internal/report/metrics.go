@@ -321,3 +321,47 @@ func parseQuoted(s string) (string, string, error) {
 	}
 	return "", "", fmt.Errorf("report: unterminated quoted string in %q", s)
 }
+
+// FamilyByName returns the family with that name, or nil. A convenience for
+// scrape-side assertions (CI smoke checks, load-test gates) over the output
+// of ParsePromText.
+func FamilyByName(fams []MetricFamily, name string) *MetricFamily {
+	for i := range fams {
+		if fams[i].Name == name {
+			return &fams[i]
+		}
+	}
+	return nil
+}
+
+// SampleValue returns the value of the first sample in the named family
+// whose labels include every given pair, and whether one was found. With no
+// label arguments it matches the family's first sample.
+func SampleValue(fams []MetricFamily, name string, labels ...Label) (float64, bool) {
+	f := FamilyByName(fams, name)
+	if f == nil {
+		return 0, false
+	}
+	for _, s := range f.Samples {
+		if sampleHasLabels(s, labels) {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+func sampleHasLabels(s Sample, want []Label) bool {
+	for _, w := range want {
+		found := false
+		for _, l := range s.Labels {
+			if l.Name == w.Name && l.Value == w.Value {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,32 @@
+package report
+
+import "testing"
+
+func TestFamilyLookupHelpers(t *testing.T) {
+	fams := []MetricFamily{
+		{Name: "a_total", Type: "counter", Samples: []Sample{{Value: 3}}},
+		{Name: "b_total", Type: "counter", Samples: []Sample{
+			{Labels: []Label{{Name: "code", Value: "200"}, {Name: "algo", Value: "bfs"}}, Value: 5},
+			{Labels: []Label{{Name: "code", Value: "429"}}, Value: 7},
+		}},
+	}
+	if f := FamilyByName(fams, "a_total"); f == nil || f.Samples[0].Value != 3 {
+		t.Fatalf("FamilyByName(a_total) = %+v", f)
+	}
+	if f := FamilyByName(fams, "missing"); f != nil {
+		t.Fatalf("FamilyByName(missing) = %+v, want nil", f)
+	}
+	if v, ok := SampleValue(fams, "a_total"); !ok || v != 3 {
+		t.Fatalf("SampleValue(a_total) = %v, %v", v, ok)
+	}
+	if v, ok := SampleValue(fams, "b_total", Label{Name: "code", Value: "429"}); !ok || v != 7 {
+		t.Fatalf("SampleValue(b_total, 429) = %v, %v", v, ok)
+	}
+	// Partial label match: a subset of a sample's labels is enough.
+	if v, ok := SampleValue(fams, "b_total", Label{Name: "algo", Value: "bfs"}); !ok || v != 5 {
+		t.Fatalf("SampleValue(b_total, algo=bfs) = %v, %v", v, ok)
+	}
+	if _, ok := SampleValue(fams, "b_total", Label{Name: "code", Value: "500"}); ok {
+		t.Fatal("SampleValue matched a label value that does not exist")
+	}
+}

@@ -56,6 +56,60 @@ func BFS(d *simt.Device, g *graph.CSR, src graph.VertexID, opts gpualgo.Options,
 	return &BFSResult{Levels: levels, Depth: depth, Outcome: *out}, nil
 }
 
+// CCResult is a fault-tolerant connected-components answer.
+type CCResult struct {
+	// Labels maps each vertex to its component label (the minimum vertex id
+	// in the component), whichever engine produced it.
+	Labels []int32
+	// Components is the number of distinct labels.
+	Components int
+	// Outcome records retries, faults, and whether the result is degraded.
+	Outcome Outcome
+	// GPU carries the device run's stats and output (nil when Degraded).
+	GPU *gpualgo.CCResult
+}
+
+// CC uploads g and runs fault-tolerant min-label propagation: transient
+// kernel faults are retried per round from a checkpoint, and permanent
+// faults (or an exhausted retry budget) degrade to the CPU union-find
+// oracle unless pol.NoFallback is set. For weakly-connected components on
+// a directed graph pass the symmetrized graph, as with the device kernel.
+func CC(d *simt.Device, g *graph.CSR, opts gpualgo.Options, pol Policy) (*CCResult, error) {
+	pol = pol.withDefaults()
+	dg, err := gpualgo.UploadChecked(d, g)
+	if err != nil {
+		return nil, err
+	}
+	run, err := gpualgo.NewCCRun(d, dg, opts)
+	if err != nil {
+		return nil, err
+	}
+	run.Launch = pol.Launch
+	out, derr := Drive(pol, run)
+	if derr == nil {
+		res := run.Result()
+		return &CCResult{Labels: res.Labels, Components: countLabels(res.Labels), Outcome: *out, GPU: res}, nil
+	}
+	if pol.NoFallback {
+		return nil, derr
+	}
+	labels := cpualgo.ConnectedComponents(g)
+	out.Degraded = true
+	out.FallbackCause = derr
+	return &CCResult{Labels: labels, Components: countLabels(labels), Outcome: *out}, nil
+}
+
+// countLabels counts the distinct component labels in a min-label vector.
+func countLabels(labels []int32) int {
+	n := 0
+	for v, l := range labels {
+		if int32(v) == l {
+			n++
+		}
+	}
+	return n
+}
+
 // SSSPResult is a fault-tolerant shortest-paths answer.
 type SSSPResult struct {
 	// Dist holds each vertex's distance from the source (cpualgo.InfDist

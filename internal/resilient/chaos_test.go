@@ -347,6 +347,7 @@ func TestRunBackoffGrowsExponentially(t *testing.T) {
 		BaseBackoff: time.Millisecond,
 		MaxBackoff:  4 * time.Millisecond,
 		Sleep:       func(d time.Duration) { slept = append(slept, d) },
+		NoJitter:    true,
 	}
 	transient := &simt.KernelFault{Kind: simt.FaultBitFlip, Index: -1, Block: -1, Warp: -1, Lane: -1}
 	_, _, err := Run(pol, func(try int) (int, error) { return 0, transient }, func() (int, error) { return 1, nil })

@@ -11,9 +11,11 @@ package resilient
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"maxwarp/internal/simt"
+	"maxwarp/internal/xrand"
 )
 
 // Policy bounds how hard the runner tries before degrading to the CPU
@@ -36,7 +38,24 @@ type Policy struct {
 	// NoFallback disables CPU-oracle degradation: exhausting the retry
 	// budget returns the last error instead of a Degraded result.
 	NoFallback bool
+	// JitterSeed seeds the full-jitter randomization of backoff sleeps:
+	// each sleep is drawn uniformly from [0, backoff(try)] so that a pool
+	// of retry loops hammering one recovering device desynchronizes
+	// instead of retrying in lockstep (thundering herd). Zero derives a
+	// distinct deterministic seed per retry loop from a process-wide
+	// counter; set non-zero for a reproducible schedule in tests.
+	JitterSeed uint64
+	// NoJitter disables jitter: sleeps follow the exact exponential curve.
+	NoJitter bool
+
+	// rng drives the jitter; withDefaults seeds it lazily so Policy
+	// literals keep working.
+	rng *xrand.Rand
 }
+
+// jitterCounter derives distinct default jitter seeds for concurrent retry
+// loops that left JitterSeed at zero.
+var jitterCounter atomic.Uint64
 
 func (p Policy) withDefaults() Policy {
 	if p.MaxRetries == 0 {
@@ -50,6 +69,14 @@ func (p Policy) withDefaults() Policy {
 	}
 	if p.Sleep == nil {
 		p.Sleep = time.Sleep
+	}
+	if !p.NoJitter && p.rng == nil {
+		seed := p.JitterSeed
+		if seed == 0 {
+			// Offset so seed 0 never collides with an explicit JitterSeed.
+			seed = 0x9e3779b97f4a7c15 ^ jitterCounter.Add(1)
+		}
+		p.rng = xrand.New(seed)
 	}
 	return p
 }
@@ -67,6 +94,17 @@ func (p Policy) backoff(try int) time.Duration {
 		d = p.MaxBackoff
 	}
 	return d
+}
+
+// sleepFor returns the actual sleep before retry number try (1-based):
+// the exponential backoff cap with full jitter applied unless NoJitter.
+// Call only after withDefaults.
+func (p Policy) sleepFor(try int) time.Duration {
+	d := p.backoff(try)
+	if p.NoJitter || p.rng == nil || d <= 0 {
+		return d
+	}
+	return time.Duration(p.rng.Uint64n(uint64(d) + 1))
 }
 
 // FaultRecord logs one fault the runner observed and recovered from (or gave
@@ -129,7 +167,7 @@ func Run[T any](pol Policy, attempt func(try int) (T, error), fallback func() (T
 		}
 		if try <= pol.MaxRetries {
 			out.Retries++
-			pol.Sleep(pol.backoff(try))
+			pol.Sleep(pol.sleepFor(try))
 		}
 	}
 	if fallback == nil || pol.NoFallback {

@@ -44,7 +44,7 @@ func Drive(pol Policy, s Stepper) (*Outcome, error) {
 		}
 		cp.Restore()
 		out.Retries++
-		pol.Sleep(pol.backoff(attempt))
+		pol.Sleep(pol.sleepFor(attempt))
 		attempt++
 	}
 }

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit breaker state.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerHalfOpen
+	breakerOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "open"
+	}
+}
+
+// breaker guards one device. Closed passes everything; Threshold
+// consecutive failures (or one permanent fault) trip it open; after
+// Cooldown it lets exactly one probe request through (half-open) and closes
+// again only if the probe succeeds. A worker whose breaker is open does not
+// pull from the admission queue, so traffic routes to healthy devices.
+type breaker struct {
+	threshold    int
+	cooldown     time.Duration
+	now          func() time.Time
+	onTransition func(from, to breakerState)
+
+	mu       sync.Mutex
+	state    breakerState
+	consec   int
+	openedAt time.Time
+	probing  bool
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time, onTransition func(from, to breakerState)) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now, onTransition: onTransition}
+}
+
+func (b *breaker) transition(to breakerState) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	if b.onTransition != nil {
+		b.onTransition(from, to)
+	}
+}
+
+// Allow reports whether the guarded device may take a request now. In the
+// open state it flips to half-open once the cooldown has elapsed and admits
+// a single probe.
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.transition(breakerHalfOpen)
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a served request and closes the breaker.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consec = 0
+	b.probing = false
+	b.transition(breakerClosed)
+}
+
+// Failure records a device fault. A permanent fault (device loss,
+// deterministic kernel bug) trips immediately; transient faults trip after
+// threshold consecutive occurrences. A failed half-open probe re-opens.
+func (b *breaker) Failure(permanent bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consec++
+	b.probing = false
+	if b.state == breakerHalfOpen || permanent || b.consec >= b.threshold {
+		b.openedAt = b.now()
+		b.transition(breakerOpen)
+	}
+}
+
+// CancelProbe releases the half-open probe slot without a verdict (the
+// probe request expired before touching the device); the next Allow probes
+// again.
+func (b *breaker) CancelProbe() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+}
+
+// State returns the current state.
+func (b *breaker) State() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cachedResult is what the result cache stores: the computed payload plus
+// which engine produced it. Only clean (non-degraded) results are cached.
+type cachedResult struct {
+	payload *ResultPayload
+	engine  string
+}
+
+// resultCache is a small LRU keyed by (graph name, epoch, algo, params).
+// Keying on the graph epoch makes reloads self-invalidating: a reload bumps
+// the epoch, so every stale entry simply stops being addressable and ages
+// out of the LRU.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List
+	items map[string]*list.Element
+}
+
+type cacheItem struct {
+	key string
+	val cachedResult
+}
+
+// newResultCache returns a cache bounded to capacity entries; capacity <= 0
+// disables caching (Get always misses, Put drops).
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *resultCache) Get(key string) (cachedResult, bool) {
+	if c.cap <= 0 || key == "" {
+		return cachedResult{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return cachedResult{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).val, true
+}
+
+func (c *resultCache) Put(key string, val cachedResult) {
+	if c.cap <= 0 || key == "" {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheItem).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheItem{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheItem).key)
+	}
+}
+
+// Len returns the current entry count.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,271 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"maxwarp/internal/report"
+	"maxwarp/internal/simt"
+)
+
+// The chaos suite: the server under injected device faults and saturation
+// must keep its contract — every response is 200 (possibly degraded), 429
+// with a reason, or 503 while draining; no panics, no goroutine leaks, and
+// 200s stay correct against the CPU oracle.
+
+func TestServerSurvivesDeviceLossAndAborts(t *testing.T) {
+	cfg := testConfig()
+	cfg.Devices = 2
+	cfg.FaultPlans = map[int]*simt.FaultPlan{
+		// Device 0 dies mid-request, repeatedly (each fresh device gets the
+		// plan re-installed, so it keeps dying after every probe/recycle).
+		0: {Seed: 11, DeviceLossAfterCycles: 4000},
+		// Device 1 throws transient aborts that retries should absorb.
+		1: {Seed: 13, AbortEvery: 3},
+	}
+	cfg.BreakerCooldown = 30 * time.Millisecond
+	s, ts := startTestServer(t, cfg)
+
+	// Oracle references for correctness checks.
+	ng, _ := s.graphs.Get("wiki")
+	oracle := map[string]*ResultPayload{}
+	for _, algo := range []string{"bfs", "sssp", "cc"} {
+		rq := &request{ctx: context.Background(), algo: algo, graph: ng, src: ng.DefaultSource(), iters: 20, damping: 0.85, full: true}
+		p, err := oracleExecute(rq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle[algo] = p
+	}
+
+	algos := []string{"bfs", "sssp", "cc", "pagerank"}
+	const clients, perClient = 6, 5
+	var (
+		mu        sync.Mutex
+		codes     = map[int]int{}
+		degraded  int
+		badVector string
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				algo := algos[(c+i)%len(algos)]
+				body, _ := json.Marshal(QueryRequest{Algo: algo, Graph: "wiki", Full: true, NoCache: true})
+				resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+				if err != nil {
+					continue
+				}
+				func() {
+					defer resp.Body.Close()
+					mu.Lock()
+					defer mu.Unlock()
+					codes[resp.StatusCode]++
+					if resp.StatusCode != http.StatusOK {
+						return
+					}
+					var qr QueryResponse
+					if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+						badVector = "200 with undecodable body: " + err.Error()
+						return
+					}
+					if qr.Degraded {
+						degraded++
+					}
+					want := oracle[algo]
+					if want == nil {
+						return // pagerank: float comparison is covered elsewhere
+					}
+					var got, exp []int32
+					switch algo {
+					case "bfs":
+						got, exp = qr.Result.Levels, want.Levels
+					case "sssp":
+						got, exp = qr.Result.Dist, want.Dist
+					case "cc":
+						got, exp = qr.Result.Labels, want.Labels
+					}
+					for i := range got {
+						if got[i] != exp[i] {
+							badVector = algo + ": served result diverges from oracle"
+							return
+						}
+					}
+				}()
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	if badVector != "" {
+		t.Fatal(badVector)
+	}
+	for code := range codes {
+		if code != http.StatusOK && code != http.StatusTooManyRequests {
+			t.Fatalf("unexpected status under chaos: %v", codes)
+		}
+	}
+	if codes[http.StatusOK] == 0 {
+		t.Fatalf("no request succeeded under chaos: %v", codes)
+	}
+	if degraded == 0 {
+		t.Fatal("device 0 keeps dying: some requests should have degraded to the oracle")
+	}
+
+	// The breaker must have visibly tripped for the dying device.
+	fams, err := ScrapeMetrics(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := report.SampleValue(fams, "maxwarp_serve_breaker_transitions_total",
+		report.Label{Name: "device", Value: "0"}, report.Label{Name: "to", Value: "open"}); !ok || v < 1 {
+		t.Fatalf("breaker_transitions{device=0,to=open} = %v, %v; want >= 1", v, ok)
+	}
+	if v, ok := report.SampleValue(fams, "maxwarp_serve_degraded_total",
+		report.Label{Name: "reason", Value: "fault"}); !ok || v < 1 {
+		t.Fatalf("degraded_total{fault} = %v, %v; want >= 1", v, ok)
+	}
+	if v, ok := report.SampleValue(fams, "maxwarp_serve_device_recycles_total"); !ok || v < 1 {
+		t.Fatalf("recycles = %v, %v; lost devices must be replaced", v, ok)
+	}
+}
+
+func TestWholePoolDownDegradesToOracleLoop(t *testing.T) {
+	cfg := testConfig()
+	cfg.Devices = 1
+	// Die almost immediately and on every successor device.
+	cfg.FaultPlans = map[int]*simt.FaultPlan{-1: {Seed: 7, DeviceLossAfterCycles: 500}}
+	cfg.BreakerCooldown = 200 * time.Millisecond
+	_, ts := startTestServer(t, cfg)
+
+	sawPoolDegrade := false
+	for i := 0; i < 8; i++ {
+		resp, qr := postQuery(t, ts.URL, QueryRequest{Algo: "bfs", Graph: "wiki", NoCache: true})
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("status %d under total pool loss", resp.StatusCode)
+		}
+		if qr != nil && qr.Degraded && qr.Device == -1 {
+			sawPoolDegrade = true
+		}
+	}
+	if !sawPoolDegrade {
+		t.Fatal("with every device dying, the oracle-of-last-resort loop should have served something")
+	}
+	// readyz stays 200 but reports degraded mode once the breaker is open.
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz %d; a degraded pool is still ready", resp.StatusCode)
+	}
+}
+
+func TestQueueSaturationShedsInsteadOfCollapsing(t *testing.T) {
+	cfg := testConfig()
+	cfg.Devices = 1
+	cfg.QueueDepth = 2
+	_, ts := startTestServer(t, cfg)
+
+	const n = 16
+	codes := make(chan int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, _ := json.Marshal(QueryRequest{Algo: "pagerank", Graph: "wiki", NoCache: true})
+			resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+			if err != nil {
+				codes <- -1
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode == http.StatusTooManyRequests && resp.Header.Get("Retry-After") == "" {
+				codes <- -2
+				return
+			}
+			codes <- resp.StatusCode
+		}()
+	}
+	wg.Wait()
+	close(codes)
+	counts := map[int]int{}
+	for c := range codes {
+		counts[c]++
+	}
+	if counts[-2] > 0 {
+		t.Fatal("429 responses must carry Retry-After")
+	}
+	if counts[http.StatusOK] == 0 {
+		t.Fatalf("saturation starved everyone: %v", counts)
+	}
+	if counts[http.StatusTooManyRequests] == 0 {
+		t.Fatalf("16 concurrent requests against queue depth 2 never shed: %v", counts)
+	}
+	for c := range counts {
+		if c != http.StatusOK && c != http.StatusTooManyRequests && c != -1 {
+			t.Fatalf("unexpected status under saturation: %v", counts)
+		}
+	}
+}
+
+// TestChaosDrainLeavesNoGoroutines serves chaotic traffic, drains, and
+// checks the goroutine count returns to its baseline — the leak check for
+// workers, the degrade loop, and blocked handlers.
+func TestChaosDrainLeavesNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	cfg := testConfig()
+	cfg.FaultPlans = map[int]*simt.FaultPlan{0: {Seed: 3, DeviceLossAfterCycles: 2000}}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			algo := []string{"bfs", "cc", "sssp", "pagerank"}[i%4]
+			body, _ := json.Marshal(QueryRequest{Algo: algo, Graph: "wiki", NoCache: true})
+			resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+			if err == nil {
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	ts.Close()
+
+	// Goroutine counts settle asynchronously (http keep-alives, timers).
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines: %d before, %d after drain\n%s", before, runtime.NumGoroutine(), buf[:n])
+}

@@ -1,0 +1,219 @@
+// Package serve is the fault-tolerant graph-analytics service layer: a
+// stdlib net/http daemon that owns a pool of simulated devices and
+// multiplexes concurrent BFS/SSSP/PageRank/CC queries over named pre-loaded
+// graphs. Robustness is the point — the package layers a bounded admission
+// queue with load shedding, per-tenant token-bucket quotas, request
+// deadlines propagated into kernel launch budgets, per-device circuit
+// breakers that route around sick devices (degrading to the CPU oracle when
+// the whole pool is unhealthy), a result cache keyed by graph epoch, and
+// graceful drain on shutdown. See docs/SERVICE.md.
+package serve
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+
+	"maxwarp/internal/gengraph"
+	"maxwarp/internal/graph"
+)
+
+// GraphSpec names one graph the server pre-loads at startup: either a
+// synthetic preset at a scale, or a DIMACS file.
+type GraphSpec struct {
+	// Name is the handle queries use.
+	Name string
+	// Preset is a gengraph preset name ("LiveJournal-like", …); exclusive
+	// with File.
+	Preset string
+	// Scale is the preset size exponent (|V| ≈ 2^Scale).
+	Scale int
+	// Seed seeds the generator (and the edge-weight synthesis). Zero picks
+	// a fixed default so specs stay reproducible.
+	Seed uint64
+	// File is a DIMACS .gr path to load instead of generating.
+	File string
+}
+
+// ParseGraphSpec parses the CLI form "name=Preset:scale[:seed]" or
+// "name=@file.gr".
+func ParseGraphSpec(arg string) (GraphSpec, error) {
+	name, rest, ok := strings.Cut(arg, "=")
+	if !ok || name == "" || rest == "" {
+		return GraphSpec{}, fmt.Errorf("serve: graph spec %q: want name=Preset:scale or name=@file", arg)
+	}
+	spec := GraphSpec{Name: name}
+	if strings.HasPrefix(rest, "@") {
+		spec.File = strings.TrimPrefix(rest, "@")
+		return spec, nil
+	}
+	parts := strings.Split(rest, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return GraphSpec{}, fmt.Errorf("serve: graph spec %q: want name=Preset:scale[:seed]", arg)
+	}
+	spec.Preset = parts[0]
+	scale, err := strconv.Atoi(parts[1])
+	if err != nil || scale < 1 || scale > 24 {
+		return GraphSpec{}, fmt.Errorf("serve: graph spec %q: bad scale %q", arg, parts[1])
+	}
+	spec.Scale = scale
+	if len(parts) == 3 {
+		seed, err := strconv.ParseUint(parts[2], 10, 64)
+		if err != nil {
+			return GraphSpec{}, fmt.Errorf("serve: graph spec %q: bad seed %q", arg, parts[2])
+		}
+		spec.Seed = seed
+	}
+	return spec, nil
+}
+
+// build materializes the spec. epoch perturbs the seed so Reload produces a
+// fresh instance of the same regime.
+func (s GraphSpec) build(epoch int64) (*NamedGraph, error) {
+	seed := s.Seed
+	if seed == 0 {
+		seed = 42
+	}
+	seed += uint64(epoch) * 0x9e3779b9
+
+	var g *graph.CSR
+	var weights []int32
+	switch {
+	case s.File != "":
+		f, err := os.Open(s.File)
+		if err != nil {
+			return nil, fmt.Errorf("serve: graph %q: %w", s.Name, err)
+		}
+		defer f.Close()
+		g, weights, err = graph.ReadDIMACS(f)
+		if err != nil {
+			return nil, fmt.Errorf("serve: graph %q: %w", s.Name, err)
+		}
+	case s.Preset != "":
+		p, err := gengraph.PresetByName(s.Preset)
+		if err != nil {
+			return nil, fmt.Errorf("serve: graph %q: %w", s.Name, err)
+		}
+		g, err = p.Build(s.Scale, seed)
+		if err != nil {
+			return nil, fmt.Errorf("serve: graph %q: %w", s.Name, err)
+		}
+	default:
+		return nil, fmt.Errorf("serve: graph %q: spec has neither Preset nor File", s.Name)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: graph %q: %w", s.Name, err)
+	}
+	if weights == nil {
+		weights = gengraph.EdgeWeights(g, 16, seed^0x5bf03635)
+	}
+	return &NamedGraph{Name: s.Name, Epoch: epoch, G: g, Weights: weights}, nil
+}
+
+// NamedGraph is one immutable loaded graph. Reload swaps the whole value,
+// so the lazily derived views (default source, symmetrized copy) are
+// computed at most once per epoch and never race.
+type NamedGraph struct {
+	// Name is the registry handle.
+	Name string
+	// Epoch counts reloads; it is part of every cache key, so a reload
+	// implicitly invalidates stale cached results.
+	Epoch int64
+	// G is the graph in CSR form.
+	G *graph.CSR
+	// Weights are per-edge weights for SSSP (generated when the source had
+	// none).
+	Weights []int32
+
+	srcOnce sync.Once
+	src     graph.VertexID
+	symOnce sync.Once
+	sym     *graph.CSR
+	symErr  error
+}
+
+// DefaultSource returns the query source used when the client does not pick
+// one: a seed inside the largest out-component, so BFS/SSSP reach a
+// meaningful fraction of the graph.
+func (ng *NamedGraph) DefaultSource() graph.VertexID {
+	ng.srcOnce.Do(func() { ng.src = graph.LargestOutComponentSeed(ng.G) })
+	return ng.src
+}
+
+// Sym returns the symmetrized view used by connected components, computed
+// once per epoch.
+func (ng *NamedGraph) Sym() (*graph.CSR, error) {
+	ng.symOnce.Do(func() { ng.sym, ng.symErr = ng.G.Symmetrize() })
+	return ng.sym, ng.symErr
+}
+
+// Registry holds the server's named graphs.
+type Registry struct {
+	mu     sync.RWMutex
+	specs  map[string]GraphSpec
+	byName map[string]*NamedGraph
+	order  []string
+}
+
+// LoadGraphs builds every spec eagerly so a bad spec fails startup, not the
+// first query.
+func LoadGraphs(specs []GraphSpec) (*Registry, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("serve: no graphs configured")
+	}
+	r := &Registry{
+		specs:  make(map[string]GraphSpec, len(specs)),
+		byName: make(map[string]*NamedGraph, len(specs)),
+	}
+	for _, spec := range specs {
+		if _, dup := r.specs[spec.Name]; dup {
+			return nil, fmt.Errorf("serve: duplicate graph name %q", spec.Name)
+		}
+		ng, err := spec.build(0)
+		if err != nil {
+			return nil, err
+		}
+		r.specs[spec.Name] = spec
+		r.byName[spec.Name] = ng
+		r.order = append(r.order, spec.Name)
+	}
+	return r, nil
+}
+
+// Get returns the current epoch of the named graph.
+func (r *Registry) Get(name string) (*NamedGraph, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ng, ok := r.byName[name]
+	return ng, ok
+}
+
+// Names lists the registered graphs in declaration order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.order...)
+}
+
+// Reload rebuilds the named graph with a perturbed seed and bumps its
+// epoch. In-flight queries keep the epoch they resolved; new queries (and
+// the result cache, which keys on epoch) see the fresh graph.
+func (r *Registry) Reload(name string) (*NamedGraph, error) {
+	r.mu.Lock()
+	spec, ok := r.specs[name]
+	old := r.byName[name]
+	r.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown graph %q", name)
+	}
+	ng, err := spec.build(old.Epoch + 1)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.byName[name] = ng
+	r.mu.Unlock()
+	return ng, nil
+}

@@ -1,0 +1,316 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"maxwarp/internal/report"
+	"maxwarp/internal/xrand"
+)
+
+// MixItem is one entry of a synthetic query mix: an algorithm on a named
+// graph, drawn with the given weight.
+type MixItem struct {
+	Algo   string `json:"algo"`
+	Graph  string `json:"graph"`
+	Weight int    `json:"weight"`
+}
+
+// ParseMix parses "bfs@wiki=3,pagerank@road" (weight defaults to 1).
+func ParseMix(spec string) ([]MixItem, error) {
+	var mix []MixItem
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		item := MixItem{Weight: 1}
+		if at := strings.IndexByte(part, '='); at >= 0 {
+			if _, err := fmt.Sscanf(part[at+1:], "%d", &item.Weight); err != nil || item.Weight < 1 {
+				return nil, fmt.Errorf("serve: mix %q: bad weight", part)
+			}
+			part = part[:at]
+		}
+		algo, g, ok := strings.Cut(part, "@")
+		if !ok || algo == "" || g == "" {
+			return nil, fmt.Errorf("serve: mix entry %q: want algo@graph[=weight]", part)
+		}
+		item.Algo, item.Graph = algo, g
+		mix = append(mix, item)
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("serve: empty mix %q", spec)
+	}
+	return mix, nil
+}
+
+// LoadOptions drives a synthetic load run against a serve daemon.
+type LoadOptions struct {
+	// URL is the server base URL (e.g. "http://127.0.0.1:8080").
+	URL string
+	// Mix is the weighted query mix.
+	Mix []MixItem
+	// Duration bounds the run (default 5s).
+	Duration time.Duration
+	// QPS is the target offered rate (default 50).
+	QPS float64
+	// Concurrency is the sender pool size (default 8).
+	Concurrency int
+	// Tenants spreads requests across that many synthetic tenants
+	// (default 1).
+	Tenants int
+	// DeadlineMin/Max bound the per-request deadline spread; zero means the
+	// server default (no deadline_ms sent).
+	DeadlineMin, DeadlineMax time.Duration
+	// NoCacheFraction is the fraction of requests sent with no_cache
+	// (default 0: let the cache work).
+	NoCacheFraction float64
+	// Seed makes the mix draw and deadline spread reproducible (default 1).
+	Seed uint64
+	// Client overrides the HTTP client (default: 1-minute timeout).
+	Client *http.Client
+}
+
+func (o LoadOptions) withDefaults() LoadOptions {
+	if o.Duration == 0 {
+		o.Duration = 5 * time.Second
+	}
+	if o.QPS == 0 {
+		o.QPS = 50
+	}
+	if o.Concurrency == 0 {
+		o.Concurrency = 8
+	}
+	if o.Tenants == 0 {
+		o.Tenants = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: time.Minute}
+	}
+	return o
+}
+
+// LoadReport summarizes one load run. All latencies are milliseconds.
+type LoadReport struct {
+	Requests  int64            `json:"requests"`
+	Errors    int64            `json:"transport_errors"`
+	ByCode    map[string]int64 `json:"by_code"`
+	ShedBy    map[string]int64 `json:"shed_by_reason"`
+	Server5xx int64            `json:"server_5xx"`
+	Degraded  int64            `json:"degraded"`
+	Cached    int64            `json:"cached"`
+
+	DurationSec float64 `json:"duration_sec"`
+	OfferedQPS  float64 `json:"offered_qps"`
+	AchievedQPS float64 `json:"achieved_qps"`
+
+	P50Millis float64 `json:"p50_ms"`
+	P95Millis float64 `json:"p95_ms"`
+	P99Millis float64 `json:"p99_ms"`
+	MaxMillis float64 `json:"max_ms"`
+}
+
+// Load runs a paced synthetic workload against the server and aggregates
+// the outcome. It never fails on HTTP-level responses (those are the data);
+// it returns an error only when the run cannot execute at all.
+func Load(ctx context.Context, opts LoadOptions) (*LoadReport, error) {
+	opts = opts.withDefaults()
+	if len(opts.Mix) == 0 {
+		return nil, fmt.Errorf("serve: load test needs a mix")
+	}
+	totalWeight := 0
+	for _, m := range opts.Mix {
+		totalWeight += m.Weight
+	}
+
+	rep := &LoadReport{
+		ByCode:     make(map[string]int64),
+		ShedBy:     make(map[string]int64),
+		OfferedQPS: opts.QPS,
+	}
+	var mu sync.Mutex
+	var lats []float64
+
+	ctx, cancel := context.WithTimeout(ctx, opts.Duration)
+	defer cancel()
+
+	jobs := make(chan QueryRequest)
+	var wg sync.WaitGroup
+	for i := 0; i < opts.Concurrency; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for q := range jobs {
+				body, _ := json.Marshal(q)
+				t0 := time.Now()
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, opts.URL+"/v1/query", bytes.NewReader(body))
+				if err != nil {
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := opts.Client.Do(req)
+				lat := float64(time.Since(t0)) / float64(time.Millisecond)
+				mu.Lock()
+				rep.Requests++
+				if err != nil {
+					if ctx.Err() == nil {
+						rep.Errors++
+					}
+					mu.Unlock()
+					continue
+				}
+				rep.ByCode[fmt.Sprint(resp.StatusCode)]++
+				if resp.StatusCode >= 500 && resp.StatusCode != http.StatusServiceUnavailable {
+					rep.Server5xx++
+				}
+				if reason := resp.Header.Get("X-Maxwarp-Reason"); reason != "" {
+					rep.ShedBy[reason]++
+				}
+				if resp.StatusCode == http.StatusOK {
+					var qr QueryResponse
+					if derr := json.NewDecoder(resp.Body).Decode(&qr); derr == nil {
+						if qr.Degraded {
+							rep.Degraded++
+						}
+						if qr.Cached {
+							rep.Cached++
+						}
+					}
+					lats = append(lats, lat)
+				}
+				mu.Unlock()
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+
+	// Pace the offered load: one draw per tick, dropped (counted as shed by
+	// the server, not here) only if every sender is busy past the queue.
+	rng := xrand.New(opts.Seed)
+	interval := time.Duration(float64(time.Second) / opts.QPS)
+	tick := time.NewTicker(interval)
+	start := time.Now()
+pace:
+	for {
+		select {
+		case <-ctx.Done():
+			break pace
+		case <-tick.C:
+			q := drawQuery(rng, opts, totalWeight)
+			select {
+			case jobs <- q:
+			case <-ctx.Done():
+				break pace
+			}
+		}
+	}
+	tick.Stop()
+	close(jobs)
+	wg.Wait()
+
+	rep.DurationSec = time.Since(start).Seconds()
+	if rep.DurationSec > 0 {
+		rep.AchievedQPS = float64(rep.Requests) / rep.DurationSec
+	}
+	sort.Float64s(lats)
+	rep.P50Millis = percentile(lats, 0.50)
+	rep.P95Millis = percentile(lats, 0.95)
+	rep.P99Millis = percentile(lats, 0.99)
+	if len(lats) > 0 {
+		rep.MaxMillis = lats[len(lats)-1]
+	}
+	return rep, nil
+}
+
+func drawQuery(rng *xrand.Rand, opts LoadOptions, totalWeight int) QueryRequest {
+	pick := int(rng.Uint64n(uint64(totalWeight)))
+	var item MixItem
+	for _, m := range opts.Mix {
+		pick -= m.Weight
+		if pick < 0 {
+			item = m
+			break
+		}
+	}
+	q := QueryRequest{
+		Algo:   item.Algo,
+		Graph:  item.Graph,
+		Tenant: fmt.Sprintf("tenant-%d", rng.Uint64n(uint64(opts.Tenants))),
+	}
+	if opts.DeadlineMax > opts.DeadlineMin && opts.DeadlineMin >= 0 {
+		spread := uint64(opts.DeadlineMax - opts.DeadlineMin)
+		q.DeadlineMillis = int64((opts.DeadlineMin + time.Duration(rng.Uint64n(spread))) / time.Millisecond)
+		if q.DeadlineMillis < 1 {
+			q.DeadlineMillis = 1
+		}
+	}
+	if opts.NoCacheFraction > 0 && rng.Float64() < opts.NoCacheFraction {
+		q.NoCache = true
+	}
+	return q
+}
+
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// WaitReady polls /readyz until the server answers 200 or the timeout
+// expires.
+func WaitReady(url string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url + "/readyz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			lastErr = fmt.Errorf("readyz: %s", resp.Status)
+		} else {
+			lastErr = err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("serve: server not ready after %v: %w", timeout, lastErr)
+}
+
+// ScrapeMetrics fetches and parses the server's /metrics exposition.
+func ScrapeMetrics(url string) ([]report.MetricFamily, error) {
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	text, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serve: /metrics: %s", resp.Status)
+	}
+	return report.ParsePromText(string(text))
+}

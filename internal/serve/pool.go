@@ -1,0 +1,520 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"maxwarp/internal/cpualgo"
+	"maxwarp/internal/gpualgo"
+	"maxwarp/internal/resilient"
+	"maxwarp/internal/simt"
+)
+
+// dgVariant distinguishes the uploaded forms of a graph a worker caches:
+// plain CSR (BFS, PageRank pulls its own), weighted (SSSP), symmetrized
+// (CC).
+type dgVariant int
+
+const (
+	dgPlain dgVariant = iota
+	dgWeighted
+	dgSym
+)
+
+type dgKey struct {
+	name    string
+	epoch   int64
+	variant dgVariant
+}
+
+// deviceWorker owns one simulated device: it pulls requests from the shared
+// admission queue whenever its breaker allows, executes them with the
+// resilient retry driver, and recreates the device after a loss or on the
+// periodic recycle schedule (the simulator's buffer registry is append-only,
+// so a long-lived daemon must swap devices to bound growth).
+type deviceWorker struct {
+	s     *Server
+	id    int
+	idStr string
+	brk   *breaker
+	plan  *simt.FaultPlan
+
+	// dev and dgs belong to the worker goroutine (plus pre-Start setup).
+	dev *simt.Device
+	dgs map[dgKey]*gpualgo.DeviceGraph
+
+	served   atomic.Int64
+	recycled atomic.Int64
+	lost     atomic.Bool
+}
+
+func (s *Server) newWorker(id int) (*deviceWorker, error) {
+	w := &deviceWorker{s: s, id: id, idStr: strconv.Itoa(id)}
+	if p, ok := s.cfg.FaultPlans[id]; ok {
+		w.plan = p
+	} else if p, ok := s.cfg.FaultPlans[-1]; ok {
+		w.plan = p
+	}
+	w.brk = newBreaker(s.cfg.BreakerThreshold, s.cfg.BreakerCooldown, s.cfg.now, func(from, to breakerState) {
+		s.met.breakerTransitions.With(w.idStr, to.String()).Inc()
+		s.cfg.Logf("serve: device %d breaker %s -> %s", id, from, to)
+	})
+	s.met.breakerState.Register(func() float64 { return float64(w.brk.State()) }, w.idStr)
+	if err := w.freshDevice(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// freshDevice replaces the worker's device with a new one and re-installs
+// the fault plan. A fresh device also resets the plan's cumulative
+// device-loss cycle budget, which is what lets a half-open probe succeed
+// after an injected loss instead of dying again on the first launch.
+func (w *deviceWorker) freshDevice() error {
+	dev, err := simt.NewDevice(*w.s.cfg.DeviceConfig)
+	if err != nil {
+		return fmt.Errorf("serve: device %d: %w", w.id, err)
+	}
+	if w.plan != nil {
+		plan := *w.plan
+		dev.SetFaultPlan(&plan)
+	}
+	w.dev = dev
+	w.dgs = make(map[dgKey]*gpualgo.DeviceGraph)
+	w.lost.Store(false)
+	return nil
+}
+
+// verdict is serveOne's report to the breaker.
+type verdict int
+
+const (
+	verdictSuccess verdict = iota
+	verdictFailure
+	verdictPermanentFailure
+	verdictNeutral // request expired before touching the device
+)
+
+func (w *deviceWorker) loop() {
+	defer w.s.wg.Done()
+	for {
+		if !w.brk.Allow() {
+			select {
+			case <-w.s.stop:
+				return
+			case <-time.After(w.s.cfg.BreakerCooldown / 8):
+			}
+			continue
+		}
+		// Entering service (possibly as a half-open probe): a lost device
+		// can never serve again, so swap it first.
+		if w.dev.Lost() {
+			if err := w.freshDevice(); err != nil {
+				w.s.cfg.Logf("serve: device %d: recreate failed: %v", w.id, err)
+				w.brk.Failure(true)
+				continue
+			}
+			w.recycled.Add(1)
+			w.s.met.recycles.Inc()
+		}
+		select {
+		case <-w.s.stop:
+			return
+		case rq := <-w.s.queue:
+			switch w.serveOne(rq) {
+			case verdictSuccess:
+				w.brk.Success()
+			case verdictFailure:
+				w.brk.Failure(false)
+			case verdictPermanentFailure:
+				w.brk.Failure(true)
+			default:
+				w.brk.CancelProbe()
+			}
+		}
+	}
+}
+
+// serveOne executes one admitted request on this worker's device, falling
+// back to the CPU oracle when the device run fails permanently, and always
+// sends exactly one reply.
+func (w *deviceWorker) serveOne(rq *request) verdict {
+	met := w.s.met
+	wait := w.s.cfg.now().Sub(rq.enqueued)
+	met.queueWait.Observe(wait.Microseconds())
+
+	if rq.ctx.Err() != nil {
+		// Expired while queued: cancelled before any launch.
+		rq.reply <- &reply{status: http.StatusTooManyRequests, reason: ReasonDeadline, retryAfter: 1}
+		return verdictNeutral
+	}
+
+	t0 := w.s.cfg.now()
+	payload, out, err := w.execute(rq)
+	exec := w.s.cfg.now().Sub(t0)
+	if out != nil {
+		met.retries.Add(int64(out.Retries))
+		for _, f := range out.Faults {
+			met.faults.With(faultClass(f.Err)).Inc()
+		}
+	}
+	w.served.Add(1)
+	if w.dev.Lost() {
+		w.lost.Store(true)
+	}
+
+	if err == nil {
+		met.simCycles.With(w.idStr).Add(payload.SimCycles)
+		resp := &QueryResponse{
+			Algo: rq.algo, Graph: rq.graph.Name, Epoch: rq.graph.Epoch,
+			Engine: "gpu", Device: w.id,
+			Retries:         outRetries(out),
+			Faults:          faultStrings(out),
+			QueueWaitMillis: float64(wait) / float64(time.Millisecond),
+			ExecMillis:      float64(exec) / float64(time.Millisecond),
+			Result:          *payload,
+		}
+		rq.reply <- &reply{status: http.StatusOK, resp: resp}
+		if rq.cacheKey != "" {
+			w.s.cache.Put(rq.cacheKey, cachedResult{payload: payload, engine: "gpu"})
+		}
+		w.maybeRecycle()
+		return verdictSuccess
+	}
+
+	// The deadline expiring mid-run is the request's fault, not the
+	// device's: shed it without a breaker verdict. Every request carries a
+	// deadline, so a launch-timeout here means the MaxCycles clamp fired.
+	if rq.ctx.Err() != nil || errors.Is(err, simt.ErrLaunchCancelled) || errors.Is(err, simt.ErrLaunchTimeout) {
+		rq.reply <- &reply{status: http.StatusTooManyRequests, reason: ReasonDeadline, retryAfter: 1}
+		return verdictNeutral
+	}
+
+	// Device fault: degrade this request to the CPU oracle.
+	w.s.cfg.Logf("serve: device %d: %s on %q failed: %v (degrading to oracle)", w.id, rq.algo, rq.graph.Name, err)
+	permanent := errors.Is(err, simt.ErrDeviceLost) || !simt.IsTransient(err)
+	v := verdictFailure
+	if permanent {
+		v = verdictPermanentFailure
+	}
+	// oracleExecute only fails when the request context expired.
+	payload, oerr := oracleExecute(rq)
+	if oerr != nil {
+		rq.reply <- &reply{status: http.StatusTooManyRequests, reason: ReasonDeadline, retryAfter: 1}
+		return v
+	}
+	met.degraded.With("fault").Inc()
+	resp := &QueryResponse{
+		Algo: rq.algo, Graph: rq.graph.Name, Epoch: rq.graph.Epoch,
+		Engine: "oracle", Degraded: true, Device: w.id,
+		Retries:         outRetries(out),
+		Faults:          faultStrings(out),
+		QueueWaitMillis: float64(wait) / float64(time.Millisecond),
+		ExecMillis:      float64(w.s.cfg.now().Sub(t0)) / float64(time.Millisecond),
+		Result:          *payload,
+	}
+	rq.reply <- &reply{status: http.StatusOK, resp: resp}
+	return v
+}
+
+// maybeRecycle swaps in a fresh device after RecycleEvery served requests,
+// bounding the append-only buffer registry of a long-lived device.
+func (w *deviceWorker) maybeRecycle() {
+	every := w.s.cfg.RecycleEvery
+	if every <= 0 {
+		return
+	}
+	if w.served.Load()%every == 0 {
+		if err := w.freshDevice(); err != nil {
+			w.s.cfg.Logf("serve: device %d: recycle failed: %v", w.id, err)
+			return
+		}
+		w.recycled.Add(1)
+		w.s.met.recycles.Inc()
+	}
+}
+
+func outRetries(out *resilient.Outcome) int {
+	if out == nil {
+		return 0
+	}
+	return out.Retries
+}
+
+func faultStrings(out *resilient.Outcome) []string {
+	if out == nil || len(out.Faults) == 0 {
+		return nil
+	}
+	fs := make([]string, 0, len(out.Faults))
+	for _, f := range out.Faults {
+		fs = append(fs, faultClass(f.Err))
+	}
+	return fs
+}
+
+// deviceGraph returns the uploaded form of the request's graph, uploading
+// on first use per (graph, epoch, variant) and reusing it until the device
+// is recycled.
+func (w *deviceWorker) deviceGraph(ng *NamedGraph, variant dgVariant) (*gpualgo.DeviceGraph, error) {
+	key := dgKey{name: ng.Name, epoch: ng.Epoch, variant: variant}
+	if dg, ok := w.dgs[key]; ok {
+		return dg, nil
+	}
+	var dg *gpualgo.DeviceGraph
+	var err error
+	switch variant {
+	case dgWeighted:
+		dg, err = gpualgo.UploadWeighted(w.dev, ng.G, ng.Weights)
+	case dgSym:
+		sym, serr := ng.Sym()
+		if serr != nil {
+			return nil, serr
+		}
+		dg, err = gpualgo.UploadChecked(w.dev, sym)
+	default:
+		dg, err = gpualgo.UploadChecked(w.dev, ng.G)
+	}
+	if err != nil {
+		return nil, err
+	}
+	w.dgs[key] = dg
+	return dg, nil
+}
+
+// execute runs the request's algorithm on this worker's device under the
+// resilient retry driver, with the request deadline propagated into every
+// launch.
+func (w *deviceWorker) execute(rq *request) (*ResultPayload, *resilient.Outcome, error) {
+	pol := w.s.cfg.Retry
+	pol.Launch = w.s.launchOpts(rq.ctx)
+	opts := gpualgo.Options{K: rq.k}
+
+	switch rq.algo {
+	case "bfs":
+		dg, err := w.deviceGraph(rq.graph, dgPlain)
+		if err != nil {
+			return nil, nil, err
+		}
+		run, err := gpualgo.NewBFSRun(w.dev, dg, rq.src, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		run.Launch = pol.Launch
+		out, err := resilient.Drive(pol, run)
+		if err != nil {
+			return nil, out, err
+		}
+		res := run.Result()
+		p := bfsPayload(res.Levels, res.Iterations, rq.full)
+		p.SimCycles = res.Stats.Cycles
+		return p, out, nil
+
+	case "sssp":
+		dg, err := w.deviceGraph(rq.graph, dgWeighted)
+		if err != nil {
+			return nil, nil, err
+		}
+		run, err := gpualgo.NewSSSPRun(w.dev, dg, rq.src, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		run.Launch = pol.Launch
+		out, err := resilient.Drive(pol, run)
+		if err != nil {
+			return nil, out, err
+		}
+		res := run.Result()
+		p := ssspPayload(res.Dist, res.Iterations, rq.full)
+		p.SimCycles = res.Stats.Cycles
+		return p, out, nil
+
+	case "pagerank":
+		run, err := gpualgo.NewPageRankRun(w.dev, rq.graph.G, gpualgo.PageRankOptions{
+			Options: opts, Damping: float32(rq.damping), Iterations: rq.iters,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		run.Launch = pol.Launch
+		out, err := resilient.Drive(pol, run)
+		if err != nil {
+			return nil, out, err
+		}
+		res := run.Result()
+		p := pagerankPayload(res.Ranks, res.Iterations, rq.full)
+		p.SimCycles = res.Stats.Cycles
+		return p, out, nil
+
+	case "cc":
+		dg, err := w.deviceGraph(rq.graph, dgSym)
+		if err != nil {
+			return nil, nil, err
+		}
+		run, err := gpualgo.NewCCRun(w.dev, dg, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		run.Launch = pol.Launch
+		out, err := resilient.Drive(pol, run)
+		if err != nil {
+			return nil, out, err
+		}
+		res := run.Result()
+		p := ccPayload(res.Labels, res.Iterations, rq.full)
+		p.SimCycles = res.Stats.Cycles
+		return p, out, nil
+	}
+	return nil, nil, fmt.Errorf("serve: unknown algo %q", rq.algo)
+}
+
+// degradeLoop is the oracle of last resort: while every device breaker is
+// open it pulls from the admission queue and answers on the CPU, so a fully
+// sick pool degrades instead of queueing to the deadline.
+func (s *Server) degradeLoop() {
+	defer s.wg.Done()
+	tick := s.cfg.BreakerCooldown / 4
+	if tick <= 0 {
+		tick = 50 * time.Millisecond
+	}
+	for {
+		if s.healthyDevices() > 0 {
+			select {
+			case <-s.stop:
+				return
+			case <-time.After(tick):
+			}
+			continue
+		}
+		select {
+		case <-s.stop:
+			return
+		case <-time.After(tick):
+		case rq := <-s.queue:
+			s.serveOracle(rq)
+		}
+	}
+}
+
+// serveOracle answers one request on the CPU because no device was
+// available.
+func (s *Server) serveOracle(rq *request) {
+	wait := s.cfg.now().Sub(rq.enqueued)
+	s.met.queueWait.Observe(wait.Microseconds())
+	if rq.ctx.Err() != nil {
+		rq.reply <- &reply{status: http.StatusTooManyRequests, reason: ReasonDeadline, retryAfter: 1}
+		return
+	}
+	t0 := s.cfg.now()
+	payload, err := oracleExecute(rq)
+	if err != nil {
+		rq.reply <- &reply{status: http.StatusTooManyRequests, reason: ReasonDeadline, retryAfter: 1}
+		return
+	}
+	s.met.degraded.With("pool").Inc()
+	rq.reply <- &reply{status: http.StatusOK, resp: &QueryResponse{
+		Algo: rq.algo, Graph: rq.graph.Name, Epoch: rq.graph.Epoch,
+		Engine: "oracle", Degraded: true, Device: -1,
+		QueueWaitMillis: float64(wait) / float64(time.Millisecond),
+		ExecMillis:      float64(s.cfg.now().Sub(t0)) / float64(time.Millisecond),
+		Result:          *payload,
+	}}
+}
+
+// oracleExecute answers the request with the CPU reference implementation.
+func oracleExecute(rq *request) (*ResultPayload, error) {
+	if err := rq.ctx.Err(); err != nil {
+		return nil, err
+	}
+	g := rq.graph.G
+	switch rq.algo {
+	case "bfs":
+		return bfsPayload(cpualgo.BFSSequential(g, rq.src), 0, rq.full), nil
+	case "sssp":
+		return ssspPayload(cpualgo.SSSPDijkstra(g, rq.graph.Weights, rq.src), 0, rq.full), nil
+	case "pagerank":
+		ranks64, iters := cpualgo.PageRank(g, cpualgo.PageRankOptions{
+			Damping:   rq.damping,
+			MaxIters:  rq.iters,
+			Tolerance: 1e-300, // fixed iteration count, matching the device
+		})
+		ranks := make([]float32, len(ranks64))
+		for i, r := range ranks64 {
+			ranks[i] = float32(r)
+		}
+		return pagerankPayload(ranks, iters, rq.full), nil
+	case "cc":
+		sym, err := rq.graph.Sym()
+		if err != nil {
+			return nil, err
+		}
+		return ccPayload(cpualgo.ConnectedComponents(sym), 0, rq.full), nil
+	}
+	return nil, fmt.Errorf("serve: unknown algo %q", rq.algo)
+}
+
+func bfsPayload(levels []int32, iters int, full bool) *ResultPayload {
+	p := &ResultPayload{Iterations: iters}
+	for _, l := range levels {
+		if l >= 0 {
+			p.Reached++
+			if l > p.Depth {
+				p.Depth = l
+			}
+		}
+	}
+	if full {
+		p.Levels = levels
+	}
+	return p
+}
+
+func ssspPayload(dist []int32, iters int, full bool) *ResultPayload {
+	p := &ResultPayload{Iterations: iters}
+	for _, d := range dist {
+		if d < cpualgo.InfDist {
+			p.Reached++
+			if d > p.MaxFiniteDist {
+				p.MaxFiniteDist = d
+			}
+		}
+	}
+	if full {
+		p.Dist = dist
+	}
+	return p
+}
+
+func pagerankPayload(ranks []float32, iters int, full bool) *ResultPayload {
+	p := &ResultPayload{Iterations: iters}
+	var sum float64
+	var top int32
+	for v, r := range ranks {
+		sum += float64(r)
+		if r > ranks[top] {
+			top = int32(v)
+		}
+	}
+	p.RankSum = sum
+	p.TopVertex = top
+	if full {
+		p.Ranks = ranks
+	}
+	return p
+}
+
+func ccPayload(labels []int32, iters int, full bool) *ResultPayload {
+	p := &ResultPayload{Iterations: iters}
+	for v, l := range labels {
+		if int32(v) == l {
+			p.Components++
+		}
+	}
+	if full {
+		p.Labels = labels
+	}
+	return p
+}

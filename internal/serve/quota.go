@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// TenantQuota is a token-bucket rate limit. A zero RatePerSec means
+// unlimited.
+type TenantQuota struct {
+	// RatePerSec is the sustained request rate.
+	RatePerSec float64
+	// Burst is the bucket capacity (defaults to RatePerSec when zero).
+	Burst float64
+}
+
+// QuotaConfig assigns token buckets per tenant.
+type QuotaConfig struct {
+	// Default applies to tenants without an explicit entry.
+	Default TenantQuota
+	// PerTenant overrides the default for specific tenants.
+	PerTenant map[string]TenantQuota
+}
+
+// quotas is the admission-control quota table: one lazily created token
+// bucket per tenant, refilled continuously.
+type quotas struct {
+	cfg QuotaConfig
+	now func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+}
+
+type tokenBucket struct {
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newQuotas(cfg QuotaConfig, now func() time.Time) *quotas {
+	return &quotas{cfg: cfg, now: now, buckets: make(map[string]*tokenBucket)}
+}
+
+// Admit spends one token from tenant's bucket. When the bucket is empty it
+// returns false plus the wait until the next token accrues, suitable for a
+// Retry-After header.
+func (q *quotas) Admit(tenant string) (bool, time.Duration) {
+	tq, ok := q.cfg.PerTenant[tenant]
+	if !ok {
+		tq = q.cfg.Default
+	}
+	if tq.RatePerSec <= 0 {
+		return true, 0
+	}
+	if tq.Burst <= 0 {
+		tq.Burst = tq.RatePerSec
+	}
+	now := q.now()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b, ok := q.buckets[tenant]
+	if !ok {
+		b = &tokenBucket{rate: tq.RatePerSec, burst: tq.Burst, tokens: tq.Burst, last: now}
+		q.buckets[tenant] = b
+	}
+	b.tokens = math.Min(b.burst, b.tokens+now.Sub(b.last).Seconds()*b.rate)
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+	return false, wait
+}

@@ -1,0 +1,457 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"maxwarp/internal/report"
+	"maxwarp/internal/resilient"
+	"maxwarp/internal/simt"
+)
+
+// testConfig is a tiny server: small device, small graph, fast breaker.
+func testConfig() Config {
+	dev := simt.DefaultConfig()
+	dev.NumSMs = 2
+	dev.MaxWarpsPerSM = 8
+	dev.MaxBlocksPerSM = 4
+	dev.ParallelSMs = 1
+	return Config{
+		Graphs:          []GraphSpec{{Name: "wiki", Preset: "WikiTalk-like", Scale: 7, Seed: 3}},
+		Devices:         2,
+		DeviceConfig:    &dev,
+		QueueDepth:      16,
+		DefaultDeadline: 5 * time.Second,
+		BreakerCooldown: 40 * time.Millisecond,
+		Retry:           resilient.Policy{Sleep: func(time.Duration) {}},
+		Logf:            func(string, ...any) {},
+	}
+}
+
+// startTestServer builds, starts, and mounts a server, and registers
+// cleanup that asserts a clean drain.
+func startTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	})
+	return s, ts
+}
+
+func postQuery(t *testing.T, url string, q QueryRequest) (*http.Response, *QueryResponse) {
+	t.Helper()
+	body, _ := json.Marshal(q)
+	resp, err := http.Post(url+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		_ = json.NewDecoder(resp.Body).Decode(&eb)
+		t.Logf("query %+v -> %d (%s %s)", q, resp.StatusCode, eb.Reason, eb.Error)
+		return resp, nil
+	}
+	var qr QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	return resp, &qr
+}
+
+func TestQueryAllAlgorithmsOnGPU(t *testing.T) {
+	_, ts := startTestServer(t, testConfig())
+	for _, algo := range []string{"bfs", "sssp", "pagerank", "cc"} {
+		resp, qr := postQuery(t, ts.URL, QueryRequest{Algo: algo, Graph: "wiki", NoCache: true})
+		if resp.StatusCode != http.StatusOK || qr == nil {
+			t.Fatalf("%s: status %d", algo, resp.StatusCode)
+		}
+		if qr.Engine != "gpu" || qr.Degraded {
+			t.Fatalf("%s: engine=%s degraded=%v, want clean gpu", algo, qr.Engine, qr.Degraded)
+		}
+		if qr.Result.SimCycles <= 0 {
+			t.Fatalf("%s: no simulated cycles accounted", algo)
+		}
+		switch algo {
+		case "bfs", "sssp":
+			if qr.Result.Reached < 2 {
+				t.Fatalf("%s reached %d vertices; default source should cover the main component", algo, qr.Result.Reached)
+			}
+		case "cc":
+			if qr.Result.Components < 1 {
+				t.Fatalf("cc found %d components", qr.Result.Components)
+			}
+		case "pagerank":
+			if qr.Result.RankSum < 0.9 || qr.Result.RankSum > 1.1 {
+				t.Fatalf("pagerank sum %v, want ~1", qr.Result.RankSum)
+			}
+		}
+	}
+}
+
+func TestGPUAnswersMatchOracle(t *testing.T) {
+	s, ts := startTestServer(t, testConfig())
+	ng, _ := s.graphs.Get("wiki")
+	for _, algo := range []string{"bfs", "sssp", "cc"} {
+		_, qr := postQuery(t, ts.URL, QueryRequest{Algo: algo, Graph: "wiki", Full: true, NoCache: true})
+		if qr == nil || qr.Engine != "gpu" {
+			t.Fatalf("%s: wanted a gpu answer", algo)
+		}
+		rq := &request{ctx: context.Background(), algo: algo, graph: ng, src: ng.DefaultSource(), iters: 20, damping: 0.85, full: true}
+		want, err := oracleExecute(rq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got, exp []int32
+		switch algo {
+		case "bfs":
+			got, exp = qr.Result.Levels, want.Levels
+		case "sssp":
+			got, exp = qr.Result.Dist, want.Dist
+		case "cc":
+			got, exp = qr.Result.Labels, want.Labels
+		}
+		if len(got) != len(exp) {
+			t.Fatalf("%s: vector length %d vs oracle %d", algo, len(got), len(exp))
+		}
+		for i := range got {
+			if got[i] != exp[i] {
+				t.Fatalf("%s: vertex %d: gpu %d vs oracle %d", algo, i, got[i], exp[i])
+			}
+		}
+	}
+}
+
+func TestResultCacheHitsAndEpochInvalidation(t *testing.T) {
+	_, ts := startTestServer(t, testConfig())
+	q := QueryRequest{Algo: "bfs", Graph: "wiki"}
+	_, first := postQuery(t, ts.URL, q)
+	if first == nil || first.Cached {
+		t.Fatalf("first query should miss the cache: %+v", first)
+	}
+	_, second := postQuery(t, ts.URL, q)
+	if second == nil || !second.Cached || second.Engine != "cache" {
+		t.Fatalf("second identical query should hit the cache: %+v", second)
+	}
+	if second.Result.Reached != first.Result.Reached || second.Result.Depth != first.Result.Depth {
+		t.Fatal("cache returned a different result")
+	}
+
+	// Reload bumps the epoch; the same query must recompute.
+	resp, err := http.Post(ts.URL+"/v1/graphs/wiki/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload: %d", resp.StatusCode)
+	}
+	_, third := postQuery(t, ts.URL, q)
+	if third == nil || third.Cached {
+		t.Fatalf("post-reload query must not be served from the stale epoch: %+v", third)
+	}
+	if third.Epoch != first.Epoch+1 {
+		t.Fatalf("epoch %d, want %d", third.Epoch, first.Epoch+1)
+	}
+}
+
+func TestQuotaShedsWithRetryAfter(t *testing.T) {
+	cfg := testConfig()
+	cfg.Quota = QuotaConfig{Default: TenantQuota{RatePerSec: 1, Burst: 2}}
+	_, ts := startTestServer(t, cfg)
+
+	codes := map[int]int{}
+	for i := 0; i < 6; i++ {
+		resp, _ := postQuery(t, ts.URL, QueryRequest{Algo: "bfs", Graph: "wiki", Tenant: "greedy"})
+		codes[resp.StatusCode]++
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if resp.Header.Get("Retry-After") == "" || resp.Header.Get("X-Maxwarp-Reason") != ReasonQuota {
+				t.Fatalf("quota shed lacks Retry-After/reason headers: %v", resp.Header)
+			}
+		}
+	}
+	if codes[http.StatusTooManyRequests] == 0 {
+		t.Fatalf("burst of 6 at burst-capacity 2 never hit the quota: %v", codes)
+	}
+	if codes[http.StatusOK] == 0 {
+		t.Fatalf("quota starved the tenant entirely: %v", codes)
+	}
+}
+
+func TestValidationRejections(t *testing.T) {
+	_, ts := startTestServer(t, testConfig())
+	src := int32(1 << 30)
+	cases := []struct {
+		q    QueryRequest
+		want int
+	}{
+		{QueryRequest{Algo: "nope", Graph: "wiki"}, http.StatusBadRequest},
+		{QueryRequest{Algo: "bfs", Graph: "missing"}, http.StatusNotFound},
+		{QueryRequest{Algo: "bfs", Graph: "wiki", K: 3}, http.StatusBadRequest},
+		{QueryRequest{Algo: "bfs", Graph: "wiki", Source: &src}, http.StatusBadRequest},
+		{QueryRequest{Algo: "pagerank", Graph: "wiki", Damping: 1.5}, http.StatusBadRequest},
+		{QueryRequest{Algo: "pagerank", Graph: "wiki", Iterations: 100000}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, _ := postQuery(t, ts.URL, c.q)
+		if resp.StatusCode != c.want {
+			t.Errorf("%+v: status %d, want %d", c.q, resp.StatusCode, c.want)
+		}
+	}
+}
+
+func TestTinyDeadlineIsShedNotServed(t *testing.T) {
+	_, ts := startTestServer(t, testConfig())
+	// A 1ms budget cannot cover a device BFS; the server must shed with
+	// 429/deadline (before launch or clamped mid-flight), never hang.
+	resp, qr := postQuery(t, ts.URL, QueryRequest{Algo: "bfs", Graph: "wiki", DeadlineMillis: 1, NoCache: true})
+	if qr != nil {
+		t.Skip("machine fast enough to finish inside 1ms; nothing to assert")
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Maxwarp-Reason") != ReasonDeadline {
+		t.Fatalf("reason %q, want %q", resp.Header.Get("X-Maxwarp-Reason"), ReasonDeadline)
+	}
+}
+
+func TestHealthMetricsAndTraceEndpoints(t *testing.T) {
+	_, ts := startTestServer(t, testConfig())
+	postQuery(t, ts.URL, QueryRequest{Algo: "bfs", Graph: "wiki"})
+	postQuery(t, ts.URL, QueryRequest{Algo: "bfs", Graph: "wiki"})
+
+	for _, path := range []string{"/healthz", "/readyz", "/v1/graphs"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: %d", path, resp.StatusCode)
+		}
+	}
+
+	fams, err := ScrapeMetrics(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := report.SampleValue(fams, "maxwarp_serve_requests_total",
+		report.Label{Name: "algo", Value: "bfs"}, report.Label{Name: "code", Value: "200"}); !ok || v < 2 {
+		t.Fatalf("requests_total{bfs,200} = %v, %v", v, ok)
+	}
+	if v, ok := report.SampleValue(fams, "maxwarp_serve_cache_hits_total"); !ok || v < 1 {
+		t.Fatalf("cache_hits_total = %v, %v", v, ok)
+	}
+	if f := report.FamilyByName(fams, "maxwarp_serve_latency_us"); f == nil {
+		t.Fatal("latency histogram missing from /metrics")
+	}
+	if v, ok := report.SampleValue(fams, "maxwarp_serve_breaker_state", report.Label{Name: "device", Value: "0"}); !ok || v != 0 {
+		t.Fatalf("breaker_state{device=0} = %v, %v; want closed (0)", v, ok)
+	}
+
+	resp, err := http.Get(ts.URL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var tr struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatalf("/debug/trace is not valid JSON: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Fatal("/debug/trace has no events after served queries")
+	}
+}
+
+func TestDrainRefusesNewAndFinishesInflight(t *testing.T) {
+	cfg := testConfig()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Seed a request so drain has something in flight.
+	done := make(chan int, 1)
+	go func() {
+		body, _ := json.Marshal(QueryRequest{Algo: "pagerank", Graph: "wiki", NoCache: true})
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			done <- -1
+			return
+		}
+		resp.Body.Close()
+		done <- resp.StatusCode
+	}()
+	time.Sleep(20 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	shutdownErr := make(chan error, 1)
+	go func() { shutdownErr <- s.Shutdown(ctx) }()
+
+	// New queries during/after drain are refused with 503.
+	time.Sleep(10 * time.Millisecond)
+	body, _ := json.Marshal(QueryRequest{Algo: "bfs", Graph: "wiki"})
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+	if err == nil {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("query during drain: %d, want 503", resp.StatusCode)
+		}
+	}
+
+	if code := <-done; code != http.StatusOK && code != http.StatusServiceUnavailable && code != http.StatusTooManyRequests {
+		t.Fatalf("in-flight request resolved to %d", code)
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+func TestParseGraphSpecAndMix(t *testing.T) {
+	spec, err := ParseGraphSpec("lj=LiveJournal-like:8:99")
+	if err != nil || spec.Name != "lj" || spec.Preset != "LiveJournal-like" || spec.Scale != 8 || spec.Seed != 99 {
+		t.Fatalf("ParseGraphSpec: %+v, %v", spec, err)
+	}
+	if _, err := ParseGraphSpec("bad"); err == nil {
+		t.Fatal("ParseGraphSpec accepted junk")
+	}
+	if _, err := ParseGraphSpec("g=Preset"); err == nil {
+		t.Fatal("ParseGraphSpec accepted a spec without scale")
+	}
+	mix, err := ParseMix("bfs@wiki=3, pagerank@road")
+	if err != nil || len(mix) != 2 || mix[0].Weight != 3 || mix[1].Weight != 1 {
+		t.Fatalf("ParseMix: %+v, %v", mix, err)
+	}
+	if _, err := ParseMix("nope"); err == nil {
+		t.Fatal("ParseMix accepted junk")
+	}
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	var transitions []string
+	b := newBreaker(2, time.Second, clock, func(from, to breakerState) {
+		transitions = append(transitions, fmt.Sprintf("%s->%s", from, to))
+	})
+
+	if !b.Allow() {
+		t.Fatal("closed breaker must allow")
+	}
+	b.Failure(false)
+	if b.State() != breakerClosed {
+		t.Fatal("one transient failure below threshold must not trip")
+	}
+	b.Failure(false)
+	if b.State() != breakerOpen {
+		t.Fatal("threshold consecutive failures must trip")
+	}
+	if b.Allow() {
+		t.Fatal("open breaker inside cooldown must refuse")
+	}
+	now = now.Add(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed: must admit a probe")
+	}
+	if b.State() != breakerHalfOpen {
+		t.Fatalf("state %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe must be refused")
+	}
+	b.Failure(false)
+	if b.State() != breakerOpen {
+		t.Fatal("failed probe must re-open")
+	}
+	now = now.Add(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe window")
+	}
+	b.Success()
+	if b.State() != breakerClosed {
+		t.Fatal("successful probe must close")
+	}
+	// Permanent faults trip from closed in one hit.
+	b.Failure(true)
+	if b.State() != breakerOpen {
+		t.Fatal("permanent fault must trip immediately")
+	}
+	want := "closed->open open->half-open half-open->open open->half-open half-open->closed closed->open"
+	if got := fmt.Sprint(transitions); got != "["+want+"]" {
+		t.Fatalf("transitions %v, want %s", got, want)
+	}
+}
+
+func TestQuotaBucketRefills(t *testing.T) {
+	now := time.Unix(0, 0)
+	q := newQuotas(QuotaConfig{Default: TenantQuota{RatePerSec: 2, Burst: 1}}, func() time.Time { return now })
+	if ok, _ := q.Admit("t"); !ok {
+		t.Fatal("first request must pass")
+	}
+	ok, wait := q.Admit("t")
+	if ok {
+		t.Fatal("burst 1 must refuse the second immediate request")
+	}
+	if wait <= 0 || wait > time.Second {
+		t.Fatalf("retry hint %v, want (0, 1s]", wait)
+	}
+	now = now.Add(time.Second)
+	if ok, _ := q.Admit("t"); !ok {
+		t.Fatal("bucket must refill over time")
+	}
+	// Unlimited default.
+	q2 := newQuotas(QuotaConfig{}, func() time.Time { return now })
+	for i := 0; i < 100; i++ {
+		if ok, _ := q2.Admit("t"); !ok {
+			t.Fatal("zero-rate quota must be unlimited")
+		}
+	}
+}
+
+func TestResultCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	p := &ResultPayload{Reached: 1}
+	c.Put("a", cachedResult{payload: p, engine: "gpu"})
+	c.Put("b", cachedResult{payload: p, engine: "gpu"})
+	c.Get("a") // refresh a
+	c.Put("c", cachedResult{payload: p, engine: "gpu"})
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted as LRU")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a was refreshed and must survive")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c was just inserted and must survive")
+	}
+	// Disabled cache never stores.
+	d := newResultCache(-1)
+	d.Put("x", cachedResult{payload: p})
+	if _, ok := d.Get("x"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+}

@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// Span records one served request for /debug/trace: which device (or the
+// oracle) ran it, how long it queued, and how long it executed.
+type Span struct {
+	// Seq is a monotonically increasing sequence number.
+	Seq int64
+	// Algo, Graph, Tenant identify the request.
+	Algo, Graph, Tenant string
+	// Code is the HTTP status the request resolved to.
+	Code int
+	// Engine is "gpu", "oracle", or "cache".
+	Engine string
+	// Device is the pool slot that served it (-1 for oracle/cache/shed).
+	Device int
+	// Start is when the span's execution began.
+	Start time.Time
+	// QueueWait is time spent in the admission queue.
+	QueueWait time.Duration
+	// Exec is execution time (zero for sheds and cache hits).
+	Exec time.Duration
+}
+
+// spanRing is a fixed-size ring of the most recent request spans, safe for
+// concurrent append from every handler and worker.
+type spanRing struct {
+	epoch time.Time
+
+	mu   sync.Mutex
+	buf  []Span
+	next int
+	n    int
+	seq  int64
+}
+
+func newSpanRing(capacity int, epoch time.Time) *spanRing {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &spanRing{buf: make([]Span, capacity), epoch: epoch}
+}
+
+func (r *spanRing) Add(s Span) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	s.Seq = r.seq
+	r.buf[r.next] = s
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// Snapshot returns the retained spans, oldest first.
+func (r *spanRing) Snapshot() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, 0, r.n)
+	start := r.next - r.n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// chromeEvent is one Chrome trace-viewer complete event ("ph":"X").
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	Metadata        map[string]any `json:"otherData,omitempty"`
+}
+
+// ChromeTraceJSON renders the retained spans in the Chrome trace-event
+// format (load via chrome://tracing or Perfetto). Each device is a track
+// (tid = device+1); the oracle and cache share track 0. Queue wait is shown
+// as a separate event preceding the execution span on the same track.
+func (r *spanRing) ChromeTraceJSON() ([]byte, error) {
+	spans := r.Snapshot()
+	tr := chromeTrace{
+		TraceEvents:     make([]chromeEvent, 0, 2*len(spans)),
+		DisplayTimeUnit: "ms",
+		Metadata:        map[string]any{"source": "maxwarp serve /debug/trace"},
+	}
+	for _, s := range spans {
+		tid := s.Device + 1
+		if tid < 0 {
+			tid = 0
+		}
+		args := map[string]any{
+			"graph":  s.Graph,
+			"tenant": s.Tenant,
+			"code":   s.Code,
+			"engine": s.Engine,
+		}
+		execStart := s.Start.Sub(r.epoch).Microseconds()
+		if s.QueueWait > 0 {
+			tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+				Name: s.Algo + " (queued)", Ph: "X",
+				Ts:  execStart - s.QueueWait.Microseconds(),
+				Dur: s.QueueWait.Microseconds(),
+				Pid: 1, Tid: tid,
+			})
+		}
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: s.Algo, Ph: "X",
+			Ts:  execStart,
+			Dur: s.Exec.Microseconds(),
+			Pid: 1, Tid: tid,
+			Args: args,
+		})
+	}
+	return json.Marshal(tr)
+}

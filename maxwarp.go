@@ -20,7 +20,11 @@
 //     (internal/bench);
 //   - fault injection and a resilient launch/retry layer
 //     (internal/simt fault plans, internal/resilient) — typed kernel
-//     errors, checkpointed retries, CPU-oracle degradation.
+//     errors, checkpointed retries, CPU-oracle degradation;
+//   - a fault-tolerant analytics service (internal/serve, `maxwarp
+//     serve`) multiplexing concurrent queries over a device pool with
+//     admission control, deadlines, circuit breakers, and graceful
+//     degradation (see docs/SERVICE.md).
 //
 // Quick start:
 //
@@ -38,6 +42,7 @@
 package maxwarp
 
 import (
+	"context"
 	"io"
 
 	"maxwarp/internal/bench"
@@ -49,6 +54,7 @@ import (
 	"maxwarp/internal/report"
 	"maxwarp/internal/resilient"
 	"maxwarp/internal/sanitize"
+	"maxwarp/internal/serve"
 	"maxwarp/internal/simt"
 	"maxwarp/internal/traceview"
 )
@@ -566,3 +572,50 @@ func ExportPromText(prefix string, stats *LaunchStats, m *Metrics, perSM bool) (
 // ChromeTrace renders trace events as Chrome trace_event JSON (load in
 // chrome://tracing or Perfetto).
 func ChromeTrace(events []TraceEvent) ([]byte, error) { return traceview.ChromeTrace(events) }
+
+// Service layer: the fault-tolerant analytics daemon behind `maxwarp
+// serve` (see docs/SERVICE.md).
+type (
+	// AnalyticsServer multiplexes concurrent graph queries over a pool of
+	// simulated devices with admission control, tenant quotas, deadlines,
+	// per-device circuit breakers, a result cache, and CPU-oracle
+	// degradation. Construct with NewAnalyticsServer, call Start, mount
+	// Handler on an http.Server, and Shutdown to drain.
+	AnalyticsServer = serve.Server
+	// AnalyticsConfig configures an AnalyticsServer; the zero value of
+	// every field gets a sensible default except Graphs, which is
+	// required.
+	AnalyticsConfig = serve.Config
+	// ServeGraphSpec names one pre-loaded graph: a generator preset and
+	// scale, or a DIMACS file.
+	ServeGraphSpec = serve.GraphSpec
+	// QueryRequest is the POST /v1/query body.
+	QueryRequest = serve.QueryRequest
+	// QueryResponse is the query reply: engine, degradation/cache flags,
+	// retry and fault log, timings, and the result payload.
+	QueryResponse = serve.QueryResponse
+	// TenantQuota is a per-tenant token-bucket rate limit.
+	TenantQuota = serve.TenantQuota
+	// LoadOptions drive a synthetic query mix against a running server.
+	LoadOptions = serve.LoadOptions
+	// LoadReport summarizes a load test: codes, shed reasons, degraded and
+	// cached counts, latency percentiles.
+	LoadReport = serve.LoadReport
+)
+
+// NewAnalyticsServer builds a server and eagerly loads its graphs.
+func NewAnalyticsServer(cfg AnalyticsConfig) (*AnalyticsServer, error) { return serve.New(cfg) }
+
+// ParseServeGraphSpec parses "name=Preset:scale[:seed]" or "name=@file.gr".
+func ParseServeGraphSpec(s string) (ServeGraphSpec, error) { return serve.ParseGraphSpec(s) }
+
+// LoadTest drives a synthetic weighted query mix against a running
+// analytics server and reports shed/degradation counts and latency
+// percentiles; parse the mix with serve syntax "algo@graph[=weight],...".
+func LoadTest(ctx context.Context, opts LoadOptions) (*LoadReport, error) {
+	return serve.Load(ctx, opts)
+}
+
+// ParseQueryMix parses a weighted mix spec "algo@graph[=weight],..." for
+// LoadOptions.Mix.
+func ParseQueryMix(s string) ([]serve.MixItem, error) { return serve.ParseMix(s) }

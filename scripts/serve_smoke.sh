@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke of the analytics daemon under chaos.
+#
+# Builds the maxwarp binary, starts `maxwarp serve` on an ephemeral port
+# with fault injection (device 0 keeps dying, device 1 throws transient
+# aborts), drives a short saturating load test with tight deadlines, and
+# asserts the robustness contract:
+#   * no 5xx responses,
+#   * some load was shed (429 + Retry-After),
+#   * some requests degraded to the CPU oracle,
+# then SIGTERMs the daemon and requires a clean drain.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/maxwarp" ./cmd/maxwarp
+
+"$workdir/maxwarp" serve \
+  -addr 127.0.0.1:0 \
+  -addr-file "$workdir/addr" \
+  -devices 2 \
+  -graphs "wiki=WikiTalk-like:9,road=RoadNet-like:9" \
+  -queue 8 \
+  -breaker-cooldown 100ms \
+  -inject "0:loss=6000;1:abort=7" \
+  2>"$workdir/serve.log" &
+server_pid=$!
+
+fail() {
+  echo "serve_smoke: $1" >&2
+  echo "--- server log ---" >&2
+  cat "$workdir/serve.log" >&2 || true
+  kill "$server_pid" 2>/dev/null || true
+  exit 1
+}
+
+for _ in $(seq 1 100); do
+  [ -s "$workdir/addr" ] && break
+  kill -0 "$server_pid" 2>/dev/null || fail "server exited before binding"
+  sleep 0.1
+done
+[ -s "$workdir/addr" ] || fail "server never wrote its address"
+url="http://$(cat "$workdir/addr")"
+
+"$workdir/maxwarp" loadtest \
+  -url "$url" \
+  -mix "bfs@wiki=3,pagerank@wiki=1,cc@road=1,sssp@road=1" \
+  -duration 6s -qps 60 \
+  -deadline-min 30ms -deadline-max 800ms \
+  -wait-ready 5s \
+  -assert-smoke \
+  || fail "loadtest smoke assertions failed"
+
+kill -TERM "$server_pid"
+for _ in $(seq 1 100); do
+  kill -0 "$server_pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$server_pid" 2>/dev/null; then
+  fail "server did not drain within 10s of SIGTERM"
+fi
+wait "$server_pid" || fail "server exited non-zero"
+grep -q "drained cleanly" "$workdir/serve.log" || fail "server log missing clean-drain marker"
+
+echo "serve_smoke: OK"
