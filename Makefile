@@ -40,12 +40,17 @@ sanitize:
 race:
 	$(GO) test -race ./...
 
-# Benchmark-regression gate: E4 BFS warp-width sweep cycles must stay within
-# ±10% of the committed baseline (internal/bench/testdata/e4_baseline.json).
-# After an intentional performance-model change, regenerate with
-#   go test ./internal/bench -run TestE4CyclesRegression -update-e4-baseline
+# Benchmark-regression gate, two halves:
+#   - E4 BFS warp-width sweep cycles must stay within ±10% of the committed
+#     baseline (internal/bench/testdata/e4_baseline.json). Regenerate after an
+#     intentional performance-model change with
+#       go test ./internal/bench -run TestE4CyclesRegression -update-e4-baseline
+#   - Hot-path allocs/op must stay within 25% of BENCH_PR7.json (allocations
+#     are near-deterministic where wall-clock on shared runners is not).
+#     Regenerate after an intentional change with
+#       go test ./internal/bench -run TestHotPathAllocGate -update-bench-pr7
 benchgate:
-	$(GO) test ./internal/bench -run TestE4CyclesRegression -count=1
+	$(GO) test ./internal/bench -run 'TestE4CyclesRegression|TestHotPathAllocGate' -count=1
 
 # End-to-end service smoke: start `maxwarp serve` with injected device
 # faults, drive a saturating loadtest with tight deadlines, assert the

@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"testing"
+
+	"maxwarp/internal/gengraph"
+	"maxwarp/internal/gpualgo"
+	"maxwarp/internal/graph"
+	"maxwarp/internal/simt"
+)
+
+var updateBenchPR7 = flag.Bool("update-bench-pr7", false,
+	"rewrite ../../BENCH_PR7.json gate numbers from the current build instead of comparing")
+
+const benchPR7Path = "../../BENCH_PR7.json"
+
+// benchPR7 mirrors the committed BENCH_PR7.json. The headline section
+// records the full-size wall-clock/allocation measurements for the record;
+// only the gate section is enforced in CI (allocations are near-
+// deterministic where wall-clock on shared runners is not).
+type benchPR7 struct {
+	Note     string                `json:"note"`
+	Headline map[string]benchPoint `json:"headline"`
+	Gate     map[string]gatePoint  `json:"gate"`
+}
+
+type benchPoint struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Metric      string  `json:"metric,omitempty"`
+}
+
+type gatePoint struct {
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// gateApplyUniform is the hot-loop probe: a persistent device running a
+// fully-uniform Apply kernel. Steady-state allocations are launch
+// scaffolding only; a regression here means the interpret loop started
+// allocating again.
+func gateApplyUniform() (int64, error) {
+	cfg := simt.DefaultConfig()
+	cfg.NumSMs = 4
+	d := simt.MustNewDevice(cfg)
+	kernel := func(w *simt.WarpCtx) {
+		v := w.VecI32()
+		for i := 0; i < 256; i++ {
+			w.Apply(1, func(l int) { v[l]++ })
+		}
+	}
+	lc := simt.LaunchConfig{Blocks: 16, ThreadsPerBlock: 32}
+	if _, err := d.Launch(lc, kernel); err != nil {
+		return 0, err
+	}
+	var launchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := d.Launch(lc, kernel); err != nil {
+				launchErr = err
+				b.FailNow()
+			}
+		}
+	})
+	return res.AllocsPerOp(), launchErr
+}
+
+// gateBFSSmall is the end-to-end probe: a fresh device plus one BFS on a
+// small skewed graph per op, covering upload, launch scaffolding, kernel
+// scratch, and host-side frontier management.
+func gateBFSSmall() (int64, error) {
+	g, err := gengraph.ChungLu(1<<11, 16, 2.2, 42)
+	if err != nil {
+		return 0, err
+	}
+	src := graph.LargestOutComponentSeed(g)
+	var bfsErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d := simt.MustNewDevice(simt.DefaultConfig())
+			if _, err := gpualgo.BFS(d, gpualgo.Upload(d, g), src, gpualgo.Options{K: 32}); err != nil {
+				bfsErr = err
+				b.FailNow()
+			}
+		}
+	})
+	return res.AllocsPerOp(), bfsErr
+}
+
+// TestHotPathAllocGate is the allocation-regression gate: allocs/op of the
+// two hot-path probes must stay within 25% (plus a small absolute slack for
+// map-growth jitter) of the committed BENCH_PR7.json numbers. Regenerate
+// after an intentional change with:
+//
+//	go test ./internal/bench -run TestHotPathAllocGate -update-bench-pr7
+func TestHotPathAllocGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc gate skipped in -short mode")
+	}
+	measured := map[string]int64{}
+	if got, err := gateApplyUniform(); err != nil {
+		t.Fatal(err)
+	} else {
+		measured["apply_uniform_small"] = got
+	}
+	if got, err := gateBFSSmall(); err != nil {
+		t.Fatal(err)
+	} else {
+		measured["bfs_small"] = got
+	}
+
+	raw, err := os.ReadFile(benchPR7Path)
+	if *updateBenchPR7 {
+		var doc benchPR7
+		if err == nil {
+			if uerr := json.Unmarshal(raw, &doc); uerr != nil {
+				t.Fatal(uerr)
+			}
+		}
+		if doc.Gate == nil {
+			doc.Gate = map[string]gatePoint{}
+		}
+		for name, allocs := range measured {
+			doc.Gate[name] = gatePoint{AllocsPerOp: allocs}
+		}
+		data, merr := json.MarshalIndent(doc, "", "  ")
+		if merr != nil {
+			t.Fatal(merr)
+		}
+		if werr := os.WriteFile(benchPR7Path, append(data, '\n'), 0o644); werr != nil {
+			t.Fatal(werr)
+		}
+		t.Logf("wrote gate numbers to %s: %v", benchPR7Path, measured)
+		return
+	}
+	if err != nil {
+		t.Fatalf("missing %s (run with -update-bench-pr7 to create): %v", benchPR7Path, err)
+	}
+	var doc benchPR7
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for name, got := range measured {
+		base, ok := doc.Gate[name]
+		if !ok {
+			t.Errorf("%s: no gate baseline in %s (run with -update-bench-pr7)", name, benchPR7Path)
+			continue
+		}
+		limit := base.AllocsPerOp + base.AllocsPerOp/4 + 64
+		if got > limit {
+			t.Errorf("%s: allocs/op regressed: %d > limit %d (baseline %d)",
+				name, got, limit, base.AllocsPerOp)
+		} else {
+			t.Logf("%s: allocs/op %d (baseline %d, limit %d)", name, got, base.AllocsPerOp, limit)
+		}
+	}
+}

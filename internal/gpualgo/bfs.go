@@ -174,6 +174,156 @@ func BFS(d *simt.Device, dg *DeviceGraph, src graph.VertexID, opts Options) (*BF
 	}
 }
 
+// bfsScratchKey is the bfsScratch cache slot on a WarpCtx's KernelScratch.
+const bfsScratchKey = "gpualgo.bfs"
+
+// bfsScratch holds the per-warp working vectors and closures of the BFS
+// kernels. It is cached on the warp context (KernelScratch) and survives
+// kernel invocations and launches, so on the level-synchronous relaunch path
+// the kernels allocate nothing in steady state: bind rewrites the launch
+// parameters each invocation, and every closure reads them through the
+// struct.
+type bfsScratch struct {
+	w *simt.WarpCtx
+
+	// Per-invocation parameters, rewritten by bind.
+	dg                *DeviceGraph
+	levels, changed   *simt.BufI32
+	q                 *vwarp.OutlierQueue
+	cur               int32
+	deferThreshold    int32
+	cFrontier, cEdges *obs.Counter
+
+	ts *vwarp.Tasks // current round's task view (set by body)
+
+	// Per-group vectors, sized for the widest possible grouping (K=1).
+	lvl, start, end, taskP1 []int32
+	// Per-lane vectors.
+	next, nbr, nl []int32
+	zero, one     []int32
+
+	body, deferredBody func(ts *vwarp.Tasks)
+	maskPred           func(gi int) bool
+	maskBody           func()
+	sisdP1             func(gi int)
+	heavy, light       func(gi int) bool
+	expand             func()
+	simdBody           func(j []int32)
+	unvisited          func(lane int) bool
+	discover           func()
+}
+
+// bfsScratchFor returns the context's cached scratch, building it on first
+// use of this warp context by a BFS kernel.
+func bfsScratchFor(w *simt.WarpCtx) *bfsScratch {
+	if s, ok := w.KernelScratch(bfsScratchKey).(*bfsScratch); ok {
+		return s
+	}
+	width := w.Width()
+	s := &bfsScratch{
+		w:      w,
+		lvl:    make([]int32, width),
+		start:  make([]int32, width),
+		end:    make([]int32, width),
+		taskP1: make([]int32, width),
+		next:   make([]int32, width),
+		nbr:    make([]int32, width),
+		nl:     make([]int32, width),
+		zero:   make([]int32, width),
+		one:    make([]int32, width),
+	}
+	for i := range s.one {
+		s.one[i] = 1
+	}
+	s.maskPred = func(gi int) bool { return s.lvl[gi] == s.cur }
+	s.sisdP1 = func(gi int) { s.taskP1[gi] = s.ts.Task[gi] + 1 }
+	s.heavy = func(gi int) bool { return s.end[gi]-s.start[gi] > s.deferThreshold }
+	s.light = func(gi int) bool { return !s.heavy(gi) }
+	s.unvisited = func(lane int) bool { return s.nl[lane] == Unvisited }
+	s.discover = func() {
+		s.w.StoreI32(s.levels, s.nbr, s.next)
+		s.w.StoreI32(s.changed, s.zero, s.one)
+	}
+	s.simdBody = func(j []int32) {
+		s.w.LoadI32(s.dg.Col, j, s.nbr)
+		s.w.LoadI32(s.levels, s.nbr, s.nl)
+		s.w.If(s.unvisited, s.discover, nil)
+	}
+	s.expand = func() { s.ts.SIMDRange(s.start, s.end, s.simdBody) }
+	s.maskBody = func() {
+		ts := s.ts
+		ts.LoadI32Grouped(s.dg.RowPtr, ts.Task, s.start)
+		ts.SISD(1, s.sisdP1)
+		ts.LoadI32Grouped(s.dg.RowPtr, s.taskP1, s.end)
+		if s.cEdges != nil {
+			// Heavy vertices are deferred below; their edges are counted by
+			// the deferred pass.
+			var eg int64
+			for gi := 0; gi < ts.Groups; gi++ {
+				if ts.Valid(gi) && s.lvl[gi] == s.cur &&
+					(s.q == nil || s.end[gi]-s.start[gi] <= s.deferThreshold) {
+					eg += int64(s.end[gi] - s.start[gi])
+				}
+			}
+			if eg > 0 {
+				s.cEdges.Add(s.w.SMID(), eg)
+			}
+		}
+		if s.q != nil {
+			ts.Defer(s.q, s.heavy)
+			ts.Mask(s.light, s.expand)
+		} else {
+			s.expand()
+		}
+	}
+	s.body = func(ts *vwarp.Tasks) {
+		s.ts = ts
+		ts.LoadI32Grouped(s.levels, ts.Task, s.lvl)
+		if s.cFrontier != nil {
+			var fr int64
+			for gi := 0; gi < ts.Groups; gi++ {
+				if ts.Valid(gi) && s.lvl[gi] == s.cur {
+					fr++
+				}
+			}
+			if fr > 0 {
+				s.cFrontier.Add(s.w.SMID(), fr)
+			}
+		}
+		ts.Mask(s.maskPred, s.maskBody)
+	}
+	s.deferredBody = func(ts *vwarp.Tasks) {
+		s.ts = ts
+		ts.LoadI32Grouped(s.dg.RowPtr, ts.Task, s.start)
+		ts.SISD(1, s.sisdP1)
+		ts.LoadI32Grouped(s.dg.RowPtr, s.taskP1, s.end)
+		if s.cEdges != nil {
+			var eg int64
+			for gi := 0; gi < ts.Groups; gi++ {
+				if ts.Valid(gi) {
+					eg += int64(s.end[gi] - s.start[gi])
+				}
+			}
+			if eg > 0 {
+				s.cEdges.Add(s.w.SMID(), eg)
+			}
+		}
+		s.expand()
+	}
+	w.SetKernelScratch(bfsScratchKey, s)
+	return s
+}
+
+// bind rewrites the scratch's launch parameters for one kernel invocation.
+func (s *bfsScratch) bind(dg *DeviceGraph, levels, changed *simt.BufI32, q *vwarp.OutlierQueue, cur, deferThreshold int32, cFrontier, cEdges *obs.Counter) {
+	s.dg, s.levels, s.changed, s.q = dg, levels, changed, q
+	s.cur, s.deferThreshold = cur, deferThreshold
+	s.cFrontier, s.cEdges = cFrontier, cEdges
+	for i := range s.next {
+		s.next[i] = cur + 1
+	}
+}
+
 // bfsLevelKernel expands the frontier at level cur. Discovery writes are
 // plain stores (a benign race, as in the paper: any winner writes the same
 // level value).
@@ -184,61 +334,15 @@ func bfsLevelKernel(dg *DeviceGraph, levels, changed, counter *simt.BufI32, q *v
 		cEdges = m.Counter(MetricBFSEdges, "BFS adjacency entries scanned.")
 	}
 	return func(w *simt.WarpCtx) {
-		body := func(ts *vwarp.Tasks) {
-			g := ts.Groups
-			lvl := make([]int32, g)
-			ts.LoadI32Grouped(levels, ts.Task, lvl)
-			if cFrontier != nil {
-				var fr int64
-				for gi := 0; gi < g; gi++ {
-					if ts.Valid(gi) && lvl[gi] == cur {
-						fr++
-					}
-				}
-				if fr > 0 {
-					cFrontier.Add(w.SMID(), fr)
-				}
-			}
-			ts.Mask(func(gi int) bool { return lvl[gi] == cur }, func() {
-				start := make([]int32, g)
-				end := make([]int32, g)
-				taskP1 := make([]int32, g)
-				ts.LoadI32Grouped(dg.RowPtr, ts.Task, start)
-				ts.SISD(1, func(gi int) { taskP1[gi] = ts.Task[gi] + 1 })
-				ts.LoadI32Grouped(dg.RowPtr, taskP1, end)
-				if cEdges != nil {
-					// Heavy vertices are deferred below; their edges are
-					// counted by the deferred pass.
-					var eg int64
-					for gi := 0; gi < g; gi++ {
-						if ts.Valid(gi) && lvl[gi] == cur &&
-							(q == nil || end[gi]-start[gi] <= opts.DeferThreshold) {
-							eg += int64(end[gi] - start[gi])
-						}
-					}
-					if eg > 0 {
-						cEdges.Add(w.SMID(), eg)
-					}
-				}
-				expand := func() {
-					bfsExpand(ts, dg, levels, changed, start, end, cur)
-				}
-				if q != nil {
-					heavy := func(gi int) bool { return end[gi]-start[gi] > opts.DeferThreshold }
-					ts.Defer(q, heavy)
-					ts.Mask(func(gi int) bool { return !heavy(gi) }, expand)
-				} else {
-					expand()
-				}
-			})
-		}
+		s := bfsScratchFor(w)
+		s.bind(dg, levels, changed, q, cur, opts.DeferThreshold, cFrontier, cEdges)
 		switch {
 		case counter != nil:
-			vwarp.ForEachDynamic(w, opts.K, int32(dg.NumVertices), counter, opts.Chunk, body)
+			vwarp.ForEachDynamic(w, opts.K, int32(dg.NumVertices), counter, opts.Chunk, s.body)
 		case opts.Blocked:
-			vwarp.ForEachStaticBlocked(w, opts.K, int32(dg.NumVertices), body)
+			vwarp.ForEachStaticBlocked(w, opts.K, int32(dg.NumVertices), s.body)
 		default:
-			vwarp.ForEachStatic(w, opts.K, int32(dg.NumVertices), body)
+			vwarp.ForEachStatic(w, opts.K, int32(dg.NumVertices), s.body)
 		}
 	}
 }
@@ -251,45 +355,8 @@ func bfsDeferredKernel(dg *DeviceGraph, levels, changed *simt.BufI32, q *vwarp.O
 		cEdges = m.Counter(MetricBFSEdges, "BFS adjacency entries scanned.")
 	}
 	return func(w *simt.WarpCtx) {
-		vwarp.ForEachDeferred(w, w.Width(), q, numDeferred, func(ts *vwarp.Tasks) {
-			g := ts.Groups
-			start := make([]int32, g)
-			end := make([]int32, g)
-			taskP1 := make([]int32, g)
-			ts.LoadI32Grouped(dg.RowPtr, ts.Task, start)
-			ts.SISD(1, func(gi int) { taskP1[gi] = ts.Task[gi] + 1 })
-			ts.LoadI32Grouped(dg.RowPtr, taskP1, end)
-			if cEdges != nil {
-				var eg int64
-				for gi := 0; gi < g; gi++ {
-					if ts.Valid(gi) {
-						eg += int64(end[gi] - start[gi])
-					}
-				}
-				if eg > 0 {
-					cEdges.Add(w.SMID(), eg)
-				}
-			}
-			bfsExpand(ts, dg, levels, changed, start, end, cur)
-		})
+		s := bfsScratchFor(w)
+		s.bind(dg, levels, changed, nil, cur, 0, nil, cEdges)
+		vwarp.ForEachDeferred(w, w.Width(), q, numDeferred, s.deferredBody)
 	}
-}
-
-// bfsExpand is the SIMD phase shared by the main and deferred kernels: the
-// group's lanes stride the adjacency list, discovering unvisited neighbors.
-func bfsExpand(ts *vwarp.Tasks, dg *DeviceGraph, levels, changed *simt.BufI32, start, end []int32, cur int32) {
-	w := ts.W
-	next := w.ConstI32(cur + 1)
-	zero := w.ConstI32(0)
-	one := w.ConstI32(1)
-	nbr := w.VecI32()
-	nl := w.VecI32()
-	ts.SIMDRange(start, end, func(j []int32) {
-		w.LoadI32(dg.Col, j, nbr)
-		w.LoadI32(levels, nbr, nl)
-		w.If(func(lane int) bool { return nl[lane] == Unvisited }, func() {
-			w.StoreI32(levels, nbr, next)
-			w.StoreI32(changed, zero, one)
-		}, nil)
-	})
 }

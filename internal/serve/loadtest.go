@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
 	"strings"
@@ -145,22 +146,34 @@ func Load(ctx context.Context, opts LoadOptions) (*LoadReport, error) {
 	ctx, cancel := context.WithTimeout(ctx, opts.Duration)
 	defer cancel()
 
-	jobs := make(chan QueryRequest)
+	// Open-loop pacing: requests are stamped with their intended send time
+	// and queued without ever blocking the pacer, so the offered rate stays
+	// at QPS even when the server is slow, and latency is measured from the
+	// moment the request *should* have been sent (any wait for a free sender
+	// is server-induced queueing and belongs in the number). A closed loop —
+	// pacer blocking on a free sender — would silently degrade the offered
+	// rate to the server's throughput and hide the queueing delay entirely
+	// (coordinated omission).
+	type job struct {
+		q   QueryRequest
+		due time.Time
+	}
+	expected := int(opts.QPS*opts.Duration.Seconds()) + 1
+	jobs := make(chan job, 2*expected)
 	var wg sync.WaitGroup
 	for i := 0; i < opts.Concurrency; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for q := range jobs {
-				body, _ := json.Marshal(q)
-				t0 := time.Now()
+			for j := range jobs {
+				body, _ := json.Marshal(j.q)
 				req, err := http.NewRequestWithContext(ctx, http.MethodPost, opts.URL+"/v1/query", bytes.NewReader(body))
 				if err != nil {
 					continue
 				}
 				req.Header.Set("Content-Type", "application/json")
 				resp, err := opts.Client.Do(req)
-				lat := float64(time.Since(t0)) / float64(time.Millisecond)
+				lat := float64(time.Since(j.due)) / float64(time.Millisecond)
 				mu.Lock()
 				rep.Requests++
 				if err != nil {
@@ -196,27 +209,37 @@ func Load(ctx context.Context, opts LoadOptions) (*LoadReport, error) {
 		}()
 	}
 
-	// Pace the offered load: one draw per tick, dropped (counted as shed by
-	// the server, not here) only if every sender is busy past the queue.
+	// Fire at the ideal tick times start + i*interval. Sleeping to an
+	// absolute schedule (rather than a ticker) cannot lose ticks under GC
+	// pauses or scheduler hiccups: a late wake just fires every tick that
+	// has come due. The enqueue never blocks — the buffer holds the whole
+	// run — so a slow server cannot throttle the offered rate.
 	rng := xrand.New(opts.Seed)
 	interval := time.Duration(float64(time.Second) / opts.QPS)
-	tick := time.NewTicker(interval)
 	start := time.Now()
 pace:
-	for {
-		select {
-		case <-ctx.Done():
-			break pace
-		case <-tick.C:
-			q := drawQuery(rng, opts, totalWeight)
+	for i := 0; ; i++ {
+		due := start.Add(time.Duration(i) * interval)
+		if wait := time.Until(due); wait > 0 {
 			select {
-			case jobs <- q:
 			case <-ctx.Done():
 				break pace
+			case <-time.After(wait):
 			}
+		} else if ctx.Err() != nil {
+			break pace
+		}
+		select {
+		case jobs <- job{q: drawQuery(rng, opts, totalWeight), due: due}:
+		default:
+			// Queue full: the run is hopelessly oversubscribed; count the
+			// intended request as a transport error rather than stalling.
+			mu.Lock()
+			rep.Requests++
+			rep.Errors++
+			mu.Unlock()
 		}
 	}
-	tick.Stop()
 	close(jobs)
 	wg.Wait()
 
@@ -262,18 +285,24 @@ func drawQuery(rng *xrand.Rand, opts LoadOptions, totalWeight int) QueryRequest 
 	return q
 }
 
+// percentile returns the nearest-rank percentile of an ascending-sorted
+// sample: the smallest value v such that at least q of the sample is <= v
+// (rank ceil(q*n), 1-based). Truncating instead of rounding the rank up
+// would systematically understate tail percentiles — e.g. p95 of 10 samples
+// would read the 9th value instead of the 10th.
 func percentile(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
+	n := len(sorted)
+	if n == 0 {
 		return 0
 	}
-	idx := int(q*float64(len(sorted))) - 1
-	if idx < 0 {
-		idx = 0
+	rank := int(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
 	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
+	if rank > n {
+		rank = n
 	}
-	return sorted[idx]
+	return sorted[rank-1]
 }
 
 // WaitReady polls /readyz until the server answers 200 or the timeout

@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPercentileNearestRank(t *testing.T) {
+	ten := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		name   string
+		sorted []float64
+		q      float64
+		want   float64
+	}{
+		{"empty", nil, 0.5, 0},
+		{"single p50", []float64{7}, 0.50, 7},
+		{"single p99", []float64{7}, 0.99, 7},
+		{"two p50", []float64{1, 2}, 0.50, 1},
+		{"two p99", []float64{1, 2}, 0.99, 2},
+		// Nearest rank over 10 samples: rank = ceil(q*10).
+		{"ten p50", ten, 0.50, 5},
+		{"ten p90", ten, 0.90, 9},
+		// p95 of 10 samples is rank ceil(9.5) = 10 — the truncating
+		// implementation read rank 9 and understated the tail.
+		{"ten p95", ten, 0.95, 10},
+		{"ten p99", ten, 0.99, 10},
+		{"ten p100", ten, 1.00, 10},
+		{"ten p0 clamps to first", ten, 0.0, 1},
+		// 100 samples: exact-multiple ranks must not round further up.
+		{"hundred p95", seqFloats(100), 0.95, 95},
+		{"hundred p99", seqFloats(100), 0.99, 99},
+		{"hundred p50", seqFloats(100), 0.50, 50},
+	}
+	for _, tc := range cases {
+		if got := percentile(tc.sorted, tc.q); got != tc.want {
+			t.Errorf("%s: percentile(n=%d, q=%v) = %v, want %v",
+				tc.name, len(tc.sorted), tc.q, got, tc.want)
+		}
+	}
+}
+
+func seqFloats(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i + 1)
+	}
+	return out
+}
+
+// TestLoadOpenLoopPacing pins the open-loop property the closed-loop pacer
+// violated: a server far slower than the offered rate must not throttle the
+// number of requests fired. With 50ms of server latency per request and 4
+// senders, a closed loop would degrade to ~80 QPS; the open loop must still
+// offer ~200 QPS for the full duration.
+func TestLoadOpenLoopPacing(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		time.Sleep(50 * time.Millisecond)
+		json.NewEncoder(w).Encode(QueryResponse{})
+	}))
+	defer srv.Close()
+
+	const (
+		qps = 200.0
+		dur = time.Second
+	)
+	rep, err := Load(context.Background(), LoadOptions{
+		URL:         srv.URL,
+		Mix:         []MixItem{{Algo: "bfs", Graph: "g", Weight: 1}},
+		Duration:    dur,
+		QPS:         qps,
+		Concurrency: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := qps * dur.Seconds()
+	if float64(rep.Requests) < 0.75*want {
+		t.Fatalf("open-loop pacer offered only %d of ~%.0f intended requests (achieved %.1f QPS)",
+			rep.Requests, want, rep.AchievedQPS)
+	}
+}

@@ -182,8 +182,15 @@ func TestQuotaShedsWithRetryAfter(t *testing.T) {
 		resp, _ := postQuery(t, ts.URL, QueryRequest{Algo: "bfs", Graph: "wiki", Tenant: "greedy"})
 		codes[resp.StatusCode]++
 		if resp.StatusCode == http.StatusTooManyRequests {
-			if resp.Header.Get("Retry-After") == "" || resp.Header.Get("X-Maxwarp-Reason") != ReasonQuota {
-				t.Fatalf("quota shed lacks Retry-After/reason headers: %v", resp.Header)
+			if resp.Header.Get("X-Maxwarp-Reason") != ReasonQuota {
+				t.Fatalf("quota shed lacks reason header: %v", resp.Header)
+			}
+			// At 1 token/sec the wait to the next token is always in (0, 1s],
+			// so the ceil-to-whole-seconds hint must be exactly 1 — never the
+			// invalid 0 a truncation would produce, and never 2 from an
+			// off-by-one "truncate then add one".
+			if got := resp.Header.Get("Retry-After"); got != "1" {
+				t.Fatalf("Retry-After = %q, want \"1\" for a sub-second quota wait", got)
 			}
 		}
 	}

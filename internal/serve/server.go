@@ -453,7 +453,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	// Quota gate.
 	if ok, wait := s.quotas.Admit(rq.tenant); !ok {
-		after := int(wait/time.Second) + 1
+		// Ceil to whole seconds, never below 1: Retry-After carries integer
+		// seconds, so a sub-second wait must round up to 1 (0 is invalid and
+		// clients treat it as "retry immediately", which defeats the quota),
+		// while an exact multiple must not gain a spurious extra second.
+		after := int((wait + time.Second - 1) / time.Second)
+		if after < 1 {
+			after = 1
+		}
 		s.shed(w, q.Algo, http.StatusTooManyRequests, ReasonQuota, after, fmt.Sprintf("tenant %q over quota", rq.tenant))
 		return
 	}

@@ -31,6 +31,76 @@ func BenchmarkSimulatorALUThroughput(b *testing.B) {
 	b.ReportMetric(float64(instr)/b.Elapsed().Seconds(), "sim-instr/s")
 }
 
+// BenchmarkApplyUniform measures the steady-state cost of the hottest warp
+// primitive — a fully-uniform Apply — on a persistent device, so warp
+// runtimes, lane-state slabs, and kernel scratch are all recycled across
+// launches and the interpret loop runs allocation-free. Memory per op is
+// launch-scaffolding only (launch/smRT/blockRT), amortized over
+// iters*warps*width lane-instructions; the reported lane-instrs/s is the
+// headline number.
+func BenchmarkApplyUniform(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.NumSMs = 4
+	d := MustNewDevice(cfg)
+	const iters = 512
+	const warps = 16
+	kernel := func(w *WarpCtx) {
+		v := w.VecI32()
+		for i := 0; i < iters; i++ {
+			w.Apply(1, func(l int) { v[l]++ })
+		}
+	}
+	// Warm once: first use of each warp context grows its register file.
+	if _, err := d.Launch(LaunchConfig{Blocks: warps, ThreadsPerBlock: 32}, kernel); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var instr int64
+	for i := 0; i < b.N; i++ {
+		stats, err := d.Launch(LaunchConfig{Blocks: warps, ThreadsPerBlock: 32}, kernel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instr += stats.Instructions
+	}
+	b.ReportMetric(float64(instr)/b.Elapsed().Seconds(), "sim-instr/s")
+}
+
+// BenchmarkApplyDivergent is the slow-path twin of BenchmarkApplyUniform:
+// half the lanes are masked off by an If, so every Apply walks the masked
+// per-lane path. The uniform/divergent ratio bounds the fast path's win.
+func BenchmarkApplyDivergent(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.NumSMs = 4
+	d := MustNewDevice(cfg)
+	const iters = 512
+	const warps = 16
+	kernel := func(w *WarpCtx) {
+		v := w.VecI32()
+		lane := w.LaneIDs()
+		w.If(func(l int) bool { return lane[l]%2 == 0 }, func() {
+			for i := 0; i < iters; i++ {
+				w.Apply(1, func(l int) { v[l]++ })
+			}
+		}, nil)
+	}
+	if _, err := d.Launch(LaunchConfig{Blocks: warps, ThreadsPerBlock: 32}, kernel); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var instr int64
+	for i := 0; i < b.N; i++ {
+		stats, err := d.Launch(LaunchConfig{Blocks: warps, ThreadsPerBlock: 32}, kernel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instr += stats.Instructions
+	}
+	b.ReportMetric(float64(instr)/b.Elapsed().Seconds(), "sim-instr/s")
+}
+
 func BenchmarkSimulatorMemThroughput(b *testing.B) {
 	cfg := DefaultConfig()
 	var instr int64

@@ -74,15 +74,21 @@ type Config struct {
 	// round-robin: rotate through ready warps).
 	SchedulerPolicy string
 
-	// ParallelSMs selects the host execution mode. 1 runs the classic
-	// single-goroutine event loop; any value > 1 runs every simulated SM's
-	// event loop on its own host goroutine, synchronizing only at
-	// global-memory atomics and block admission (the Go runtime multiplexes
-	// the SM goroutines onto the available cores). Zero defaults to
-	// runtime.NumCPU(). Results and stats are bit-identical across all
-	// settings; launches that attach a non-parallel-safe tracer (see
-	// ParallelTracer), a fault-injection plan, or an OnProgress callback fall
-	// back to the sequential loop (recorded in
+	// ParallelSMs selects the host execution mode. 1 runs the sequential
+	// direct-handoff loop (the warp holding the execution token applies its
+	// own cost, picks the successor, and hands the token straight to it —
+	// no supervisor round-trip per instruction); any value > 1 runs every
+	// simulated SM's event loop on its own host goroutine, synchronizing
+	// only at global-memory atomics and block admission. In parallel mode
+	// the value is a *worker-slot budget*, not an SM partition: all SM
+	// goroutines exist, but at most ParallelSMs of them execute
+	// simultaneously, and slots migrate from gate-blocked or finished SMs
+	// to SMs with ready work. Setting it above NumSMs is therefore
+	// harmless, and a value below NumSMs still drives every SM. Zero
+	// defaults to runtime.NumCPU(). Results and stats are bit-identical
+	// across all settings; launches that attach a non-parallel-safe tracer
+	// (see ParallelTracer), a fault-injection plan, or an OnProgress
+	// callback fall back to the sequential loop (recorded in
 	// LaunchStats.SequentialFallback).
 	ParallelSMs int
 

@@ -5,6 +5,13 @@ import (
 	"math/bits"
 )
 
+// debugDisableFastPath forces every warp primitive down its masked slow
+// path even when all lanes are active. It exists for the fast-path
+// equivalence tests, which assert bit-identical stats, results, and
+// sanitizer diagnostics across both paths; it must never be set outside
+// tests.
+var debugDisableFastPath bool
+
 // WarpCtx is the per-warp execution context a Kernel runs against. Per-lane
 // values are Go slices of length Width(); control flow goes through If and
 // While so the active-lane mask (and thus divergence and utilization
@@ -12,12 +19,23 @@ import (
 //
 // Methods on WarpCtx must only be called from inside the kernel function
 // that received it, and only on the goroutine executing that kernel.
+//
+// The context is allocation-free in steady state: lane state lives in
+// structure-of-arrays slabs owned by the warp, If/While mask save/restore
+// recycles through a per-warp free list, and the register helpers (VecI32,
+// ConstI32, ...) hand out slots of a per-warp register file that is reclaimed
+// wholesale when the context is recycled for the next launch (see the device
+// warp pool in sched.go).
 type WarpCtx struct {
 	l *launch
 	w *warpRT
 
 	width int
 	mask  []bool
+	// activeN is the number of true lanes in mask, maintained incrementally
+	// by the mask-mutating primitives so ActiveCount and the full-mask fast
+	// path are O(1) instead of an O(width) scan per instruction.
+	activeN int
 
 	lanes []int32
 	gtids []int32
@@ -28,37 +46,144 @@ type WarpCtx struct {
 	entryMask []bool
 	barriers  int
 
+	// laneSlab backs lanes+gtids and boolSlab backs mask+entryMask: one
+	// allocation each instead of four (SoA slabs owned by the warp).
+	laneSlab []int32
+	boolSlab []bool
+
+	// maskFree recycles width-sized mask save/restore buffers for If/While.
+	// Get/put is LIFO, matching the nesting structure of structured control
+	// flow, so the list grows to the maximum nesting depth and then never
+	// allocates again.
+	maskFree [][]bool
+
+	// Register files: vectors handed out by VecI32/VecF32/VecBool (and the
+	// Const/Copy variants). regI32Next etc. index the next reusable slot;
+	// recycling resets the cursors so the same backing arrays serve the next
+	// kernel invocation. Capped so a kernel that allocates registers inside
+	// an unbounded loop degrades to plain allocation instead of growing the
+	// file without limit.
+	regI32      [][]int32
+	regI32Next  int
+	regF32      [][]float32
+	regF32Next  int
+	regBool     [][]bool
+	regBoolNext int
+
 	// scratch buffers reused across ops to keep the simulator allocation-free
 	// in steady state.
 	addrScratch []uint64
 	segScratch  []uint64
+
+	// scratch is the KernelScratch registry: per-context values kernel
+	// libraries cache across invocations (it survives reset, riding the
+	// warp pool). A handful of entries with static string keys, so a linear
+	// scan beats a map.
+	scratch []scratchEntry
 
 	// sanitizer event scratch, reused per access (see Sanitizer).
 	ga GlobalAccess
 	sa SharedAccess
 }
 
-func newWarpCtx(l *launch, w *warpRT) *WarpCtx {
-	width := l.cfg.WarpWidth
+// regFileCap bounds each per-warp register file. 64 width-sized vectors is
+// far beyond what any well-formed kernel requests outside a loop; past the
+// cap VecI32 falls back to plain make so memory stays bounded.
+const regFileCap = 64
+
+func newWarpCtx(width int) *WarpCtx {
 	c := &WarpCtx{
-		l:           l,
-		w:           w,
 		width:       width,
-		mask:        make([]bool, width),
-		lanes:       make([]int32, width),
-		gtids:       make([]int32, width),
+		laneSlab:    make([]int32, 2*width),
+		boolSlab:    make([]bool, 2*width),
 		addrScratch: make([]uint64, 0, width),
 		segScratch:  make([]uint64, 0, width),
 	}
+	c.lanes = c.laneSlab[:width:width]
+	c.gtids = c.laneSlab[width:]
+	c.mask = c.boolSlab[:width:width]
+	c.entryMask = c.boolSlab[width:]
+	return c
+}
+
+// reset rebinds a (fresh or recycled) context to a warp of the given launch,
+// reinitializing the lane-identity vectors and the entry mask, and reclaiming
+// the whole register file: every vector handed out during the previous
+// kernel invocation is dead once that kernel returned.
+func (c *WarpCtx) reset(l *launch, w *warpRT) {
+	c.l = l
+	c.w = w
+	c.barriers = 0
+	c.regI32Next = 0
+	c.regF32Next = 0
+	c.regBoolNext = 0
+	width := c.width
 	warpBase := w.warpInBlock * width
+	n := 0
 	for lane := 0; lane < width; lane++ {
 		c.lanes[lane] = int32(lane)
 		tidInBlock := warpBase + lane
 		c.gtids[lane] = int32(w.blockID*l.lc.ThreadsPerBlock + tidInBlock)
-		c.mask[lane] = tidInBlock < l.lc.ThreadsPerBlock
+		live := tidInBlock < l.lc.ThreadsPerBlock
+		c.mask[lane] = live
+		c.entryMask[lane] = live
+		if live {
+			n++
+		}
 	}
-	c.entryMask = append(make([]bool, 0, width), c.mask...)
-	return c
+	c.activeN = n
+}
+
+// fullMask reports whether every lane is active — the common non-divergent
+// case whose per-lane mask tests the fast paths skip.
+func (c *WarpCtx) fullMask() bool {
+	return c.activeN == c.width && !debugDisableFastPath
+}
+
+// getMask pops a width-sized scratch mask (contents undefined).
+func (c *WarpCtx) getMask() []bool {
+	if n := len(c.maskFree); n > 0 {
+		m := c.maskFree[n-1]
+		c.maskFree = c.maskFree[:n-1]
+		return m
+	}
+	return make([]bool, c.width)
+}
+
+func (c *WarpCtx) putMask(m []bool) { c.maskFree = append(c.maskFree, m) }
+
+type scratchEntry struct {
+	key string
+	val any
+}
+
+// KernelScratch returns the value cached under key, or nil. The cache
+// persists for the lifetime of the (pooled) warp context — across kernel
+// invocations and launches — so kernel libraries can keep per-warp scratch
+// state (closures, work vectors) allocation-free in steady state. Keys
+// should be package-qualified ("vwarp.tasks"). Cached values must not hold
+// register-file vectors (VecI32 etc.): those are reclaimed and re-issued
+// every invocation. Anything cached must be re-validated against the
+// current invocation's parameters by the caller.
+func (c *WarpCtx) KernelScratch(key string) any {
+	for i := range c.scratch {
+		if c.scratch[i].key == key {
+			return c.scratch[i].val
+		}
+	}
+	return nil
+}
+
+// SetKernelScratch stores v under key in the per-context cache, replacing
+// any previous value. See KernelScratch.
+func (c *WarpCtx) SetKernelScratch(key string, v any) {
+	for i := range c.scratch {
+		if c.scratch[i].key == key {
+			c.scratch[i].val = v
+			return
+		}
+	}
+	c.scratch = append(c.scratch, scratchEntry{key, v})
 }
 
 // --- sanitizer hooks -------------------------------------------------------
@@ -95,6 +220,13 @@ func (c *WarpCtx) sanShared(kind AccessKind, s *SharedI32, idx []int32, val []in
 // charge reports an instruction's cost to the scheduler and blocks until the
 // warp is granted its next slot.
 func (c *WarpCtx) charge(r request) {
+	if !c.l.parallel {
+		// Direct-handoff mode: this goroutine holds the execution token, so
+		// it applies its own cost and passes the token itself — zero
+		// goroutine switches when the scheduler picks it again.
+		c.l.seqStep(c.w, r)
+		return
+	}
 	c.w.req <- r
 	<-c.w.resume
 	if c.l.aborted.Load() {
@@ -102,15 +234,7 @@ func (c *WarpCtx) charge(r request) {
 	}
 }
 
-func (c *WarpCtx) activeCount() int {
-	n := 0
-	for _, m := range c.mask {
-		if m {
-			n++
-		}
-	}
-	return n
-}
+func (c *WarpCtx) activeCount() int { return c.activeN }
 
 func (c *WarpCtx) noteALU(instrs, activeLanes, usefulLanes int64) {
 	s := &c.w.sm.stats
@@ -119,6 +243,9 @@ func (c *WarpCtx) noteALU(instrs, activeLanes, usefulLanes int64) {
 	s.ActiveLaneOps += instrs * activeLanes
 	s.UsefulLaneOps += instrs * usefulLanes
 	s.LaneSlots += instrs * int64(c.width)
+	if activeLanes == int64(c.width) {
+		s.FullMaskOps += instrs
+	}
 }
 
 // --- identity / geometry -------------------------------------------------
@@ -158,43 +285,85 @@ func (c *WarpCtx) GridDim() int { return c.l.lc.Blocks }
 func (c *WarpCtx) GridThreads() int { return c.l.lc.Blocks * c.l.lc.ThreadsPerBlock }
 
 // ActiveCount returns how many lanes are currently active.
-func (c *WarpCtx) ActiveCount() int { return c.activeCount() }
+func (c *WarpCtx) ActiveCount() int { return c.activeN }
 
 // AnyActive reports whether any lane is active.
-func (c *WarpCtx) AnyActive() bool { return c.activeCount() > 0 }
+func (c *WarpCtx) AnyActive() bool { return c.activeN > 0 }
 
 // LaneActive reports whether a specific lane is active.
 func (c *WarpCtx) LaneActive(lane int) bool { return c.mask[lane] }
 
 // --- register helpers (free: registers don't issue instructions) ---------
 
-// VecI32 allocates an uninitialized per-lane register vector.
-func (c *WarpCtx) VecI32() []int32 { return make([]int32, c.width) }
+// VecI32 returns an uninitialized per-lane register vector (contents
+// undefined, exactly like a fresh hardware register).
+func (c *WarpCtx) VecI32() []int32 {
+	if c.regI32Next < len(c.regI32) {
+		v := c.regI32[c.regI32Next]
+		c.regI32Next++
+		return v
+	}
+	v := make([]int32, c.width)
+	if len(c.regI32) < regFileCap {
+		c.regI32 = append(c.regI32, v)
+		c.regI32Next++
+	}
+	return v
+}
 
-// VecF32 allocates an uninitialized per-lane float register vector.
-func (c *WarpCtx) VecF32() []float32 { return make([]float32, c.width) }
+// VecF32 returns an uninitialized per-lane float register vector.
+func (c *WarpCtx) VecF32() []float32 {
+	if c.regF32Next < len(c.regF32) {
+		v := c.regF32[c.regF32Next]
+		c.regF32Next++
+		return v
+	}
+	v := make([]float32, c.width)
+	if len(c.regF32) < regFileCap {
+		c.regF32 = append(c.regF32, v)
+		c.regF32Next++
+	}
+	return v
+}
 
-// ConstI32 allocates a register vector with every lane set to v.
+// VecBool returns an uninitialized per-lane predicate register vector.
+func (c *WarpCtx) VecBool() []bool {
+	if c.regBoolNext < len(c.regBool) {
+		v := c.regBool[c.regBoolNext]
+		c.regBoolNext++
+		return v
+	}
+	v := make([]bool, c.width)
+	if len(c.regBool) < regFileCap {
+		c.regBool = append(c.regBool, v)
+		c.regBoolNext++
+	}
+	return v
+}
+
+// ConstI32 returns a register vector with every lane set to v.
 func (c *WarpCtx) ConstI32(v int32) []int32 {
-	r := make([]int32, c.width)
+	r := c.VecI32()
 	for i := range r {
 		r[i] = v
 	}
 	return r
 }
 
-// ConstF32 allocates a float register vector with every lane set to v.
+// ConstF32 returns a float register vector with every lane set to v.
 func (c *WarpCtx) ConstF32(v float32) []float32 {
-	r := make([]float32, c.width)
+	r := c.VecF32()
 	for i := range r {
 		r[i] = v
 	}
 	return r
 }
 
-// CopyI32 allocates a register vector copying src.
+// CopyI32 returns a register vector copying src.
 func (c *WarpCtx) CopyI32(src []int32) []int32 {
-	return append(make([]int32, 0, c.width), src...)
+	r := c.VecI32()
+	copy(r, src)
+	return r
 }
 
 // --- compute --------------------------------------------------------------
@@ -207,10 +376,16 @@ func (c *WarpCtx) Apply(instrs int, f func(lane int)) {
 	if instrs < 1 {
 		instrs = 1
 	}
-	active := int64(c.activeCount())
-	for lane := 0; lane < c.width; lane++ {
-		if c.mask[lane] {
+	active := int64(c.activeN)
+	if c.fullMask() {
+		for lane := 0; lane < c.width; lane++ {
 			f(lane)
+		}
+	} else {
+		for lane := 0; lane < c.width; lane++ {
+			if c.mask[lane] {
+				f(lane)
+			}
 		}
 	}
 	c.noteALU(int64(instrs), active, active)
@@ -229,13 +404,20 @@ func (c *WarpCtx) ApplyReplicated(instrs, groupWidth int, f func(group int)) {
 	c.checkGroupWidth(groupWidth)
 	groups := c.width / groupWidth
 	activeGroups := int64(0)
-	for g := 0; g < groups; g++ {
-		if c.groupActive(g, groupWidth) {
-			activeGroups++
+	if c.fullMask() {
+		activeGroups = int64(groups)
+		for g := 0; g < groups; g++ {
 			f(g)
 		}
+	} else {
+		for g := 0; g < groups; g++ {
+			if c.groupActive(g, groupWidth) {
+				activeGroups++
+				f(g)
+			}
+		}
 	}
-	active := int64(c.activeCount())
+	active := int64(c.activeN)
 	c.noteALU(int64(instrs), active, activeGroups)
 	c.charge(request{class: opALU, issue: int64(instrs), latency: c.l.cfg.ALULatency})
 }
@@ -247,6 +429,9 @@ func (c *WarpCtx) checkGroupWidth(groupWidth int) {
 }
 
 func (c *WarpCtx) groupActive(g, groupWidth int) bool {
+	if c.activeN == c.width {
+		return true
+	}
 	base := g * groupWidth
 	for lane := base; lane < base+groupWidth; lane++ {
 		if c.mask[lane] {
@@ -254,6 +439,20 @@ func (c *WarpCtx) groupActive(g, groupWidth int) bool {
 		}
 	}
 	return false
+}
+
+// activeGroupCount counts virtual-warp groups with at least one active lane.
+func (c *WarpCtx) activeGroupCount(groupWidth int) int64 {
+	if c.activeN == c.width {
+		return int64(c.width / groupWidth)
+	}
+	n := int64(0)
+	for g := 0; g < c.width/groupWidth; g++ {
+		if c.groupActive(g, groupWidth) {
+			n++
+		}
+	}
+	return n
 }
 
 // --- control flow ----------------------------------------------------------
@@ -276,29 +475,41 @@ func (c *WarpCtx) IfGrouped(groupWidth int, pred func(lane int) bool, thenFn, el
 }
 
 func (c *WarpCtx) ifImpl(groupWidth int, pred func(lane int) bool, thenFn, elseFn func()) {
-	saved := append(make([]bool, 0, c.width), c.mask...)
-	thenMask := make([]bool, c.width)
-	thenAny, elseAny := false, false
-	for lane := 0; lane < c.width; lane++ {
-		if !saved[lane] {
-			continue
-		}
-		if pred(lane) {
-			thenMask[lane] = true
-			thenAny = true
-		} else {
-			elseAny = true
-		}
-	}
-	active := int64(c.activeCount())
-	useful := active
-	if groupWidth > 0 {
-		useful = 0
-		for g := 0; g < c.width/groupWidth; g++ {
-			if c.groupActive(g, groupWidth) {
-				useful++
+	saved := c.getMask()
+	copy(saved, c.mask)
+	savedN := c.activeN
+	thenMask := c.getMask()
+	thenN := 0
+	elseAny := false
+	if c.fullMask() {
+		for lane := 0; lane < c.width; lane++ {
+			if pred(lane) {
+				thenMask[lane] = true
+				thenN++
+			} else {
+				thenMask[lane] = false
+				elseAny = true
 			}
 		}
+	} else {
+		for lane := 0; lane < c.width; lane++ {
+			thenMask[lane] = false
+			if !saved[lane] {
+				continue
+			}
+			if pred(lane) {
+				thenMask[lane] = true
+				thenN++
+			} else {
+				elseAny = true
+			}
+		}
+	}
+	thenAny := thenN > 0
+	active := int64(savedN)
+	useful := active
+	if groupWidth > 0 {
+		useful = c.activeGroupCount(groupWidth)
 	}
 	c.noteALU(1, active, useful)
 	c.charge(request{class: opALU, issue: 1, latency: c.l.cfg.ALULatency})
@@ -307,15 +518,25 @@ func (c *WarpCtx) ifImpl(groupWidth int, pred func(lane int) bool, thenFn, elseF
 	}
 	if thenAny && thenFn != nil {
 		copy(c.mask, thenMask)
+		c.activeN = thenN
 		thenFn()
 	}
 	if elseAny && elseFn != nil {
+		elseN := 0
 		for lane := 0; lane < c.width; lane++ {
-			c.mask[lane] = saved[lane] && !thenMask[lane]
+			on := saved[lane] && !thenMask[lane]
+			c.mask[lane] = on
+			if on {
+				elseN++
+			}
 		}
+		c.activeN = elseN
 		elseFn()
 	}
 	copy(c.mask, saved)
+	c.activeN = savedN
+	c.putMask(thenMask)
+	c.putMask(saved)
 }
 
 // While loops body while cond holds for at least one active lane; lanes
@@ -324,21 +545,36 @@ func (c *WarpCtx) ifImpl(groupWidth int, pred func(lane int) bool, thenFn, elseF
 // cost real cycles with idle lanes — the workload-imbalance mechanism at the
 // core of the paper.
 func (c *WarpCtx) While(cond func(lane int) bool, body func()) {
-	saved := append(make([]bool, 0, c.width), c.mask...)
+	saved := c.getMask()
+	copy(saved, c.mask)
+	savedN := c.activeN
 	for {
 		any := false
-		for lane := 0; lane < c.width; lane++ {
-			if c.mask[lane] {
-				if cond(lane) {
-					any = true
-				} else {
+		if c.fullMask() {
+			n := c.width
+			for lane := 0; lane < c.width; lane++ {
+				if !cond(lane) {
 					c.mask[lane] = false
+					n--
+				}
+			}
+			c.activeN = n
+			any = n > 0
+		} else {
+			for lane := 0; lane < c.width; lane++ {
+				if c.mask[lane] {
+					if cond(lane) {
+						any = true
+					} else {
+						c.mask[lane] = false
+						c.activeN--
+					}
 				}
 			}
 		}
-		active := int64(c.activeCount())
+		active := int64(c.activeN)
 		if active == 0 {
-			active = int64(countTrue(saved)) // the cond evaluation still issues
+			active = int64(savedN) // the cond evaluation still issues
 		}
 		c.noteALU(1, active, active)
 		c.charge(request{class: opALU, issue: 1, latency: c.l.cfg.ALULatency})
@@ -348,16 +584,8 @@ func (c *WarpCtx) While(cond func(lane int) bool, body func()) {
 		body()
 	}
 	copy(c.mask, saved)
-}
-
-func countTrue(m []bool) int {
-	n := 0
-	for _, b := range m {
-		if b {
-			n++
-		}
-	}
-	return n
+	c.activeN = savedN
+	c.putMask(saved)
 }
 
 // --- warp-level intrinsics --------------------------------------------------
@@ -366,12 +594,20 @@ func countTrue(m []bool) int {
 // instruction), like CUDA's __ballot.
 func (c *WarpCtx) Ballot(pred func(lane int) bool) uint64 {
 	var out uint64
-	for lane := 0; lane < c.width; lane++ {
-		if c.mask[lane] && pred(lane) {
-			out |= 1 << uint(lane)
+	if c.fullMask() {
+		for lane := 0; lane < c.width; lane++ {
+			if pred(lane) {
+				out |= 1 << uint(lane)
+			}
+		}
+	} else {
+		for lane := 0; lane < c.width; lane++ {
+			if c.mask[lane] && pred(lane) {
+				out |= 1 << uint(lane)
+			}
 		}
 	}
-	active := int64(c.activeCount())
+	active := int64(c.activeN)
 	c.noteALU(1, active, active)
 	c.charge(request{class: opALU, issue: 1, latency: c.l.cfg.ALULatency})
 	return out
@@ -383,7 +619,7 @@ func (c *WarpCtx) BroadcastI32(src []int32, fromLane int) int32 {
 	if fromLane < 0 || fromLane >= c.width {
 		panic(fmt.Sprintf("simt: broadcast from lane %d outside warp of width %d", fromLane, c.width))
 	}
-	active := int64(c.activeCount())
+	active := int64(c.activeN)
 	c.noteALU(1, active, active)
 	c.charge(request{class: opALU, issue: 1, latency: c.l.cfg.ALULatency})
 	return src[fromLane]
@@ -394,11 +630,18 @@ func (c *WarpCtx) BroadcastI32(src []int32, fromLane int) int32 {
 // every lane of the group in dst. Charged log2(groupWidth) instructions,
 // like a shuffle-based warp reduction.
 func (c *WarpCtx) GroupReduceAddI32(groupWidth int, src, dst []int32) {
+	full := c.fullMask()
 	c.groupReduce(groupWidth, func(g, base int) {
 		var sum int32
-		for lane := base; lane < base+groupWidth; lane++ {
-			if c.mask[lane] {
+		if full {
+			for lane := base; lane < base+groupWidth; lane++ {
 				sum += src[lane]
+			}
+		} else {
+			for lane := base; lane < base+groupWidth; lane++ {
+				if c.mask[lane] {
+					sum += src[lane]
+				}
 			}
 		}
 		for lane := base; lane < base+groupWidth; lane++ {
@@ -409,11 +652,20 @@ func (c *WarpCtx) GroupReduceAddI32(groupWidth int, src, dst []int32) {
 
 // GroupReduceMinI32 is GroupReduceAddI32 with min (identity math.MaxInt32).
 func (c *WarpCtx) GroupReduceMinI32(groupWidth int, src, dst []int32) {
+	full := c.fullMask()
 	c.groupReduce(groupWidth, func(g, base int) {
 		mn := int32(1<<31 - 1)
-		for lane := base; lane < base+groupWidth; lane++ {
-			if c.mask[lane] && src[lane] < mn {
-				mn = src[lane]
+		if full {
+			for lane := base; lane < base+groupWidth; lane++ {
+				if src[lane] < mn {
+					mn = src[lane]
+				}
+			}
+		} else {
+			for lane := base; lane < base+groupWidth; lane++ {
+				if c.mask[lane] && src[lane] < mn {
+					mn = src[lane]
+				}
 			}
 		}
 		for lane := base; lane < base+groupWidth; lane++ {
@@ -425,11 +677,18 @@ func (c *WarpCtx) GroupReduceMinI32(groupWidth int, src, dst []int32) {
 // GroupReduceOrI32 is the bitwise-OR reduction (identity 0), useful for
 // building per-group bitmasks (e.g. used-color windows in graph coloring).
 func (c *WarpCtx) GroupReduceOrI32(groupWidth int, src, dst []int32) {
+	full := c.fullMask()
 	c.groupReduce(groupWidth, func(g, base int) {
 		var acc int32
-		for lane := base; lane < base+groupWidth; lane++ {
-			if c.mask[lane] {
+		if full {
+			for lane := base; lane < base+groupWidth; lane++ {
 				acc |= src[lane]
+			}
+		} else {
+			for lane := base; lane < base+groupWidth; lane++ {
+				if c.mask[lane] {
+					acc |= src[lane]
+				}
 			}
 		}
 		for lane := base; lane < base+groupWidth; lane++ {
@@ -440,11 +699,18 @@ func (c *WarpCtx) GroupReduceOrI32(groupWidth int, src, dst []int32) {
 
 // GroupReduceAddF32 is the float32 sum reduction.
 func (c *WarpCtx) GroupReduceAddF32(groupWidth int, src, dst []float32) {
+	full := c.fullMask()
 	c.groupReduce(groupWidth, func(g, base int) {
 		var sum float32
-		for lane := base; lane < base+groupWidth; lane++ {
-			if c.mask[lane] {
+		if full {
+			for lane := base; lane < base+groupWidth; lane++ {
 				sum += src[lane]
+			}
+		} else {
+			for lane := base; lane < base+groupWidth; lane++ {
+				if c.mask[lane] {
+					sum += src[lane]
+				}
 			}
 		}
 		for lane := base; lane < base+groupWidth; lane++ {
@@ -463,7 +729,7 @@ func (c *WarpCtx) groupReduce(groupWidth int, apply func(g, base int)) {
 	if steps < 1 {
 		steps = 1
 	}
-	active := int64(c.activeCount())
+	active := int64(c.activeN)
 	c.noteALU(steps, active, active)
 	c.charge(request{class: opALU, issue: steps, latency: c.l.cfg.ALULatency})
 }
@@ -471,13 +737,20 @@ func (c *WarpCtx) groupReduce(groupWidth int, apply func(g, base int)) {
 // --- global memory -----------------------------------------------------------
 
 func (c *WarpCtx) gatherAddrs(addrOf func(lane int) uint64) (addrs []uint64, active int64) {
-	c.addrScratch = c.addrScratch[:0]
-	for lane := 0; lane < c.width; lane++ {
-		if c.mask[lane] {
-			c.addrScratch = append(c.addrScratch, addrOf(lane))
+	a := c.addrScratch[:0]
+	if c.fullMask() {
+		for lane := 0; lane < c.width; lane++ {
+			a = append(a, addrOf(lane))
+		}
+	} else {
+		for lane := 0; lane < c.width; lane++ {
+			if c.mask[lane] {
+				a = append(a, addrOf(lane))
+			}
 		}
 	}
-	return c.addrScratch, int64(len(c.addrScratch))
+	c.addrScratch = a
+	return a, int64(len(a))
 }
 
 // memKind distinguishes the three global-memory access classes: only loads
@@ -508,6 +781,9 @@ func (c *WarpCtx) chargeMemUseful(addrs []uint64, active, useful int64, kind mem
 	s.UsefulLaneOps += useful
 	s.LaneSlots += int64(c.width)
 	s.MemOps++
+	if active == int64(c.width) {
+		s.FullMaskOps++
+	}
 
 	cache := c.w.sm.cache
 	dramTxns := txns
@@ -573,9 +849,35 @@ func (c *WarpCtx) LoadI32(b *BufI32, idx []int32, dst []int32) {
 		return b.addr(idx[lane])
 	})
 	c.chargeMem(addrs, active, memLoad, 0)
-	for lane := 0; lane < c.width; lane++ {
-		if c.mask[lane] {
-			dst[lane] = c.readI32(b, idx[lane])
+	c.loadI32Data(b, idx, dst)
+}
+
+// loadI32Data performs the data phase of an int32 gather, with the shadow
+// lookup hoisted out of the per-lane loop.
+func (c *WarpCtx) loadI32Data(b *BufI32, idx []int32, dst []int32) {
+	sh := b.sh[c.w.sm.id]
+	switch {
+	case sh == nil && c.fullMask():
+		data := b.data
+		for lane := 0; lane < c.width; lane++ {
+			dst[lane] = data[idx[lane]]
+		}
+	case sh == nil:
+		data := b.data
+		for lane := 0; lane < c.width; lane++ {
+			if c.mask[lane] {
+				dst[lane] = data[idx[lane]]
+			}
+		}
+	case c.fullMask():
+		for lane := 0; lane < c.width; lane++ {
+			dst[lane] = sh.load(idx[lane])
+		}
+	default:
+		for lane := 0; lane < c.width; lane++ {
+			if c.mask[lane] {
+				dst[lane] = sh.load(idx[lane])
+			}
 		}
 	}
 }
@@ -591,18 +893,9 @@ func (c *WarpCtx) LoadI32Replicated(groupWidth int, b *BufI32, idx []int32, dst 
 		b.check(idx[lane], lane)
 		return b.addr(idx[lane])
 	})
-	useful := int64(0)
-	for g := 0; g < c.width/groupWidth; g++ {
-		if c.groupActive(g, groupWidth) {
-			useful++
-		}
-	}
+	useful := c.activeGroupCount(groupWidth)
 	c.chargeMemUseful(addrs, active, useful, memLoad, 0)
-	for lane := 0; lane < c.width; lane++ {
-		if c.mask[lane] {
-			dst[lane] = c.readI32(b, idx[lane])
-		}
-	}
+	c.loadI32Data(b, idx, dst)
 }
 
 // StoreI32 scatters src[lane] to b[idx[lane]] for every active lane.
@@ -616,9 +909,15 @@ func (c *WarpCtx) StoreI32(b *BufI32, idx []int32, src []int32) {
 	})
 	c.chargeMem(addrs, active, memStore, 0)
 	sh := b.shadowFor(c.w.sm.id)
-	for lane := 0; lane < c.width; lane++ {
-		if c.mask[lane] {
+	if c.fullMask() {
+		for lane := 0; lane < c.width; lane++ {
 			sh.store(idx[lane], src[lane])
+		}
+	} else {
+		for lane := 0; lane < c.width; lane++ {
+			if c.mask[lane] {
+				sh.store(idx[lane], src[lane])
+			}
 		}
 	}
 }
@@ -631,9 +930,29 @@ func (c *WarpCtx) LoadF32(b *BufF32, idx []int32, dst []float32) {
 		return b.addr(idx[lane])
 	})
 	c.chargeMem(addrs, active, memLoad, 0)
-	for lane := 0; lane < c.width; lane++ {
-		if c.mask[lane] {
-			dst[lane] = c.readF32(b, idx[lane])
+	sh := b.sh[c.w.sm.id]
+	switch {
+	case sh == nil && c.fullMask():
+		data := b.data
+		for lane := 0; lane < c.width; lane++ {
+			dst[lane] = data[idx[lane]]
+		}
+	case sh == nil:
+		data := b.data
+		for lane := 0; lane < c.width; lane++ {
+			if c.mask[lane] {
+				dst[lane] = data[idx[lane]]
+			}
+		}
+	case c.fullMask():
+		for lane := 0; lane < c.width; lane++ {
+			dst[lane] = sh.load(idx[lane])
+		}
+	default:
+		for lane := 0; lane < c.width; lane++ {
+			if c.mask[lane] {
+				dst[lane] = sh.load(idx[lane])
+			}
 		}
 	}
 }
@@ -647,9 +966,15 @@ func (c *WarpCtx) StoreF32(b *BufF32, idx []int32, src []float32) {
 	})
 	c.chargeMem(addrs, active, memStore, 0)
 	sh := b.shadowFor(c.w.sm.id)
-	for lane := 0; lane < c.width; lane++ {
-		if c.mask[lane] {
+	if c.fullMask() {
+		for lane := 0; lane < c.width; lane++ {
 			sh.store(idx[lane], src[lane])
+		}
+	} else {
+		for lane := 0; lane < c.width; lane++ {
+			if c.mask[lane] {
+				sh.store(idx[lane], src[lane])
+			}
 		}
 	}
 }
@@ -702,9 +1027,15 @@ func (c *WarpCtx) atomicI32(b *BufI32, idx []int32, apply func(lane int)) {
 	if !c.l.gateEnter(c.w.sm) {
 		panic(errAborted)
 	}
-	for lane := 0; lane < c.width; lane++ {
-		if c.mask[lane] {
+	if c.fullMask() {
+		for lane := 0; lane < c.width; lane++ {
 			apply(lane)
+		}
+	} else {
+		for lane := 0; lane < c.width; lane++ {
+			if c.mask[lane] {
+				apply(lane)
+			}
 		}
 	}
 	c.l.gateExit(c.w.sm)
@@ -795,14 +1126,23 @@ func (c *WarpCtx) AtomicAddF32(b *BufF32, idx []int32, delta []float32, old []fl
 	if !c.l.gateEnter(c.w.sm) {
 		panic(errAborted)
 	}
-	for lane := 0; lane < c.width; lane++ {
-		if c.mask[lane] {
-			i := idx[lane]
-			cur := c.atomLoadF32(b, i)
-			if old != nil {
-				old[lane] = cur
+	apply := func(lane int) {
+		i := idx[lane]
+		cur := c.atomLoadF32(b, i)
+		if old != nil {
+			old[lane] = cur
+		}
+		c.atomStoreF32(b, i, cur+delta[lane])
+	}
+	if c.fullMask() {
+		for lane := 0; lane < c.width; lane++ {
+			apply(lane)
+		}
+	} else {
+		for lane := 0; lane < c.width; lane++ {
+			if c.mask[lane] {
+				apply(lane)
 			}
-			c.atomStoreF32(b, i, cur+delta[lane])
 		}
 	}
 	c.l.gateExit(c.w.sm)
@@ -825,9 +1165,15 @@ func (c *WarpCtx) LoadSharedI32(s *SharedI32, idx []int32, dst []int32) {
 		return
 	}
 	c.chargeShared(slots, minSlots, active)
-	for lane := 0; lane < c.width; lane++ {
-		if c.mask[lane] {
+	if c.fullMask() {
+		for lane := 0; lane < c.width; lane++ {
 			dst[lane] = s.data[idx[lane]]
+		}
+	} else {
+		for lane := 0; lane < c.width; lane++ {
+			if c.mask[lane] {
+				dst[lane] = s.data[idx[lane]]
+			}
 		}
 	}
 }
@@ -841,9 +1187,15 @@ func (c *WarpCtx) StoreSharedI32(s *SharedI32, idx []int32, src []int32) {
 		return
 	}
 	c.chargeShared(slots, minSlots, active)
-	for lane := 0; lane < c.width; lane++ {
-		if c.mask[lane] {
+	if c.fullMask() {
+		for lane := 0; lane < c.width; lane++ {
 			s.data[idx[lane]] = src[lane]
+		}
+	} else {
+		for lane := 0; lane < c.width; lane++ {
+			if c.mask[lane] {
+				s.data[idx[lane]] = src[lane]
+			}
 		}
 	}
 }
@@ -856,15 +1208,22 @@ func (c *WarpCtx) StoreSharedI32(s *SharedI32, idx []int32, src []int32) {
 func (c *WarpCtx) sharedConflicts(s *SharedI32, idx []int32) (slots, minSlots, active int64) {
 	banks := c.l.cfg.SharedBanks
 	n := s.len()
+	full := c.fullMask()
+	// Distinct-word and bank bookkeeping in fixed stack arrays: a service
+	// group has at most min(banks, width) <= 64 lanes (warp width is capped
+	// at 64 by the Ballot bitmask), so the quadratic scans are tiny and the
+	// whole computation is allocation-free.
+	var words [64]int32
+	var wordBank [64]int
 	for base := 0; base < c.width; base += banks {
-		perBank := make(map[int]map[int32]struct{}, banks)
 		groupActive := false
+		nw := 0
 		end := base + banks
 		if end > c.width {
 			end = c.width
 		}
 		for lane := base; lane < end; lane++ {
-			if !c.mask[lane] {
+			if !full && !c.mask[lane] {
 				continue
 			}
 			i := idx[lane]
@@ -875,20 +1234,33 @@ func (c *WarpCtx) sharedConflicts(s *SharedI32, idx []int32) (slots, minSlots, a
 			}
 			active++
 			groupActive = true
-			bank := int(i) % banks
-			if perBank[bank] == nil {
-				perBank[bank] = make(map[int32]struct{})
+			dup := false
+			for k := 0; k < nw; k++ {
+				if words[k] == i {
+					dup = true // same-word accesses broadcast for free
+					break
+				}
 			}
-			perBank[bank][i] = struct{}{}
+			if !dup {
+				words[nw] = i
+				wordBank[nw] = int(i) % banks
+				nw++
+			}
 		}
 		if !groupActive {
 			continue
 		}
 		minSlots++
 		degree := int64(1)
-		for _, words := range perBank {
-			if int64(len(words)) > degree {
-				degree = int64(len(words))
+		for k := 0; k < nw; k++ {
+			cnt := int64(1)
+			for j := k + 1; j < nw; j++ {
+				if wordBank[j] == wordBank[k] {
+					cnt++
+				}
+			}
+			if cnt > degree {
+				degree = cnt
 			}
 		}
 		slots += degree
@@ -908,6 +1280,9 @@ func (c *WarpCtx) chargeShared(slots, minSlots, active int64) {
 	s.LaneSlots += int64(c.width)
 	s.SharedOps++
 	s.SharedBankConflicts += slots - minSlots
+	if active == int64(c.width) {
+		s.FullMaskOps++
+	}
 	c.charge(request{class: opShared, issue: slots, latency: c.l.cfg.SharedLatency})
 }
 
@@ -924,26 +1299,39 @@ func (c *WarpCtx) AtomicAddSharedI32(s *SharedI32, idx []int32, delta []int32, o
 	// Same-address serialization: charge like a conflict per extra lane on
 	// the hottest word (the slots count from sharedConflicts already covers
 	// distinct-word bank conflicts; same-word atomic lanes serialize too).
+	// Every active lane whose index already appeared on an earlier active
+	// lane is one extra serialization step — equivalent to summing (n-1)
+	// over addresses hit n>1 times, without a map.
 	extra := int64(0)
-	counts := map[int32]int64{}
 	for lane := 0; lane < c.width; lane++ {
-		if c.mask[lane] {
-			counts[idx[lane]]++
+		if !c.mask[lane] {
+			continue
 		}
-	}
-	for _, n := range counts {
-		if n > 1 {
-			extra += n - 1
+		for j := 0; j < lane; j++ {
+			if c.mask[j] && idx[j] == idx[lane] {
+				extra++
+				break
+			}
 		}
 	}
 	c.chargeShared(slots+extra, minSlots, active)
-	for lane := 0; lane < c.width; lane++ {
-		if c.mask[lane] {
+	if c.fullMask() {
+		for lane := 0; lane < c.width; lane++ {
 			i := idx[lane]
 			if old != nil {
 				old[lane] = s.data[i]
 			}
 			s.data[i] += delta[lane]
+		}
+	} else {
+		for lane := 0; lane < c.width; lane++ {
+			if c.mask[lane] {
+				i := idx[lane]
+				if old != nil {
+					old[lane] = s.data[i]
+				}
+				s.data[i] += delta[lane]
+			}
 		}
 	}
 }

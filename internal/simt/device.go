@@ -40,6 +40,14 @@ type Device struct {
 	// fields plus Cycles; the per-warp vectors are per-launch only).
 	totals   LaunchStats
 	launches int64
+
+	// warpPool recycles warp runtimes (goroutine channels plus lane-state
+	// slabs and register files) across launches, so steady-state repeated
+	// launches — the level-synchronous traversal pattern — stop allocating
+	// per-warp state. Launches on a Device serialize (a Device is not safe
+	// for concurrent use), and mid-launch the pool is only touched under the
+	// admission gate, so no locking is needed.
+	warpPool []*warpRT
 }
 
 // warnSequentialFallback logs, once per reason per device, that a

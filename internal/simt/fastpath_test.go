@@ -1,0 +1,164 @@
+package simt
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// recordingSanitizer captures every sanitizer callback as a comparable
+// string so two launches' diagnostic streams can be diffed verbatim.
+type recordingSanitizer struct {
+	events []string
+}
+
+func (r *recordingSanitizer) LaunchBegin(lc LaunchConfig) {
+	r.events = append(r.events, fmt.Sprintf("begin blocks=%d tpb=%d", lc.Blocks, lc.ThreadsPerBlock))
+}
+
+func (r *recordingSanitizer) GlobalAccess(a *GlobalAccess) {
+	r.events = append(r.events, fmt.Sprintf("global kind=%d block=%d warp=%d mask=%v idx=%v",
+		a.Kind, a.Block, a.Warp, a.Mask, a.Idx))
+}
+
+func (r *recordingSanitizer) SharedAccess(a *SharedAccess) {
+	r.events = append(r.events, fmt.Sprintf("shared kind=%d block=%d warp=%d", a.Kind, a.Block, a.Warp))
+}
+
+func (r *recordingSanitizer) Barrier(block, warp int, divergent bool) {
+	r.events = append(r.events, fmt.Sprintf("barrier block=%d warp=%d div=%v", block, warp, divergent))
+}
+
+func (r *recordingSanitizer) WarpDone(block, warp, barriers int) {
+	r.events = append(r.events, fmt.Sprintf("done block=%d warp=%d barriers=%d", block, warp, barriers))
+}
+
+func (r *recordingSanitizer) LaunchEnd(err error) {
+	r.events = append(r.events, fmt.Sprintf("end err=%v", err))
+}
+
+// fastPathProbeKernel mixes fully-uniform phases (every lane active — the
+// full-mask fast path) with divergent If/While regions and memory traffic,
+// so both code paths execute substantially in one launch.
+func fastPathProbeKernel(data, hist *BufI32) Kernel {
+	return func(w *WarpCtx) {
+		lane := w.LaneIDs()
+		idx := w.VecI32()
+		v := w.VecI32()
+		acc := w.VecI32()
+		one := w.VecI32()
+		base := int32(w.GlobalWarpID()) * int32(w.Width())
+
+		// Uniform phase: all lanes active, contiguous addresses.
+		w.Apply(1, func(l int) {
+			idx[l] = (base + lane[l]) % int32(data.Len())
+			one[l] = 1
+		})
+		w.LoadI32(data, idx, v)
+		w.Apply(2, func(l int) { acc[l] = v[l] * 3 })
+		w.StoreI32(data, idx, acc)
+
+		// Divergent phase: half the lanes take the then-branch, and a
+		// per-lane While runs a lane-dependent trip count.
+		w.If(func(l int) bool { return lane[l]%2 == 0 }, func() {
+			w.Apply(1, func(l int) { acc[l] += 100 })
+			w.LoadI32(data, idx, v)
+		}, func() {
+			w.Apply(1, func(l int) { acc[l] -= 7 })
+		})
+		trip := w.VecI32()
+		w.Apply(1, func(l int) { trip[l] = lane[l] % 4 })
+		w.While(func(l int) bool { return trip[l] > 0 }, func() {
+			w.Apply(1, func(l int) {
+				trip[l]--
+				acc[l]++
+			})
+		})
+
+		// Re-converged uniform tail: full-mask again after divergence, plus
+		// cross-warp atomics and a barrier.
+		w.Apply(1, func(l int) { idx[l] = (base + lane[l]) % int32(hist.Len()) })
+		w.AtomicAddI32(hist, idx, one, v)
+		w.SyncThreads()
+		w.StoreI32(data, idx, acc)
+	}
+}
+
+type fastPathRun struct {
+	stats *LaunchStats
+	data  []int32
+	hist  []int32
+	diag  []string
+}
+
+func runFastPathProbe(t *testing.T, disableFast bool) fastPathRun {
+	t.Helper()
+	saved := debugDisableFastPath
+	debugDisableFastPath = disableFast
+	defer func() { debugDisableFastPath = saved }()
+
+	cfg := DefaultConfig()
+	cfg.NumSMs = 4
+	d := MustNewDevice(cfg)
+	rec := &recordingSanitizer{}
+	d.SetSanitizer(rec)
+	data := d.AllocI32("data", 1<<12)
+	hist := d.AllocI32("hist", 256)
+	for i := range data.Data() {
+		data.Data()[i] = int32(i % 37)
+	}
+	stats, err := d.Launch(LaunchConfig{Blocks: 12, ThreadsPerBlock: 64}, fastPathProbeKernel(data, hist))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fastPathRun{
+		stats: stats,
+		data:  append([]int32(nil), data.Data()...),
+		hist:  append([]int32(nil), hist.Data()...),
+		diag:  rec.events,
+	}
+}
+
+// TestFastPathEquivalence pins that the full-mask fast path is purely an
+// execution shortcut: with it force-disabled, a kernel mixing uniform and
+// divergent phases must produce bit-identical cycles, stats, memory, and an
+// identical sanitizer event stream.
+func TestFastPathEquivalence(t *testing.T) {
+	fast := runFastPathProbe(t, false)
+	slow := runFastPathProbe(t, true)
+
+	if fast.stats.Cycles != slow.stats.Cycles {
+		t.Errorf("cycles diverge: fast=%d slow=%d", fast.stats.Cycles, slow.stats.Cycles)
+	}
+	if fast.stats.Instructions != slow.stats.Instructions {
+		t.Errorf("instructions diverge: fast=%d slow=%d", fast.stats.Instructions, slow.stats.Instructions)
+	}
+	// FullMaskOps is derived from the mask state, not from which code path
+	// ran, so it must match too.
+	if fast.stats.FullMaskOps != slow.stats.FullMaskOps {
+		t.Errorf("FullMaskOps diverge: fast=%d slow=%d", fast.stats.FullMaskOps, slow.stats.FullMaskOps)
+	}
+	if fast.stats.FullMaskOps == 0 {
+		t.Error("probe kernel never took the full-mask path; it no longer exercises the fast path")
+	}
+	if fast.stats.FullMaskOps >= fast.stats.Instructions {
+		t.Error("probe kernel never diverged; it no longer exercises the slow path")
+	}
+	if !reflect.DeepEqual(fast.stats, slow.stats) {
+		t.Errorf("stats structs diverge:\nfast: %+v\nslow: %+v", fast.stats, slow.stats)
+	}
+	if !reflect.DeepEqual(fast.data, slow.data) {
+		t.Error("data buffer contents diverge between fast and slow paths")
+	}
+	if !reflect.DeepEqual(fast.hist, slow.hist) {
+		t.Error("atomic histogram contents diverge between fast and slow paths")
+	}
+	if len(fast.diag) != len(slow.diag) {
+		t.Fatalf("sanitizer event counts diverge: fast=%d slow=%d", len(fast.diag), len(slow.diag))
+	}
+	for i := range fast.diag {
+		if fast.diag[i] != slow.diag[i] {
+			t.Fatalf("sanitizer event %d diverges:\nfast: %s\nslow: %s", i, fast.diag[i], slow.diag[i])
+		}
+	}
+}

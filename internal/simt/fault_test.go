@@ -89,7 +89,7 @@ func TestKernelPanicBecomesTypedFault(t *testing.T) {
 
 func TestMaxCyclesReturnsTimeoutWithPartialStats(t *testing.T) {
 	d := newTestDevice(t)
-	stats, err := d.LaunchWith(oneWarp(d.Config()), LaunchOpts{MaxCycles: 200}, spinKernel(1 << 20))
+	stats, err := d.LaunchWith(oneWarp(d.Config()), LaunchOpts{MaxCycles: 200}, spinKernel(1<<20))
 	if !errors.Is(err, ErrLaunchTimeout) {
 		t.Fatalf("err = %v, want ErrLaunchTimeout", err)
 	}

@@ -55,19 +55,35 @@ type bufShadow[T shadowElem] struct {
 	base  []T
 	pages [][]T
 	dirty [][]uint64
+
+	// One-entry last-page cache: kernels touch memory with high page
+	// locality (stride loops, frontier scans), so remembering the last
+	// materialized page answers most lookups without re-indexing the page
+	// table. Only present pages are cached, so a hit can never mask a page
+	// created later. A shadow is only ever accessed by one goroutine at a
+	// time (per-SM shadows by their SM, the overlay under the atomic gate),
+	// so the mutation in load is safe.
+	lastPage int32
+	lastPg   []T
 }
 
 func newBufShadow[T shadowElem](base []T) *bufShadow[T] {
 	n := (len(base) + shadowPageMask) >> shadowPageShift
 	return &bufShadow[T]{
-		base:  base,
-		pages: make([][]T, n),
-		dirty: make([][]uint64, n),
+		base:     base,
+		pages:    make([][]T, n),
+		dirty:    make([][]uint64, n),
+		lastPage: -1,
 	}
 }
 
 func (s *bufShadow[T]) load(i int32) T {
-	if pg := s.pages[i>>shadowPageShift]; pg != nil {
+	p := i >> shadowPageShift
+	if p == s.lastPage {
+		return s.lastPg[i&shadowPageMask]
+	}
+	if pg := s.pages[p]; pg != nil {
+		s.lastPage, s.lastPg = p, pg
 		return pg[i&shadowPageMask]
 	}
 	return s.base[i]
@@ -96,6 +112,7 @@ func (s *bufShadow[T]) store(i int32, v T) {
 		s.pages[p] = pg
 		s.dirty[p] = make([]uint64, shadowPageSize/64)
 	}
+	s.lastPage, s.lastPg = int32(p), s.pages[p]
 	off := int(i) & shadowPageMask
 	s.pages[p][off] = v
 	s.dirty[p][off>>6] |= 1 << uint(off&63)

@@ -78,12 +78,22 @@ type warpRT struct {
 	blockID     int
 	warpInBlock int
 
+	// smIdx is this warp's index in its SM's warps/readyKey slices, kept in
+	// sync by admission and block retirement.
+	smIdx int
+
 	readyAt   int64
 	busy      int64
 	started   bool
 	done      bool
 	inBarrier bool
 	arrivedAt int64
+
+	// seqSelfAbort marks a warp that initiated the launch abort from its own
+	// charge (direct-handoff mode): every other warp was drained by fail()
+	// while this one was still mid-kernel, so its unwind must account itself
+	// the way drainSM would have.
+	seqSelfAbort bool
 
 	resume chan int64
 	req    chan request
@@ -112,6 +122,29 @@ type smRT struct {
 	cache         *smCache
 	rrCursor      int
 
+	// readyKey[i] is the GTO scheduling key of warps[i]: its readyAt when
+	// issuable, neverReady while done or barrier-blocked. Keeping the keys in
+	// a contiguous slab lets the per-instruction scheduler scan touch a few
+	// cache lines instead of chasing every warpRT pointer. Every site that
+	// mutates readyAt/done/inBarrier updates the key.
+	readyKey []int64
+
+	// liveWarps counts resident warps that have not reported done, so the
+	// has-work check is O(1) instead of a scan over every resident warp per
+	// scheduling step.
+	liveWarps int
+
+	// warpFree recycles warp runtimes (channels + lane-state slabs) retired
+	// by this SM; admission reuses them before touching the device-level
+	// pool. Only the goroutine driving this SM's event loop touches it.
+	warpFree []*warpRT
+
+	// slotHeld marks that this SM currently holds one of the launch's host
+	// worker slots (parallel mode). It is accessed only by the goroutine
+	// currently executing on behalf of this SM — the event loop or the warp
+	// it has handed the token to — so it needs no synchronization.
+	slotHeld bool
+
 	// stepKey is the SM clock at the top of the current event-loop step —
 	// the ordering key of every memory effect the step produces.
 	stepKey int64
@@ -139,10 +172,39 @@ type launch struct {
 	// below are no-ops and a single goroutine multiplexes the SMs.
 	parallel bool
 
+	// slots is the host worker-slot pool (parallel mode): ParallelSMs tokens
+	// shared by all SM goroutines. An SM must hold a slot to execute its
+	// event loop and releases it while blocked in the atomic gate, so host
+	// workers migrate from stalled/finished SMs to SMs with ready work — the
+	// paper's dynamic workload distribution applied at host level — without
+	// perturbing the (stepKey, smID) effect order.
+	slots chan struct{}
+
 	aborted  atomic.Bool
 	failMu   sync.Mutex
 	abortErr error
 	injFired bool
+
+	// Direct-handoff state (sequential mode only). Exactly one goroutine — the
+	// token holder — executes at any moment: it applies its own instruction
+	// cost, runs the supervision checks, and picks the next runner itself, so
+	// an instruction costs zero goroutine switches when the scheduler picks
+	// the same warp again and one switch (down from two) otherwise. The
+	// supervisor goroutine only starts the chain and parks on seqDone.
+	seqLive          []*smRT       // SMs that may still have work (permanent-drop filter)
+	seqDone          chan struct{} // closed by the token holder when no work remains
+	seqTokenWarp     *warpRT       // current token holder, nil when the supervisor holds it
+	seqMaxCycles     int64
+	seqProgressEvery int64
+	seqNextProgress  int64
+	// seqSecondClock/seqSecondID cache the best (clock, id) among live SMs
+	// other than the one last picked. Other SMs' clocks and work sets are
+	// frozen while the token stays on one SM (only its own warps execute and
+	// only a full pick consumes the global block cursor), so as long as the
+	// current SM still lexicographically precedes this cached runner-up, it
+	// remains the full scan's choice and seqStep can skip the rescan.
+	seqSecondClock int64
+	seqSecondID    int
 
 	// Atomic-gate state (parallel mode only). horizons[i] is SM i's current
 	// step key (gateIdle once its loop exits); pending[i] is the key of SM
@@ -267,6 +329,7 @@ func (l *launch) run() (*LaunchStats, error) {
 		l.fireInjection()
 	}
 	l.mergeMemory()
+	l.reclaimWarps()
 	for _, sm := range l.sms {
 		l.stats.addCounters(&sm.stats)
 	}
@@ -296,47 +359,228 @@ func (l *launch) run() (*LaunchStats, error) {
 	return l.stats, nil
 }
 
-// runSequential is the classic event loop: one goroutine, always stepping
-// the SM with the smallest clock.
+// runSequential drives the launch in direct-handoff mode: it performs the
+// first scheduling pick, hands the execution token to that warp's goroutine,
+// and parks until the token holders report completion. From then on every
+// warp applies its own instruction cost and passes the token itself (see
+// seqStep / seqFinish), which preserves the classic event loop's exact
+// operation order — [pick, preamble, execute, apply, supervise] per step —
+// while eliminating half (often all) of the per-instruction goroutine
+// switches.
 func (l *launch) runSequential(maxCycles int64) {
-	progressEvery := l.opts.ProgressEvery
-	if progressEvery == 0 {
-		progressEvery = 65536
+	l.seqMaxCycles = maxCycles
+	l.seqProgressEvery = l.opts.ProgressEvery
+	if l.seqProgressEvery == 0 {
+		l.seqProgressEvery = 65536
 	}
-	nextProgress := progressEvery
+	l.seqNextProgress = l.seqProgressEvery
+	// seqLive holds the SMs that may still have work. An SM whose has-work
+	// check fails is dropped permanently: its resident warps are all done
+	// (liveWarps is monotone down to 0 between admissions), and either no
+	// blocks remain (nextBlock is monotone) or it cannot admit — and an SM
+	// with zero resident blocks that cannot admit never can. The stable
+	// in-place filter preserves ascending-id order, so the smallest-clock /
+	// lowest-id tie-break matches the full scan exactly.
+	l.seqLive = make([]*smRT, len(l.sms))
+	copy(l.seqLive, l.sms)
+	l.seqDone = make(chan struct{})
+	first := l.seqPick()
+	if first == nil {
+		return
+	}
+	l.seqTokenWarp = first
+	first.resume <- first.sm.clock
+	<-l.seqDone
+	l.seqTokenWarp = nil
+}
+
+// seqPick selects the next warp to execute: the smallest-clock SM with work
+// (lowest id on ties), block admission, then that SM's scheduler policy. It
+// also performs the pre-step bookkeeping the classic loop did in stepSM —
+// stall accounting and the clock advance — so the returned warp is ready to
+// run the moment it receives the token. Returns nil when no SM has work.
+// Caller must hold the execution token (or be the supervisor before any warp
+// has started).
+func (l *launch) seqPick() *warpRT {
 	for {
-		sm := l.pickSM()
-		if sm == nil {
-			break
-		}
-		l.stepSM(sm)
-		if l.aborted.Load() {
-			continue
-		}
-		if l.inj != nil && !l.injFired && sm.clock >= l.inj.abortAt {
-			l.fireInjection()
-			continue
-		}
-		if sm.clock > maxCycles {
-			l.fail(fmt.Errorf("simt: launch exceeded MaxCycles=%d (possible kernel livelock): %w",
-				maxCycles, ErrLaunchTimeout))
-			continue
-		}
-		if l.opts.OnProgress != nil && sm.clock >= nextProgress {
-			for nextProgress <= sm.clock {
-				nextProgress += progressEvery
-			}
-			if err := l.opts.OnProgress(sm.clock); err != nil {
-				l.fail(fmt.Errorf("simt: launch cancelled at cycle %d: %w: %w",
-					sm.clock, ErrLaunchCancelled, err))
+		var sm *smRT
+		secondClock := int64(math.MaxInt64)
+		secondID := math.MaxInt32
+		n := 0
+		for _, s := range l.seqLive {
+			if !l.smHasWork(s) {
 				continue
 			}
+			l.seqLive[n] = s
+			n++
+			switch {
+			case sm == nil:
+				sm = s
+			case s.clock < sm.clock:
+				// The scan runs in ascending SM id, so the displaced best is
+				// the lexicographic runner-up so far.
+				secondClock, secondID = sm.clock, sm.id
+				sm = s
+			case s.clock < secondClock:
+				secondClock, secondID = s.clock, s.id
+			}
+		}
+		l.seqLive = l.seqLive[:n]
+		if sm == nil {
+			return nil
+		}
+		l.seqSecondClock, l.seqSecondID = secondClock, secondID
+		sm.stepKey = sm.clock
+		l.admitBlocks(sm)
+		w := l.nextWarp(sm)
+		if w == nil {
+			continue
+		}
+		l.seqPreamble(sm, w)
+		return w
+	}
+}
+
+// seqPreamble performs the pre-execution bookkeeping the classic loop did in
+// stepSM after choosing a warp: stall accounting (suppressed for a lone
+// not-yet-started warp, i.e. plain admission latency) and the clock advance
+// to the warp's ready time.
+func (l *launch) seqPreamble(sm *smRT, w *warpRT) {
+	if w.readyAt > sm.clock {
+		// liveWarps counts resident not-done warps and w is one of them, so
+		// "another live warp exists" is exactly liveWarps > 1.
+		if sm.liveWarps > 1 || w.started {
+			sm.stats.StallCycles += w.readyAt - sm.clock
+			if p := sm.stats.Profile; p != nil {
+				p.StallWait.Observe(w.readyAt - sm.clock)
+			}
+		}
+		sm.clock = w.readyAt
+	}
+	w.started = true
+}
+
+// seqSupervise runs the post-step checks (fault injection, MaxCycles,
+// OnProgress) for the SM just stepped — the same checks, in the same order,
+// the classic loop ran after every stepSM.
+func (l *launch) seqSupervise(sm *smRT) {
+	if l.aborted.Load() {
+		return
+	}
+	if l.inj != nil && !l.injFired && sm.clock >= l.inj.abortAt {
+		l.fireInjection()
+		return
+	}
+	if sm.clock > l.seqMaxCycles {
+		l.fail(fmt.Errorf("simt: launch exceeded MaxCycles=%d (possible kernel livelock): %w",
+			l.seqMaxCycles, ErrLaunchTimeout))
+		return
+	}
+	if l.opts.OnProgress != nil && sm.clock >= l.seqNextProgress {
+		for l.seqNextProgress <= sm.clock {
+			l.seqNextProgress += l.seqProgressEvery
+		}
+		if err := l.opts.OnProgress(sm.clock); err != nil {
+			l.fail(fmt.Errorf("simt: launch cancelled at cycle %d: %w: %w",
+				sm.clock, ErrLaunchCancelled, err))
 		}
 	}
 }
 
-// runParallel runs every SM's event loop on its own host goroutine.
+// seqStep is charge's fast path in direct-handoff mode: the calling warp
+// holds the token, applies its own instruction cost, supervises, and picks
+// the next runner. If the scheduler picks this same warp it simply returns —
+// zero goroutine switches; otherwise it hands the token straight to the next
+// warp and parks.
+func (l *launch) seqStep(w *warpRT, r request) {
+	l.apply(w.sm, w, r)
+	l.seqSupervise(w.sm)
+	if l.aborted.Load() {
+		// fail() drained every parked warp (drainSM skips the token holder);
+		// unwind this one through the kernel stack. seqFinish accounts it.
+		w.seqSelfAbort = true
+		panic(errAborted)
+	}
+	var next *warpRT
+	sm := w.sm
+	if sm.clock < l.seqSecondClock || (sm.clock == l.seqSecondClock && sm.id < l.seqSecondID) {
+		// Fast path: sm still precedes every other live SM, so the full scan
+		// would pick it again — skip the scan and run the rest of the step
+		// verbatim. admitBlocks stays: it admits at most one block per step
+		// (the breadth-first distributor cadence), so skipping it here would
+		// starve admission between warp completions. Its no-op pre-check is
+		// O(1). (If every candidate is barrier-blocked, fall through to the
+		// full pick.)
+		sm.stepKey = sm.clock
+		l.admitBlocks(sm)
+		if next = l.nextWarp(sm); next != nil {
+			l.seqPreamble(sm, next)
+		}
+	}
+	if next == nil {
+		next = l.seqPick()
+	}
+	if next == w {
+		return
+	}
+	if next == nil {
+		// Unreachable: this warp is live (and a barrier arrival that empties
+		// the ready set releases its own barrier), so the pick set cannot be
+		// empty. Fail loudly rather than deadlock.
+		panic(fmt.Sprintf("simt: internal: no runnable warp while warp %d is live", w.globalID))
+	}
+	l.seqTokenWarp = next
+	next.resume <- next.sm.clock
+	<-w.resume
+	if l.aborted.Load() {
+		// Woken by drainSM, not by a token handoff: unwind; the deferred
+		// opDone send below (runWarp) answers the drain loop.
+		panic(errAborted)
+	}
+}
+
+// seqFinish completes a warp in direct-handoff mode (the token holder's
+// replacement for the final opDone request): account the finished warp, then
+// pass the token on, or wake the supervisor when no work remains. Post-abort
+// it keeps the classic loop's admission-drain behavior: remaining blocks are
+// still admitted and immediately retired through apply, one victim handing
+// the token to the next.
+func (l *launch) seqFinish(w *warpRT, err error) {
+	if l.aborted.Load() && w.seqSelfAbort {
+		// This warp triggered the abort from its own charge; every other
+		// resident warp was drained by fail(). Account it the way drainSM
+		// accounts a drained warp.
+		w.seqSelfAbort = false
+		w.done = true
+		w.sm.readyKey[w.smIdx] = neverReady
+		w.sm.liveWarps--
+		if w.block.liveWarps > 0 {
+			w.block.liveWarps--
+		}
+	} else {
+		l.apply(w.sm, w, request{class: opDone, err: err})
+		l.seqSupervise(w.sm)
+	}
+	next := l.seqPick()
+	l.seqTokenWarp = next
+	if next == nil {
+		close(l.seqDone)
+		return
+	}
+	next.resume <- next.sm.clock
+}
+
+// runParallel runs every SM's event loop on its own host goroutine, with at
+// most ParallelSMs of them executing at any moment: each goroutine must hold
+// a slot from l.slots to step, and slots migrate from gate-blocked or
+// finished SMs to SMs with ready work. Simulated behavior is independent of
+// the slot count — slots only bound host-level concurrency.
 func (l *launch) runParallel(maxCycles int64) {
+	mode := l.stats.ParallelSMs
+	l.slots = make(chan struct{}, mode)
+	for i := 0; i < mode; i++ {
+		l.slots <- struct{}{}
+	}
 	var wg sync.WaitGroup
 	for _, sm := range l.sms {
 		wg.Add(1)
@@ -350,10 +594,33 @@ func (l *launch) runParallel(maxCycles int64) {
 	wg.Wait()
 }
 
+// acquireSlot blocks until the SM holds a host worker slot. No locks may be
+// held by the caller. No-op in sequential mode or when already held.
+func (l *launch) acquireSlot(sm *smRT) {
+	if l.slots == nil || sm.slotHeld {
+		return
+	}
+	<-l.slots
+	sm.slotHeld = true
+}
+
+// releaseSlot returns the SM's worker slot to the pool. The send can never
+// block (slot tokens outstanding never exceed the channel capacity), so it
+// is safe to call while holding gateMu.
+func (l *launch) releaseSlot(sm *smRT) {
+	if l.slots == nil || !sm.slotHeld {
+		return
+	}
+	sm.slotHeld = false
+	l.slots <- struct{}{}
+}
+
 // smLoop is one SM's event loop in parallel mode. The horizon published at
 // the top of each step is the ordering key of every memory effect the step
 // can produce; it is monotone because the SM clock never decreases.
 func (l *launch) smLoop(sm *smRT, maxCycles int64) {
+	l.acquireSlot(sm)
+	defer l.releaseSlot(sm)
 	for {
 		if l.aborted.Load() {
 			l.drainSM(sm)
@@ -380,28 +647,9 @@ func (l *launch) fireInjection() {
 	l.fail(l.inj.err)
 }
 
-// pickSM returns the SM with work and the smallest clock, or nil when the
-// launch has fully drained.
-func (l *launch) pickSM() *smRT {
-	var best *smRT
-	for _, sm := range l.sms {
-		if !l.smHasWork(sm) {
-			continue
-		}
-		if best == nil || sm.clock < best.clock {
-			best = sm
-		}
-	}
-	return best
-}
-
 func (l *launch) smHasWork(sm *smRT) bool {
-	for _, w := range sm.warps {
-		if !w.done {
-			return true
-		}
-	}
-	return l.nextBlock.Load() < int64(l.totalBlocks) && l.canAdmit(sm)
+	return sm.liveWarps > 0 ||
+		(l.nextBlock.Load() < int64(l.totalBlocks) && l.canAdmit(sm))
 }
 
 func (l *launch) canAdmit(sm *smRT) bool {
@@ -433,23 +681,31 @@ func (l *launch) admitBlocks(sm *smRT) {
 			shared: newSharedArena(),
 		}
 		for wi := 0; wi < l.warpsPerBlock; wi++ {
-			w := &warpRT{
-				globalID:    blockID*l.warpsPerBlock + wi,
-				blockID:     blockID,
-				warpInBlock: wi,
-				readyAt:     sm.clock,
-				resume:      make(chan int64),
-				req:         make(chan request),
-				block:       b,
-				sm:          sm,
-			}
-			w.ctx = newWarpCtx(l, w)
+			w := l.takeWarp(sm)
+			w.globalID = blockID*l.warpsPerBlock + wi
+			w.blockID = blockID
+			w.warpInBlock = wi
+			w.readyAt = sm.clock
+			w.busy = 0
+			w.started = false
+			w.done = false
+			w.inBarrier = false
+			w.arrivedAt = 0
+			w.seqSelfAbort = false
+			w.block = b
+			w.sm = sm
+			w.ctx.reset(l, w)
 			b.warps = append(b.warps, w)
 			go l.runWarp(w)
 		}
 		b.liveWarps = len(b.warps)
 		sm.blocks = append(sm.blocks, b)
 		sm.warps = append(sm.warps, b.warps...)
+		for _, w := range b.warps {
+			w.smIdx = len(sm.readyKey)
+			sm.readyKey = append(sm.readyKey, w.readyAt)
+		}
+		sm.liveWarps += len(b.warps)
 		sm.warpSlotsUsed += l.warpsPerBlock
 		sm.everUsed = true
 		sm.stats.BlocksLaunched++
@@ -457,6 +713,53 @@ func (l *launch) admitBlocks(sm *smRT) {
 		l.trace(TraceEvent{Kind: TraceBlockStart, Cycle: sm.clock, SM: sm.id, Block: blockID, Warp: -1})
 	}
 	l.gateExit(sm)
+}
+
+// takeWarp returns a warp runtime for admission: this SM's own retired warps
+// first, then the device-level pool (accessed only under the admission gate,
+// which is mutually exclusive across SMs), then a fresh allocation. A
+// recycled warp's goroutine has fully exited — its final opDone send was
+// received by this SM's event loop before the block retired — so its
+// channels are quiescent and safe to reuse.
+func (l *launch) takeWarp(sm *smRT) *warpRT {
+	if n := len(sm.warpFree); n > 0 {
+		w := sm.warpFree[n-1]
+		sm.warpFree = sm.warpFree[:n-1]
+		return w
+	}
+	if n := len(l.dev.warpPool); n > 0 {
+		w := l.dev.warpPool[n-1]
+		l.dev.warpPool = l.dev.warpPool[:n-1]
+		return w
+	}
+	return &warpRT{
+		resume: make(chan int64),
+		req:    make(chan request),
+		ctx:    newWarpCtx(l.cfg.WarpWidth),
+	}
+}
+
+// warpPoolCap bounds the device-level warp pool so one huge launch doesn't
+// pin its whole grid's worth of warp runtimes forever.
+const warpPoolCap = 4096
+
+// reclaimWarps moves the per-SM free lists into the device pool at launch
+// end (single-threaded: every SM loop has joined). Warps of unretired blocks
+// (failed launches) are simply dropped to the GC.
+func (l *launch) reclaimWarps() {
+	for _, sm := range l.sms {
+		for _, w := range sm.warpFree {
+			if len(l.dev.warpPool) >= warpPoolCap {
+				break
+			}
+			w.block = nil
+			w.sm = nil
+			w.ctx.l = nil
+			w.ctx.w = nil
+			l.dev.warpPool = append(l.dev.warpPool, w)
+		}
+		sm.warpFree = nil
+	}
 }
 
 // runWarp is the warp goroutine body. Any panic escaping the kernel —
@@ -479,6 +782,15 @@ func (l *launch) runWarp(w *warpRT) {
 			default:
 				err = l.panicFault(w, r)
 			}
+		}
+		if !l.parallel && l.seqTokenWarp == w {
+			// Direct-handoff mode and this goroutine holds the token:
+			// account ourselves and pass the token on without a channel
+			// round-trip. (A drained warp — woken by drainSM rather than a
+			// handoff — is not the token holder and uses the send below,
+			// which the drain loop is receiving.)
+			l.seqFinish(w, err)
+			return
 		}
 		w.req <- request{class: opDone, err: err}
 	}()
@@ -509,23 +821,7 @@ func (l *launch) stepSM(sm *smRT) {
 	if w == nil {
 		return
 	}
-	hadOthers := false
-	for _, other := range sm.warps {
-		if other != w && !other.done {
-			hadOthers = true
-			break
-		}
-	}
-	if w.readyAt > sm.clock {
-		if hadOthers || w.started {
-			sm.stats.StallCycles += w.readyAt - sm.clock
-			if p := sm.stats.Profile; p != nil {
-				p.StallWait.Observe(w.readyAt - sm.clock)
-			}
-		}
-		sm.clock = w.readyAt
-	}
-	w.started = true
+	l.seqPreamble(sm, w)
 	w.resume <- sm.clock
 	r := <-w.req
 	l.apply(sm, w, r)
@@ -539,17 +835,23 @@ func (l *launch) stepSM(sm *smRT) {
 // the warps already ready at the current clock, falling back to the soonest
 // ready warp when none is.
 func (l *launch) nextWarp(sm *smRT) *warpRT {
-	var best *warpRT
-	for _, w := range sm.warps {
-		if w.done || w.inBarrier {
-			continue
-		}
-		if best == nil || w.readyAt < best.readyAt ||
-			(w.readyAt == best.readyAt && w.globalID < best.globalID) {
-			best = w
+	// sm.warps stays sorted by ascending globalID (blocks are admitted in
+	// increasing id order and retirement filters stably), so keeping the
+	// first-encountered warp on readyAt ties IS the lowest-global-id
+	// tie-break. Done and barrier-blocked warps carry neverReady keys and
+	// lose every comparison.
+	bestIdx := -1
+	bestKey := int64(neverReady)
+	for i, k := range sm.readyKey {
+		if k < bestKey {
+			bestKey, bestIdx = k, i
 		}
 	}
-	if best == nil || l.cfg.SchedulerPolicy != "lrr" {
+	if bestIdx < 0 {
+		return nil
+	}
+	best := sm.warps[bestIdx]
+	if l.cfg.SchedulerPolicy != "lrr" {
 		return best
 	}
 	n := len(sm.warps)
@@ -586,6 +888,7 @@ func (l *launch) apply(sm *smRT, w *warpRT, r request) {
 	case opALU, opShared:
 		sm.clock += r.issue
 		w.readyAt = sm.clock + r.latency
+		sm.readyKey[w.smIdx] = w.readyAt
 		w.busy += r.issue + r.latency
 	case opMem, opAtomic:
 		// One compute-pipe slot to issue, then the memory pipe carries the
@@ -597,12 +900,14 @@ func (l *launch) apply(sm *smRT, w *warpRT, r request) {
 		}
 		sm.memPipeFree = start + r.txns*l.cfg.MemPipeCyclesPerTxn
 		w.readyAt = sm.memPipeFree + r.latency
+		sm.readyKey[w.smIdx] = w.readyAt
 		w.busy += (sm.memPipeFree - sm.clock + 1) + r.latency
 	case opBarrier:
 		b := w.block
 		w.inBarrier = true
 		w.arrivedAt = sm.clock
 		w.readyAt = neverReady
+		sm.readyKey[w.smIdx] = neverReady
 		b.inBarrier++
 		if sm.clock > b.barrierLatest {
 			b.barrierLatest = sm.clock
@@ -611,6 +916,8 @@ func (l *launch) apply(sm *smRT, w *warpRT, r request) {
 	case opDone:
 		w.done = true
 		w.readyAt = neverReady
+		sm.readyKey[w.smIdx] = neverReady
+		sm.liveWarps--
 		if l.san != nil && r.err == nil {
 			l.san.WarpDone(w.blockID, w.globalID, w.ctx.barriers)
 		}
@@ -651,6 +958,7 @@ func (l *launch) maybeReleaseBarrier(sm *smRT, b *blockRT) {
 		if w.inBarrier {
 			w.inBarrier = false
 			w.readyAt = b.barrierLatest + 1
+			sm.readyKey[w.smIdx] = w.readyAt
 		}
 	}
 	l.trace(TraceEvent{Kind: TraceBarrierRelease, Cycle: b.barrierLatest, SM: sm.id, Block: b.id, Warp: -1})
@@ -667,13 +975,20 @@ func (l *launch) retireBlock(sm *smRT, b *blockRT) {
 		}
 	}
 	live := sm.warps[:0]
-	for _, w := range sm.warps {
+	keys := sm.readyKey[:0]
+	for i, w := range sm.warps {
 		if w.block != b {
+			w.smIdx = len(live)
 			live = append(live, w)
+			keys = append(keys, sm.readyKey[i])
 		}
 	}
 	sm.warps = live
+	sm.readyKey = keys
 	sm.warpSlotsUsed -= l.warpsPerBlock
+	// Every warp of the block is done (its goroutine's final send was
+	// received by this loop), so the runtimes can serve the next admission.
+	sm.warpFree = append(sm.warpFree, b.warps...)
 }
 
 // fail cancels the launch; the first error wins. In sequential mode every
@@ -703,11 +1018,20 @@ func (l *launch) fail(err error) {
 // the goroutine driving sm's event loop (or the sequential loop).
 func (l *launch) drainSM(sm *smRT) {
 	for _, w := range sm.warps {
+		if w == l.seqTokenWarp {
+			// Direct-handoff mode: the token holder is the goroutine whose
+			// charge initiated this abort — it unwinds itself after fail()
+			// returns (seqFinish accounts it). Pinging it here would
+			// deadlock. Always nil in parallel mode.
+			continue
+		}
 		for !w.done {
 			w.resume <- 0
 			r := <-w.req
 			if r.class == opDone {
 				w.done = true
+				sm.readyKey[w.smIdx] = neverReady
+				sm.liveWarps--
 				if w.block.liveWarps > 0 {
 					w.block.liveWarps--
 				}
@@ -770,11 +1094,20 @@ func (l *launch) gateEnter(sm *smRT) bool {
 		if l.gateClear(key, sm.id) {
 			return true
 		}
+		// Hand the host worker slot to an SM that can actually run — this
+		// SM is blocked until the others advance their horizons, and they
+		// may be waiting for a slot to do exactly that. The send cannot
+		// block (see releaseSlot), so holding gateMu here is fine; the slot
+		// is reacquired in gateExit after gateMu is dropped.
+		l.releaseSlot(sm)
 		l.gateCond.Wait()
 	}
 }
 
-// gateExit releases the gate taken by gateEnter.
+// gateExit releases the gate taken by gateEnter, then reacquires the SM's
+// host worker slot if gateEnter gave it away while waiting (a no-op when the
+// wait never blocked). Acquisition happens strictly after gateMu is dropped,
+// so no goroutine ever blocks on the slot pool while holding the gate.
 func (l *launch) gateExit(sm *smRT) {
 	if !l.parallel {
 		return
@@ -782,6 +1115,7 @@ func (l *launch) gateExit(sm *smRT) {
 	l.pending[sm.id] = gateIdle
 	l.refreshMinPending()
 	l.gateMu.Unlock()
+	l.acquireSlot(sm)
 }
 
 // gateClear reports whether a gated op with ordering key (key, smID) may

@@ -57,6 +57,14 @@ type LaunchStats struct {
 	SharedOps           int64
 	SharedBankConflicts int64
 
+	// FullMaskOps counts issued instructions whose active mask covered every
+	// lane — the non-divergent common case the interpreter's full-mask fast
+	// path batches. FullMaskOps/Instructions measures how often the fast
+	// path applies; the counter is derived from the mask state (not the code
+	// path taken), so it is identical whether the fast path is enabled or
+	// disabled.
+	FullMaskOps int64
+
 	// DivergentBranches counts If points where both paths had active lanes.
 	DivergentBranches int64
 	// Barriers counts block-wide barrier releases.
@@ -228,6 +236,7 @@ func (s *LaunchStats) Add(other *LaunchStats) {
 	s.CacheMisses += other.CacheMisses
 	s.SharedOps += other.SharedOps
 	s.SharedBankConflicts += other.SharedBankConflicts
+	s.FullMaskOps += other.FullMaskOps
 	s.DivergentBranches += other.DivergentBranches
 	s.Barriers += other.Barriers
 	s.WarpsLaunched += other.WarpsLaunched
@@ -277,6 +286,7 @@ func (s *LaunchStats) addCounters(o *LaunchStats) {
 	s.CacheMisses += o.CacheMisses
 	s.SharedOps += o.SharedOps
 	s.SharedBankConflicts += o.SharedBankConflicts
+	s.FullMaskOps += o.FullMaskOps
 	s.DivergentBranches += o.DivergentBranches
 	s.Barriers += o.Barriers
 	s.WarpsLaunched += o.WarpsLaunched

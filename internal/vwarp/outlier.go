@@ -46,22 +46,10 @@ func (q *OutlierQueue) Len() int {
 // tasks. Appends beyond capacity are dropped (the caller sizes the queue for
 // the worst case, typically numTasks).
 func (t *Tasks) Defer(q *OutlierQueue, pred func(g int) bool) {
-	w := t.W
-	leaders := t.leaderLanes()
-	slot := w.VecI32()
-	zero := w.ConstI32(0)
-	one := w.ConstI32(1)
-	w.If(func(lane int) bool {
-		g := t.Group(lane)
-		return leaders[lane] && t.Valid(g) && pred(g)
-	}, func() {
-		w.AtomicAddI32(q.Count, zero, one, slot)
-		taskVec := w.VecI32()
-		w.Apply(1, func(lane int) { taskVec[lane] = t.Task[t.Group(lane)] })
-		w.If(func(lane int) bool { return slot[lane] < int32(q.Items.Len()) }, func() {
-			w.StoreI32(q.Items, slot, taskVec)
-		}, nil)
-	}, nil)
+	t.leaderLanes()
+	t.leaderUser = pred
+	t.deferQ = q
+	t.W.If(t.leaderFn, t.deferBodyFn, nil)
 }
 
 // ForEachDeferred processes the queue's tasks with one virtual warp of width

@@ -32,6 +32,15 @@ import (
 // Tasks is the per-round view a body callback receives: each virtual-warp
 // group g of width K holds task Task[g] (or -1 when the group is idle this
 // round). All per-group slices have length Groups.
+//
+// A Tasks is cached on its warp context (simt.WarpCtx.KernelScratch) and
+// reused across rounds, kernel invocations and launches, so the helpers
+// below — and the ForEach drivers that call them every round — allocate
+// nothing in steady state. The cost of that reuse is a non-reentrancy rule:
+// a helper must not be re-invoked from inside its own callback (no
+// SIMDRange inside its own body, no SISD inside an SISD function). Distinct
+// helpers nest freely (Mask inside Mask, SIMDRange inside GroupLoop, ...):
+// every predicate is fully consumed before its body runs.
 type Tasks struct {
 	// W is the underlying physical-warp context; kernels may use it directly
 	// for per-lane (SIMD-phase) operations.
@@ -43,22 +52,198 @@ type Tasks struct {
 	// Task holds each group's current task id, -1 when idle.
 	Task []int32
 
-	laneIdx []int32 // scratch: per-lane replicated index vector
-	laneVal []int32 // scratch: per-lane value vector
+	// Scratch vectors, allocated once when the Tasks is built (they must not
+	// come from the register file — that is reclaimed every invocation, but
+	// this struct outlives invocations). Each is private to a single helper
+	// call; none carries state between calls.
+	laneIdx  []int32   // per-lane replicated index vector
+	laneVal  []int32   // per-lane value vector
+	laneF32  []float32 // per-lane float value vector
+	laneOld  []int32   // atomic old-value landing pad
+	laneSum  []int32   // int reduction result vector
+	laneSumF []float32 // float reduction result vector
+	leaders  []bool    // per-lane group-leader marks
+	simdJ    []int32   // SIMDRange per-lane position vector
+	groupPos []int32   // GroupLoop per-group position vector
+	zeroV    []int32   // all-zero constant vector
+	oneV     []int32   // all-one constant vector
+
+	// Cached closures. Each helper stashes its per-call arguments in the
+	// fields below and invokes a closure built once in newTasks, so calling
+	// a helper every round costs no allocation. The set-then-call pattern is
+	// what the non-reentrancy rule above protects.
+	validFn func(lane int) bool // lane's group has a task
+
+	runUser func(t *Tasks) // current ForEach body
+	runFn   func()
+
+	maskUser func(g int) bool
+	maskFn   func(lane int) bool
+
+	sisdUser func(g int)
+	sisdFn   func(g int)
+
+	repSrc, repDst   []int32
+	repFn            func(g int)
+	repSrcB, repDstB []int32
+	repPairFn        func(g int)
+
+	repF32Idx []int32
+	repF32Val []float32
+	repF32Fn  func(g int)
+
+	leaderUser func(g int) bool // nil = all groups
+	leaderFn   func(lane int) bool
+
+	storeI32Buf *simt.BufI32
+	storeI32Fn  func()
+	storeF32Buf *simt.BufF32
+	storeF32Fn  func()
+	atomBuf     *simt.BufI32
+	atomFn      func()
+
+	simdStart, simdEnd []int32
+	simdUser           func(j []int32)
+	simdInitFn         func(lane int)
+	simdCondFn         func(lane int) bool
+	simdStepFn         func(lane int)
+	simdBodyFn         func()
+
+	glEnd    []int32
+	glUser   func(pos []int32)
+	glCondFn func(lane int) bool
+	glStepFn func(g int)
+	glBodyFn func()
+
+	fcCounter           *simt.BufI32
+	fcChunkV, fcOld     []int32
+	fcLane0Fn           func(lane int) bool
+	fcFn                func()
+	deferQ              *OutlierQueue
+	deferSlot, deferIDs []int32
+	deferBodyFn         func()
+	deferFitFn          func(lane int) bool
+	deferStoreFn        func()
+	deferIDFn           func(lane int)
 }
+
+// tasksScratchKey is the Tasks cache slot on a WarpCtx's KernelScratch.
+const tasksScratchKey = "vwarp.tasks"
 
 func newTasks(w *simt.WarpCtx, k int) *Tasks {
 	width := w.Width()
 	if k < 1 || k > width || width%k != 0 {
 		panic(fmt.Sprintf("vwarp: virtual warp width %d invalid for physical width %d", k, width))
 	}
-	return &Tasks{
-		W:       w,
-		K:       k,
-		Groups:  width / k,
-		Task:    make([]int32, width/k),
-		laneIdx: make([]int32, width),
-		laneVal: make([]int32, width),
+	if t, ok := w.KernelScratch(tasksScratchKey).(*Tasks); ok && t.K == k {
+		return t
+	}
+	groups := width / k
+	t := &Tasks{
+		W:         w,
+		K:         k,
+		Groups:    groups,
+		Task:      make([]int32, groups),
+		laneIdx:   make([]int32, width),
+		laneVal:   make([]int32, width),
+		laneF32:   make([]float32, width),
+		laneOld:   make([]int32, width),
+		laneSum:   make([]int32, width),
+		laneSumF:  make([]float32, width),
+		leaders:   make([]bool, width),
+		simdJ:     make([]int32, width),
+		groupPos:  make([]int32, groups),
+		zeroV:     make([]int32, width),
+		oneV:      make([]int32, width),
+		repF32Idx: make([]int32, width),
+		repF32Val: make([]float32, width),
+		fcChunkV:  make([]int32, width),
+		fcOld:     make([]int32, width),
+		deferSlot: make([]int32, width),
+		deferIDs:  make([]int32, width),
+	}
+	for i := range t.oneV {
+		t.oneV[i] = 1
+	}
+	t.buildClosures()
+	w.SetKernelScratch(tasksScratchKey, t)
+	return t
+}
+
+// buildClosures constructs the helper closures exactly once per Tasks.
+func (t *Tasks) buildClosures() {
+	w := t.W
+	t.validFn = func(lane int) bool { return t.Valid(t.Group(lane)) }
+	t.runFn = func() { t.runUser(t) }
+	t.maskFn = func(lane int) bool {
+		g := t.Group(lane)
+		return t.Valid(g) && t.maskUser(g)
+	}
+	t.sisdFn = func(g int) {
+		if t.Valid(g) {
+			t.sisdUser(g)
+		}
+	}
+	t.repFn = func(g int) {
+		base := g * t.K
+		v := t.repSrc[g]
+		for lane := base; lane < base+t.K; lane++ {
+			t.repDst[lane] = v
+		}
+	}
+	t.repPairFn = func(g int) {
+		base := g * t.K
+		a, b := t.repSrcB[g], t.repDstB[g]
+		for lane := base; lane < base+t.K; lane++ {
+			t.laneIdx[lane] = a
+			t.laneVal[lane] = b
+		}
+	}
+	t.repF32Fn = func(g int) {
+		base := g * t.K
+		idx, v := t.repF32Idx[g], t.repF32Val[g]
+		for lane := base; lane < base+t.K; lane++ {
+			t.laneIdx[lane] = idx
+			t.laneF32[lane] = v
+		}
+	}
+	t.leaderFn = func(lane int) bool {
+		g := t.Group(lane)
+		return t.leaders[lane] && t.Valid(g) && (t.leaderUser == nil || t.leaderUser(g))
+	}
+	t.storeI32Fn = func() { w.StoreI32(t.storeI32Buf, t.laneIdx, t.laneVal) }
+	t.storeF32Fn = func() { w.StoreF32(t.storeF32Buf, t.laneIdx, t.laneF32) }
+	t.atomFn = func() { w.AtomicAddI32(t.atomBuf, t.laneIdx, t.laneVal, t.laneOld) }
+	t.simdInitFn = func(lane int) {
+		t.simdJ[lane] = t.simdStart[t.Group(lane)] + int32(t.LaneInGroup(lane))
+	}
+	t.simdCondFn = func(lane int) bool {
+		g := t.Group(lane)
+		return t.Valid(g) && t.simdJ[lane] < t.simdEnd[g]
+	}
+	t.simdStepFn = func(lane int) { t.simdJ[lane] += int32(t.K) }
+	t.simdBodyFn = func() {
+		t.simdUser(t.simdJ)
+		w.Apply(1, t.simdStepFn)
+	}
+	t.glCondFn = func(lane int) bool {
+		g := t.Group(lane)
+		return t.Valid(g) && t.groupPos[g] < t.glEnd[g]
+	}
+	t.glStepFn = func(g int) { t.groupPos[g]++ }
+	t.glBodyFn = func() {
+		t.glUser(t.groupPos)
+		t.SISD(1, t.glStepFn)
+	}
+	t.fcLane0Fn = func(lane int) bool { return lane == 0 }
+	t.fcFn = func() { w.AtomicAddI32(t.fcCounter, t.zeroV, t.fcChunkV, t.fcOld) }
+	t.deferIDFn = func(lane int) { t.deferIDs[lane] = t.Task[t.Group(lane)] }
+	t.deferFitFn = func(lane int) bool { return t.deferSlot[lane] < int32(t.deferQ.Items.Len()) }
+	t.deferStoreFn = func() { w.StoreI32(t.deferQ.Items, t.deferSlot, t.deferIDs) }
+	t.deferBodyFn = func() {
+		w.AtomicAddI32(t.deferQ.Count, t.zeroV, t.oneV, t.deferSlot)
+		w.Apply(1, t.deferIDFn)
+		w.If(t.deferFitFn, t.deferStoreFn, nil)
 	}
 }
 
@@ -74,11 +259,8 @@ func (t *Tasks) Valid(g int) bool { return t.Task[g] >= 0 }
 // SISD runs f once per active virtual warp, charged as `instrs` replicated
 // warp instructions (every hardware lane busy, one useful result per group).
 func (t *Tasks) SISD(instrs int, f func(g int)) {
-	t.W.ApplyReplicated(instrs, t.K, func(g int) {
-		if t.Valid(g) {
-			f(g)
-		}
-	})
+	t.sisdUser = f
+	t.W.ApplyReplicated(instrs, t.K, t.sisdFn)
 }
 
 // LoadI32Grouped performs the replicated-phase load dst[g] = buf[idx[g]] for
@@ -100,35 +282,26 @@ func (t *Tasks) LoadI32Grouped(buf *simt.BufI32, idx, dst []int32) {
 // for every active group for which pred holds (nil pred = all). Only the
 // group leader lane writes, like "if (lane_of_vw == 0)" in CUDA code.
 func (t *Tasks) StoreI32Grouped(buf *simt.BufI32, idx, val []int32, pred func(g int) bool) {
-	w := t.W
-	leaders := t.leaderLanes()
-	t.replicateI32Pair(idx, val, t.laneIdx, t.laneVal)
-	w.If(func(lane int) bool {
-		g := t.Group(lane)
-		return leaders[lane] && t.Valid(g) && (pred == nil || pred(g))
-	}, func() {
-		w.StoreI32(buf, t.laneIdx, t.laneVal)
-	}, nil)
+	t.leaderLanes()
+	t.replicateI32Pair(idx, val)
+	t.leaderUser = pred
+	t.storeI32Buf = buf
+	t.W.If(t.leaderFn, t.storeI32Fn, nil)
 }
 
 // AtomicAddGrouped atomically adds delta[g] to buf[idx[g]] once per active
 // group for which pred holds, placing the previous value in old[g] (old may
 // be nil). One lane per group performs the atomic, as hardware code would.
 func (t *Tasks) AtomicAddGrouped(buf *simt.BufI32, idx, delta, old []int32, pred func(g int) bool) {
-	w := t.W
-	leaders := t.leaderLanes()
-	laneOld := t.W.VecI32()
-	t.replicateI32Pair(idx, delta, t.laneIdx, t.laneVal)
-	w.If(func(lane int) bool {
-		g := t.Group(lane)
-		return leaders[lane] && t.Valid(g) && (pred == nil || pred(g))
-	}, func() {
-		w.AtomicAddI32(buf, t.laneIdx, t.laneVal, laneOld)
-	}, nil)
+	t.leaderLanes()
+	t.replicateI32Pair(idx, delta)
+	t.leaderUser = pred
+	t.atomBuf = buf
+	t.W.If(t.leaderFn, t.atomFn, nil)
 	if old != nil {
 		for g := 0; g < t.Groups; g++ {
 			if lane := t.firstActiveLane(g); lane >= 0 {
-				old[g] = laneOld[lane]
+				old[g] = t.laneOld[lane]
 			}
 		}
 	}
@@ -139,10 +312,8 @@ func (t *Tasks) AtomicAddGrouped(buf *simt.BufI32, idx, delta, old []int32, pred
 // kernel code. Groups failing pred sit idle (divergence cost applies when
 // some groups pass and some fail).
 func (t *Tasks) Mask(pred func(g int) bool, body func()) {
-	t.W.IfGrouped(t.K, func(lane int) bool {
-		g := t.Group(lane)
-		return t.Valid(g) && pred(g)
-	}, body, nil)
+	t.maskUser = pred
+	t.W.IfGrouped(t.K, t.maskFn, body, nil)
 }
 
 // LoadF32Grouped is the float32 variant of LoadI32Grouped: the replicated
@@ -150,11 +321,10 @@ func (t *Tasks) Mask(pred func(g int) bool, body func()) {
 func (t *Tasks) LoadF32Grouped(buf *simt.BufF32, idx []int32, dst []float32) {
 	w := t.W
 	t.replicateI32(idx, t.laneIdx)
-	laneVal := w.VecF32()
-	w.LoadF32(buf, t.laneIdx, laneVal)
+	w.LoadF32(buf, t.laneIdx, t.laneF32)
 	for g := 0; g < t.Groups; g++ {
 		if lane := t.firstActiveLane(g); lane >= 0 {
-			dst[g] = laneVal[lane]
+			dst[g] = t.laneF32[lane]
 		}
 	}
 }
@@ -162,29 +332,20 @@ func (t *Tasks) LoadF32Grouped(buf *simt.BufF32, idx []int32, dst []float32) {
 // StoreF32Grouped is the float32 variant of StoreI32Grouped: the group
 // leader writes buf[idx[g]] = val[g] for groups passing pred (nil = all).
 func (t *Tasks) StoreF32Grouped(buf *simt.BufF32, idx []int32, val []float32, pred func(g int) bool) {
-	w := t.W
-	leaders := t.leaderLanes()
-	laneVal := w.VecF32()
-	w.ApplyReplicated(1, t.K, func(g int) {
-		base := g * t.K
-		for lane := base; lane < base+t.K; lane++ {
-			t.laneIdx[lane] = idx[g]
-			laneVal[lane] = val[g]
-		}
-	})
-	w.If(func(lane int) bool {
-		g := t.Group(lane)
-		return leaders[lane] && t.Valid(g) && (pred == nil || pred(g))
-	}, func() {
-		w.StoreF32(buf, t.laneIdx, laneVal)
-	}, nil)
+	t.leaderLanes()
+	copy(t.repF32Idx[:t.Groups], idx)
+	copy(t.repF32Val[:t.Groups], val)
+	t.W.ApplyReplicated(1, t.K, t.repF32Fn)
+	t.leaderUser = pred
+	t.storeF32Buf = buf
+	t.W.If(t.leaderFn, t.storeF32Fn, nil)
 }
 
 // ReduceAddF32 sums the per-lane values of src within each group (a
 // shuffle-tree reduction) and writes the per-group totals to dst.
 func (t *Tasks) ReduceAddF32(src []float32, dst []float32) {
 	w := t.W
-	laneSum := w.VecF32()
+	laneSum := t.laneSumF
 	w.GroupReduceAddF32(t.K, src, laneSum)
 	for g := 0; g < t.Groups; g++ {
 		if lane := t.firstActiveLane(g); lane >= 0 {
@@ -197,7 +358,7 @@ func (t *Tasks) ReduceAddF32(src []float32, dst []float32) {
 // the per-group totals to dst.
 func (t *Tasks) ReduceAddI32(src []int32, dst []int32) {
 	w := t.W
-	laneSum := w.VecI32()
+	laneSum := t.laneSum
 	w.GroupReduceAddI32(t.K, src, laneSum)
 	for g := 0; g < t.Groups; g++ {
 		if lane := t.firstActiveLane(g); lane >= 0 {
@@ -212,18 +373,10 @@ func (t *Tasks) ReduceAddI32(src []int32, dst []int32) {
 // trip-count differences between groups cost idle lanes — the residual
 // intra-warp imbalance the paper tunes with K.
 func (t *Tasks) SIMDRange(start, end []int32, body func(j []int32)) {
-	w := t.W
-	j := w.VecI32()
-	w.Apply(1, func(lane int) {
-		j[lane] = start[t.Group(lane)] + int32(t.LaneInGroup(lane))
-	})
-	w.While(func(lane int) bool {
-		g := t.Group(lane)
-		return t.Valid(g) && j[lane] < end[g]
-	}, func() {
-		body(j)
-		w.Apply(1, func(lane int) { j[lane] += int32(t.K) })
-	})
+	t.simdStart, t.simdEnd = start, end
+	t.simdUser = body
+	t.W.Apply(1, t.simdInitFn)
+	t.W.While(t.simdCondFn, t.simdBodyFn)
 }
 
 // replicateI32 broadcasts per-group values to every lane of the group,
@@ -231,24 +384,15 @@ func (t *Tasks) SIMDRange(start, end []int32, body func(j []int32)) {
 // SISD-phase address computation costs on hardware: all lanes busy, one
 // useful result per virtual warp).
 func (t *Tasks) replicateI32(src []int32, dst []int32) {
-	t.W.ApplyReplicated(1, t.K, func(g int) {
-		base := g * t.K
-		for lane := base; lane < base+t.K; lane++ {
-			dst[lane] = src[g]
-		}
-	})
+	t.repSrc, t.repDst = src, dst
+	t.W.ApplyReplicated(1, t.K, t.repFn)
 }
 
-// replicateI32Pair broadcasts two per-group vectors in one replicated
-// instruction.
-func (t *Tasks) replicateI32Pair(srcA, srcB, dstA, dstB []int32) {
-	t.W.ApplyReplicated(1, t.K, func(g int) {
-		base := g * t.K
-		for lane := base; lane < base+t.K; lane++ {
-			dstA[lane] = srcA[g]
-			dstB[lane] = srcB[g]
-		}
-	})
+// replicateI32Pair broadcasts two per-group vectors into laneIdx/laneVal in
+// one replicated instruction.
+func (t *Tasks) replicateI32Pair(srcA, srcB []int32) {
+	t.repSrcB, t.repDstB = srcA, srcB
+	t.W.ApplyReplicated(1, t.K, t.repPairFn)
 }
 
 // GroupLoop iterates each group sequentially over [start[g], end[g]): every
@@ -257,15 +401,10 @@ func (t *Tasks) replicateI32Pair(srcA, srcB, dstA, dstB []int32) {
 // replicated-phase outer loops of nested-iteration kernels (e.g. "for each
 // neighbor v of u" in triangle counting, with a SIMD phase inside).
 func (t *Tasks) GroupLoop(start, end []int32, body func(pos []int32)) {
-	w := t.W
-	pos := append(make([]int32, 0, t.Groups), start[:t.Groups]...)
-	w.While(func(lane int) bool {
-		g := t.Group(lane)
-		return t.Valid(g) && pos[g] < end[g]
-	}, func() {
-		body(pos)
-		t.SISD(1, func(g int) { pos[g]++ })
-	})
+	copy(t.groupPos, start[:t.Groups])
+	t.glEnd = end
+	t.glUser = body
+	t.W.While(t.glCondFn, t.glBodyFn)
 }
 
 // firstActiveLane returns the lowest active lane of group g, or -1.
@@ -279,9 +418,14 @@ func (t *Tasks) firstActiveLane(g int) int {
 	return -1
 }
 
-// leaderLanes marks the first active lane of each group.
+// leaderLanes marks the first active lane of each group in the reusable
+// leaders scratch (recomputed every call — leadership depends on the live
+// mask).
 func (t *Tasks) leaderLanes() []bool {
-	leaders := make([]bool, t.W.Width())
+	leaders := t.leaders
+	for lane := range leaders {
+		leaders[lane] = false
+	}
 	for g := 0; g < t.Groups; g++ {
 		if lane := t.firstActiveLane(g); lane >= 0 {
 			leaders[lane] = true
@@ -295,6 +439,7 @@ func (t *Tasks) leaderLanes() []bool {
 // once per round with the warp's task assignment.
 func ForEachStatic(w *simt.WarpCtx, k int, numTasks int32, body func(t *Tasks)) {
 	t := newTasks(w, k)
+	t.runUser = body
 	groups := int32(t.Groups)
 	gridWarps := int32(w.GridThreads() / w.Width())
 	totalVW := gridWarps * groups
@@ -317,9 +462,7 @@ func ForEachStatic(w *simt.WarpCtx, k int, numTasks int32, body func(t *Tasks)) 
 		if !any {
 			break
 		}
-		w.IfGrouped(t.K, func(lane int) bool { return t.Valid(t.Group(lane)) }, func() {
-			body(t)
-		}, nil)
+		w.IfGrouped(t.K, t.validFn, t.runFn, nil)
 	}
 }
 
@@ -331,6 +474,7 @@ func ForEachStatic(w *simt.WarpCtx, k int, numTasks int32, body func(t *Tasks)) 
 // few virtual warps.
 func ForEachStaticBlocked(w *simt.WarpCtx, k int, numTasks int32, body func(t *Tasks)) {
 	t := newTasks(w, k)
+	t.runUser = body
 	groups := int32(t.Groups)
 	gridWarps := int32(w.GridThreads() / w.Width())
 	totalVW := gridWarps * groups
@@ -354,19 +498,25 @@ func ForEachStaticBlocked(w *simt.WarpCtx, k int, numTasks int32, body func(t *T
 			// Later offsets cannot become valid: ids only grow with off.
 			break
 		}
-		w.IfGrouped(t.K, func(lane int) bool { return t.Valid(t.Group(lane)) }, func() {
-			body(t)
-		}, nil)
+		w.IfGrouped(t.K, t.validFn, t.runFn, nil)
 	}
 }
 
 // FetchChunk has one lane of the physical warp atomically advance the global
 // task counter by chunk and broadcasts the claimed base index to the warp —
-// the paper's dynamic workload distribution primitive.
+// the paper's dynamic workload distribution primitive. Loop callers should
+// hoist the three register vectors and use fetchChunk-style reuse (as
+// ForEachDynamic does) so repeated claims stay allocation-free.
 func FetchChunk(w *simt.WarpCtx, counter *simt.BufI32, chunk int32) int32 {
-	old := w.VecI32()
+	return fetchChunk(w, counter, w.ConstI32(0), w.ConstI32(chunk), w.VecI32())
+}
+
+// fetchChunk is FetchChunk with caller-owned registers: zero and chunkV are
+// the replicated index/delta vectors, old the landing pad for the claimed
+// counter value.
+func fetchChunk(w *simt.WarpCtx, counter *simt.BufI32, zero, chunkV, old []int32) int32 {
 	w.If(func(lane int) bool { return lane == 0 }, func() {
-		w.AtomicAddI32(counter, w.ConstI32(0), w.ConstI32(chunk), old)
+		w.AtomicAddI32(counter, zero, chunkV, old)
 	}, nil)
 	return w.BroadcastI32(old, 0)
 }
@@ -380,9 +530,15 @@ func ForEachDynamic(w *simt.WarpCtx, k int, numTasks int32, counter *simt.BufI32
 		panic(fmt.Sprintf("vwarp: chunk size %d must be >= 1", chunk))
 	}
 	t := newTasks(w, k)
+	t.runUser = body
+	t.fcCounter = counter
+	for i := range t.fcChunkV {
+		t.fcChunkV[i] = chunk
+	}
 	groups := int32(t.Groups)
 	for {
-		base := FetchChunk(w, counter, chunk)
+		w.If(t.fcLane0Fn, t.fcFn, nil)
+		base := w.BroadcastI32(t.fcOld, 0)
 		if base >= numTasks {
 			break
 		}
@@ -404,9 +560,7 @@ func ForEachDynamic(w *simt.WarpCtx, k int, numTasks int32, counter *simt.BufI32
 			if !any {
 				break
 			}
-			w.IfGrouped(t.K, func(lane int) bool { return t.Valid(t.Group(lane)) }, func() {
-				body(t)
-			}, nil)
+			w.IfGrouped(t.K, t.validFn, t.runFn, nil)
 		}
 	}
 }
