@@ -66,5 +66,6 @@ check: vet lint race benchgate servesmoke
 fuzz:
 	$(GO) test -fuzz FuzzReadDIMACS -fuzztime 15s ./internal/graph
 	$(GO) test -fuzz FuzzFromEdges -fuzztime 15s ./internal/graph
+	$(GO) test -fuzz FuzzDeltaApply -fuzztime 15s ./internal/graph
 	$(GO) test -fuzz FuzzPromTextRoundTrip -fuzztime 15s ./internal/report
 	$(GO) test -fuzz FuzzChromeTraceRoundTrip -fuzztime 15s ./internal/traceview

@@ -59,6 +59,8 @@ func run(args []string) error {
 		return cmdVerify(args[1:])
 	case "graph500":
 		return cmdGraph500(args[1:])
+	case "dynamic":
+		return cmdDynamic(args[1:])
 	case "serve":
 		return cmdServe(args[1:])
 	case "loadtest":
@@ -87,6 +89,7 @@ subcommands:
   profile run one kernel with sampled tracing + metrics (parallel-safe)
   verify cross-check every kernel against its CPU oracle
   graph500 run a Graph500-style BFS benchmark with validation
+  dynamic stream mutation batches and compare incremental repair vs full recompute
   serve  run the fault-tolerant graph-analytics HTTP daemon
   loadtest drive a synthetic query mix against a serve daemon
   info   print a workload's degree statistics

@@ -41,6 +41,8 @@ func cmdServe(args []string) error {
 	recycle := fs.Int64("recycle", 512, "recreate a device every N served requests (negative disables)")
 	inject := fs.String("inject", "", "chaos: fault plans per device, 'DEV:SPEC[;DEV:SPEC...]' (DEV=all for every device); SPEC as in 'maxwarp bfs -inject'")
 	sms := fs.Int("sms", 0, "SMs per simulated device (0 = simulator default)")
+	mutateMax := fs.Int("mutate-max-batch", 0, "max mutations per /mutate batch (0 = default 4096, negative = unbounded)")
+	mutateRebase := fs.Int("mutate-rebase", 0, "auto-rebase a graph's delta overlay past this many pending ops (0 = default 1024, negative disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -69,20 +71,22 @@ func cmdServe(args []string) error {
 		dev.NumSMs = *sms
 	}
 	cfg := serve.Config{
-		Graphs:           specs,
-		Devices:          *devices,
-		DeviceConfig:     &dev,
-		FaultPlans:       plans,
-		QueueDepth:       *queue,
-		DefaultDeadline:  *deadline,
-		MaxDeadline:      *maxDeadline,
-		CyclesPerSecond:  *cps,
-		DefaultK:         *k,
-		Quota:            serve.QuotaConfig{Default: serve.TenantQuota{RatePerSec: *qps, Burst: *burst}},
-		CacheEntries:     *cache,
-		BreakerThreshold: *breakerN,
-		BreakerCooldown:  *cooldown,
-		RecycleEvery:     *recycle,
+		Graphs:                specs,
+		Devices:               *devices,
+		DeviceConfig:          &dev,
+		FaultPlans:            plans,
+		QueueDepth:            *queue,
+		DefaultDeadline:       *deadline,
+		MaxDeadline:           *maxDeadline,
+		CyclesPerSecond:       *cps,
+		DefaultK:              *k,
+		Quota:                 serve.QuotaConfig{Default: serve.TenantQuota{RatePerSec: *qps, Burst: *burst}},
+		CacheEntries:          *cache,
+		BreakerThreshold:      *breakerN,
+		BreakerCooldown:       *cooldown,
+		RecycleEvery:          *recycle,
+		MutateMaxBatch:        *mutateMax,
+		MutateRebaseThreshold: *mutateRebase,
 	}
 
 	s, err := serve.New(cfg)

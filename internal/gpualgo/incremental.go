@@ -1,0 +1,697 @@
+package gpualgo
+
+import (
+	"fmt"
+	"sort"
+
+	"maxwarp/internal/cpualgo"
+	"maxwarp/internal/graph"
+	"maxwarp/internal/simt"
+	"maxwarp/internal/vwarp"
+)
+
+// RepairInfo summarizes the work an incremental run did — the quantities
+// EXPERIMENTS.md compares against full recompute.
+type RepairInfo struct {
+	// Invalidated counts vertices whose previous value was discarded by the
+	// host-side invalidation phase (BFS/SSSP: support lost after deletions;
+	// CC: members of affected components reset to self-labels).
+	Invalidated int
+	// Seeds is the initial repair frontier size.
+	Seeds int
+	// Rounds is the number of device relaxation rounds (kernel launches for
+	// the frontier loop; PageRank: power iterations).
+	Rounds int
+}
+
+// --- BFS / SSSP repair ------------------------------------------------------
+//
+// Incremental shortest paths runs in two phases, following the classic
+// Ramalingam-Reps shape recast onto the device frontier machinery:
+//
+// Phase 1 (host): invalidation. After deletions, stale values are
+// UNDER-estimates (a shorter path may no longer exist), and monotone
+// atomicMin relaxation can never raise them — so every vertex whose value
+// can no longer be justified must be reset to infinity first. A vertex v is
+// supported when some live in-neighbor x has val[x] + w(x,v) == val[v].
+// Deleted-edge heads seed a worklist; when a vertex loses all support it is
+// invalidated and its out-children that it was supporting are re-checked.
+// By induction on the old values, every stale-low vertex lies on a cascade
+// from a deleted edge, so invalidation is complete: afterwards every value
+// is >= its true distance in the mutated graph.
+//
+// Phase 2 (device): decrease-only frontier relaxation over the overlay
+// (base minus deletion marks plus extension edges), seeded from inserted
+// edges' tails and from live in-neighbors of invalidated vertices. Monotone
+// relaxation from over-estimates converges to the exact fixpoint, and a
+// first-wrong-vertex argument shows the seed set reaches every vertex whose
+// value must change — so the repaired result is bit-identical to a full
+// recompute on the compacted graph.
+
+// invalidateStale is phase 1. val uses the cpualgo.InfDist convention and is
+// rewritten in place; unit forces every edge weight to 1 (BFS hop counts).
+// It returns the invalidated vertices in invalidation order.
+func invalidateStale(dl *graph.Delta, src graph.VertexID, val []int32, applied []graph.AppliedMutation, unit bool) []graph.VertexID {
+	var work []graph.VertexID
+	for _, m := range applied {
+		if m.Del {
+			work = append(work, m.Dst)
+		}
+	}
+	var invalidated []graph.VertexID
+	for len(work) > 0 {
+		v := work[0]
+		work = work[1:]
+		if v == src || val[v] >= cpualgo.InfDist {
+			continue
+		}
+		supported := false
+		dl.InNeighborsLive(v, func(x graph.VertexID, w int32) bool {
+			if unit {
+				w = 1
+			}
+			if val[x] < cpualgo.InfDist && val[x]+w == val[v] {
+				supported = true
+				return false
+			}
+			return true
+		})
+		if supported {
+			continue
+		}
+		old := val[v]
+		val[v] = cpualgo.InfDist
+		invalidated = append(invalidated, v)
+		dl.OutNeighborsLive(v, func(y graph.VertexID, w int32) bool {
+			if unit {
+				w = 1
+			}
+			if val[y] == old+w {
+				work = append(work, y)
+			}
+			return true
+		})
+	}
+	return invalidated
+}
+
+// repairSeeds builds the phase-2 frontier: tails of inserted edges plus live
+// in-neighbors of invalidated vertices, finite-valued only, deduplicated and
+// sorted for a deterministic frontier layout.
+func repairSeeds(dl *graph.Delta, val []int32, applied []graph.AppliedMutation, invalidated []graph.VertexID) []int32 {
+	seen := make(map[graph.VertexID]bool)
+	var seeds []int32
+	add := func(v graph.VertexID) {
+		if !seen[v] && val[v] < cpualgo.InfDist {
+			seen[v] = true
+			seeds = append(seeds, int32(v))
+		}
+	}
+	for _, m := range applied {
+		if !m.Del {
+			add(m.Src)
+		}
+	}
+	for _, v := range invalidated {
+		dl.InNeighborsLive(v, func(x graph.VertexID, _ int32) bool {
+			add(x)
+			return true
+		})
+	}
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
+	return seeds
+}
+
+// repairFrontier is the phase-2 device loop: rounds of decrease-only
+// relaxation over the overlay until the frontier drains. Per-round
+// deduplication uses a claim buffer driven by atomicMin on the negated round
+// number (the machine has no atomicMax), so each vertex enters the next
+// frontier once per round. Returns the round count.
+func repairFrontier(d *simt.Device, ddg *DeviceDeltaGraph, val *simt.BufI32, seeds []int32, weighted bool, opts Options, res *Result) (int, error) {
+	n := ddg.NumVertices
+	if len(seeds) == 0 {
+		return 0, nil
+	}
+	frontier := d.AllocI32("repair.frontier", n)
+	next := d.AllocI32("repair.next", n)
+	nextCount := d.AllocI32("repair.nextcount", 1)
+	claim := d.AllocI32("repair.claim", n)
+	copy(frontier.Data(), seeds)
+	frontierLen := len(seeds)
+
+	maxIter := opts.MaxIterations
+	if maxIter == 0 {
+		maxIter = n + 1
+	}
+	rounds := 0
+	for rounds < maxIter && frontierLen > 0 {
+		rounds++
+		nextCount.Data()[0] = 0
+		kernel := repairRelaxKernel(ddg, val, frontier, next, nextCount, claim, int32(frontierLen), int32(-rounds), weighted, opts)
+		stats, err := d.Launch(opts.grid(d, frontierLen), kernel)
+		if err != nil {
+			return rounds, fmt.Errorf("gpualgo: repair round %d: %w", rounds, err)
+		}
+		res.Stats.Add(stats)
+		res.Launches++
+		res.Iterations++
+		frontierLen = int(nextCount.Data()[0])
+		if frontierLen > n {
+			return rounds, fmt.Errorf("gpualgo: repair frontier overflow: %d entries for %d vertices", frontierLen, n)
+		}
+		frontier, next = next, frontier
+	}
+	if frontierLen > 0 {
+		return rounds, fmt.Errorf("gpualgo: repair did not converge in %d rounds", rounds)
+	}
+	return rounds, nil
+}
+
+// repairRelaxKernel relaxes the out-edges of one frontier's vertices over
+// the overlay: the masked base pass first, then the extension pass. Deleted
+// base lanes relax with an InfDist candidate (a no-op on the min), which
+// keeps the warp convergent instead of branching around dead edges.
+func repairRelaxKernel(ddg *DeviceDeltaGraph, val, frontier, next, nextCount, claim *simt.BufI32, frontierLen, negRound int32, weighted bool, opts Options) simt.Kernel {
+	return func(w *simt.WarpCtx) {
+		vwarp.ForEachStatic(w, opts.K, frontierLen, func(ts *vwarp.Tasks) {
+			g := ts.Groups
+			// Indirect through the frontier: the task id is a queue slot.
+			ts.LoadI32Grouped(frontier, ts.Task, ts.Task)
+			dv := make([]int32, g)
+			ts.LoadI32Grouped(val, ts.Task, dv)
+			nbr := w.VecI32()
+			dm := w.VecI32()
+			wt := w.VecI32()
+			cand := w.VecI32()
+			old := w.VecI32()
+			cold := w.VecI32()
+			slot := w.VecI32()
+			negR := w.ConstI32(negRound)
+			zero := w.ConstI32(0)
+			one := w.ConstI32(1)
+			relax := func(colB, wtB, delB *simt.BufI32, start, end []int32) {
+				ts.SIMDRange(start, end, func(j []int32) {
+					w.LoadI32(colB, j, nbr)
+					if delB != nil {
+						w.LoadI32(delB, j, dm)
+					}
+					if wtB != nil {
+						w.LoadI32(wtB, j, wt)
+					}
+					w.Apply(1, func(lane int) {
+						c := dv[ts.Group(lane)] + 1
+						if wtB != nil {
+							c = dv[ts.Group(lane)] + wt[lane]
+						}
+						if delB != nil && dm[lane] != 0 {
+							c = cpualgo.InfDist
+						}
+						cand[lane] = c
+					})
+					w.AtomicMinI32(val, nbr, cand, old)
+					w.If(func(lane int) bool { return cand[lane] < old[lane] }, func() {
+						// First claimant this round enqueues the vertex.
+						w.AtomicMinI32(claim, nbr, negR, cold)
+						w.If(func(lane int) bool { return cold[lane] > negRound }, func() {
+							w.AtomicAddI32(nextCount, zero, one, slot)
+							w.StoreI32(next, slot, nbr)
+						}, nil)
+					}, nil)
+				})
+			}
+			start := make([]int32, g)
+			end := make([]int32, g)
+			taskP1 := make([]int32, g)
+			ts.SISD(1, func(gi int) { taskP1[gi] = ts.Task[gi] + 1 })
+			ts.LoadI32Grouped(ddg.Base.RowPtr, ts.Task, start)
+			ts.LoadI32Grouped(ddg.Base.RowPtr, taskP1, end)
+			var wtB *simt.BufI32
+			if weighted {
+				wtB = ddg.Base.Weights
+			}
+			relax(ddg.Base.Col, wtB, ddg.Del, start, end)
+			ts.LoadI32Grouped(ddg.ExtRowPtr, ts.Task, start)
+			ts.LoadI32Grouped(ddg.ExtRowPtr, taskP1, end)
+			if weighted {
+				wtB = ddg.ExtWeights
+			}
+			relax(ddg.ExtCol, wtB, nil, start, end)
+		})
+	}
+}
+
+// IncrementalBFS repairs prevLevels (a BFS result for the pre-batch graph
+// from the same source, Unvisited convention) after the mutation batches
+// whose effective changes are applied, yielding levels bit-identical to a
+// full BFS on the compacted graph. ddg must be the forward upload of dl at
+// its current epoch (nil uploads one).
+func IncrementalBFS(d *simt.Device, dl *graph.Delta, ddg *DeviceDeltaGraph, src graph.VertexID, prevLevels []int32, applied []graph.AppliedMutation, opts Options) (*BFSResult, RepairInfo, error) {
+	opts = opts.withDefaults(d)
+	if err := opts.validate(d); err != nil {
+		return nil, RepairInfo{}, err
+	}
+	n := dl.NumVertices()
+	if src < 0 || int(src) >= n {
+		return nil, RepairInfo{}, fmt.Errorf("gpualgo: BFS source %d out of range [0,%d)", src, n)
+	}
+	if len(prevLevels) != n {
+		return nil, RepairInfo{}, fmt.Errorf("gpualgo: %d previous levels for %d vertices", len(prevLevels), n)
+	}
+	if ddg == nil {
+		var err error
+		if ddg, err = UploadDelta(d, dl); err != nil {
+			return nil, RepairInfo{}, err
+		}
+	}
+	if err := checkDeltaEpoch(ddg, dl); err != nil {
+		return nil, RepairInfo{}, err
+	}
+	val := make([]int32, n)
+	for i, l := range prevLevels {
+		if l == Unvisited {
+			val[i] = cpualgo.InfDist
+		} else {
+			val[i] = l
+		}
+	}
+	invalidated := invalidateStale(dl, src, val, applied, true)
+	seeds := repairSeeds(dl, val, applied, invalidated)
+
+	res := &BFSResult{}
+	res.Stats.WarpWidth = d.Config().WarpWidth
+	dval := d.AllocI32("ibfs.val", n)
+	copy(dval.Data(), val)
+	rounds, err := repairFrontier(d, ddg, dval, seeds, false, opts, &res.Result)
+	if err != nil {
+		return nil, RepairInfo{}, err
+	}
+	res.Levels = make([]int32, n)
+	for i, v := range dval.Data() {
+		if v >= cpualgo.InfDist {
+			res.Levels[i] = Unvisited
+		} else {
+			res.Levels[i] = v
+			if v > res.Depth {
+				res.Depth = v
+			}
+		}
+	}
+	return res, RepairInfo{Invalidated: len(invalidated), Seeds: len(seeds), Rounds: rounds}, nil
+}
+
+// IncrementalSSSP repairs prevDist (an SSSP result for the pre-batch graph
+// from the same source, cpualgo.InfDist convention) after the mutation
+// batches whose effective changes are applied, yielding distances
+// bit-identical to a full SSSP on the compacted graph. The delta must be
+// weighted; ddg must be the forward upload of dl at its current epoch (nil
+// uploads one).
+func IncrementalSSSP(d *simt.Device, dl *graph.Delta, ddg *DeviceDeltaGraph, src graph.VertexID, prevDist []int32, applied []graph.AppliedMutation, opts Options) (*SSSPResult, RepairInfo, error) {
+	opts = opts.withDefaults(d)
+	if err := opts.validate(d); err != nil {
+		return nil, RepairInfo{}, err
+	}
+	if !dl.Weighted() {
+		return nil, RepairInfo{}, fmt.Errorf("gpualgo: incremental SSSP requires a weighted delta")
+	}
+	n := dl.NumVertices()
+	if src < 0 || int(src) >= n {
+		return nil, RepairInfo{}, fmt.Errorf("gpualgo: SSSP source %d out of range [0,%d)", src, n)
+	}
+	if len(prevDist) != n {
+		return nil, RepairInfo{}, fmt.Errorf("gpualgo: %d previous distances for %d vertices", len(prevDist), n)
+	}
+	if ddg == nil {
+		var err error
+		if ddg, err = UploadDelta(d, dl); err != nil {
+			return nil, RepairInfo{}, err
+		}
+	}
+	if err := checkDeltaEpoch(ddg, dl); err != nil {
+		return nil, RepairInfo{}, err
+	}
+	val := append([]int32(nil), prevDist...)
+	invalidated := invalidateStale(dl, src, val, applied, false)
+	seeds := repairSeeds(dl, val, applied, invalidated)
+
+	res := &SSSPResult{}
+	res.Stats.WarpWidth = d.Config().WarpWidth
+	dval := d.AllocI32("isssp.val", n)
+	copy(dval.Data(), val)
+	rounds, err := repairFrontier(d, ddg, dval, seeds, true, opts, &res.Result)
+	if err != nil {
+		return nil, RepairInfo{}, err
+	}
+	res.Dist = append([]int32(nil), dval.Data()...)
+	return res, RepairInfo{Invalidated: len(invalidated), Seeds: len(seeds), Rounds: rounds}, nil
+}
+
+// --- Connected components repair -------------------------------------------
+
+// IncrementalCC repairs prevLabels (min-vertex-id component labels for the
+// pre-batch graph) after mutation batches on a SYMMETRIC delta (every
+// mutation applied in both directions, as ConnectedComponents expects a
+// symmetrized upload). Inserts union components; deletions reset every
+// vertex of an affected component to its own id and recompute those
+// components by min-label propagation — seeded from the reset vertices and
+// inserted edges' endpoints, pulling before pushing so a reset vertex
+// re-adopts a surviving neighbor label even when that neighbor is not
+// seeded. The result is bit-identical to a full recompute on the compacted
+// graph. ddg must be the forward upload of dl at its current epoch (nil
+// uploads one).
+func IncrementalCC(d *simt.Device, dl *graph.Delta, ddg *DeviceDeltaGraph, prevLabels []int32, applied []graph.AppliedMutation, opts Options) (*CCResult, RepairInfo, error) {
+	opts = opts.withDefaults(d)
+	if err := opts.validate(d); err != nil {
+		return nil, RepairInfo{}, err
+	}
+	n := dl.NumVertices()
+	if len(prevLabels) != n {
+		return nil, RepairInfo{}, fmt.Errorf("gpualgo: %d previous labels for %d vertices", len(prevLabels), n)
+	}
+	if ddg == nil {
+		var err error
+		if ddg, err = UploadDelta(d, dl); err != nil {
+			return nil, RepairInfo{}, err
+		}
+	}
+	if err := checkDeltaEpoch(ddg, dl); err != nil {
+		return nil, RepairInfo{}, err
+	}
+	labels := append([]int32(nil), prevLabels...)
+	// Deletions may split a component: reset every member of a component
+	// touched by a deletion. (Label propagation cannot raise labels, so a
+	// split's new sub-component must restart from self-labels.)
+	affected := make(map[int32]bool)
+	for _, m := range applied {
+		if m.Del {
+			affected[labels[m.Src]] = true
+			affected[labels[m.Dst]] = true
+		}
+	}
+	seen := make(map[int32]bool)
+	var seeds []int32
+	invalidated := 0
+	for v := 0; v < n; v++ {
+		if affected[prevLabels[v]] {
+			labels[v] = int32(v)
+			invalidated++
+			if !seen[int32(v)] {
+				seen[int32(v)] = true
+				seeds = append(seeds, int32(v))
+			}
+		}
+	}
+	for _, m := range applied {
+		if !m.Del {
+			for _, v := range [2]graph.VertexID{m.Src, m.Dst} {
+				if !seen[int32(v)] {
+					seen[int32(v)] = true
+					seeds = append(seeds, int32(v))
+				}
+			}
+		}
+	}
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
+
+	res := &CCResult{}
+	res.Stats.WarpWidth = d.Config().WarpWidth
+	dlabels := d.AllocI32("icc.labels", n)
+	copy(dlabels.Data(), labels)
+	rounds, err := ccRepairLoop(d, ddg, dlabels, seeds, opts, &res.Result)
+	if err != nil {
+		return nil, RepairInfo{}, err
+	}
+	res.Labels = append([]int32(nil), dlabels.Data()...)
+	return res, RepairInfo{Invalidated: invalidated, Seeds: len(seeds), Rounds: rounds}, nil
+}
+
+// ccRepairLoop drains a min-label frontier with the pull-then-push kernel.
+func ccRepairLoop(d *simt.Device, ddg *DeviceDeltaGraph, labels *simt.BufI32, seeds []int32, opts Options, res *Result) (int, error) {
+	n := ddg.NumVertices
+	if len(seeds) == 0 {
+		return 0, nil
+	}
+	frontier := d.AllocI32("icc.frontier", n)
+	next := d.AllocI32("icc.next", n)
+	nextCount := d.AllocI32("icc.nextcount", 1)
+	claim := d.AllocI32("icc.claim", n)
+	copy(frontier.Data(), seeds)
+	frontierLen := len(seeds)
+	maxIter := opts.MaxIterations
+	if maxIter == 0 {
+		maxIter = n + 1
+	}
+	rounds := 0
+	for rounds < maxIter && frontierLen > 0 {
+		rounds++
+		nextCount.Data()[0] = 0
+		kernel := ccRepairKernel(ddg, labels, frontier, next, nextCount, claim, int32(frontierLen), int32(-rounds), opts)
+		stats, err := d.Launch(opts.grid(d, frontierLen), kernel)
+		if err != nil {
+			return rounds, fmt.Errorf("gpualgo: CC repair round %d: %w", rounds, err)
+		}
+		res.Stats.Add(stats)
+		res.Launches++
+		res.Iterations++
+		frontierLen = int(nextCount.Data()[0])
+		if frontierLen > n {
+			return rounds, fmt.Errorf("gpualgo: CC repair frontier overflow: %d entries for %d vertices", frontierLen, n)
+		}
+		frontier, next = next, frontier
+	}
+	if frontierLen > 0 {
+		return rounds, fmt.Errorf("gpualgo: CC repair did not converge in %d rounds", rounds)
+	}
+	return rounds, nil
+}
+
+// ccRepairKernel processes one frontier: each vertex first PULLS the minimum
+// label over its live neighbors onto itself (a reset vertex re-adopts a
+// surviving component label even when no neighbor is in the frontier), then
+// PUSHES its refreshed label outward, enqueueing neighbors whose label
+// dropped. Deleted base lanes participate with a neutral candidate (>= any
+// live label) so the warp stays convergent.
+func ccRepairKernel(ddg *DeviceDeltaGraph, labels, frontier, next, nextCount, claim *simt.BufI32, frontierLen, negRound int32, opts Options) simt.Kernel {
+	neutral := int32(ddg.NumVertices) // labels are vertex ids < n
+	return func(w *simt.WarpCtx) {
+		vwarp.ForEachStatic(w, opts.K, frontierLen, func(ts *vwarp.Tasks) {
+			g := ts.Groups
+			ts.LoadI32Grouped(frontier, ts.Task, ts.Task)
+			start := make([]int32, g)
+			end := make([]int32, g)
+			extStart := make([]int32, g)
+			extEnd := make([]int32, g)
+			taskP1 := make([]int32, g)
+			ts.SISD(1, func(gi int) { taskP1[gi] = ts.Task[gi] + 1 })
+			ts.LoadI32Grouped(ddg.Base.RowPtr, ts.Task, start)
+			ts.LoadI32Grouped(ddg.Base.RowPtr, taskP1, end)
+			ts.LoadI32Grouped(ddg.ExtRowPtr, ts.Task, extStart)
+			ts.LoadI32Grouped(ddg.ExtRowPtr, taskP1, extEnd)
+			nbr := w.VecI32()
+			dm := w.VecI32()
+			their := w.VecI32()
+			old := w.VecI32()
+			cold := w.VecI32()
+			slot := w.VecI32()
+			vidx := w.VecI32()
+			mine := w.VecI32()
+			negR := w.ConstI32(negRound)
+			zero := w.ConstI32(0)
+			one := w.ConstI32(1)
+			w.Apply(1, func(lane int) { vidx[lane] = ts.Task[ts.Group(lane)] })
+			pull := func(colB, delB *simt.BufI32, s, e []int32) {
+				ts.SIMDRange(s, e, func(j []int32) {
+					w.LoadI32(colB, j, nbr)
+					if delB != nil {
+						w.LoadI32(delB, j, dm)
+					}
+					w.LoadI32(labels, nbr, their)
+					if delB != nil {
+						w.Apply(1, func(lane int) {
+							if dm[lane] != 0 {
+								their[lane] = neutral
+							}
+						})
+					}
+					w.AtomicMinI32(labels, vidx, their, old)
+				})
+			}
+			pull(ddg.Base.Col, ddg.Del, start, end)
+			pull(ddg.ExtCol, nil, extStart, extEnd)
+			// Re-read the refreshed label, then push it outward.
+			lbl := make([]int32, g)
+			ts.LoadI32Grouped(labels, ts.Task, lbl)
+			w.Apply(1, func(lane int) { mine[lane] = lbl[ts.Group(lane)] })
+			push := func(colB, delB *simt.BufI32, s, e []int32) {
+				ts.SIMDRange(s, e, func(j []int32) {
+					w.LoadI32(colB, j, nbr)
+					cand := their // reuse: candidate label per lane
+					if delB != nil {
+						w.LoadI32(delB, j, dm)
+						w.Apply(1, func(lane int) {
+							if dm[lane] != 0 {
+								cand[lane] = neutral
+							} else {
+								cand[lane] = mine[lane]
+							}
+						})
+					} else {
+						w.Apply(1, func(lane int) { cand[lane] = mine[lane] })
+					}
+					w.AtomicMinI32(labels, nbr, cand, old)
+					w.If(func(lane int) bool { return cand[lane] < old[lane] }, func() {
+						w.AtomicMinI32(claim, nbr, negR, cold)
+						w.If(func(lane int) bool { return cold[lane] > negRound }, func() {
+							w.AtomicAddI32(nextCount, zero, one, slot)
+							w.StoreI32(next, slot, nbr)
+						}, nil)
+					}, nil)
+				})
+			}
+			push(ddg.Base.Col, ddg.Del, start, end)
+			push(ddg.ExtCol, nil, extStart, extEnd)
+		})
+	}
+}
+
+// --- Delta PageRank ---------------------------------------------------------
+
+// DeltaPageRank re-converges PageRank after mutations, warm-started from the
+// previous rank vector: pull-based power iteration over the REVERSE overlay
+// (rddg, from UploadDeltaReverse) with live out-degrees, stopping when the
+// L1 step delta falls below opts.Tolerance (default 1e-6) or the iteration
+// cap is hit. For small batches the warm start re-converges in a few
+// iterations where a cold run pays the full budget — the cycle saving
+// EXPERIMENTS.md quantifies. prev must have one rank per vertex (nil cold
+// starts at 1/n). Results match a converged full recompute to within the
+// tolerance, not bit-exactly: float accumulation order differs from the
+// non-overlay pull kernel.
+func DeltaPageRank(d *simt.Device, dl *graph.Delta, rddg *DeviceDeltaGraph, prev []float32, opts PageRankOptions) (*PageRankResult, RepairInfo, error) {
+	opts.Options = opts.Options.withDefaults(d)
+	if err := opts.Options.validate(d); err != nil {
+		return nil, RepairInfo{}, err
+	}
+	if opts.Damping == 0 {
+		opts.Damping = 0.85
+	}
+	if opts.Damping < 0 || opts.Damping >= 1 {
+		return nil, RepairInfo{}, fmt.Errorf("gpualgo: damping %f outside [0,1)", opts.Damping)
+	}
+	if opts.Iterations == 0 {
+		opts.Iterations = 50
+	}
+	if opts.Tolerance == 0 {
+		opts.Tolerance = 1e-6
+	}
+	n := dl.NumVertices()
+	res := &PageRankResult{}
+	res.Stats.WarpWidth = d.Config().WarpWidth
+	if n == 0 {
+		return res, RepairInfo{}, nil
+	}
+	if prev != nil && len(prev) != n {
+		return nil, RepairInfo{}, fmt.Errorf("gpualgo: %d previous ranks for %d vertices", len(prev), n)
+	}
+	if rddg == nil {
+		var err error
+		if rddg, err = UploadDeltaReverse(d, dl); err != nil {
+			return nil, RepairInfo{}, err
+		}
+	}
+	if err := checkDeltaEpoch(rddg, dl); err != nil {
+		return nil, RepairInfo{}, err
+	}
+	outDeg := dl.LiveOutDegrees()
+	dOutDeg := d.UploadI32("dpr.outdeg", outDeg)
+	rank := d.AllocF32("dpr.rank", n)
+	contrib := d.AllocF32("dpr.contrib", n)
+	next := d.AllocF32("dpr.next", n)
+	if prev != nil {
+		copy(rank.Data(), prev)
+	} else {
+		rank.Fill(1 / float32(n))
+	}
+	lc := opts.grid(d, n)
+	rounds := 0
+	for rounds < opts.Iterations {
+		var dangling float32
+		for v := 0; v < n; v++ {
+			if outDeg[v] == 0 {
+				dangling += rank.Data()[v]
+			}
+		}
+		base := (1-opts.Damping)/float32(n) + opts.Damping*dangling/float32(n)
+		stats, err := d.Launch(lc, prContribKernel(n, rank, contrib, dOutDeg))
+		if err != nil {
+			return nil, RepairInfo{}, fmt.Errorf("gpualgo: delta PageRank contrib iter %d: %w", rounds, err)
+		}
+		pstats, err := d.Launch(lc, dprPullKernel(rddg, contrib, next, base, opts))
+		if err != nil {
+			return nil, RepairInfo{}, fmt.Errorf("gpualgo: delta PageRank pull iter %d: %w", rounds, err)
+		}
+		stats.Add(pstats)
+		res.Stats.Add(stats)
+		res.Launches += 2
+		res.Iterations++
+		rounds++
+		var l1 float32
+		for v := 0; v < n; v++ {
+			diff := next.Data()[v] - rank.Data()[v]
+			if diff < 0 {
+				diff = -diff
+			}
+			l1 += diff
+		}
+		rank, next = next, rank
+		if l1 < opts.Tolerance {
+			break
+		}
+	}
+	res.Ranks = append([]float32(nil), rank.Data()...)
+	return res, RepairInfo{Rounds: rounds}, nil
+}
+
+// dprPullKernel computes next[v] = base + d * sum over live in-neighbors of
+// contrib[u], over the reverse overlay (masked reverse base, then reverse
+// extension). Deleted lanes contribute zero instead of diverging.
+func dprPullKernel(rddg *DeviceDeltaGraph, contrib, next *simt.BufF32, base float32, opts PageRankOptions) simt.Kernel {
+	return func(w *simt.WarpCtx) {
+		vwarp.ForEachStatic(w, opts.K, int32(rddg.NumVertices), func(ts *vwarp.Tasks) {
+			g := ts.Groups
+			start := make([]int32, g)
+			end := make([]int32, g)
+			extStart := make([]int32, g)
+			extEnd := make([]int32, g)
+			taskP1 := make([]int32, g)
+			ts.SISD(1, func(gi int) { taskP1[gi] = ts.Task[gi] + 1 })
+			ts.LoadI32Grouped(rddg.Base.RowPtr, ts.Task, start)
+			ts.LoadI32Grouped(rddg.Base.RowPtr, taskP1, end)
+			ts.LoadI32Grouped(rddg.ExtRowPtr, ts.Task, extStart)
+			ts.LoadI32Grouped(rddg.ExtRowPtr, taskP1, extEnd)
+			acc := w.VecF32()
+			w.Apply(1, func(lane int) { acc[lane] = 0 })
+			nbr := w.VecI32()
+			dm := w.VecI32()
+			c := w.VecF32()
+			ts.SIMDRange(start, end, func(j []int32) {
+				w.LoadI32(rddg.Base.Col, j, nbr)
+				w.LoadI32(rddg.Del, j, dm)
+				w.LoadF32(contrib, nbr, c)
+				w.Apply(1, func(lane int) {
+					if dm[lane] == 0 {
+						acc[lane] += c[lane]
+					}
+				})
+			})
+			ts.SIMDRange(extStart, extEnd, func(j []int32) {
+				w.LoadI32(rddg.ExtCol, j, nbr)
+				w.LoadF32(contrib, nbr, c)
+				w.Apply(1, func(lane int) { acc[lane] += c[lane] })
+			})
+			sums := make([]float32, g)
+			ts.ReduceAddF32(acc, sums)
+			vals := make([]float32, g)
+			ts.SISD(1, func(gi int) { vals[gi] = base + opts.Damping*sums[gi] })
+			ts.StoreF32Grouped(next, ts.Task, vals, nil)
+		})
+	}
+}

@@ -24,6 +24,10 @@ type PageRankOptions struct {
 	// Iterations of power iteration to run (default 20, as in GPU
 	// benchmarking practice: fixed-iteration comparison).
 	Iterations int
+	// Tolerance stops DeltaPageRank early when the L1 step delta falls
+	// below it (default 1e-6 there). PageRank ignores it: the full run
+	// keeps the fixed-iteration contract.
+	Tolerance float32
 }
 
 // PageRankRun is an open-loop power-iteration run: each Step performs one

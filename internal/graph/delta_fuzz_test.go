@@ -1,0 +1,185 @@
+package graph
+
+import (
+	"testing"
+)
+
+// FuzzDeltaApply drives a Delta with an arbitrary mutation stream (duplicate
+// inserts, self-loops, deletes of absent edges, interleaved insert/delete of
+// the same edge, occasional out-of-range vertices, interleaved Rebase calls)
+// and checks it against a trivial map-based reference model: the live edge
+// sets and weights must always agree, overlay invariants must hold
+// (Delta.Validate), and Compact must emit a CSR passing graph.Validate with
+// canonically sorted adjacency.
+func FuzzDeltaApply(f *testing.F) {
+	f.Add([]byte{0x01, 0x12, 0x81, 0x12, 0x23, 0x00})
+	f.Add([]byte{0x02, 0x34, 0x84, 0x21, 0xff, 0x40, 0x13})
+	f.Add([]byte{})
+	f.Add([]byte{0x81, 0x01, 0x01, 0x01, 0x81, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 6
+		base, err := FromEdgesSimple(n, []Edge{
+			{0, 1}, {0, 2}, {1, 3}, {2, 4}, {3, 0}, {4, 5}, {5, 1},
+		})
+		if err != nil {
+			t.Fatalf("FromEdgesSimple: %v", err)
+		}
+		baseW := []int32{3, 1, 4, 1, 5, 9, 2}
+		d, err := NewDelta(base, baseW)
+		if err != nil {
+			t.Fatalf("NewDelta: %v", err)
+		}
+
+		// Reference model: live edge -> weight.
+		type edge struct{ u, v VertexID }
+		model := map[edge]int32{}
+		for u := 0; u < n; u++ {
+			for p := base.RowPtr[u]; p < base.RowPtr[u+1]; p++ {
+				model[edge{VertexID(u), base.Col[p]}] = baseW[p]
+			}
+		}
+
+		check := func(when string) {
+			if err := d.Validate(); err != nil {
+				t.Fatalf("%s: Validate: %v", when, err)
+			}
+			if d.NumEdges() != len(model) {
+				t.Fatalf("%s: NumEdges = %d, model has %d", when, d.NumEdges(), len(model))
+			}
+			got := map[edge]int32{}
+			for v := 0; v < n; v++ {
+				d.OutNeighborsLive(VertexID(v), func(u VertexID, w int32) bool {
+					got[edge{VertexID(v), u}] = w
+					return true
+				})
+			}
+			if len(got) != len(model) {
+				t.Fatalf("%s: iterated %d edges, model has %d", when, len(got), len(model))
+			}
+			for e, w := range model {
+				if gw, ok := got[e]; !ok || gw != w {
+					t.Fatalf("%s: edge %v model weight %d, delta %d,%v", when, e, w, gw, ok)
+				}
+				if !d.HasEdge(e.u, e.v) {
+					t.Fatalf("%s: HasEdge(%d,%d) = false, model says live", when, e.u, e.v)
+				}
+			}
+			g, w, err := d.Compact()
+			if err != nil {
+				t.Fatalf("%s: Compact: %v", when, err)
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatalf("%s: compacted CSR invalid: %v", when, err)
+			}
+			if g.NumEdges() != len(model) || len(w) != len(model) {
+				t.Fatalf("%s: compacted %d edges / %d weights, model %d", when, g.NumEdges(), len(w), len(model))
+			}
+			for v := 0; v < n; v++ {
+				for p := g.RowPtr[v] + 1; p < g.RowPtr[v+1]; p++ {
+					if g.Col[p-1] >= g.Col[p] {
+						t.Fatalf("%s: compacted adjacency of %d not strictly sorted", when, v)
+					}
+				}
+				for p := g.RowPtr[v]; p < g.RowPtr[v+1]; p++ {
+					mw, ok := model[edge{VertexID(v), g.Col[p]}]
+					if !ok || mw != w[p] {
+						t.Fatalf("%s: compacted edge (%d,%d) weight %d, model %d,%v", when, v, g.Col[p], w[p], mw, ok)
+					}
+				}
+			}
+		}
+
+		// Decode the byte stream into batches of mutations. Each op byte:
+		// bit 7 = delete, low bits pick src/dst; a 0xF0-prefixed byte forces
+		// an out-of-range vertex (whole-batch rejection path); a batch closes
+		// every 4 ops; every third batch boundary also exercises Rebase.
+		var batch []EdgeMutation
+		var wantErr bool
+		batches := 0
+		epoch := d.Epoch()
+		flush := func() {
+			if len(batch) == 0 {
+				return
+			}
+			snapshot := append([]EdgeMutation(nil), batch...)
+			applied, stats, err := d.Apply(snapshot)
+			if wantErr {
+				if err == nil {
+					t.Fatalf("Apply with out-of-range vertex succeeded: %v", snapshot)
+				}
+				if d.Epoch() != epoch {
+					t.Fatalf("failed Apply bumped epoch %d -> %d", epoch, d.Epoch())
+				}
+			} else {
+				if err != nil {
+					t.Fatalf("Apply(%v): %v", snapshot, err)
+				}
+				epoch++
+				if d.Epoch() != epoch {
+					t.Fatalf("epoch = %d, want %d", d.Epoch(), epoch)
+				}
+				// Replay into the model and cross-check stats/applied.
+				effective := 0
+				for _, m := range snapshot {
+					if m.Src == m.Dst {
+						continue
+					}
+					e := edge{m.Src, m.Dst}
+					_, live := model[e]
+					if m.Del {
+						if live {
+							delete(model, e)
+							effective++
+						}
+					} else if !live {
+						w := m.Weight
+						if w == 0 {
+							w = 1
+						}
+						model[e] = w
+						effective++
+					}
+				}
+				if len(applied) != effective {
+					t.Fatalf("applied %d changes, model says %d: %v", len(applied), effective, snapshot)
+				}
+				if stats.Inserted+stats.Deleted != effective {
+					t.Fatalf("stats %+v, model says %d effective", stats, effective)
+				}
+			}
+			batch = batch[:0]
+			wantErr = false
+			batches++
+			check("after batch")
+			if batches%3 == 0 {
+				if err := d.Rebase(); err != nil {
+					t.Fatalf("Rebase: %v", err)
+				}
+				if d.Epoch() != epoch {
+					t.Fatalf("Rebase changed epoch to %d, want %d", d.Epoch(), epoch)
+				}
+				check("after rebase")
+			}
+		}
+		for i := 0; i+1 < len(data); i += 2 {
+			op, pick := data[i], data[i+1]
+			m := EdgeMutation{
+				Src:    VertexID(int(pick>>4) % n),
+				Dst:    VertexID(int(pick&0x0f) % n),
+				Weight: int32(op&0x3f) + 1,
+				Del:    op&0x80 != 0,
+			}
+			if op&0x7f == 0x70 { // rare: force an out-of-range vertex
+				m.Dst = VertexID(n + int(pick&0x0f))
+				wantErr = true
+			}
+			batch = append(batch, m)
+			if len(batch) == 4 {
+				flush()
+			}
+		}
+		flush()
+		check("final")
+	})
+}

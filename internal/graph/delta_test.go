@@ -1,0 +1,388 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// deltaTestBase builds a small fixed simple digraph:
+//
+//	0 -> 1, 2
+//	1 -> 2
+//	2 -> 0, 3
+//	3 -> (none)
+//	4 -> 0
+func deltaTestBase(t *testing.T) *CSR {
+	t.Helper()
+	g, err := FromEdgesSimple(5, []Edge{
+		{0, 1}, {0, 2}, {1, 2}, {2, 0}, {2, 3}, {4, 0},
+	})
+	if err != nil {
+		t.Fatalf("FromEdgesSimple: %v", err)
+	}
+	return g
+}
+
+func sameCSR(a, b *CSR) bool {
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for i := range a.RowPtr {
+		if a.RowPtr[i] != b.RowPtr[i] {
+			return false
+		}
+	}
+	for i := range a.Col {
+		if a.Col[i] != b.Col[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameWeights(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDeltaApplyBasics(t *testing.T) {
+	d, err := NewDelta(deltaTestBase(t), nil)
+	if err != nil {
+		t.Fatalf("NewDelta: %v", err)
+	}
+	if d.NumEdges() != 6 || d.Epoch() != 0 || d.PendingOps() != 0 {
+		t.Fatalf("fresh delta: edges=%d epoch=%d pending=%d", d.NumEdges(), d.Epoch(), d.PendingOps())
+	}
+
+	applied, stats, err := d.Apply([]EdgeMutation{
+		{Src: 3, Dst: 4},            // new insert
+		{Src: 0, Dst: 1},            // duplicate of base edge
+		{Src: 3, Dst: 4},            // duplicate of just-inserted edge
+		{Src: 2, Dst: 2},            // self-loop, dropped
+		{Src: 2, Dst: 3, Del: true}, // live base edge delete
+		{Src: 1, Dst: 3, Del: true}, // absent delete
+	})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	want := ApplyStats{Inserted: 1, Deleted: 1, DupInserts: 2, AbsentDeletes: 1, SelfLoops: 1}
+	if stats != want {
+		t.Fatalf("stats = %+v, want %+v", stats, want)
+	}
+	if len(applied) != 2 {
+		t.Fatalf("applied = %v, want 2 effective changes", applied)
+	}
+	if applied[0] != (AppliedMutation{Src: 3, Dst: 4, Weight: 1}) {
+		t.Errorf("applied[0] = %+v", applied[0])
+	}
+	if applied[1] != (AppliedMutation{Src: 2, Dst: 3, Weight: 1, Del: true}) {
+		t.Errorf("applied[1] = %+v", applied[1])
+	}
+	if d.Epoch() != 1 {
+		t.Errorf("epoch = %d, want 1", d.Epoch())
+	}
+	if d.NumEdges() != 6 { // +1 insert, -1 delete
+		t.Errorf("live edges = %d, want 6", d.NumEdges())
+	}
+	if !d.HasEdge(3, 4) || d.HasEdge(2, 3) || d.HasEdge(2, 2) {
+		t.Errorf("edge membership wrong after batch")
+	}
+	if got := d.LiveOutDegree(2); got != 1 {
+		t.Errorf("LiveOutDegree(2) = %d, want 1", got)
+	}
+	if got := d.LiveOutDegree(3); got != 1 {
+		t.Errorf("LiveOutDegree(3) = %d, want 1", got)
+	}
+	if w, ok := d.EdgeWeight(3, 4); !ok || w != 1 {
+		t.Errorf("EdgeWeight(3,4) = %d,%v", w, ok)
+	}
+	if _, ok := d.EdgeWeight(2, 3); ok {
+		t.Errorf("EdgeWeight(2,3) should be absent")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestDeltaUndeleteKeepsOverlaySmall(t *testing.T) {
+	d, err := NewDelta(deltaTestBase(t), nil)
+	if err != nil {
+		t.Fatalf("NewDelta: %v", err)
+	}
+	if _, _, err := d.Apply([]EdgeMutation{{Src: 0, Dst: 1, Del: true}}); err != nil {
+		t.Fatalf("Apply delete: %v", err)
+	}
+	if d.PendingOps() != 1 || d.HasEdge(0, 1) {
+		t.Fatalf("after delete: pending=%d has=%v", d.PendingOps(), d.HasEdge(0, 1))
+	}
+	// Re-inserting a deleted base edge must clear the mark, not grow ext.
+	if _, _, err := d.Apply([]EdgeMutation{{Src: 0, Dst: 1}}); err != nil {
+		t.Fatalf("Apply insert: %v", err)
+	}
+	if d.PendingOps() != 0 {
+		t.Fatalf("after undelete: pending = %d, want 0", d.PendingOps())
+	}
+	if !d.HasEdge(0, 1) || d.NumEdges() != 6 {
+		t.Fatalf("after undelete: has=%v edges=%d", d.HasEdge(0, 1), d.NumEdges())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestDeltaInsertThenDeleteExtEdge(t *testing.T) {
+	d, err := NewDelta(deltaTestBase(t), nil)
+	if err != nil {
+		t.Fatalf("NewDelta: %v", err)
+	}
+	if _, _, err := d.Apply([]EdgeMutation{{Src: 3, Dst: 0}, {Src: 3, Dst: 0, Del: true}}); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if d.PendingOps() != 0 || d.HasEdge(3, 0) {
+		t.Fatalf("insert-then-delete left pending=%d has=%v", d.PendingOps(), d.HasEdge(3, 0))
+	}
+	g, _, err := d.Compact()
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if !sameCSR(g, d.Base()) {
+		t.Fatalf("insert-then-delete is not an identity under Compact")
+	}
+}
+
+func TestDeltaApplyOutOfRangeAtomic(t *testing.T) {
+	d, err := NewDelta(deltaTestBase(t), nil)
+	if err != nil {
+		t.Fatalf("NewDelta: %v", err)
+	}
+	before, _, err := d.Compact()
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	// Valid first mutation, invalid second: nothing may be applied.
+	_, _, err = d.Apply([]EdgeMutation{{Src: 3, Dst: 0}, {Src: 1, Dst: 99}})
+	if err == nil {
+		t.Fatalf("Apply with out-of-range vertex succeeded")
+	}
+	if d.Epoch() != 0 || d.PendingOps() != 0 {
+		t.Fatalf("failed Apply mutated state: epoch=%d pending=%d", d.Epoch(), d.PendingOps())
+	}
+	after, _, err := d.Compact()
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if !sameCSR(before, after) {
+		t.Fatalf("failed Apply changed the live edge set")
+	}
+}
+
+func TestDeltaWeighted(t *testing.T) {
+	base := deltaTestBase(t)
+	weights := []int32{10, 20, 30, 40, 50, 60}
+	callerCopy := append([]int32(nil), weights...)
+	d, err := NewDelta(base, weights)
+	if err != nil {
+		t.Fatalf("NewDelta: %v", err)
+	}
+	if !d.Weighted() {
+		t.Fatalf("Weighted() = false")
+	}
+	if w, ok := d.EdgeWeight(0, 2); !ok || w != 20 {
+		t.Fatalf("EdgeWeight(0,2) = %d,%v want 20", w, ok)
+	}
+	applied, _, err := d.Apply([]EdgeMutation{
+		{Src: 3, Dst: 1, Weight: 7},
+		{Src: 0, Dst: 1, Del: true},
+	})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if applied[1].Weight != 10 {
+		t.Errorf("delete of (0,1) reported weight %d, want 10", applied[1].Weight)
+	}
+	if w, ok := d.EdgeWeight(3, 1); !ok || w != 7 {
+		t.Errorf("EdgeWeight(3,1) = %d,%v want 7", w, ok)
+	}
+	// Undelete with a new weight rewrites the slot — in the delta's copy,
+	// not the caller's slice.
+	if _, _, err := d.Apply([]EdgeMutation{{Src: 0, Dst: 1, Weight: 99}}); err != nil {
+		t.Fatalf("Apply undelete: %v", err)
+	}
+	if w, ok := d.EdgeWeight(0, 1); !ok || w != 99 {
+		t.Errorf("EdgeWeight(0,1) after undelete = %d,%v want 99", w, ok)
+	}
+	if !sameWeights(weights, callerCopy) {
+		t.Errorf("delta mutated the caller's weights slice: %v", weights)
+	}
+	g, gw, err := d.Compact()
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if g.NumEdges() != len(gw) {
+		t.Fatalf("compacted weights len %d, edges %d", len(gw), g.NumEdges())
+	}
+	// Compact must carry the rewritten and the inserted weights.
+	dc, err := NewDelta(g, gw)
+	if err != nil {
+		t.Fatalf("NewDelta(compacted): %v", err)
+	}
+	if w, _ := dc.EdgeWeight(0, 1); w != 99 {
+		t.Errorf("compacted weight(0,1) = %d, want 99", w)
+	}
+	if w, _ := dc.EdgeWeight(3, 1); w != 7 {
+		t.Errorf("compacted weight(3,1) = %d, want 7", w)
+	}
+}
+
+func TestDeltaCompactCanonical(t *testing.T) {
+	d, err := NewDelta(deltaTestBase(t), nil)
+	if err != nil {
+		t.Fatalf("NewDelta: %v", err)
+	}
+	if _, _, err := d.Apply([]EdgeMutation{
+		{Src: 3, Dst: 2}, {Src: 3, Dst: 0}, {Src: 0, Dst: 2, Del: true},
+	}); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	g, _, err := d.Compact()
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	// Oracle: rebuild from the live edge list via the canonical constructor.
+	var edges []Edge
+	for v := 0; v < d.NumVertices(); v++ {
+		d.OutNeighborsLive(VertexID(v), func(u VertexID, _ int32) bool {
+			edges = append(edges, Edge{Src: VertexID(v), Dst: u})
+			return true
+		})
+	}
+	oracle, err := FromEdgesSimple(d.NumVertices(), edges)
+	if err != nil {
+		t.Fatalf("FromEdgesSimple: %v", err)
+	}
+	if !sameCSR(g, oracle) {
+		t.Fatalf("Compact() != FromEdgesSimple(live edges)\n got %v %v\nwant %v %v", g.RowPtr, g.Col, oracle.RowPtr, oracle.Col)
+	}
+}
+
+func TestDeltaRebasePreservesGraphAndEpoch(t *testing.T) {
+	d, err := NewDelta(deltaTestBase(t), nil)
+	if err != nil {
+		t.Fatalf("NewDelta: %v", err)
+	}
+	if _, _, err := d.Apply([]EdgeMutation{
+		{Src: 3, Dst: 2}, {Src: 0, Dst: 1, Del: true}, {Src: 4, Dst: 3},
+	}); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	before, _, err := d.Compact()
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	epoch := d.Epoch()
+	if err := d.Rebase(); err != nil {
+		t.Fatalf("Rebase: %v", err)
+	}
+	if d.Epoch() != epoch {
+		t.Errorf("Rebase changed epoch %d -> %d", epoch, d.Epoch())
+	}
+	if d.Rebases() != 1 {
+		t.Errorf("Rebases() = %d, want 1", d.Rebases())
+	}
+	if d.PendingOps() != 0 {
+		t.Errorf("PendingOps after Rebase = %d", d.PendingOps())
+	}
+	after, _, err := d.Compact()
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if !sameCSR(before, after) {
+		t.Fatalf("Rebase changed the logical graph")
+	}
+	if !sameCSR(d.Base(), before) {
+		t.Fatalf("Rebase base != pre-rebase Compact")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("Validate after Rebase: %v", err)
+	}
+}
+
+func TestDeltaReverseViewAgrees(t *testing.T) {
+	d, err := NewDelta(deltaTestBase(t), nil)
+	if err != nil {
+		t.Fatalf("NewDelta: %v", err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	n := d.NumVertices()
+	for batch := 0; batch < 8; batch++ {
+		muts := make([]EdgeMutation, 0, 6)
+		for i := 0; i < 6; i++ {
+			muts = append(muts, EdgeMutation{
+				Src: VertexID(rng.Intn(n)),
+				Dst: VertexID(rng.Intn(n)),
+				Del: rng.Intn(2) == 0,
+			})
+		}
+		if _, _, err := d.Apply(muts); err != nil {
+			t.Fatalf("Apply: %v", err)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("Validate: %v", err)
+		}
+		// Forward and reverse live iteration must describe the same edge set.
+		type edge struct{ u, v VertexID }
+		fwd := map[edge]int32{}
+		rev := map[edge]int32{}
+		fwdCount, revCount := 0, 0
+		for v := 0; v < n; v++ {
+			d.OutNeighborsLive(VertexID(v), func(u VertexID, w int32) bool {
+				fwd[edge{VertexID(v), u}] = w
+				fwdCount++
+				return true
+			})
+			d.InNeighborsLive(VertexID(v), func(u VertexID, w int32) bool {
+				rev[edge{u, VertexID(v)}] = w
+				revCount++
+				return true
+			})
+		}
+		if fwdCount != d.NumEdges() || revCount != d.NumEdges() {
+			t.Fatalf("batch %d: fwd=%d rev=%d live=%d", batch, fwdCount, revCount, d.NumEdges())
+		}
+		for e, w := range fwd {
+			if rw, ok := rev[e]; !ok || rw != w {
+				t.Fatalf("batch %d: edge %v fwd weight %d rev %d,%v", batch, e, w, rw, ok)
+			}
+		}
+		// O(1) degrees must match iteration.
+		for v := 0; v < n; v++ {
+			cnt := int32(0)
+			d.OutNeighborsLive(VertexID(v), func(VertexID, int32) bool { cnt++; return true })
+			if got := d.LiveOutDegree(VertexID(v)); got != cnt {
+				t.Fatalf("batch %d: LiveOutDegree(%d) = %d, iterated %d", batch, v, got, cnt)
+			}
+		}
+	}
+}
+
+func TestDeltaEarlyStopIteration(t *testing.T) {
+	d, err := NewDelta(deltaTestBase(t), nil)
+	if err != nil {
+		t.Fatalf("NewDelta: %v", err)
+	}
+	if _, _, err := d.Apply([]EdgeMutation{{Src: 0, Dst: 3}, {Src: 0, Dst: 4}}); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	seen := 0
+	d.OutNeighborsLive(0, func(VertexID, int32) bool { seen++; return seen < 2 })
+	if seen != 2 {
+		t.Fatalf("early stop visited %d neighbors, want 2", seen)
+	}
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"container/list"
+	"strings"
 	"sync"
 )
 
@@ -65,6 +66,28 @@ func (c *resultCache) Put(key string, val cachedResult) {
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheItem).key)
 	}
+}
+
+// InvalidatePrefix drops every entry whose key starts with prefix and
+// returns how many were removed. Mutations call it with "name|": the epoch
+// in the key already makes stale results unaddressable, so this is purely
+// about reclaiming their LRU slots immediately instead of letting dead
+// entries crowd out live ones until they age off the back.
+func (c *resultCache) InvalidatePrefix(prefix string) int {
+	if c.cap <= 0 || prefix == "" {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for key, el := range c.items {
+		if strings.HasPrefix(key, prefix) {
+			c.ll.Remove(el)
+			delete(c.items, key)
+			n++
+		}
+	}
+	return n
 }
 
 // Len returns the current entry count.

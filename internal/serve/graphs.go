@@ -10,6 +10,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"strconv"
@@ -19,6 +20,11 @@ import (
 	"maxwarp/internal/gengraph"
 	"maxwarp/internal/graph"
 )
+
+// ErrUnknownGraph reports a reload or mutation against a name the registry
+// does not hold (the handler maps it to 404, unlike mutation-content errors
+// which are the client's fault and map to 400).
+var ErrUnknownGraph = errors.New("serve: unknown graph")
 
 // GraphSpec names one graph the server pre-loads at startup: either a
 // synthetic preset at a scale, or a DIMACS file.
@@ -155,6 +161,11 @@ type Registry struct {
 	specs  map[string]GraphSpec
 	byName map[string]*NamedGraph
 	order  []string
+	// deltas holds the streaming-mutation overlay per graph, created lazily
+	// on the first Mutate and discarded on Reload. The overlay accumulates
+	// batches; each batch is compacted into a fresh immutable NamedGraph so
+	// queries never see a half-applied state.
+	deltas map[string]*graph.Delta
 }
 
 // LoadGraphs builds every spec eagerly so a bad spec fails startup, not the
@@ -166,6 +177,7 @@ func LoadGraphs(specs []GraphSpec) (*Registry, error) {
 	r := &Registry{
 		specs:  make(map[string]GraphSpec, len(specs)),
 		byName: make(map[string]*NamedGraph, len(specs)),
+		deltas: make(map[string]*graph.Delta),
 	}
 	for _, spec := range specs {
 		if _, dup := r.specs[spec.Name]; dup {
@@ -206,7 +218,7 @@ func (r *Registry) Reload(name string) (*NamedGraph, error) {
 	old := r.byName[name]
 	r.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("serve: unknown graph %q", name)
+		return nil, fmt.Errorf("%w %q", ErrUnknownGraph, name)
 	}
 	ng, err := spec.build(old.Epoch + 1)
 	if err != nil {
@@ -214,6 +226,79 @@ func (r *Registry) Reload(name string) (*NamedGraph, error) {
 	}
 	r.mu.Lock()
 	r.byName[name] = ng
+	// The reloaded instance is a fresh graph; accumulated mutations do not
+	// carry over, so the next Mutate starts a new overlay from it.
+	delete(r.deltas, name)
 	r.mu.Unlock()
 	return ng, nil
+}
+
+// MutateResult reports one applied mutation batch: the new immutable graph
+// snapshot plus what the batch actually did to the overlay.
+type MutateResult struct {
+	// Graph is the fresh NamedGraph the registry now serves (epoch bumped).
+	Graph *NamedGraph
+	// Stats classifies the batch (effective inserts/deletes and no-ops).
+	Stats graph.ApplyStats
+	// Applied lists only the effective mutations, in batch order.
+	Applied []graph.AppliedMutation
+	// PendingOps is the overlay size after the batch (0 if it was rebased).
+	PendingOps int
+	// Rebased is true when the overlay exceeded the auto-compaction
+	// threshold and was folded back into a fresh frozen base.
+	Rebased bool
+	// DeltaEpoch counts applied batches since the overlay was created.
+	DeltaEpoch int64
+}
+
+// Mutate applies one batch of edge mutations to the named graph's overlay,
+// compacts it into a fresh immutable NamedGraph at the next epoch, and swaps
+// it in. Whole-batch validation happens first, so a bad mutation leaves both
+// the overlay and the served graph untouched. When the overlay's pending-op
+// count exceeds rebaseThreshold (>0), it is rebased onto the compacted
+// snapshot so per-vertex extension lists stay short under sustained streams.
+//
+// In-flight queries keep the snapshot they resolved; the caller is
+// responsible for dropping that graph's result-cache entries.
+func (r *Registry) Mutate(name string, batch []graph.EdgeMutation, rebaseThreshold int) (*MutateResult, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old, ok := r.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownGraph, name)
+	}
+	dl, ok := r.deltas[name]
+	if !ok {
+		var err error
+		dl, err = graph.NewDelta(old.G, old.Weights)
+		if err != nil {
+			return nil, fmt.Errorf("serve: graph %q: %w", name, err)
+		}
+		r.deltas[name] = dl
+	}
+	applied, stats, err := dl.Apply(batch)
+	if err != nil {
+		return nil, fmt.Errorf("serve: graph %q: %w", name, err)
+	}
+	g, w, err := dl.Compact()
+	if err != nil {
+		return nil, fmt.Errorf("serve: graph %q: %w", name, err)
+	}
+	rebased := false
+	if rebaseThreshold > 0 && dl.PendingOps() > rebaseThreshold {
+		if err := dl.Rebase(); err != nil {
+			return nil, fmt.Errorf("serve: graph %q: %w", name, err)
+		}
+		rebased = true
+	}
+	ng := &NamedGraph{Name: name, Epoch: old.Epoch + 1, G: g, Weights: w}
+	r.byName[name] = ng
+	return &MutateResult{
+		Graph:      ng,
+		Stats:      stats,
+		Applied:    applied,
+		PendingOps: dl.PendingOps(),
+		Rebased:    rebased,
+		DeltaEpoch: dl.Epoch(),
+	}, nil
 }

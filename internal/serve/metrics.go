@@ -26,6 +26,12 @@ type serverMetrics struct {
 	faults *obs.HostCounterVec
 	// cacheHits / cacheMisses drive the cache hit-rate gauge.
 	cacheHits, cacheMisses *obs.HostCounter
+	// mutations counts applied streaming-mutation batches by graph.
+	mutations *obs.HostCounterVec
+	// mutatedEdges totals effective edge inserts and deletes applied.
+	mutatedEdges *obs.HostCounter
+	// cacheInvalidated totals result-cache entries dropped by mutations.
+	cacheInvalidated *obs.HostCounter
 	// breakerTransitions counts breaker state changes by device and target
 	// state.
 	breakerTransitions *obs.HostCounterVec
@@ -54,6 +60,10 @@ func newServerMetrics(s *Server) *serverMetrics {
 
 		cacheHits:   reg.Counter("maxwarp_serve_cache_hits_total", "result-cache hits"),
 		cacheMisses: reg.Counter("maxwarp_serve_cache_misses_total", "result-cache misses"),
+
+		mutations:        reg.CounterVec("maxwarp_serve_mutations_total", "applied streaming-mutation batches by graph", "graph"),
+		mutatedEdges:     reg.Counter("maxwarp_serve_mutated_edges_total", "effective edge inserts and deletes applied"),
+		cacheInvalidated: reg.Counter("maxwarp_serve_cache_invalidated_total", "result-cache entries dropped by graph mutations"),
 
 		breakerTransitions: reg.CounterVec("maxwarp_serve_breaker_transitions_total", "circuit-breaker state changes", "device", "to"),
 		breakerState:       reg.GaugeVec("maxwarp_serve_breaker_state", "per-device breaker state: 0 closed, 1 half-open, 2 open", "device"),

@@ -1,0 +1,394 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"maxwarp/internal/cpualgo"
+	"maxwarp/internal/graph"
+)
+
+func postMutate(t *testing.T, url, name string, ms []MutationSpec) (*http.Response, *MutateResponse) {
+	t.Helper()
+	body, _ := json.Marshal(MutateRequest{Mutations: ms})
+	resp, err := http.Post(url+"/v1/graphs/"+name+"/mutate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		_ = json.NewDecoder(resp.Body).Decode(&eb)
+		t.Logf("mutate %s -> %d (%s)", name, resp.StatusCode, eb.Error)
+		return resp, nil
+	}
+	var mr MutateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		t.Fatal(err)
+	}
+	return resp, &mr
+}
+
+func csrHasEdge(g *graph.CSR, u, v int32) bool {
+	for p := g.RowPtr[u]; p < g.RowPtr[u+1]; p++ {
+		if g.Col[p] == v {
+			return true
+		}
+	}
+	return false
+}
+
+// freshMutations finds count absent non-loop edges to insert.
+func freshMutations(t *testing.T, g *graph.CSR, count int) []MutationSpec {
+	t.Helper()
+	n := int32(g.NumVertices())
+	var out []MutationSpec
+	for u := int32(0); u < n && len(out) < count; u++ {
+		for v := int32(0); v < n && len(out) < count; v++ {
+			if u != v && !csrHasEdge(g, u, v) {
+				out = append(out, MutationSpec{Src: u, Dst: v, Weight: 3})
+			}
+		}
+	}
+	if len(out) < count {
+		t.Fatalf("graph too dense to find %d fresh edges", count)
+	}
+	return out
+}
+
+// waitForCacheLen polls until the result cache reaches want entries (worker
+// goroutines publish the reply before the cache Put lands).
+func waitForCacheLen(t *testing.T, s *Server, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.cache.Len() != want && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := s.cache.Len(); got != want {
+		t.Fatalf("cache length %d, want %d", got, want)
+	}
+}
+
+func TestMutateBumpsEpochAndServesNewSnapshot(t *testing.T) {
+	cfg := testConfig()
+	cfg.MutateRebaseThreshold = 2
+	s, ts := startTestServer(t, cfg)
+	ng0, _ := s.graphs.Get("wiki")
+	edges0 := ng0.G.NumEdges()
+
+	ins := freshMutations(t, ng0.G, 3)
+	resp, mr := postMutate(t, ts.URL, "wiki", ins)
+	if mr == nil {
+		t.Fatalf("mutate: %d", resp.StatusCode)
+	}
+	if mr.Epoch != ng0.Epoch+1 || mr.Inserted != 3 || mr.Edges != edges0+3 {
+		t.Fatalf("insert batch: %+v, want epoch %d, 3 inserted, %d edges", mr, ng0.Epoch+1, edges0+3)
+	}
+	if !mr.Rebased || mr.PendingOps != 0 {
+		t.Fatalf("3 pending ops over threshold 2 must auto-rebase: %+v", mr)
+	}
+
+	ng1, _ := s.graphs.Get("wiki")
+	if ng1.Epoch != ng0.Epoch+1 {
+		t.Fatalf("registry epoch %d, want %d", ng1.Epoch, ng0.Epoch+1)
+	}
+	for _, m := range ins {
+		if !csrHasEdge(ng1.G, m.Src, m.Dst) {
+			t.Fatalf("inserted edge %d->%d missing from the new snapshot", m.Src, m.Dst)
+		}
+	}
+	if err := ng1.G.Validate(); err != nil {
+		t.Fatalf("mutated snapshot invalid: %v", err)
+	}
+
+	// Queries run on the new snapshot and agree with the CPU oracle on it.
+	_, qr := postQuery(t, ts.URL, QueryRequest{Algo: "bfs", Graph: "wiki", Full: true, NoCache: true})
+	if qr == nil || qr.Epoch != ng1.Epoch {
+		t.Fatalf("post-mutate query: %+v, want epoch %d", qr, ng1.Epoch)
+	}
+	want := cpualgo.BFSSequential(ng1.G, ng1.DefaultSource())
+	for v := range want {
+		if qr.Result.Levels[v] != want[v] {
+			t.Fatalf("vertex %d: level %d, oracle %d", v, qr.Result.Levels[v], want[v])
+		}
+	}
+
+	// Deleting the inserted edges restores the original edge count.
+	dels := make([]MutationSpec, len(ins))
+	for i, m := range ins {
+		dels[i] = MutationSpec{Src: m.Src, Dst: m.Dst, Del: true}
+	}
+	_, mr = postMutate(t, ts.URL, "wiki", dels)
+	if mr == nil || mr.Deleted != 3 || mr.Edges != edges0 || mr.Epoch != ng0.Epoch+2 {
+		t.Fatalf("delete batch: %+v, want 3 deleted, %d edges, epoch %d", mr, edges0, ng0.Epoch+2)
+	}
+
+	// No-op batches still bump the epoch but classify every mutation.
+	u, v := ins[0].Src, ins[0].Dst // deleted above, so absent now
+	var existing MutationSpec
+	for src := int32(0); src < int32(ng0.G.NumVertices()); src++ {
+		if ng0.G.RowPtr[src+1] > ng0.G.RowPtr[src] {
+			existing = MutationSpec{Src: src, Dst: ng0.G.Col[ng0.G.RowPtr[src]]}
+			break
+		}
+	}
+	_, mr = postMutate(t, ts.URL, "wiki", []MutationSpec{
+		existing,                    // duplicate insert
+		{Src: u, Dst: v, Del: true}, // delete of an absent edge
+		{Src: u, Dst: u},            // self-loop
+	})
+	if mr == nil || mr.Inserted != 0 || mr.Deleted != 0 ||
+		mr.DupInserts != 1 || mr.AbsentDeletes != 1 || mr.SelfLoops != 1 {
+		t.Fatalf("no-op batch misclassified: %+v", mr)
+	}
+	if mr.Epoch != ng0.Epoch+3 || mr.Edges != edges0 {
+		t.Fatalf("no-op batch: epoch %d edges %d, want %d/%d", mr.Epoch, mr.Edges, ng0.Epoch+3, edges0)
+	}
+}
+
+func TestMutateInvalidatesOnlyMutatedGraphCacheEntries(t *testing.T) {
+	cfg := testConfig()
+	cfg.Graphs = append(cfg.Graphs, GraphSpec{Name: "wiki2", Preset: "WikiTalk-like", Scale: 6, Seed: 5})
+	s, ts := startTestServer(t, cfg)
+
+	for _, name := range []string{"wiki", "wiki2"} {
+		q := QueryRequest{Algo: "bfs", Graph: name}
+		postQuery(t, ts.URL, q)
+	}
+	waitForCacheLen(t, s, 2)
+
+	ng, _ := s.graphs.Get("wiki")
+	_, mr := postMutate(t, ts.URL, "wiki", freshMutations(t, ng.G, 1))
+	if mr == nil || mr.CacheInvalidated != 1 {
+		t.Fatalf("mutate should drop exactly wiki's cache entry: %+v", mr)
+	}
+	waitForCacheLen(t, s, 1)
+
+	// The untouched graph's entry survives and still serves from cache.
+	_, qr := postQuery(t, ts.URL, QueryRequest{Algo: "bfs", Graph: "wiki2"})
+	if qr == nil || !qr.Cached || qr.Engine != "cache" {
+		t.Fatalf("wiki2 entry should have survived the wiki mutation: %+v", qr)
+	}
+	// The mutated graph recomputes at the new epoch.
+	_, qr = postQuery(t, ts.URL, QueryRequest{Algo: "bfs", Graph: "wiki"})
+	if qr == nil || qr.Cached || qr.Epoch != mr.Epoch {
+		t.Fatalf("wiki must recompute at epoch %d: %+v", mr.Epoch, qr)
+	}
+}
+
+func TestMutateValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.MutateMaxBatch = 2
+	s, ts := startTestServer(t, cfg)
+	ng0, _ := s.graphs.Get("wiki")
+
+	cases := []struct {
+		name  string
+		graph string
+		ms    []MutationSpec
+		want  int
+	}{
+		{"unknown graph", "missing", []MutationSpec{{Src: 0, Dst: 1}}, http.StatusNotFound},
+		{"empty batch", "wiki", nil, http.StatusBadRequest},
+		{"out of range", "wiki", []MutationSpec{{Src: 0, Dst: 1 << 20}}, http.StatusBadRequest},
+		{"negative vertex", "wiki", []MutationSpec{{Src: -1, Dst: 0}}, http.StatusBadRequest},
+		{"over batch limit", "wiki", []MutationSpec{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, _ := postMutate(t, ts.URL, c.graph, c.ms)
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status %d, want %d", c.name, resp.StatusCode, c.want)
+		}
+	}
+	// Rejected batches are atomic: nothing changed, no epoch bump.
+	ng, _ := s.graphs.Get("wiki")
+	if ng.Epoch != ng0.Epoch || ng.G.NumEdges() != ng0.G.NumEdges() {
+		t.Fatalf("rejected mutations leaked: epoch %d->%d, edges %d->%d",
+			ng0.Epoch, ng.Epoch, ng0.G.NumEdges(), ng.G.NumEdges())
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/graphs/wiki/mutate", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON body: %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestConcurrentMutateAndQueryContract hammers queries and mutations in
+// parallel (run under -race): every response must be 200 or 429 while the
+// server is live, the only 5xx is 503/draining after shutdown starts, and
+// the final snapshot is a valid CSR whose epoch counts the applied batches.
+func TestConcurrentMutateAndQueryContract(t *testing.T) {
+	cfg := testConfig()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	ng0, _ := s.graphs.Get("wiki")
+	n := int32(ng0.G.NumVertices())
+
+	type outcome struct {
+		kind string
+		code int
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		results []outcome
+	)
+	record := func(kind string, code int) {
+		mu.Lock()
+		results = append(results, outcome{kind, code})
+		mu.Unlock()
+	}
+
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			algos := []string{"bfs", "cc", "sssp"}
+			for i := 0; i < 5; i++ {
+				body, _ := json.Marshal(QueryRequest{Algo: algos[rng.Intn(len(algos))], Graph: "wiki"})
+				resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				record("query", resp.StatusCode)
+			}
+		}(int64(w + 1))
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(100 + seed))
+			for i := 0; i < 4; i++ {
+				ms := make([]MutationSpec, 5)
+				for j := range ms {
+					ms[j] = MutationSpec{
+						Src: rng.Int31n(n), Dst: rng.Int31n(n),
+						Weight: 1 + rng.Int31n(8), Del: rng.Intn(2) == 0,
+					}
+				}
+				body, _ := json.Marshal(MutateRequest{Mutations: ms})
+				resp, err := http.Post(ts.URL+"/v1/graphs/wiki/mutate", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				record("mutate", resp.StatusCode)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+
+	mutated := 0
+	for _, r := range results {
+		switch r.code {
+		case http.StatusOK:
+			if r.kind == "mutate" {
+				mutated++
+			}
+		case http.StatusTooManyRequests:
+			// Shed under load: allowed for queries. In-range mutations never
+			// shed — they bypass the admission queue.
+			if r.kind == "mutate" {
+				t.Errorf("mutate shed with 429")
+			}
+		default:
+			t.Errorf("%s answered %d; want only 200 or 429 while live", r.kind, r.code)
+		}
+	}
+	if mutated != 8 {
+		t.Fatalf("%d mutation batches succeeded, want all 8", mutated)
+	}
+
+	ng, _ := s.graphs.Get("wiki")
+	if err := ng.G.Validate(); err != nil {
+		t.Fatalf("final snapshot invalid after concurrent mutations: %v", err)
+	}
+	if ng.Epoch != ng0.Epoch+int64(mutated) {
+		t.Fatalf("epoch %d, want %d (one bump per applied batch)", ng.Epoch, ng0.Epoch+int64(mutated))
+	}
+
+	// Draining: mutate and query both refuse with 503/draining — the only
+	// 5xx the service ever emits.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	for _, post := range []struct {
+		kind, path string
+		body       any
+	}{
+		{"query", "/v1/query", QueryRequest{Algo: "bfs", Graph: "wiki"}},
+		{"mutate", "/v1/graphs/wiki/mutate", MutateRequest{Mutations: []MutationSpec{{Src: 0, Dst: 1}}}},
+	} {
+		body, _ := json.Marshal(post.body)
+		resp, err := http.Post(ts.URL+post.path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%s during drain: %d, want 503", post.kind, resp.StatusCode)
+		}
+		if got := resp.Header.Get("X-Maxwarp-Reason"); got != ReasonDraining {
+			t.Fatalf("%s drain reason %q, want %q", post.kind, got, ReasonDraining)
+		}
+	}
+}
+
+func TestResultCacheInvalidatePrefix(t *testing.T) {
+	c := newResultCache(8)
+	p := &ResultPayload{Reached: 1}
+	for _, k := range []string{"a|1|bfs", "a|1|cc", "ab|1|bfs", "b|1|bfs"} {
+		c.Put(k, cachedResult{payload: p, engine: "gpu"})
+	}
+	// "a|" must not catch "ab|..." — the separator is part of the prefix.
+	if n := c.InvalidatePrefix("a|"); n != 2 {
+		t.Fatalf("InvalidatePrefix(a|) removed %d, want 2", n)
+	}
+	if _, ok := c.Get("ab|1|bfs"); !ok {
+		t.Fatal("ab| entry must survive invalidating a|")
+	}
+	if _, ok := c.Get("b|1|bfs"); !ok {
+		t.Fatal("b| entry must survive invalidating a|")
+	}
+	if _, ok := c.Get("a|1|bfs"); ok {
+		t.Fatal("a| entry survived invalidation")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("cache length %d, want 2", c.Len())
+	}
+	// LRU list and map stay consistent after removal: fill and evict.
+	for _, k := range []string{"c", "d", "e", "f", "g", "h", "i", "j"} {
+		c.Put(k, cachedResult{payload: p})
+	}
+	if c.Len() != 8 {
+		t.Fatalf("cache length %d after refill, want cap 8", c.Len())
+	}
+	if n := c.InvalidatePrefix(""); n != 0 {
+		t.Fatalf("empty prefix must invalidate nothing, removed %d", n)
+	}
+}

@@ -59,6 +59,15 @@ type Config struct {
 	// one (default 32, the paper's sweet spot for skewed graphs).
 	DefaultK int
 
+	// MutateMaxBatch bounds one POST /v1/graphs/{name}/mutate batch
+	// (default 4096; negative removes the bound).
+	MutateMaxBatch int
+	// MutateRebaseThreshold is the streaming-mutation auto-compaction
+	// trigger: once a graph's overlay holds more pending operations, it is
+	// rebased onto the compacted snapshot (default 1024; negative disables
+	// auto-rebase).
+	MutateRebaseThreshold int
+
 	// Quota is the per-tenant admission quota table (zero Default.RatePerSec
 	// = unlimited).
 	Quota QuotaConfig
@@ -112,6 +121,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 256
+	}
+	if c.MutateMaxBatch == 0 {
+		c.MutateMaxBatch = 4096
+	}
+	if c.MutateRebaseThreshold == 0 {
+		c.MutateRebaseThreshold = 1024
 	}
 	if c.BreakerThreshold == 0 {
 		c.BreakerThreshold = 3
@@ -386,18 +401,57 @@ type ResultPayload struct {
 	Ranks  []float32 `json:"ranks,omitempty"`
 }
 
+// MutationSpec is one edge insert or delete in a mutate request. Weight is
+// used by inserts only (0 means weight 1); Del selects deletion.
+type MutationSpec struct {
+	Src    int32 `json:"src"`
+	Dst    int32 `json:"dst"`
+	Weight int32 `json:"weight,omitempty"`
+	Del    bool  `json:"del,omitempty"`
+}
+
+// MutateRequest is the POST /v1/graphs/{name}/mutate body.
+type MutateRequest struct {
+	Mutations []MutationSpec `json:"mutations"`
+}
+
+// MutateResponse is the mutate 200 body: the new epoch plus what the batch
+// did. Duplicate inserts, deletes of absent edges, and self-loops are
+// counted no-ops, not errors (simple-graph semantics); an out-of-range
+// endpoint rejects the whole batch with 400 and changes nothing.
+type MutateResponse struct {
+	Graph    string `json:"graph"`
+	Epoch    int64  `json:"epoch"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+
+	Inserted      int `json:"inserted"`
+	Deleted       int `json:"deleted"`
+	DupInserts    int `json:"dup_inserts,omitempty"`
+	AbsentDeletes int `json:"absent_deletes,omitempty"`
+	SelfLoops     int `json:"self_loops,omitempty"`
+
+	// PendingOps is the overlay size after this batch; Rebased reports that
+	// the auto-compaction threshold folded it back into a fresh base.
+	PendingOps int  `json:"pending_ops"`
+	Rebased    bool `json:"rebased,omitempty"`
+	// CacheInvalidated counts the result-cache entries this mutation dropped.
+	CacheInvalidated int `json:"cache_invalidated"`
+}
+
 // Handler returns the server's HTTP mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/graphs", s.handleGraphs)
 	mux.HandleFunc("POST /v1/graphs/{name}/reload", s.handleReload)
+	mux.HandleFunc("POST /v1/graphs/{name}/mutate", s.handleMutate)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/trace", s.handleTrace)
 	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprint(w, "maxwarp serve: POST /v1/query, GET /v1/graphs, /healthz, /readyz, /metrics, /debug/trace\n")
+		fmt.Fprint(w, "maxwarp serve: POST /v1/query, POST /v1/graphs/{name}/mutate, GET /v1/graphs, /healthz, /readyz, /metrics, /debug/trace\n")
 	})
 	return mux
 }
@@ -620,6 +674,71 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	}
 	s.cfg.Logf("serve: reloaded graph %q (epoch %d, |V|=%d, |E|=%d)", name, ng.Epoch, ng.G.NumVertices(), ng.G.NumEdges())
 	writeJSON(w, http.StatusOK, map[string]any{"name": ng.Name, "epoch": ng.Epoch})
+}
+
+// handleMutate applies one batch of streaming edge mutations to a named
+// graph: the batch lands in the graph's overlay, the overlay is compacted
+// into a fresh immutable snapshot at the next epoch, and exactly that
+// graph's result-cache entries are dropped. Mutations respect the drain
+// gate (503/draining is the only 5xx) but bypass the admission queue — they
+// touch no device, only the registry lock.
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var mq MutateRequest
+	if err := json.NewDecoder(r.Body).Decode(&mq); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if !s.started.Load() || !s.gate.Enter() {
+		s.shed(w, "mutate", http.StatusServiceUnavailable, ReasonDraining, 1, "server is draining")
+		return
+	}
+	defer s.gate.Leave()
+	if len(mq.Mutations) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "mutate: empty mutation batch"})
+		return
+	}
+	if s.cfg.MutateMaxBatch > 0 && len(mq.Mutations) > s.cfg.MutateMaxBatch {
+		writeJSON(w, http.StatusBadRequest, errorBody{
+			Error: fmt.Sprintf("mutate: batch of %d exceeds limit %d", len(mq.Mutations), s.cfg.MutateMaxBatch),
+		})
+		return
+	}
+	batch := make([]graph.EdgeMutation, len(mq.Mutations))
+	for i, m := range mq.Mutations {
+		batch[i] = graph.EdgeMutation{Src: m.Src, Dst: m.Dst, Weight: m.Weight, Del: m.Del}
+	}
+	res, err := s.graphs.Mutate(name, batch, s.cfg.MutateRebaseThreshold)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrUnknownGraph) {
+			status = http.StatusNotFound
+		}
+		writeJSON(w, status, errorBody{Error: err.Error()})
+		return
+	}
+	invalidated := s.cache.InvalidatePrefix(name + "|")
+	s.met.mutations.With(name).Inc()
+	s.met.mutatedEdges.Add(int64(res.Stats.Inserted + res.Stats.Deleted))
+	s.met.cacheInvalidated.Add(int64(invalidated))
+	s.cfg.Logf("serve: mutated graph %q: +%d/-%d edges (epoch %d, |E|=%d, pending %d, rebased=%v, %d cache entries dropped)",
+		name, res.Stats.Inserted, res.Stats.Deleted, res.Graph.Epoch, res.Graph.G.NumEdges(), res.PendingOps, res.Rebased, invalidated)
+	writeJSON(w, http.StatusOK, MutateResponse{
+		Graph:    name,
+		Epoch:    res.Graph.Epoch,
+		Vertices: res.Graph.G.NumVertices(),
+		Edges:    res.Graph.G.NumEdges(),
+
+		Inserted:      res.Stats.Inserted,
+		Deleted:       res.Stats.Deleted,
+		DupInserts:    res.Stats.DupInserts,
+		AbsentDeletes: res.Stats.AbsentDeletes,
+		SelfLoops:     res.Stats.SelfLoops,
+
+		PendingOps:       res.PendingOps,
+		Rebased:          res.Rebased,
+		CacheInvalidated: invalidated,
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

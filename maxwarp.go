@@ -201,6 +201,76 @@ const (
 	DirPull = gpualgo.DirPull
 )
 
+// Dynamic graphs: batched streaming edge mutations over a frozen CSR, with
+// incremental repair algorithms that fix up a previous result instead of
+// recomputing from scratch (see DESIGN.md §Dynamic graphs).
+type (
+	// GraphDelta is a mutation overlay over a frozen base CSR: batched edge
+	// inserts/deletes with simple-graph semantics, compaction into a fresh
+	// CSR, and rebase for sustained streams.
+	GraphDelta = graph.Delta
+	// EdgeMutation is one edge insert or delete in a mutation batch.
+	EdgeMutation = graph.EdgeMutation
+	// AppliedMutation is one effective mutation as reported by
+	// GraphDelta.Apply (no-ops filtered out).
+	AppliedMutation = graph.AppliedMutation
+	// MutationStats classifies a batch: effective inserts/deletes plus
+	// counted no-ops (duplicates, absent deletes, self-loops).
+	MutationStats = graph.ApplyStats
+	// DeviceDeltaGraph is a GraphDelta resident in device memory (base CSR
+	// + deletion mask + extension adjacency).
+	DeviceDeltaGraph = gpualgo.DeviceDeltaGraph
+	// RepairInfo reports incremental-repair work: invalidated vertices,
+	// seed frontier size, and device rounds.
+	RepairInfo = gpualgo.RepairInfo
+)
+
+// NewGraphDelta starts a mutation overlay over base; weights (aligned with
+// base.Col) make the delta weighted for incremental SSSP, nil is unweighted.
+func NewGraphDelta(base *Graph, weights []int32) (*GraphDelta, error) {
+	return graph.NewDelta(base, weights)
+}
+
+// UploadDelta copies the forward (out-neighbor) view of dl into device
+// memory; re-upload after further Apply calls.
+func UploadDelta(d *Device, dl *GraphDelta) (*DeviceDeltaGraph, error) {
+	return gpualgo.UploadDelta(d, dl)
+}
+
+// UploadDeltaReverse copies the reverse (in-neighbor) view of dl into device
+// memory for pull-style kernels (DeltaPageRank).
+func UploadDeltaReverse(d *Device, dl *GraphDelta) (*DeviceDeltaGraph, error) {
+	return gpualgo.UploadDeltaReverse(d, dl)
+}
+
+// IncrementalBFS repairs prevLevels after the applied mutation batch instead
+// of recomputing: stale vertices are invalidated host-side, then a device
+// frontier re-relaxes outward from the changed region. The result is
+// bit-identical to a full recompute on the compacted graph. ddg may be nil
+// (uploaded on demand).
+func IncrementalBFS(d *Device, dl *GraphDelta, ddg *DeviceDeltaGraph, src VertexID, prevLevels []int32, applied []AppliedMutation, opts Options) (*BFSResult, RepairInfo, error) {
+	return gpualgo.IncrementalBFS(d, dl, ddg, src, prevLevels, applied, opts)
+}
+
+// IncrementalSSSP repairs prevDist after the applied batch (requires a
+// weighted delta); bit-identical to a full recompute on the compacted graph.
+func IncrementalSSSP(d *Device, dl *GraphDelta, ddg *DeviceDeltaGraph, src VertexID, prevDist []int32, applied []AppliedMutation, opts Options) (*SSSPResult, RepairInfo, error) {
+	return gpualgo.IncrementalSSSP(d, dl, ddg, src, prevDist, applied, opts)
+}
+
+// IncrementalCC repairs prevLabels after the applied batch. The delta must
+// be symmetric (mutations applied in both directions) for weak components.
+func IncrementalCC(d *Device, dl *GraphDelta, ddg *DeviceDeltaGraph, prevLabels []int32, applied []AppliedMutation, opts Options) (*CCResult, RepairInfo, error) {
+	return gpualgo.IncrementalCC(d, dl, ddg, prevLabels, applied, opts)
+}
+
+// DeltaPageRank re-runs power iteration over the delta overlay, warm-started
+// from prev ranks (nil = cold start), stopping at opts.Tolerance; rddg is
+// the reverse view from UploadDeltaReverse (nil = uploaded on demand).
+func DeltaPageRank(d *Device, dl *GraphDelta, rddg *DeviceDeltaGraph, prev []float32, opts PageRankOptions) (*PageRankResult, RepairInfo, error) {
+	return gpualgo.DeltaPageRank(d, dl, rddg, prev, opts)
+}
+
 // Generator types.
 type (
 	// RMATParams are recursive-matrix quadrant probabilities.
