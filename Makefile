@@ -18,16 +18,30 @@ short:
 vet:
 	$(GO) vet ./...
 
-# Static kernel-discipline lint: the kernelcheck analyzers flag
-# nondeterminism inside kernels (math/rand, time, go statements, map
-# ranges), barriers under divergent control flow, Data() host-view aliasing
-# in device code, and loop-variable-capturing kernel closures that escape.
+# Static kernel-discipline lint, two passes plus the prediction gate:
+#   1. The syntactic kernelcheck analyzers over every package — they flag
+#      nondeterminism inside kernels (math/rand, time, go statements, map
+#      ranges), Data() host-view aliasing in device code, and
+#      loop-variable-capturing kernel closures that escape.
+#   2. The CFG/dataflow warp analyzers (divergence, coalesce, atomicserial,
+#      barrier) over the kernel packages, gated by the committed
+#      lint_baseline.txt: known findings are tolerated, any NEW unsuppressed
+#      finding fails the build. After an intentional kernel change,
+#      regenerate with
+#        go run ./cmd/kernelcheck -warp -baseline lint_baseline.txt \
+#          -write-baseline ./internal/gpualgo ./internal/vwarp
+#   3. TestWarplintPredictions — every kernel's committed static verdict
+#      (testdata/warplint_expectations.json) must match what the analyzers
+#      say today AND correlate with the simulator's measured counters.
+#      Regenerate with -update-warplint after an intentional change.
 # Shipped as a standalone driver rather than a `go vet -vettool` plugin
 # because the build environment is offline (no golang.org/x/tools); the
 # analyzers mirror the go/analysis shape, so a vettool port is mechanical.
 # Suppress a deliberate finding with `//kernelcheck:ignore <rule>`.
 lint:
 	$(GO) run ./cmd/kernelcheck ./...
+	$(GO) run ./cmd/kernelcheck -warp -baseline lint_baseline.txt ./internal/gpualgo ./internal/vwarp
+	$(GO) test ./internal/gpualgo -run TestWarplintPredictions -count=1
 
 # Dynamic kernel sanitizer sweep: every kernel on a small skewed workload
 # under racecheck/memcheck/synccheck; exits non-zero on any error-severity

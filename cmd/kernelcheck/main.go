@@ -6,14 +6,25 @@
 //
 // Usage:
 //
-//	kernelcheck [./... | dir | file.go]...
+//	kernelcheck [-warp] [-baseline FILE [-write-baseline]] [./... | dir | file.go]...
 //
 // With no arguments it checks ./... . Findings print as
 // file:line:col: message [rule] and the exit status is 1 when any survive
 // //kernelcheck:ignore suppression.
+//
+// -warp adds the advisory warp-efficiency analyzers (divergence, coalesce,
+// atomicserial — see internal/kernelcheck/warp.go). Because every
+// interesting graph kernel legitimately diverges somewhere, those findings
+// are gated on a committed baseline rather than failing outright: with
+// -baseline FILE, a warp finding only fails the run when its
+// (file, rule) count exceeds the recorded count — i.e. a NEW unsuppressed
+// finding. -write-baseline regenerates FILE from the current findings
+// (review the diff like any other committed artifact). Discipline findings
+// (nondeterm, barrier, bufalias, loopcapture) always fail.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"go/parser"
 	"go/token"
@@ -27,16 +38,26 @@ import (
 )
 
 func main() {
-	args := os.Args[1:]
+	warp := flag.Bool("warp", false, "also run the advisory warp-efficiency analyzers (divergence, coalesce, atomicserial)")
+	baselinePath := flag.String("baseline", "", "warp-findings baseline file: only counts above the baseline fail the run")
+	writeBaseline := flag.Bool("write-baseline", false, "regenerate -baseline from the current warp findings instead of gating on it")
+	flag.Parse()
+	args := flag.Args()
 	if len(args) == 0 {
 		args = []string{"./..."}
+	}
+	if *writeBaseline && *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "kernelcheck: -write-baseline requires -baseline")
+		os.Exit(2)
 	}
 	files, err := collectFiles(args)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "kernelcheck: %v\n", err)
 		os.Exit(2)
 	}
-	findings := 0
+	hard := 0
+	warpCounts := make(map[string]int) // "file\trule" -> count
+	var warpDiags []kernelcheck.Diagnostic
 	for _, path := range files {
 		src, err := os.ReadFile(path)
 		if err != nil {
@@ -51,13 +72,117 @@ func main() {
 		}
 		for _, d := range kernelcheck.CheckFile(fset, file) {
 			fmt.Println(d)
-			findings++
+			hard++
+		}
+		if *warp {
+			for _, d := range kernelcheck.CheckFileWith(fset, file, kernelcheck.WarpAll) {
+				warpDiags = append(warpDiags, d)
+				warpCounts[normPath(path)+"\t"+d.Rule]++
+			}
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "kernelcheck: %d finding(s)\n", findings)
+	if hard > 0 {
+		fmt.Fprintf(os.Stderr, "kernelcheck: %d finding(s)\n", hard)
 		os.Exit(1)
 	}
+	if !*warp {
+		return
+	}
+	if *writeBaseline {
+		if err := saveBaseline(*baselinePath, warpCounts); err != nil {
+			fmt.Fprintf(os.Stderr, "kernelcheck: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "kernelcheck: wrote %d baseline entries (%d findings) to %s\n",
+			len(warpCounts), len(warpDiags), *baselinePath)
+		return
+	}
+	if *baselinePath == "" {
+		// No baseline: advisory findings print and fail like hard ones.
+		for _, d := range warpDiags {
+			fmt.Println(d)
+		}
+		if len(warpDiags) > 0 {
+			fmt.Fprintf(os.Stderr, "kernelcheck: %d warp finding(s)\n", len(warpDiags))
+			os.Exit(1)
+		}
+		return
+	}
+	base, err := loadBaseline(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kernelcheck: %v\n", err)
+		os.Exit(2)
+	}
+	viol := 0
+	for _, k := range sortedKeys(warpCounts) {
+		if warpCounts[k] > base[k] {
+			parts := strings.SplitN(k, "\t", 2)
+			fmt.Fprintf(os.Stderr, "kernelcheck: new %s finding(s) in %s: %d, baseline %d\n",
+				parts[1], parts[0], warpCounts[k], base[k])
+			viol++
+		}
+	}
+	if viol > 0 {
+		for _, d := range warpDiags {
+			fmt.Println(d)
+		}
+		fmt.Fprintf(os.Stderr, "kernelcheck: %d (file, rule) group(s) above baseline %s — fix, suppress with //kernelcheck:ignore <rule>, or regenerate with -write-baseline\n",
+			viol, *baselinePath)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "kernelcheck: %d warp finding(s), all within baseline %s\n", len(warpDiags), *baselinePath)
+}
+
+// normPath canonicalizes a file path for baseline keys: forward slashes,
+// no leading "./", so keys are stable across invocation styles.
+func normPath(p string) string {
+	return strings.TrimPrefix(filepath.ToSlash(p), "./")
+}
+
+// loadBaseline reads a "file<TAB>rule<TAB>count" baseline. Keying on
+// (file, rule) counts rather than positions keeps the baseline stable
+// under unrelated edits that shift line numbers.
+func loadBaseline(path string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int)
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("%s:%d: want file<TAB>rule<TAB>count, got %q", path, ln+1, line)
+		}
+		n := 0
+		if _, err := fmt.Sscanf(parts[2], "%d", &n); err != nil {
+			return nil, fmt.Errorf("%s:%d: bad count %q", path, ln+1, parts[2])
+		}
+		out[parts[0]+"\t"+parts[1]] = n
+	}
+	return out, nil
+}
+
+func saveBaseline(path string, counts map[string]int) error {
+	var b strings.Builder
+	b.WriteString("# kernelcheck warp-findings baseline: file<TAB>rule<TAB>count\n")
+	b.WriteString("# Regenerate with: go run ./cmd/kernelcheck -warp -baseline <this file> -write-baseline <dirs>\n")
+	for _, k := range sortedKeys(counts) {
+		fmt.Fprintf(&b, "%s\t%d\n", k, counts[k])
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // collectFiles expands the argument list into a sorted, de-duplicated set of

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"maxwarp/internal/kernelcheck"
+	"maxwarp/internal/report"
+)
+
+// cmdLint runs the static warp-efficiency analysis (internal/kernelcheck:
+// CFG + lane-taint dataflow) over the kernel packages and prints one
+// verdict row per kernel: divergence class, loop balance, worst memory
+// stride, atomic behavior, and barrier safety — the static predictions that
+// TestWarplintPredictions cross-validates against the simulator's measured
+// LaunchStats counters.
+//
+// Exit status: non-zero when any kernel-discipline finding (nondeterm,
+// barrier, bufalias, loopcapture) survives suppression. The advisory warp
+// findings (divergence/coalesce/atomicserial) are counted in the table but
+// do not fail the run — `make lint` gates those against the committed
+// baseline via cmd/kernelcheck instead.
+func cmdLint(args []string) error {
+	fs := flag.NewFlagSet("lint", flag.ContinueOnError)
+	dirs := fs.String("dirs", "internal/gpualgo,internal/vwarp", "comma-separated source directories to analyze")
+	includeTests := fs.Bool("tests", false, "include _test.go files")
+	jsonOut := fs.Bool("json", false, "emit the verdicts as JSON (the CI artifact format)")
+	showFindings := fs.Bool("findings", false, "also print every advisory warp finding")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var verdicts []kernelcheck.KernelVerdict
+	for _, dir := range strings.Split(*dirs, ",") {
+		dir = strings.TrimSpace(dir)
+		if dir == "" {
+			continue
+		}
+		vs, err := kernelcheck.DirVerdicts(dir, *includeTests)
+		if err != nil {
+			return fmt.Errorf("lint %s: %w", dir, err)
+		}
+		verdicts = append(verdicts, vs...)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(verdicts)
+	}
+
+	t := &report.Table{
+		ID:      "WARPLINT",
+		Title:   fmt.Sprintf("static warp-efficiency verdicts — %s", *dirs),
+		Columns: []string{"kernel", "file", "divergence", "loops", "coalesce", "atomics", "barriers", "findings"},
+	}
+	totalFindings := 0
+	for _, v := range verdicts {
+		t.AddRow(v.Kernel, fmt.Sprintf("%s:%d", v.File, v.Line),
+			v.Divergence, v.Loops, v.Coalesce, v.Atomics, v.Barriers,
+			strconv.Itoa(v.Findings))
+		totalFindings += v.Findings
+	}
+	fmt.Print(t.Text())
+	fmt.Printf("\n%d kernel(s), %d advisory finding(s). Verdict vocabulary: divergence none|laneid|data, loops uniform|imbalanced, coalesce none|uniform|unit|strided|irregular, atomics none|leader|collide|serial, barriers none|uniform|divergent.\n",
+		len(verdicts), totalFindings)
+
+	if *showFindings {
+		fmt.Println()
+		for _, dir := range strings.Split(*dirs, ",") {
+			if err := printDirFindings(strings.TrimSpace(dir), *includeTests); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// printDirFindings prints the unsuppressed warp-rule findings for one
+// directory, file by file.
+func printDirFindings(dir string, includeTests bool) error {
+	diags, err := kernelcheck.DirWarpFindings(dir, includeTests)
+	if err != nil {
+		return err
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	return nil
+}

@@ -51,6 +51,8 @@ func run(args []string) error {
 		return cmdAlgo(args[1:])
 	case "sanitize":
 		return cmdSanitize(args[1:])
+	case "lint":
+		return cmdLint(args[1:])
 	case "trace":
 		return cmdTrace(args[1:])
 	case "profile":
@@ -85,6 +87,7 @@ subcommands:
   bfs    run one BFS configuration and print its stats
   algo   run any kernel (sssp, pagerank, cc, spmv, triangles, kcore, mis, ...)
   sanitize run kernels under the race/memcheck/synccheck sanitizer
+  lint   static warp-efficiency verdicts per kernel (CFG + lane-taint analysis)
   trace  run a traced BFS and print instruction mix + SM timeline
   profile run one kernel with sampled tracing + metrics (parallel-safe)
   verify cross-check every kernel against its CPU oracle

@@ -3,6 +3,7 @@ package gpualgo
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"reflect"
 	"testing"
 
@@ -362,6 +363,67 @@ func TestSanitizerKernelSweep(t *testing.T) {
 		}},
 		{"closeness", func(t *testing.T, d *simt.Device, g *graph.CSR, _ []int32, _ graph.VertexID) error {
 			_, err := ClosenessCentrality(d, g, 2, 7, opts)
+			return err
+		}},
+		// The PR 8 streaming kernels: one mutate→repair cycle per incremental
+		// algorithm, so the overlay-aware repair kernels stay in the sweep.
+		{"incbfs", func(t *testing.T, d *simt.Device, g *graph.CSR, _ []int32, src graph.VertexID) error {
+			dl, err := graph.NewDelta(g, nil)
+			if err != nil {
+				return err
+			}
+			prev := cpualgo.BFSSequential(g, src)
+			applied, _, err := dl.Apply(randomMutationBatch(rand.New(rand.NewSource(7)), dl, 10, false))
+			if err != nil {
+				return err
+			}
+			_, _, err = IncrementalBFS(d, dl, nil, src, prev, applied, opts)
+			return err
+		}},
+		{"incsssp", func(t *testing.T, d *simt.Device, g *graph.CSR, weights []int32, src graph.VertexID) error {
+			dl, err := graph.NewDelta(g, weights)
+			if err != nil {
+				return err
+			}
+			prev := cpualgo.SSSPDijkstra(g, weights, src)
+			applied, _, err := dl.Apply(randomMutationBatch(rand.New(rand.NewSource(7)), dl, 10, false))
+			if err != nil {
+				return err
+			}
+			_, _, err = IncrementalSSSP(d, dl, nil, src, prev, applied, opts)
+			return err
+		}},
+		{"inccc", func(t *testing.T, d *simt.Device, g *graph.CSR, _ []int32, _ graph.VertexID) error {
+			sym, err := g.Symmetrize()
+			if err != nil {
+				return err
+			}
+			dl, err := graph.NewDelta(sym, nil)
+			if err != nil {
+				return err
+			}
+			prev := cpualgo.ConnectedComponents(sym)
+			applied, _, err := dl.Apply(randomMutationBatch(rand.New(rand.NewSource(7)), dl, 10, true))
+			if err != nil {
+				return err
+			}
+			_, _, err = IncrementalCC(d, dl, nil, prev, applied, opts)
+			return err
+		}},
+		{"deltapagerank", func(t *testing.T, d *simt.Device, g *graph.CSR, _ []int32, _ graph.VertexID) error {
+			dl, err := graph.NewDelta(g, nil)
+			if err != nil {
+				return err
+			}
+			popts := PageRankOptions{Options: opts, Iterations: 30}
+			res, _, err := DeltaPageRank(d, dl, nil, nil, popts)
+			if err != nil {
+				return err
+			}
+			if _, _, err := dl.Apply(randomMutationBatch(rand.New(rand.NewSource(7)), dl, 10, false)); err != nil {
+				return err
+			}
+			_, _, err = DeltaPageRank(d, dl, nil, res.Ranks, popts)
 			return err
 		}},
 	}

@@ -167,76 +167,295 @@ func repairFrontier(d *simt.Device, ddg *DeviceDeltaGraph, val *simt.BufI32, see
 	return rounds, nil
 }
 
+// incScratchKey is the incScratch cache slot on a WarpCtx's KernelScratch.
+const incScratchKey = "gpualgo.incremental"
+
+// incScratch holds the per-warp working vectors and closures of the three
+// incremental-repair kernels (repairRelax, ccRepair, dprPull). Like
+// bfsScratch, it is cached on the warp context and survives kernel
+// invocations and launches: the repair loops relaunch once per round, so in
+// steady state the kernels allocate nothing — each bind* method rewrites
+// the launch parameters and every closure reads them through the struct.
+type incScratch struct {
+	w *simt.WarpCtx
+
+	// Per-invocation parameters, rewritten by the bind* methods. val is the
+	// value buffer being repaired (distances for relax, labels for CC).
+	ddg                            *DeviceDeltaGraph
+	val, frontier, next, nextCount *simt.BufI32
+	claim                          *simt.BufI32
+	weighted                       bool
+	negRound                       int32
+	neutral                        int32
+	contrib, nextF                 *simt.BufF32
+	base, damping                  float32
+	colB, wtB, delB                *simt.BufI32 // current SIMDRange pass's buffers
+
+	ts *vwarp.Tasks // current invocation's task view (set by the bodies)
+
+	// Per-group vectors, sized for the widest possible grouping (K=1).
+	dv, start, end, extStart, extEnd, taskP1, lbl []int32
+	sums, vals                                    []float32
+	// Per-lane vectors.
+	nbr, dm, wt, cand, old, cold, slot, vidx, mine []int32
+	negR, zero, one                                []int32
+	acc, cf                                        []float32
+
+	incSisdP1 func(gi int)
+	improved  func(lane int) bool
+	enqueue   func()
+	claimWon  func(lane int) bool
+	pushNext  func()
+
+	relaxBody func(ts *vwarp.Tasks)
+	relaxSIMD func(j []int32)
+	relaxCand func(lane int)
+
+	ccBody       func(ts *vwarp.Tasks)
+	ccPullSIMD   func(j []int32)
+	ccPushSIMD   func(j []int32)
+	ccVidx       func(lane int)
+	ccMine       func(lane int)
+	ccNeutralize func(lane int)
+	ccCandDel    func(lane int)
+	ccCandLive   func(lane int)
+
+	dprBody     func(ts *vwarp.Tasks)
+	dprBaseSIMD func(j []int32)
+	dprExtSIMD  func(j []int32)
+	dprZero     func(lane int)
+	dprAccLive  func(lane int)
+	dprAccAll   func(lane int)
+	dprFinish   func(gi int)
+}
+
+// incScratchFor returns the context's cached scratch, building it on first
+// use of this warp context by an incremental kernel.
+func incScratchFor(w *simt.WarpCtx) *incScratch {
+	if s, ok := w.KernelScratch(incScratchKey).(*incScratch); ok {
+		return s
+	}
+	width := w.Width()
+	s := &incScratch{
+		w:        w,
+		dv:       make([]int32, width),
+		start:    make([]int32, width),
+		end:      make([]int32, width),
+		extStart: make([]int32, width),
+		extEnd:   make([]int32, width),
+		taskP1:   make([]int32, width),
+		lbl:      make([]int32, width),
+		sums:     make([]float32, width),
+		vals:     make([]float32, width),
+		nbr:      make([]int32, width),
+		dm:       make([]int32, width),
+		wt:       make([]int32, width),
+		cand:     make([]int32, width),
+		old:      make([]int32, width),
+		cold:     make([]int32, width),
+		slot:     make([]int32, width),
+		vidx:     make([]int32, width),
+		mine:     make([]int32, width),
+		negR:     make([]int32, width),
+		zero:     make([]int32, width),
+		one:      make([]int32, width),
+		acc:      make([]float32, width),
+		cf:       make([]float32, width),
+	}
+	for i := range s.one {
+		s.one[i] = 1
+	}
+	s.incSisdP1 = func(gi int) { s.taskP1[gi] = s.ts.Task[gi] + 1 }
+	s.improved = func(lane int) bool { return s.cand[lane] < s.old[lane] }
+	s.claimWon = func(lane int) bool { return s.cold[lane] > s.negRound }
+	s.pushNext = func() {
+		s.w.AtomicAddI32(s.nextCount, s.zero, s.one, s.slot)
+		s.w.StoreI32(s.next, s.slot, s.nbr)
+	}
+	s.enqueue = func() {
+		// First claimant this round enqueues the vertex.
+		s.w.AtomicMinI32(s.claim, s.nbr, s.negR, s.cold)
+		s.w.If(s.claimWon, s.pushNext, nil)
+	}
+
+	s.relaxCand = func(lane int) {
+		c := s.dv[s.ts.Group(lane)] + 1
+		if s.wtB != nil {
+			c = s.dv[s.ts.Group(lane)] + s.wt[lane]
+		}
+		if s.delB != nil && s.dm[lane] != 0 {
+			c = cpualgo.InfDist
+		}
+		s.cand[lane] = c
+	}
+	s.relaxSIMD = func(j []int32) {
+		s.w.LoadI32(s.colB, j, s.nbr)
+		if s.delB != nil {
+			s.w.LoadI32(s.delB, j, s.dm)
+		}
+		if s.wtB != nil {
+			s.w.LoadI32(s.wtB, j, s.wt)
+		}
+		s.w.Apply(1, s.relaxCand)
+		s.w.AtomicMinI32(s.val, s.nbr, s.cand, s.old)
+		s.w.If(s.improved, s.enqueue, nil)
+	}
+	s.relaxBody = func(ts *vwarp.Tasks) {
+		s.ts = ts
+		// Indirect through the frontier: the task id is a queue slot.
+		ts.LoadI32Grouped(s.frontier, ts.Task, ts.Task)
+		ts.LoadI32Grouped(s.val, ts.Task, s.dv)
+		ts.SISD(1, s.incSisdP1)
+		ts.LoadI32Grouped(s.ddg.Base.RowPtr, ts.Task, s.start)
+		ts.LoadI32Grouped(s.ddg.Base.RowPtr, s.taskP1, s.end)
+		s.colB, s.delB = s.ddg.Base.Col, s.ddg.Del
+		s.wtB = nil
+		if s.weighted {
+			s.wtB = s.ddg.Base.Weights
+		}
+		ts.SIMDRange(s.start, s.end, s.relaxSIMD)
+		ts.LoadI32Grouped(s.ddg.ExtRowPtr, ts.Task, s.start)
+		ts.LoadI32Grouped(s.ddg.ExtRowPtr, s.taskP1, s.end)
+		s.colB, s.delB = s.ddg.ExtCol, nil
+		if s.weighted {
+			s.wtB = s.ddg.ExtWeights
+		}
+		ts.SIMDRange(s.start, s.end, s.relaxSIMD)
+	}
+
+	s.ccVidx = func(lane int) { s.vidx[lane] = s.ts.Task[s.ts.Group(lane)] }
+	s.ccMine = func(lane int) { s.mine[lane] = s.lbl[s.ts.Group(lane)] }
+	s.ccNeutralize = func(lane int) {
+		if s.dm[lane] != 0 {
+			s.their()[lane] = s.neutral
+		}
+	}
+	s.ccCandDel = func(lane int) {
+		if s.dm[lane] != 0 {
+			s.cand[lane] = s.neutral
+		} else {
+			s.cand[lane] = s.mine[lane]
+		}
+	}
+	s.ccCandLive = func(lane int) { s.cand[lane] = s.mine[lane] }
+	s.ccPullSIMD = func(j []int32) {
+		s.w.LoadI32(s.colB, j, s.nbr)
+		if s.delB != nil {
+			s.w.LoadI32(s.delB, j, s.dm)
+		}
+		s.w.LoadI32(s.val, s.nbr, s.their())
+		if s.delB != nil {
+			s.w.Apply(1, s.ccNeutralize)
+		}
+		s.w.AtomicMinI32(s.val, s.vidx, s.their(), s.old)
+	}
+	s.ccPushSIMD = func(j []int32) {
+		s.w.LoadI32(s.colB, j, s.nbr)
+		if s.delB != nil {
+			s.w.LoadI32(s.delB, j, s.dm)
+			s.w.Apply(1, s.ccCandDel)
+		} else {
+			s.w.Apply(1, s.ccCandLive)
+		}
+		s.w.AtomicMinI32(s.val, s.nbr, s.cand, s.old)
+		s.w.If(s.improved, s.enqueue, nil)
+	}
+	s.ccBody = func(ts *vwarp.Tasks) {
+		s.ts = ts
+		ts.LoadI32Grouped(s.frontier, ts.Task, ts.Task)
+		ts.SISD(1, s.incSisdP1)
+		ts.LoadI32Grouped(s.ddg.Base.RowPtr, ts.Task, s.start)
+		ts.LoadI32Grouped(s.ddg.Base.RowPtr, s.taskP1, s.end)
+		ts.LoadI32Grouped(s.ddg.ExtRowPtr, ts.Task, s.extStart)
+		ts.LoadI32Grouped(s.ddg.ExtRowPtr, s.taskP1, s.extEnd)
+		s.w.Apply(1, s.ccVidx)
+		s.colB, s.delB = s.ddg.Base.Col, s.ddg.Del
+		ts.SIMDRange(s.start, s.end, s.ccPullSIMD)
+		s.colB, s.delB = s.ddg.ExtCol, nil
+		ts.SIMDRange(s.extStart, s.extEnd, s.ccPullSIMD)
+		// Re-read the refreshed label, then push it outward.
+		ts.LoadI32Grouped(s.val, ts.Task, s.lbl)
+		s.w.Apply(1, s.ccMine)
+		s.colB, s.delB = s.ddg.Base.Col, s.ddg.Del
+		ts.SIMDRange(s.start, s.end, s.ccPushSIMD)
+		s.colB, s.delB = s.ddg.ExtCol, nil
+		ts.SIMDRange(s.extStart, s.extEnd, s.ccPushSIMD)
+	}
+
+	s.dprZero = func(lane int) { s.acc[lane] = 0 }
+	s.dprAccLive = func(lane int) {
+		if s.dm[lane] == 0 {
+			s.acc[lane] += s.cf[lane]
+		}
+	}
+	s.dprAccAll = func(lane int) { s.acc[lane] += s.cf[lane] }
+	s.dprFinish = func(gi int) { s.vals[gi] = s.base + s.damping*s.sums[gi] }
+	s.dprBaseSIMD = func(j []int32) {
+		s.w.LoadI32(s.ddg.Base.Col, j, s.nbr)
+		s.w.LoadI32(s.ddg.Del, j, s.dm)
+		s.w.LoadF32(s.contrib, s.nbr, s.cf)
+		s.w.Apply(1, s.dprAccLive)
+	}
+	s.dprExtSIMD = func(j []int32) {
+		s.w.LoadI32(s.ddg.ExtCol, j, s.nbr)
+		s.w.LoadF32(s.contrib, s.nbr, s.cf)
+		s.w.Apply(1, s.dprAccAll)
+	}
+	s.dprBody = func(ts *vwarp.Tasks) {
+		s.ts = ts
+		ts.SISD(1, s.incSisdP1)
+		ts.LoadI32Grouped(s.ddg.Base.RowPtr, ts.Task, s.start)
+		ts.LoadI32Grouped(s.ddg.Base.RowPtr, s.taskP1, s.end)
+		ts.LoadI32Grouped(s.ddg.ExtRowPtr, ts.Task, s.extStart)
+		ts.LoadI32Grouped(s.ddg.ExtRowPtr, s.taskP1, s.extEnd)
+		s.w.Apply(1, s.dprZero)
+		ts.SIMDRange(s.start, s.end, s.dprBaseSIMD)
+		ts.SIMDRange(s.extStart, s.extEnd, s.dprExtSIMD)
+		ts.ReduceAddF32(s.acc, s.sums)
+		ts.SISD(1, s.dprFinish)
+		ts.StoreF32Grouped(s.nextF, ts.Task, s.vals, nil)
+	}
+
+	w.SetKernelScratch(incScratchKey, s)
+	return s
+}
+
+// their aliases the wt vector for the CC kernel's neighbor-label pass (the
+// two kernels never run in the same invocation, so the lanes never clash).
+func (s *incScratch) their() []int32 { return s.wt }
+
+// bindRelax rewrites the scratch for one repairRelaxKernel invocation.
+func (s *incScratch) bindRelax(ddg *DeviceDeltaGraph, val, frontier, next, nextCount, claim *simt.BufI32, negRound int32, weighted bool) {
+	s.ddg, s.val, s.frontier, s.next, s.nextCount, s.claim = ddg, val, frontier, next, nextCount, claim
+	s.negRound, s.weighted = negRound, weighted
+	for i := range s.negR {
+		s.negR[i] = negRound
+	}
+}
+
+// bindCC rewrites the scratch for one ccRepairKernel invocation.
+func (s *incScratch) bindCC(ddg *DeviceDeltaGraph, labels, frontier, next, nextCount, claim *simt.BufI32, negRound, neutral int32) {
+	s.ddg, s.val, s.frontier, s.next, s.nextCount, s.claim = ddg, labels, frontier, next, nextCount, claim
+	s.negRound, s.neutral = negRound, neutral
+	for i := range s.negR {
+		s.negR[i] = negRound
+	}
+}
+
+// bindDPR rewrites the scratch for one dprPullKernel invocation.
+func (s *incScratch) bindDPR(ddg *DeviceDeltaGraph, contrib, next *simt.BufF32, base, damping float32) {
+	s.ddg, s.contrib, s.nextF, s.base, s.damping = ddg, contrib, next, base, damping
+}
+
 // repairRelaxKernel relaxes the out-edges of one frontier's vertices over
 // the overlay: the masked base pass first, then the extension pass. Deleted
 // base lanes relax with an InfDist candidate (a no-op on the min), which
 // keeps the warp convergent instead of branching around dead edges.
 func repairRelaxKernel(ddg *DeviceDeltaGraph, val, frontier, next, nextCount, claim *simt.BufI32, frontierLen, negRound int32, weighted bool, opts Options) simt.Kernel {
 	return func(w *simt.WarpCtx) {
-		vwarp.ForEachStatic(w, opts.K, frontierLen, func(ts *vwarp.Tasks) {
-			g := ts.Groups
-			// Indirect through the frontier: the task id is a queue slot.
-			ts.LoadI32Grouped(frontier, ts.Task, ts.Task)
-			dv := make([]int32, g)
-			ts.LoadI32Grouped(val, ts.Task, dv)
-			nbr := w.VecI32()
-			dm := w.VecI32()
-			wt := w.VecI32()
-			cand := w.VecI32()
-			old := w.VecI32()
-			cold := w.VecI32()
-			slot := w.VecI32()
-			negR := w.ConstI32(negRound)
-			zero := w.ConstI32(0)
-			one := w.ConstI32(1)
-			relax := func(colB, wtB, delB *simt.BufI32, start, end []int32) {
-				ts.SIMDRange(start, end, func(j []int32) {
-					w.LoadI32(colB, j, nbr)
-					if delB != nil {
-						w.LoadI32(delB, j, dm)
-					}
-					if wtB != nil {
-						w.LoadI32(wtB, j, wt)
-					}
-					w.Apply(1, func(lane int) {
-						c := dv[ts.Group(lane)] + 1
-						if wtB != nil {
-							c = dv[ts.Group(lane)] + wt[lane]
-						}
-						if delB != nil && dm[lane] != 0 {
-							c = cpualgo.InfDist
-						}
-						cand[lane] = c
-					})
-					w.AtomicMinI32(val, nbr, cand, old)
-					w.If(func(lane int) bool { return cand[lane] < old[lane] }, func() {
-						// First claimant this round enqueues the vertex.
-						w.AtomicMinI32(claim, nbr, negR, cold)
-						w.If(func(lane int) bool { return cold[lane] > negRound }, func() {
-							w.AtomicAddI32(nextCount, zero, one, slot)
-							w.StoreI32(next, slot, nbr)
-						}, nil)
-					}, nil)
-				})
-			}
-			start := make([]int32, g)
-			end := make([]int32, g)
-			taskP1 := make([]int32, g)
-			ts.SISD(1, func(gi int) { taskP1[gi] = ts.Task[gi] + 1 })
-			ts.LoadI32Grouped(ddg.Base.RowPtr, ts.Task, start)
-			ts.LoadI32Grouped(ddg.Base.RowPtr, taskP1, end)
-			var wtB *simt.BufI32
-			if weighted {
-				wtB = ddg.Base.Weights
-			}
-			relax(ddg.Base.Col, wtB, ddg.Del, start, end)
-			ts.LoadI32Grouped(ddg.ExtRowPtr, ts.Task, start)
-			ts.LoadI32Grouped(ddg.ExtRowPtr, taskP1, end)
-			if weighted {
-				wtB = ddg.ExtWeights
-			}
-			relax(ddg.ExtCol, wtB, nil, start, end)
-		})
+		s := incScratchFor(w)
+		s.bindRelax(ddg, val, frontier, next, nextCount, claim, negRound, weighted)
+		vwarp.ForEachStatic(w, opts.K, frontierLen, s.relaxBody)
 	}
 }
 
@@ -473,83 +692,9 @@ func ccRepairLoop(d *simt.Device, ddg *DeviceDeltaGraph, labels *simt.BufI32, se
 func ccRepairKernel(ddg *DeviceDeltaGraph, labels, frontier, next, nextCount, claim *simt.BufI32, frontierLen, negRound int32, opts Options) simt.Kernel {
 	neutral := int32(ddg.NumVertices) // labels are vertex ids < n
 	return func(w *simt.WarpCtx) {
-		vwarp.ForEachStatic(w, opts.K, frontierLen, func(ts *vwarp.Tasks) {
-			g := ts.Groups
-			ts.LoadI32Grouped(frontier, ts.Task, ts.Task)
-			start := make([]int32, g)
-			end := make([]int32, g)
-			extStart := make([]int32, g)
-			extEnd := make([]int32, g)
-			taskP1 := make([]int32, g)
-			ts.SISD(1, func(gi int) { taskP1[gi] = ts.Task[gi] + 1 })
-			ts.LoadI32Grouped(ddg.Base.RowPtr, ts.Task, start)
-			ts.LoadI32Grouped(ddg.Base.RowPtr, taskP1, end)
-			ts.LoadI32Grouped(ddg.ExtRowPtr, ts.Task, extStart)
-			ts.LoadI32Grouped(ddg.ExtRowPtr, taskP1, extEnd)
-			nbr := w.VecI32()
-			dm := w.VecI32()
-			their := w.VecI32()
-			old := w.VecI32()
-			cold := w.VecI32()
-			slot := w.VecI32()
-			vidx := w.VecI32()
-			mine := w.VecI32()
-			negR := w.ConstI32(negRound)
-			zero := w.ConstI32(0)
-			one := w.ConstI32(1)
-			w.Apply(1, func(lane int) { vidx[lane] = ts.Task[ts.Group(lane)] })
-			pull := func(colB, delB *simt.BufI32, s, e []int32) {
-				ts.SIMDRange(s, e, func(j []int32) {
-					w.LoadI32(colB, j, nbr)
-					if delB != nil {
-						w.LoadI32(delB, j, dm)
-					}
-					w.LoadI32(labels, nbr, their)
-					if delB != nil {
-						w.Apply(1, func(lane int) {
-							if dm[lane] != 0 {
-								their[lane] = neutral
-							}
-						})
-					}
-					w.AtomicMinI32(labels, vidx, their, old)
-				})
-			}
-			pull(ddg.Base.Col, ddg.Del, start, end)
-			pull(ddg.ExtCol, nil, extStart, extEnd)
-			// Re-read the refreshed label, then push it outward.
-			lbl := make([]int32, g)
-			ts.LoadI32Grouped(labels, ts.Task, lbl)
-			w.Apply(1, func(lane int) { mine[lane] = lbl[ts.Group(lane)] })
-			push := func(colB, delB *simt.BufI32, s, e []int32) {
-				ts.SIMDRange(s, e, func(j []int32) {
-					w.LoadI32(colB, j, nbr)
-					cand := their // reuse: candidate label per lane
-					if delB != nil {
-						w.LoadI32(delB, j, dm)
-						w.Apply(1, func(lane int) {
-							if dm[lane] != 0 {
-								cand[lane] = neutral
-							} else {
-								cand[lane] = mine[lane]
-							}
-						})
-					} else {
-						w.Apply(1, func(lane int) { cand[lane] = mine[lane] })
-					}
-					w.AtomicMinI32(labels, nbr, cand, old)
-					w.If(func(lane int) bool { return cand[lane] < old[lane] }, func() {
-						w.AtomicMinI32(claim, nbr, negR, cold)
-						w.If(func(lane int) bool { return cold[lane] > negRound }, func() {
-							w.AtomicAddI32(nextCount, zero, one, slot)
-							w.StoreI32(next, slot, nbr)
-						}, nil)
-					}, nil)
-				})
-			}
-			push(ddg.Base.Col, ddg.Del, start, end)
-			push(ddg.ExtCol, nil, extStart, extEnd)
-		})
+		s := incScratchFor(w)
+		s.bindCC(ddg, labels, frontier, next, nextCount, claim, negRound, neutral)
+		vwarp.ForEachStatic(w, opts.K, frontierLen, s.ccBody)
 	}
 }
 
@@ -655,43 +800,8 @@ func DeltaPageRank(d *simt.Device, dl *graph.Delta, rddg *DeviceDeltaGraph, prev
 // extension). Deleted lanes contribute zero instead of diverging.
 func dprPullKernel(rddg *DeviceDeltaGraph, contrib, next *simt.BufF32, base float32, opts PageRankOptions) simt.Kernel {
 	return func(w *simt.WarpCtx) {
-		vwarp.ForEachStatic(w, opts.K, int32(rddg.NumVertices), func(ts *vwarp.Tasks) {
-			g := ts.Groups
-			start := make([]int32, g)
-			end := make([]int32, g)
-			extStart := make([]int32, g)
-			extEnd := make([]int32, g)
-			taskP1 := make([]int32, g)
-			ts.SISD(1, func(gi int) { taskP1[gi] = ts.Task[gi] + 1 })
-			ts.LoadI32Grouped(rddg.Base.RowPtr, ts.Task, start)
-			ts.LoadI32Grouped(rddg.Base.RowPtr, taskP1, end)
-			ts.LoadI32Grouped(rddg.ExtRowPtr, ts.Task, extStart)
-			ts.LoadI32Grouped(rddg.ExtRowPtr, taskP1, extEnd)
-			acc := w.VecF32()
-			w.Apply(1, func(lane int) { acc[lane] = 0 })
-			nbr := w.VecI32()
-			dm := w.VecI32()
-			c := w.VecF32()
-			ts.SIMDRange(start, end, func(j []int32) {
-				w.LoadI32(rddg.Base.Col, j, nbr)
-				w.LoadI32(rddg.Del, j, dm)
-				w.LoadF32(contrib, nbr, c)
-				w.Apply(1, func(lane int) {
-					if dm[lane] == 0 {
-						acc[lane] += c[lane]
-					}
-				})
-			})
-			ts.SIMDRange(extStart, extEnd, func(j []int32) {
-				w.LoadI32(rddg.ExtCol, j, nbr)
-				w.LoadF32(contrib, nbr, c)
-				w.Apply(1, func(lane int) { acc[lane] += c[lane] })
-			})
-			sums := make([]float32, g)
-			ts.ReduceAddF32(acc, sums)
-			vals := make([]float32, g)
-			ts.SISD(1, func(gi int) { vals[gi] = base + opts.Damping*sums[gi] })
-			ts.StoreF32Grouped(next, ts.Task, vals, nil)
-		})
+		s := incScratchFor(w)
+		s.bindDPR(rddg, contrib, next, base, opts.Damping)
+		vwarp.ForEachStatic(w, opts.K, int32(rddg.NumVertices), s.dprBody)
 	}
 }

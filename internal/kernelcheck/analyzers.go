@@ -122,59 +122,17 @@ func isMapExpr(e ast.Expr) bool {
 	return false
 }
 
-// BarrierAnalyzer flags SyncThreads calls lexically inside the function-
-// literal bodies of If / IfGrouped / While: those bodies run under a
-// restricted lane mask, and a barrier under a divergent mask is the classic
-// synccheck hazard (and can deadlock the block when whole warps skip it).
-// Warp-uniform plain-Go branching around a barrier is invisible to this
-// lexical rule; the dynamic synccheck covers it.
+// BarrierAnalyzer flags SyncThreads/Barrier calls that are control-
+// dependent on divergent control flow, computed on the kernel CFG (cfg.go):
+// a barrier under a restricted or warp-varying mask is the classic
+// synccheck hazard and can deadlock the block when whole warps skip it.
+// Unlike the PR 4 lexical rule this sees through helper closures (the CFG
+// inlines resolvable closure bindings and same-file kernel functions) and
+// does not flag barriers in branches whose predicate is warp-uniform.
 var BarrierAnalyzer = &Analyzer{
 	Name: "barrier",
-	Doc:  "flags SyncThreads/Barrier inside If/IfGrouped/While branch bodies",
-	Run:  runBarrier,
-}
-
-func runBarrier(p *Pass) {
-	seen := make(map[token.Pos]bool)
-	for _, body := range kernelBodies(p.File) {
-		ast.Inspect(body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			branch := sel.Sel.Name
-			if branch != "If" && branch != "IfGrouped" && branch != "While" {
-				return true
-			}
-			for _, arg := range call.Args {
-				fl, ok := arg.(*ast.FuncLit)
-				if !ok {
-					continue
-				}
-				ast.Inspect(fl.Body, func(m ast.Node) bool {
-					inner, ok := m.(*ast.CallExpr)
-					if !ok {
-						return true
-					}
-					is, ok := inner.Fun.(*ast.SelectorExpr)
-					if !ok {
-						return true
-					}
-					name := is.Sel.Name
-					if (name == "SyncThreads" || name == "Barrier") && !seen[inner.Pos()] {
-						seen[inner.Pos()] = true
-						p.Reportf(inner.Pos(), "%s inside a %s body executes under a divergent lane mask; hoist the barrier to warp-uniform control flow", name, branch)
-					}
-					return true
-				})
-			}
-			return true
-		})
-	}
+	Doc:  "flags SyncThreads/Barrier control-dependent on divergent control flow (CFG dominance analysis)",
+	Run:  func(p *Pass) { reportRule(p, "barrier") },
 }
 
 // BufAliasAnalyzer flags raw access to a device buffer's backing slice from

@@ -51,6 +51,22 @@ type Pass struct {
 
 	rule  string
 	diags *[]Diagnostic
+	// shared caches the CFG/taint analysis across the analyzers of one
+	// CheckFileWith run; built lazily on first use (the syntactic
+	// analyzers never pay for it).
+	shared **fileAnalysis
+}
+
+// analysis returns the file's CFG/taint analysis, building it on first use.
+func (p *Pass) analysis() *fileAnalysis {
+	if p.shared == nil {
+		var fa *fileAnalysis
+		p.shared = &fa
+	}
+	if *p.shared == nil {
+		*p.shared = buildFileAnalysis(p.Fset, p.File)
+	}
+	return *p.shared
 }
 
 // Reportf records a finding at pos.
@@ -69,9 +85,16 @@ var All = []*Analyzer{NondetermAnalyzer, BarrierAnalyzer, BufAliasAnalyzer, Loop
 // been parsed with parser.ParseComments for suppression to work) and returns
 // the unsuppressed findings in source order.
 func CheckFile(fset *token.FileSet, file *ast.File) []Diagnostic {
+	return CheckFileWith(fset, file, All)
+}
+
+// CheckFileWith runs a specific analyzer set over a parsed file, sharing
+// the CFG/taint infrastructure across analyzers.
+func CheckFileWith(fset *token.FileSet, file *ast.File, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
-	for _, a := range All {
-		a.Run(&Pass{Fset: fset, File: file, rule: a.Name, diags: &diags})
+	var shared *fileAnalysis
+	for _, a := range analyzers {
+		a.Run(&Pass{Fset: fset, File: file, rule: a.Name, diags: &diags, shared: &shared})
 	}
 	diags = filterSuppressed(fset, file, diags)
 	sort.Slice(diags, func(i, j int) bool {
@@ -89,12 +112,17 @@ func CheckFile(fset *token.FileSet, file *ast.File) []Diagnostic {
 
 // CheckSource parses src (named filename for positions) and checks it.
 func CheckSource(filename string, src []byte) ([]Diagnostic, error) {
+	return CheckSourceWith(filename, src, All)
+}
+
+// CheckSourceWith parses src and runs a specific analyzer set over it.
+func CheckSourceWith(filename string, src []byte, analyzers []*Analyzer) ([]Diagnostic, error) {
 	fset := token.NewFileSet()
 	file, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
 	if err != nil {
 		return nil, err
 	}
-	return CheckFile(fset, file), nil
+	return CheckFileWith(fset, file, analyzers), nil
 }
 
 // ignoreDirective is the suppression comment prefix.

@@ -107,7 +107,7 @@ func kern(w *WarpCtx) {
 	w.If(func(lane int) bool { return lane < 2 }, func() {
 		w.SyncThreads()
 	}, nil)
-	w.While(func(lane int) bool { return false }, func() {
+	w.While(func(lane int) bool { return lane%2 == 0 }, func() {
 		w.SyncThreads()
 	})
 	w.SyncThreads() // top level: fine

@@ -50,6 +50,7 @@ import (
 	"maxwarp/internal/gengraph"
 	"maxwarp/internal/gpualgo"
 	"maxwarp/internal/graph"
+	"maxwarp/internal/kernelcheck"
 	"maxwarp/internal/obs"
 	"maxwarp/internal/report"
 	"maxwarp/internal/resilient"
@@ -689,3 +690,31 @@ func LoadTest(ctx context.Context, opts LoadOptions) (*LoadReport, error) {
 // ParseQueryMix parses a weighted mix spec "algo@graph[=weight],..." for
 // LoadOptions.Mix.
 func ParseQueryMix(s string) ([]serve.MixItem, error) { return serve.ParseMix(s) }
+
+// Static warp-efficiency analysis (internal/kernelcheck): a per-kernel CFG
+// plus lane-taint dataflow predicting the paper's pathologies — divergence,
+// uncoalesced access, atomic serialization — statically, cross-validated
+// against LaunchStats counters by the warplint test harness. See
+// docs/PROGRAMMING.md "Static warp-efficiency analysis".
+type (
+	// KernelVerdict is one kernel's static warp-efficiency summary
+	// (divergence/loops/coalesce/atomics/barriers classes plus finding
+	// count).
+	KernelVerdict = kernelcheck.KernelVerdict
+	// LintDiagnostic is one static-analysis finding (file:line, rule,
+	// message).
+	LintDiagnostic = kernelcheck.Diagnostic
+)
+
+// KernelVerdicts statically analyzes every kernel in a source directory
+// and returns per-kernel warp-efficiency verdicts (the `maxwarp lint`
+// table).
+func KernelVerdicts(dir string, includeTests bool) ([]KernelVerdict, error) {
+	return kernelcheck.DirVerdicts(dir, includeTests)
+}
+
+// LintSource runs the kernel-discipline analyzers over one Go source file's
+// contents and returns the unsuppressed findings.
+func LintSource(filename string, src []byte) ([]LintDiagnostic, error) {
+	return kernelcheck.CheckSource(filename, src)
+}
