@@ -4,6 +4,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"maxwarp/internal/gengraph"
 	"maxwarp/internal/gpualgo"
@@ -12,6 +14,48 @@ import (
 	"maxwarp/internal/simt"
 	"maxwarp/internal/traceview"
 )
+
+// startHostProfiles arms Go's own runtime profilers over the simulated run:
+// -cpuprofile starts CPU sampling immediately, -memprofile writes an
+// allocation profile at teardown. These profile the *simulator host*, not the
+// simulated GPU — the tool for chasing interpret-loop regressions with
+// `go tool pprof`, complementing the simulated-side metrics/trace sinks.
+// The returned stop function is safe to call exactly once.
+func startHostProfiles(cpuOut, memOut string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuOut != "" {
+		cpuFile, err = os.Create(cpuOut)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "cpu profile -> %s\n", cpuOut)
+		}
+		if memOut != "" {
+			f, err := os.Create(memOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // flush recently-freed objects so in-use stats are accurate
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("write heap profile: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "heap profile -> %s\n", memOut)
+		}
+		return nil
+	}, nil
+}
 
 // obsSinks bundles the observability outputs shared by the profile, bfs,
 // algo, and run subcommands: a metrics registry destined for a Prometheus
@@ -95,6 +139,8 @@ func cmdProfile(args []string) error {
 	sample := fs.Int64("sample", 64, "keep 1 in N instruction events per SM")
 	events := fs.Int("events", 4096, "trace ring capacity per SM")
 	parallel := fs.Int("parallel", 0, "host goroutines driving SMs (0 = one per CPU, 1 = sequential event loop)")
+	cpuprofile := fs.String("cpuprofile", "", "write a host CPU profile (pprof) to file")
+	memprofile := fs.String("memprofile", "", "write a host heap profile (pprof) to file at exit")
 	sinks := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -102,6 +148,16 @@ func cmdProfile(args []string) error {
 	if sinks.metricsOut == "" {
 		sinks.metricsOut = "-"
 	}
+	stopProfiles, err := startHostProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		// Early-error path: flush whatever profile data exists.
+		if stopProfiles != nil {
+			stopProfiles()
+		}
+	}()
 	g, gname, fileWeights, err := loadWorkloadWeighted(*preset, *file, *scale, *seed)
 	if err != nil {
 		return err
@@ -149,6 +205,14 @@ func cmdProfile(args []string) error {
 		stats, rounds = res.Stats, res.Iterations
 	default:
 		return fmt.Errorf("profile: unknown kernel %q (want bfs, sssp, or pagerank)", *name)
+	}
+
+	// Stop host profiling before sink serialization so the CPU profile
+	// covers the simulated run only.
+	stop := stopProfiles
+	stopProfiles = nil
+	if err := stop(); err != nil {
+		return err
 	}
 
 	cfg := dev.Config()

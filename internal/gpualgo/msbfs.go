@@ -144,9 +144,9 @@ func msbfsCommitKernel(n, numSources int, frontier, visited, next, levelOf *simt
 			w.LoadI32(next, idx, nx)
 			w.LoadI32(visited, idx, vis)
 			fresh := w.VecI32()
-			w.Apply(1, func(lane int) { fresh[lane] = nx[lane] &^ vis[lane] })
+			w.AndNotI32(fresh, nx, vis)
 			w.If(func(lane int) bool { return fresh[lane] != 0 }, func() {
-				w.Apply(1, func(lane int) { vis[lane] |= fresh[lane] })
+				w.OrI32(vis, vis, fresh)
 				w.StoreI32(visited, idx, vis)
 				// Record the level for each newly reached source bit. The
 				// bit loop is uniform (numSources is a launch constant), so
@@ -164,7 +164,7 @@ func msbfsCommitKernel(n, numSources int, frontier, visited, next, levelOf *simt
 			w.StoreI32(frontier, idx, fresh)
 			zero := w.ConstI32(0)
 			w.StoreI32(next, idx, zero)
-			w.Apply(1, func(lane int) { idx[lane] += stride })
+			w.AddConstI32(idx, stride)
 		})
 	}
 }

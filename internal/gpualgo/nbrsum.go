@@ -47,13 +47,13 @@ func NeighborSum(d *simt.Device, dg *DeviceGraph, values []int32, opts Options) 
 			ts.SISD(1, func(gi int) { taskP1[gi] = ts.Task[gi] + 1 })
 			ts.LoadI32Grouped(dg.RowPtr, taskP1, end)
 			acc := w.VecI32()
-			w.Apply(1, func(lane int) { acc[lane] = 0 })
+			w.FillI32(acc, 0)
 			nbr := w.VecI32()
 			val := w.VecI32()
 			ts.SIMDRange(start, end, func(j []int32) {
 				w.LoadI32(dg.Col, j, nbr)
 				w.LoadI32(dVals, nbr, val)
-				w.Apply(1, func(lane int) { acc[lane] += val[lane] })
+				w.AddI32(acc, acc, val)
 			})
 			sums := make([]int32, g)
 			ts.ReduceAddI32(acc, sums)

@@ -198,7 +198,7 @@ func prContribKernel(n int, rank, contrib *simt.BufF32, outDeg *simt.BufI32) sim
 				}
 			})
 			w.StoreF32(contrib, idx, c)
-			w.Apply(1, func(lane int) { idx[lane] += stride })
+			w.AddConstI32(idx, stride)
 		})
 	}
 }
@@ -231,13 +231,13 @@ func prPullKernel(dgRev *DeviceGraph, contrib, next *simt.BufF32, base float32, 
 				}
 			}
 			acc := w.VecF32()
-			w.Apply(1, func(lane int) { acc[lane] = 0 })
+			w.FillF32(acc, 0)
 			nbr := w.VecI32()
 			c := w.VecF32()
 			ts.SIMDRange(start, end, func(j []int32) {
 				w.LoadI32(dgRev.Col, j, nbr)
 				w.LoadF32(contrib, nbr, c)
-				w.Apply(1, func(lane int) { acc[lane] += c[lane] })
+				w.AddF32(acc, acc, c)
 			})
 			sums := make([]float32, g)
 			ts.ReduceAddF32(acc, sums)

@@ -236,7 +236,7 @@ func sccTrimKernel(n int, region, hasOut, hasIn, scc, changed *simt.BufI32, r in
 					w.AtomicAddI32(changed, w.ConstI32(0), one, nil)
 				}, nil)
 			}, nil)
-			w.Apply(1, func(lane int) { idx[lane] += stride })
+			w.AddConstI32(idx, stride)
 		})
 	}
 }
@@ -255,7 +255,7 @@ func sccResetKernel(n int, region, fwd, bwd *simt.BufI32, r int32) simt.Kernel {
 				w.StoreI32(fwd, idx, zero)
 				w.StoreI32(bwd, idx, zero)
 			}, nil)
-			w.Apply(1, func(lane int) { idx[lane] += stride })
+			w.AddConstI32(idx, stride)
 		})
 	}
 }
@@ -345,7 +345,7 @@ func sccAssignKernel(n int, region, fwd, bwd, scc, counts *simt.BufI32, r, pivot
 				w.StoreI32(region, idx, newReg)
 				w.AtomicAddI32(counts, class, one, nil)
 			}, nil)
-			w.Apply(1, func(lane int) { idx[lane] += stride })
+			w.AddConstI32(idx, stride)
 		})
 	}
 }

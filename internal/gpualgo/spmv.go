@@ -53,7 +53,7 @@ func SpMV(d *simt.Device, dg *DeviceGraph, vals []float32, x []float32, opts Opt
 			ts.SISD(1, func(gi int) { taskP1[gi] = ts.Task[gi] + 1 })
 			ts.LoadI32Grouped(dg.RowPtr, taskP1, end)
 			acc := w.VecF32()
-			w.Apply(1, func(lane int) { acc[lane] = 0 })
+			w.FillF32(acc, 0)
 			col := w.VecI32()
 			av := w.VecF32()
 			xv := w.VecF32()
@@ -61,7 +61,7 @@ func SpMV(d *simt.Device, dg *DeviceGraph, vals []float32, x []float32, opts Opt
 				w.LoadI32(dg.Col, j, col)
 				w.LoadF32(dVals, j, av)
 				w.LoadF32(dX, col, xv)
-				w.Apply(1, func(lane int) { acc[lane] += av[lane] * xv[lane] })
+				w.MulAddF32(acc, av, xv)
 			})
 			sums := make([]float32, g)
 			ts.ReduceAddF32(acc, sums)

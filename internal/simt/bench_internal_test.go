@@ -67,6 +67,39 @@ func BenchmarkApplyUniform(b *testing.B) {
 	b.ReportMetric(float64(instr)/b.Elapsed().Seconds(), "sim-instr/s")
 }
 
+// BenchmarkApplyUniformBatch is BenchmarkApplyUniform with the per-lane
+// closure replaced by the vectorized primitive (AddConstI32): the same
+// simulated instruction stream, executed as a tight slab loop instead of
+// width indirect calls. The ratio to BenchmarkApplyUniform is the batch
+// execution win on the uniform-ALU interpret loop.
+func BenchmarkApplyUniformBatch(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.NumSMs = 4
+	d := MustNewDevice(cfg)
+	const iters = 512
+	const warps = 16
+	kernel := func(w *WarpCtx) {
+		v := w.VecI32()
+		for i := 0; i < iters; i++ {
+			w.AddConstI32(v, 1)
+		}
+	}
+	if _, err := d.Launch(LaunchConfig{Blocks: warps, ThreadsPerBlock: 32}, kernel); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var instr int64
+	for i := 0; i < b.N; i++ {
+		stats, err := d.Launch(LaunchConfig{Blocks: warps, ThreadsPerBlock: 32}, kernel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instr += stats.Instructions
+	}
+	b.ReportMetric(float64(instr)/b.Elapsed().Seconds(), "sim-instr/s")
+}
+
 // BenchmarkApplyDivergent is the slow-path twin of BenchmarkApplyUniform:
 // half the lanes are masked off by an If, so every Apply walks the masked
 // per-lane path. The uniform/divergent ratio bounds the fast path's win.

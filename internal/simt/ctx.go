@@ -220,18 +220,15 @@ func (c *WarpCtx) sanShared(kind AccessKind, s *SharedI32, idx []int32, val []in
 // charge reports an instruction's cost to the scheduler and blocks until the
 // warp is granted its next slot.
 func (c *WarpCtx) charge(r request) {
-	if !c.l.parallel {
-		// Direct-handoff mode: this goroutine holds the execution token, so
-		// it applies its own cost and passes the token itself — zero
-		// goroutine switches when the scheduler picks it again.
-		c.l.seqStep(c.w, r)
+	// Direct-handoff in both host modes: this goroutine holds the execution
+	// token (the launch-wide token sequentially, its SM's token in parallel
+	// mode), so it applies its own cost and passes the token itself — zero
+	// goroutine switches when the scheduler picks it again.
+	if c.l.parallel {
+		c.l.smStep(c.w, r)
 		return
 	}
-	c.w.req <- r
-	<-c.w.resume
-	if c.l.aborted.Load() {
-		panic(errAborted)
-	}
+	c.l.seqStep(c.w, r)
 }
 
 func (c *WarpCtx) activeCount() int { return c.activeN }
@@ -753,6 +750,41 @@ func (c *WarpCtx) gatherAddrs(addrOf func(lane int) uint64) (addrs []uint64, act
 	return a, int64(len(a))
 }
 
+// gatherAddrsBuf is the closure-free address gather for the dominant case —
+// element index idx[lane] into a 4-byte-element device buffer at base — with
+// the bounds check batched into the same pass as a single unsigned compare
+// per lane. It preserves the gatherAddrs contract exactly: ascending-lane
+// order (so the lowest faulting active lane panics first), the same typed
+// *KernelFault payload, and the same address stream.
+func (c *WarpCtx) gatherAddrsBuf(base uint64, n int, name string, idx []int32) (addrs []uint64, active int64) {
+	a := c.addrScratch[:0]
+	if c.fullMask() {
+		for lane := 0; lane < c.width; lane++ {
+			i := idx[lane]
+			if i < 0 || int(i) >= n {
+				f := newFaultOOB(name, int64(i), n)
+				f.Lane = lane
+				panic(f)
+			}
+			a = append(a, base+4*uint64(i))
+		}
+	} else {
+		for lane := 0; lane < c.width; lane++ {
+			if c.mask[lane] {
+				i := idx[lane]
+				if i < 0 || int(i) >= n {
+					f := newFaultOOB(name, int64(i), n)
+					f.Lane = lane
+					panic(f)
+				}
+				a = append(a, base+4*uint64(i))
+			}
+		}
+	}
+	c.addrScratch = a
+	return a, int64(len(a))
+}
+
 // memKind distinguishes the three global-memory access classes: only loads
 // consult the read-only cache; stores and atomics bypass and invalidate.
 type memKind uint8
@@ -844,16 +876,14 @@ func (c *WarpCtx) readF32(b *BufF32, i int32) float32 {
 // segment touched.
 func (c *WarpCtx) LoadI32(b *BufI32, idx []int32, dst []int32) {
 	c.sanGlobal(AccessLoad, b, nil, idx, nil, nil)
-	addrs, active := c.gatherAddrs(func(lane int) uint64 {
-		b.check(idx[lane], lane)
-		return b.addr(idx[lane])
-	})
+	addrs, active := c.gatherAddrsBuf(b.base, len(b.data), b.name, idx)
 	c.chargeMem(addrs, active, memLoad, 0)
 	c.loadI32Data(b, idx, dst)
 }
 
 // loadI32Data performs the data phase of an int32 gather, with the shadow
-// lookup hoisted out of the per-lane loop.
+// lookup hoisted out of the per-lane loop and the full-mask shadow walk
+// batched through loadAll.
 func (c *WarpCtx) loadI32Data(b *BufI32, idx []int32, dst []int32) {
 	sh := b.sh[c.w.sm.id]
 	switch {
@@ -870,15 +900,9 @@ func (c *WarpCtx) loadI32Data(b *BufI32, idx []int32, dst []int32) {
 			}
 		}
 	case c.fullMask():
-		for lane := 0; lane < c.width; lane++ {
-			dst[lane] = sh.load(idx[lane])
-		}
+		sh.loadAll(idx[:c.width], dst[:c.width])
 	default:
-		for lane := 0; lane < c.width; lane++ {
-			if c.mask[lane] {
-				dst[lane] = sh.load(idx[lane])
-			}
-		}
+		sh.loadMasked(idx[:c.width], dst[:c.width], c.mask)
 	}
 }
 
@@ -889,10 +913,7 @@ func (c *WarpCtx) loadI32Data(b *BufI32, idx []int32, dst []int32) {
 func (c *WarpCtx) LoadI32Replicated(groupWidth int, b *BufI32, idx []int32, dst []int32) {
 	c.checkGroupWidth(groupWidth)
 	c.sanGlobal(AccessLoad, b, nil, idx, nil, nil)
-	addrs, active := c.gatherAddrs(func(lane int) uint64 {
-		b.check(idx[lane], lane)
-		return b.addr(idx[lane])
-	})
+	addrs, active := c.gatherAddrsBuf(b.base, len(b.data), b.name, idx)
 	useful := c.activeGroupCount(groupWidth)
 	c.chargeMemUseful(addrs, active, useful, memLoad, 0)
 	c.loadI32Data(b, idx, dst)
@@ -903,32 +924,20 @@ func (c *WarpCtx) LoadI32Replicated(groupWidth int, b *BufI32, idx []int32, dst 
 // (here deterministically the highest lane).
 func (c *WarpCtx) StoreI32(b *BufI32, idx []int32, src []int32) {
 	c.sanGlobal(AccessStore, b, nil, idx, src, nil)
-	addrs, active := c.gatherAddrs(func(lane int) uint64 {
-		b.check(idx[lane], lane)
-		return b.addr(idx[lane])
-	})
+	addrs, active := c.gatherAddrsBuf(b.base, len(b.data), b.name, idx)
 	c.chargeMem(addrs, active, memStore, 0)
 	sh := b.shadowFor(c.w.sm.id)
 	if c.fullMask() {
-		for lane := 0; lane < c.width; lane++ {
-			sh.store(idx[lane], src[lane])
-		}
+		sh.storeAll(idx[:c.width], src[:c.width])
 	} else {
-		for lane := 0; lane < c.width; lane++ {
-			if c.mask[lane] {
-				sh.store(idx[lane], src[lane])
-			}
-		}
+		sh.storeMasked(idx[:c.width], src[:c.width], c.mask)
 	}
 }
 
 // LoadF32 gathers float32 values; see LoadI32.
 func (c *WarpCtx) LoadF32(b *BufF32, idx []int32, dst []float32) {
 	c.sanGlobal(AccessLoad, nil, b, idx, nil, nil)
-	addrs, active := c.gatherAddrs(func(lane int) uint64 {
-		b.check(idx[lane], lane)
-		return b.addr(idx[lane])
-	})
+	addrs, active := c.gatherAddrsBuf(b.base, len(b.data), b.name, idx)
 	c.chargeMem(addrs, active, memLoad, 0)
 	sh := b.sh[c.w.sm.id]
 	switch {
@@ -945,37 +954,22 @@ func (c *WarpCtx) LoadF32(b *BufF32, idx []int32, dst []float32) {
 			}
 		}
 	case c.fullMask():
-		for lane := 0; lane < c.width; lane++ {
-			dst[lane] = sh.load(idx[lane])
-		}
+		sh.loadAll(idx[:c.width], dst[:c.width])
 	default:
-		for lane := 0; lane < c.width; lane++ {
-			if c.mask[lane] {
-				dst[lane] = sh.load(idx[lane])
-			}
-		}
+		sh.loadMasked(idx[:c.width], dst[:c.width], c.mask)
 	}
 }
 
 // StoreF32 scatters float32 values; see StoreI32.
 func (c *WarpCtx) StoreF32(b *BufF32, idx []int32, src []float32) {
 	c.sanGlobal(AccessStore, nil, b, idx, nil, src)
-	addrs, active := c.gatherAddrs(func(lane int) uint64 {
-		b.check(idx[lane], lane)
-		return b.addr(idx[lane])
-	})
+	addrs, active := c.gatherAddrsBuf(b.base, len(b.data), b.name, idx)
 	c.chargeMem(addrs, active, memStore, 0)
 	sh := b.shadowFor(c.w.sm.id)
 	if c.fullMask() {
-		for lane := 0; lane < c.width; lane++ {
-			sh.store(idx[lane], src[lane])
-		}
+		sh.storeAll(idx[:c.width], src[:c.width])
 	} else {
-		for lane := 0; lane < c.width; lane++ {
-			if c.mask[lane] {
-				sh.store(idx[lane], src[lane])
-			}
-		}
+		sh.storeMasked(idx[:c.width], src[:c.width], c.mask)
 	}
 }
 
@@ -1014,10 +1008,7 @@ func (c *WarpCtx) atomStoreF32(b *BufF32, i int32, v float32) {
 
 func (c *WarpCtx) atomicI32(b *BufI32, idx []int32, apply func(lane int)) {
 	c.sanGlobal(AccessAtomic, b, nil, idx, nil, nil)
-	addrs, active := c.gatherAddrs(func(lane int) uint64 {
-		b.check(idx[lane], lane)
-		return b.addr(idx[lane])
-	})
+	addrs, active := c.gatherAddrsBuf(b.base, len(b.data), b.name, idx)
 	if active == 0 {
 		return
 	}
@@ -1025,6 +1016,10 @@ func (c *WarpCtx) atomicI32(b *BufI32, idx []int32, apply func(lane int)) {
 	c.w.sm.stats.AtomicSerial += serial
 	c.chargeMem(addrs, active, memAtomic, serial*c.l.cfg.AtomicExtraLatency)
 	if !c.l.gateEnter(c.w.sm) {
+		// Aborted while waiting for the gate. This goroutine holds its SM's
+		// execution token (parallel mode only — sequential gateEnter never
+		// fails), so smFinish must self-account it like a drained warp.
+		c.w.seqSelfAbort = true
 		panic(errAborted)
 	}
 	if c.fullMask() {
@@ -1113,10 +1108,7 @@ func (c *WarpCtx) AtomicExchI32(b *BufI32, idx []int32, val []int32, old []int32
 // AtomicAddF32 is the float32 atomic add.
 func (c *WarpCtx) AtomicAddF32(b *BufF32, idx []int32, delta []float32, old []float32) {
 	c.sanGlobal(AccessAtomic, nil, b, idx, nil, nil)
-	addrs, active := c.gatherAddrs(func(lane int) uint64 {
-		b.check(idx[lane], lane)
-		return b.addr(idx[lane])
-	})
+	addrs, active := c.gatherAddrsBuf(b.base, len(b.data), b.name, idx)
 	if active == 0 {
 		return
 	}
@@ -1124,6 +1116,10 @@ func (c *WarpCtx) AtomicAddF32(b *BufF32, idx []int32, delta []float32, old []fl
 	c.w.sm.stats.AtomicSerial += serial
 	c.chargeMem(addrs, active, memAtomic, serial*c.l.cfg.AtomicExtraLatency)
 	if !c.l.gateEnter(c.w.sm) {
+		// Aborted while waiting for the gate. This goroutine holds its SM's
+		// execution token (parallel mode only — sequential gateEnter never
+		// fails), so smFinish must self-account it like a drained warp.
+		c.w.seqSelfAbort = true
 		panic(errAborted)
 	}
 	apply := func(lane int) {

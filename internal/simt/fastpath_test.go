@@ -58,10 +58,26 @@ func fastPathProbeKernel(data, hist *BufI32) Kernel {
 		w.Apply(2, func(l int) { acc[l] = v[l] * 3 })
 		w.StoreI32(data, idx, acc)
 
+		// Vectorized uniform primitives (ctx_vec.go), full-mask here: must
+		// charge and behave exactly like their Apply forms on both paths.
+		w.FillI32(one, 1)
+		w.AddConstI32(acc, 5)
+		w.AddI32(acc, acc, v)
+		w.OrI32(acc, acc, one)
+		f := w.VecF32()
+		g := w.VecF32()
+		w.FillF32(f, 1.5)
+		w.AddF32(g, f, f)
+		w.MulAddF32(g, f, f)
+		w.Apply(1, func(l int) { acc[l] += int32(g[l]) })
+
 		// Divergent phase: half the lanes take the then-branch, and a
-		// per-lane While runs a lane-dependent trip count.
+		// per-lane While runs a lane-dependent trip count. The vectorized
+		// primitives run masked here.
 		w.If(func(l int) bool { return lane[l]%2 == 0 }, func() {
 			w.Apply(1, func(l int) { acc[l] += 100 })
+			w.AddConstI32(acc, 3)
+			w.AndNotI32(acc, acc, one)
 			w.LoadI32(data, idx, v)
 		}, func() {
 			w.Apply(1, func(l int) { acc[l] -= 7 })
@@ -160,5 +176,66 @@ func TestFastPathEquivalence(t *testing.T) {
 		if fast.diag[i] != slow.diag[i] {
 			t.Fatalf("sanitizer event %d diverges:\nfast: %s\nslow: %s", i, fast.diag[i], slow.diag[i])
 		}
+	}
+}
+
+// TestVecPrimitivesMatchApply pins the conversion contract of ctx_vec.go: a
+// kernel written with the vectorized primitives must produce bit-identical
+// cycles, stats, and memory to the same kernel written with one-instruction
+// Apply closures, in uniform and divergent regions alike.
+func TestVecPrimitivesMatchApply(t *testing.T) {
+	run := func(vec bool) (*LaunchStats, []int32) {
+		cfg := DefaultConfig()
+		cfg.NumSMs = 4
+		d := MustNewDevice(cfg)
+		out := d.AllocI32("out", 1<<10)
+		k := func(w *WarpCtx) {
+			lane := w.LaneIDs()
+			a := w.VecI32()
+			b := w.VecI32()
+			f := w.VecF32()
+			g := w.VecF32()
+			if vec {
+				w.FillI32(a, 7)
+				w.AddConstI32(a, 2)
+				w.AddI32(b, a, a)
+				w.OrI32(b, b, a)
+				w.FillF32(f, 0.25)
+				w.AddF32(g, f, f)
+				w.MulAddF32(g, f, f)
+				w.If(func(l int) bool { return lane[l] < int32(w.Width()/2) }, func() {
+					w.AndNotI32(b, b, a)
+					w.AddConstI32(b, 11)
+				}, nil)
+			} else {
+				w.Apply(1, func(l int) { a[l] = 7 })
+				w.Apply(1, func(l int) { a[l] += 2 })
+				w.Apply(1, func(l int) { b[l] = a[l] + a[l] })
+				w.Apply(1, func(l int) { b[l] |= a[l] })
+				w.Apply(1, func(l int) { f[l] = 0.25 })
+				w.Apply(1, func(l int) { g[l] = f[l] + f[l] })
+				w.Apply(1, func(l int) { g[l] += f[l] * f[l] })
+				w.If(func(l int) bool { return lane[l] < int32(w.Width()/2) }, func() {
+					w.Apply(1, func(l int) { b[l] = b[l] &^ a[l] })
+					w.Apply(1, func(l int) { b[l] += 11 })
+				}, nil)
+			}
+			w.Apply(1, func(l int) { b[l] += int32(g[l] * 4) })
+			idx := w.GlobalThreadIDs()
+			w.StoreI32(out, idx, b)
+		}
+		stats, err := d.Launch(Grid1D(1<<10, 128), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats, append([]int32(nil), out.Data()...)
+	}
+	vStats, vOut := run(true)
+	aStats, aOut := run(false)
+	if !reflect.DeepEqual(vStats, aStats) {
+		t.Errorf("stats diverge between vec and Apply forms:\nvec:   %+v\napply: %+v", vStats, aStats)
+	}
+	if !reflect.DeepEqual(vOut, aOut) {
+		t.Error("memory contents diverge between vec and Apply forms")
 	}
 }

@@ -42,48 +42,84 @@ const (
 	shadowPageShift = 8 // 256 elements (1 KiB) per shadow page
 	shadowPageSize  = 1 << shadowPageShift
 	shadowPageMask  = shadowPageSize - 1
+
+	// The page table is a flat two-level radix: a root slice of leaf
+	// pointers, each leaf covering shadowLeafSize consecutive pages. Leaves
+	// materialize on first store into their range, so creating a shadow
+	// costs one allocation proportional to len(base)/16K instead of the two
+	// len(base)/256-sized tables the flat layout needed — shadows are
+	// created per (buffer, SM) per launch, so this is per-launch overhead.
+	shadowLeafShift = 6 // 64 pages (16K elements) per leaf
+	shadowLeafSize  = 1 << shadowLeafShift
+	shadowLeafMask  = shadowLeafSize - 1
+
+	// The lookup cache in front of the radix is direct-mapped by page
+	// number, shadowCacheWays wide: stride loops and frontier scans touch a
+	// couple of pages alternately, which a one-entry cache thrashes on.
+	shadowCacheWays = 4
+	shadowCacheMask = shadowCacheWays - 1
 )
 
 type shadowElem interface{ ~int32 | ~float32 }
+
+// shadowLeaf holds one radix leaf's worth of copy-on-write pages and their
+// dirty bitmaps. Page and dirty pointers live in fixed arrays so a leaf is a
+// single allocation.
+type shadowLeaf[T shadowElem] struct {
+	pages [shadowLeafSize][]T
+	dirty [shadowLeafSize][]uint64
+}
 
 // bufShadow overlays writes on a buffer whose base data is frozen for the
 // duration of a launch. Pages are copied from base on first touch so loads
 // are a plain index; dirty bits record which elements were actually written
 // so the end-of-launch merge never clobbers another shard's elements with
 // stale base copies.
+//
+// A shadow is only ever accessed by one goroutine at a time (per-SM shadows
+// by their SM's token holder, the overlay under the atomic gate), so the
+// cache mutation in load is safe. Only materialized pages enter the cache,
+// so a hit can never mask a page created later; shadows are launch-scoped,
+// so no cross-launch generation stamp is needed — fresh tags per shadow are
+// the generation.
 type bufShadow[T shadowElem] struct {
-	base  []T
-	pages [][]T
-	dirty [][]uint64
+	base []T
+	root []*shadowLeaf[T]
 
-	// One-entry last-page cache: kernels touch memory with high page
-	// locality (stride loops, frontier scans), so remembering the last
-	// materialized page answers most lookups without re-indexing the page
-	// table. Only present pages are cached, so a hit can never mask a page
-	// created later. A shadow is only ever accessed by one goroutine at a
-	// time (per-SM shadows by their SM, the overlay under the atomic gate),
-	// so the mutation in load is safe.
-	lastPage int32
-	lastPg   []T
+	cacheTag [shadowCacheWays]int32
+	cachePg  [shadowCacheWays][]T
 }
 
 func newBufShadow[T shadowElem](base []T) *bufShadow[T] {
-	n := (len(base) + shadowPageMask) >> shadowPageShift
-	return &bufShadow[T]{
-		base:     base,
-		pages:    make([][]T, n),
-		dirty:    make([][]uint64, n),
-		lastPage: -1,
+	pages := (len(base) + shadowPageMask) >> shadowPageShift
+	leaves := (pages + shadowLeafMask) >> shadowLeafShift
+	s := &bufShadow[T]{
+		base: base,
+		root: make([]*shadowLeaf[T], leaves),
 	}
+	for i := range s.cacheTag {
+		s.cacheTag[i] = -1
+	}
+	return s
+}
+
+// page returns the materialized page holding element i, or nil.
+func (s *bufShadow[T]) page(p int32) []T {
+	leaf := s.root[p>>shadowLeafShift]
+	if leaf == nil {
+		return nil
+	}
+	return leaf.pages[p&shadowLeafMask]
 }
 
 func (s *bufShadow[T]) load(i int32) T {
 	p := i >> shadowPageShift
-	if p == s.lastPage {
-		return s.lastPg[i&shadowPageMask]
+	slot := p & shadowCacheMask
+	if s.cacheTag[slot] == p {
+		return s.cachePg[slot][i&shadowPageMask]
 	}
-	if pg := s.pages[p]; pg != nil {
-		s.lastPage, s.lastPg = p, pg
+	if pg := s.page(p); pg != nil {
+		s.cacheTag[slot], s.cachePg[slot] = p, pg
 		return pg[i&shadowPageMask]
 	}
 	return s.base[i]
@@ -91,47 +127,133 @@ func (s *bufShadow[T]) load(i int32) T {
 
 // written reports whether element i was stored through this shadow.
 func (s *bufShadow[T]) written(i int32) bool {
-	p := int(i) >> shadowPageShift
-	if s.dirty[p] == nil {
+	p := i >> shadowPageShift
+	leaf := s.root[p>>shadowLeafShift]
+	if leaf == nil {
+		return false
+	}
+	words := leaf.dirty[p&shadowLeafMask]
+	if words == nil {
 		return false
 	}
 	off := int(i) & shadowPageMask
-	return s.dirty[p][off>>6]&(1<<uint(off&63)) != 0
+	return words[off>>6]&(1<<uint(off&63)) != 0
 }
 
-func (s *bufShadow[T]) store(i int32, v T) {
-	p := int(i) >> shadowPageShift
-	if s.pages[p] == nil {
-		lo := p << shadowPageShift
+// materialize returns (creating if needed) page p and its dirty bitmap.
+func (s *bufShadow[T]) materialize(p int32) ([]T, []uint64) {
+	li := p >> shadowLeafShift
+	leaf := s.root[li]
+	if leaf == nil {
+		leaf = &shadowLeaf[T]{}
+		s.root[li] = leaf
+	}
+	pi := p & shadowLeafMask
+	pg := leaf.pages[pi]
+	if pg == nil {
+		lo := int(p) << shadowPageShift
 		hi := lo + shadowPageSize
 		if hi > len(s.base) {
 			hi = len(s.base)
 		}
-		pg := make([]T, shadowPageSize)
+		pg = make([]T, shadowPageSize)
 		copy(pg, s.base[lo:hi])
-		s.pages[p] = pg
-		s.dirty[p] = make([]uint64, shadowPageSize/64)
+		leaf.pages[pi] = pg
+		leaf.dirty[pi] = make([]uint64, shadowPageSize/64)
 	}
-	s.lastPage, s.lastPg = int32(p), s.pages[p]
+	slot := p & shadowCacheMask
+	s.cacheTag[slot], s.cachePg[slot] = p, pg
+	return pg, leaf.dirty[pi]
+}
+
+func (s *bufShadow[T]) store(i int32, v T) {
+	pg, dirty := s.materialize(i >> shadowPageShift)
 	off := int(i) & shadowPageMask
-	s.pages[p][off] = v
-	s.dirty[p][off>>6] |= 1 << uint(off&63)
+	pg[off] = v
+	dirty[off>>6] |= 1 << uint(off&63)
+}
+
+// loadAll gathers dst[lane] = shadow[idx[lane]] for every lane — the
+// full-mask data phase with the page-cache probe hoisted out of the method
+// call boundary and a one-entry local in front of it (consecutive lanes
+// overwhelmingly hit the same page).
+func (s *bufShadow[T]) loadAll(idx []int32, dst []T) {
+	curPage := int32(-1)
+	var curPg []T
+	for lane := range dst {
+		i := idx[lane]
+		if p := i >> shadowPageShift; p == curPage {
+			dst[lane] = curPg[i&shadowPageMask]
+		} else if slot := p & shadowCacheMask; s.cacheTag[slot] == p {
+			curPage, curPg = p, s.cachePg[slot]
+			dst[lane] = curPg[i&shadowPageMask]
+		} else if pg := s.page(p); pg != nil {
+			s.cacheTag[slot], s.cachePg[slot] = p, pg
+			curPage, curPg = p, pg
+			dst[lane] = pg[i&shadowPageMask]
+		} else {
+			dst[lane] = s.base[i]
+		}
+	}
+}
+
+// loadMasked is loadAll restricted to mask-active lanes.
+func (s *bufShadow[T]) loadMasked(idx []int32, dst []T, mask []bool) {
+	for lane := range dst {
+		if mask[lane] {
+			dst[lane] = s.load(idx[lane])
+		}
+	}
+}
+
+// storeAll scatters src[lane] into the shadow at idx[lane] for every lane,
+// with a one-entry local page in front of materialize so runs of lanes
+// sharing a page pay one radix walk.
+func (s *bufShadow[T]) storeAll(idx []int32, src []T) {
+	curPage := int32(-1)
+	var curPg []T
+	var curDirty []uint64
+	for lane := range src {
+		i := idx[lane]
+		if p := i >> shadowPageShift; p != curPage {
+			curPg, curDirty = s.materialize(p)
+			curPage = p
+		}
+		off := int(i) & shadowPageMask
+		curPg[off] = src[lane]
+		curDirty[off>>6] |= 1 << uint(off&63)
+	}
+}
+
+// storeMasked is storeAll restricted to mask-active lanes.
+func (s *bufShadow[T]) storeMasked(idx []int32, src []T, mask []bool) {
+	for lane := range src {
+		if mask[lane] {
+			s.store(idx[lane], src[lane])
+		}
+	}
 }
 
 // merge folds the dirty elements back into the base array.
 func (s *bufShadow[T]) merge() {
-	for p, words := range s.dirty {
-		if words == nil {
+	for li, leaf := range s.root {
+		if leaf == nil {
 			continue
 		}
-		elemBase := p << shadowPageShift
-		pg := s.pages[p]
-		for w, word := range words {
-			for word != 0 {
-				b := bits.TrailingZeros64(word)
-				word &^= 1 << uint(b)
-				off := w*64 + b
-				s.base[elemBase+off] = pg[off]
+		for pi := range leaf.pages {
+			words := leaf.dirty[pi]
+			if words == nil {
+				continue
+			}
+			elemBase := (li<<shadowLeafShift + pi) << shadowPageShift
+			pg := leaf.pages[pi]
+			for w, word := range words {
+				for word != 0 {
+					b := bits.TrailingZeros64(word)
+					word &^= 1 << uint(b)
+					off := w*64 + b
+					s.base[elemBase+off] = pg[off]
+				}
 			}
 		}
 	}

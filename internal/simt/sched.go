@@ -145,6 +145,15 @@ type smRT struct {
 	// it has handed the token to — so it needs no synchronization.
 	slotHeld bool
 
+	// token is the warp currently holding this SM's execution token in
+	// parallel direct-handoff mode; nil while the event loop holds it. Writes
+	// are chained by the channel operations that transfer the token, so no
+	// synchronization is needed.
+	token *warpRT
+	// loopResume wakes the SM event loop when the token chain ends (warp
+	// finished with no successor, abort, or no runnable warp).
+	loopResume chan struct{}
+
 	// stepKey is the SM clock at the top of the current event-loop step —
 	// the ordering key of every memory effect the step produces.
 	stepKey int64
@@ -167,6 +176,22 @@ type launch struct {
 	warpsPerBlock int
 	nextBlock     atomic.Int64
 	totalBlocks   int
+
+	// maxCycles is the launch's resolved cycle budget (config overridden by
+	// LaunchOpts), read by both host modes' supervision checks.
+	maxCycles int64
+
+	// admitDepth caps resident blocks per SM at admission time. Under the
+	// default "fifo" schedule it equals MaxBlocksPerSM — every SM eagerly
+	// fills its static occupancy limit. Under "steal" it is the configured
+	// StealDepth: each SM keeps at most that many blocks in flight, so the
+	// tail of the grid stays in the central queue and is claimed by whichever
+	// SM retires first — the paper's dynamic workload distribution applied at
+	// the host block distributor. The check reads only the requester's own
+	// resident count (admitted minus retired, i.e. its measured retirement
+	// progress at its own step key), so the policy is identical across host
+	// modes and bit-deterministic.
+	admitDepth int
 
 	// parallel selects per-SM host goroutines; when false the gate calls
 	// below are no-ops and a single goroutine multiplexes the SMs.
@@ -194,7 +219,6 @@ type launch struct {
 	seqLive          []*smRT       // SMs that may still have work (permanent-drop filter)
 	seqDone          chan struct{} // closed by the token holder when no work remains
 	seqTokenWarp     *warpRT       // current token holder, nil when the supervisor holds it
-	seqMaxCycles     int64
 	seqProgressEvery int64
 	seqNextProgress  int64
 	// seqSecondClock/seqSecondID cache the best (clock, id) among live SMs
@@ -233,6 +257,10 @@ func newLaunch(d *Device, lc LaunchConfig, kernel Kernel) *launch {
 			WarpWidth: d.cfg.WarpWidth,
 			WarpBusy:  make([]int64, lc.Blocks*warpsPerBlock),
 		},
+	}
+	l.admitDepth = d.cfg.MaxBlocksPerSM
+	if d.cfg.BlockSchedule == "steal" && d.cfg.StealDepth < l.admitDepth {
+		l.admitDepth = d.cfg.StealDepth
 	}
 	l.sms = make([]*smRT, d.cfg.NumSMs)
 	for i := range l.sms {
@@ -298,6 +326,7 @@ func (l *launch) run() (*LaunchStats, error) {
 	if l.opts.MaxCycles > 0 {
 		maxCycles = l.opts.MaxCycles
 	}
+	l.maxCycles = maxCycles
 	mode, fallback := l.execMode()
 	l.parallel = mode > 1
 	l.stats.ParallelSMs = mode
@@ -368,7 +397,6 @@ func (l *launch) run() (*LaunchStats, error) {
 // while eliminating half (often all) of the per-instruction goroutine
 // switches.
 func (l *launch) runSequential(maxCycles int64) {
-	l.seqMaxCycles = maxCycles
 	l.seqProgressEvery = l.opts.ProgressEvery
 	if l.seqProgressEvery == 0 {
 		l.seqProgressEvery = 65536
@@ -471,9 +499,9 @@ func (l *launch) seqSupervise(sm *smRT) {
 		l.fireInjection()
 		return
 	}
-	if sm.clock > l.seqMaxCycles {
+	if sm.clock > l.maxCycles {
 		l.fail(fmt.Errorf("simt: launch exceeded MaxCycles=%d (possible kernel livelock): %w",
-			l.seqMaxCycles, ErrLaunchTimeout))
+			l.maxCycles, ErrLaunchTimeout))
 		return
 	}
 	if l.opts.OnProgress != nil && sm.clock >= l.seqNextProgress {
@@ -583,6 +611,10 @@ func (l *launch) runParallel(maxCycles int64) {
 	}
 	var wg sync.WaitGroup
 	for _, sm := range l.sms {
+		if sm.loopResume == nil {
+			// Lazily armed here so sequential launches never pay for it.
+			sm.loopResume = make(chan struct{})
+		}
 		wg.Add(1)
 		go func(sm *smRT) {
 			defer wg.Done()
@@ -615,9 +647,19 @@ func (l *launch) releaseSlot(sm *smRT) {
 	l.slots <- struct{}{}
 }
 
-// smLoop is one SM's event loop in parallel mode. The horizon published at
-// the top of each step is the ordering key of every memory effect the step
-// can produce; it is monotone because the SM clock never decreases.
+// smLoop is one SM's event loop in parallel mode, now in the same
+// direct-handoff shape as the sequential supervisor: it performs a
+// scheduling pick, hands the execution token to the chosen warp's goroutine,
+// and parks until the token chain ends. From then on every warp applies its
+// own instruction cost and passes the token itself (smStep / smFinish), so
+// an instruction costs zero goroutine switches when the scheduler picks the
+// same warp again and one switch (down from two) otherwise — the same
+// per-step order as before: [publish horizon, admit, pick, preamble,
+// execute, apply, supervise].
+//
+// The horizon published at the top of each step is the ordering key of every
+// memory effect the step can produce; it is monotone because the SM clock
+// never decreases.
 func (l *launch) smLoop(sm *smRT, maxCycles int64) {
 	l.acquireSlot(sm)
 	defer l.releaseSlot(sm)
@@ -630,12 +672,117 @@ func (l *launch) smLoop(sm *smRT, maxCycles int64) {
 			return
 		}
 		l.publishHorizon(sm.id, sm.clock)
-		l.stepSM(sm)
-		if sm.clock > maxCycles && !l.aborted.Load() {
-			l.fail(fmt.Errorf("simt: launch exceeded MaxCycles=%d (possible kernel livelock): %w",
-				maxCycles, ErrLaunchTimeout))
+		sm.stepKey = sm.clock
+		l.admitBlocks(sm)
+		w := l.nextWarp(sm)
+		if w == nil {
+			// Either admission lost the race for the last block (the next
+			// has-work check returns false) or the launch aborted inside the
+			// admission gate (the abort check drains). Never a livelock: a
+			// live warp always yields a pick.
+			continue
 		}
+		l.seqPreamble(sm, w)
+		sm.token = w
+		w.resume <- sm.clock
+		<-sm.loopResume
+		sm.token = nil
 	}
+}
+
+// smStep is charge's fast path in parallel mode: the calling warp holds its
+// SM's execution token, applies its own instruction cost, supervises, and
+// picks the SM's next runner. If the scheduler picks this same warp it
+// simply returns — zero goroutine switches; otherwise it hands the token
+// straight to the next warp and parks. The per-step effect order — and with
+// it the sequence of gated admission attempts, hence the block→SM
+// assignment — is identical to the classic event loop's.
+func (l *launch) smStep(w *warpRT, r request) {
+	sm := w.sm
+	l.apply(sm, w, r)
+	if sm.clock > l.maxCycles && !l.aborted.Load() {
+		l.fail(fmt.Errorf("simt: launch exceeded MaxCycles=%d (possible kernel livelock): %w",
+			l.maxCycles, ErrLaunchTimeout))
+	}
+	if l.aborted.Load() {
+		// Unwind through the kernel stack; smFinish accounts this warp the
+		// way drainSM accounts the others, then wakes the loop to drain.
+		w.seqSelfAbort = true
+		panic(errAborted)
+	}
+	l.publishHorizon(sm.id, sm.clock)
+	sm.stepKey = sm.clock
+	l.admitBlocks(sm)
+	if l.aborted.Load() {
+		w.seqSelfAbort = true
+		panic(errAborted)
+	}
+	next := l.nextWarp(sm)
+	if next == nil {
+		// No runnable warp this step (transient: admission raced away the
+		// last block while this warp is mid-barrier, etc.) — give the token
+		// back to the loop, which re-evaluates has-work. This warp parks
+		// below like any other handoff.
+		sm.token = nil
+		sm.loopResume <- struct{}{}
+	} else {
+		l.seqPreamble(sm, next)
+		if next == w {
+			return
+		}
+		sm.token = next
+		next.resume <- sm.clock
+	}
+	<-w.resume
+	if l.aborted.Load() {
+		// Woken by drainSM (token elsewhere: the deferred opDone send in
+		// runWarp answers the drain loop) or handed a token concurrently
+		// with an abort (smFinish self-accounts).
+		w.seqSelfAbort = sm.token == w
+		panic(errAborted)
+	}
+}
+
+// smFinish completes a warp in parallel direct-handoff mode — the token
+// holder's replacement for the final opDone send: account the finished
+// warp, then pass the token to the SM's next runner, or wake the event loop
+// when the chain ends (no runnable warp, or abort).
+func (l *launch) smFinish(w *warpRT, err error) {
+	sm := w.sm
+	if l.aborted.Load() && w.seqSelfAbort {
+		// This warp aborted out of its own charge or gate wait; every other
+		// resident warp is drained by the loop. Account it the way drainSM
+		// accounts a drained warp.
+		w.seqSelfAbort = false
+		w.done = true
+		sm.readyKey[w.smIdx] = neverReady
+		sm.liveWarps--
+		if w.block.liveWarps > 0 {
+			w.block.liveWarps--
+		}
+		sm.loopResume <- struct{}{}
+		return
+	}
+	l.apply(sm, w, request{class: opDone, err: err})
+	if l.aborted.Load() {
+		sm.loopResume <- struct{}{}
+		return
+	}
+	l.publishHorizon(sm.id, sm.clock)
+	sm.stepKey = sm.clock
+	l.admitBlocks(sm)
+	if l.aborted.Load() {
+		sm.loopResume <- struct{}{}
+		return
+	}
+	next := l.nextWarp(sm)
+	if next == nil {
+		sm.loopResume <- struct{}{}
+		return
+	}
+	l.seqPreamble(sm, next)
+	sm.token = next
+	next.resume <- sm.clock
 }
 
 // fireInjection triggers the launch's planned fault.
@@ -653,7 +800,7 @@ func (l *launch) smHasWork(sm *smRT) bool {
 }
 
 func (l *launch) canAdmit(sm *smRT) bool {
-	return len(sm.blocks) < l.cfg.MaxBlocksPerSM &&
+	return len(sm.blocks) < l.admitDepth &&
 		sm.warpSlotsUsed+l.warpsPerBlock <= l.cfg.MaxWarpsPerSM
 }
 
@@ -792,6 +939,11 @@ func (l *launch) runWarp(w *warpRT) {
 			l.seqFinish(w, err)
 			return
 		}
+		if l.parallel && w.sm.token == w {
+			// Same in parallel mode, per SM: we hold this SM's token.
+			l.smFinish(w, err)
+			return
+		}
 		w.req <- request{class: opDone, err: err}
 	}()
 	<-w.resume
@@ -811,20 +963,6 @@ func (l *launch) panicFault(w *warpRT, r interface{}) *KernelFault {
 		Detail: fmt.Sprint(r),
 		Stack:  string(debug.Stack()),
 	}
-}
-
-// stepSM advances one SM by one warp instruction.
-func (l *launch) stepSM(sm *smRT) {
-	sm.stepKey = sm.clock
-	l.admitBlocks(sm)
-	w := l.nextWarp(sm)
-	if w == nil {
-		return
-	}
-	l.seqPreamble(sm, w)
-	w.resume <- sm.clock
-	r := <-w.req
-	l.apply(sm, w, r)
 }
 
 // nextWarp picks the next resident warp per the scheduler policy, skipping

@@ -179,6 +179,32 @@ func (s *LaunchStats) WarpBusyMaxOverMean() float64 {
 	return float64(maxB) / mean
 }
 
+// SMFinishCV returns the coefficient of variation of per-SM finish clocks:
+// 0 when every SM retires its last block at the same simulated cycle, large
+// when an unlucky SM's block assignment serializes the launch tail. It is
+// the block-distributor analogue of WarpImbalanceCV — the metric
+// BlockSchedule = "steal" exists to drive down on imbalanced grids.
+func (s *LaunchStats) SMFinishCV() float64 {
+	n := len(s.SMFinish)
+	if n == 0 {
+		return 0
+	}
+	var sum float64
+	for _, f := range s.SMFinish {
+		sum += float64(f)
+	}
+	mean := sum / float64(n)
+	if mean == 0 {
+		return 0
+	}
+	var sqdev float64
+	for _, f := range s.SMFinish {
+		d := float64(f) - mean
+		sqdev += d * d
+	}
+	return math.Sqrt(sqdev/float64(n)) / mean
+}
+
 // TxnsPerMemOp returns average transactions per global-memory instruction
 // (1.0 = perfectly coalesced, WarpWidth = fully scattered).
 func (s *LaunchStats) TxnsPerMemOp() float64 {

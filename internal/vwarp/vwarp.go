@@ -106,7 +106,6 @@ type Tasks struct {
 	simdUser           func(j []int32)
 	simdInitFn         func(lane int)
 	simdCondFn         func(lane int) bool
-	simdStepFn         func(lane int)
 	simdBodyFn         func()
 
 	glEnd    []int32
@@ -221,10 +220,9 @@ func (t *Tasks) buildClosures() {
 		g := t.Group(lane)
 		return t.Valid(g) && t.simdJ[lane] < t.simdEnd[g]
 	}
-	t.simdStepFn = func(lane int) { t.simdJ[lane] += int32(t.K) }
 	t.simdBodyFn = func() {
 		t.simdUser(t.simdJ)
-		w.Apply(1, t.simdStepFn)
+		w.AddConstI32(t.simdJ, int32(t.K))
 	}
 	t.glCondFn = func(lane int) bool {
 		g := t.Group(lane)
